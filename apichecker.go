@@ -1,0 +1,216 @@
+// Package apichecker is a faithful, self-contained reproduction of
+// APICHECKER, the market-scale ML-powered Android malware detection system
+// of "Experiences of Landing Machine Learning onto Market-Scale Mobile
+// Malware Detection" (EuroSys 2020).
+//
+// The package is the public facade over the implementation:
+//
+//   - a synthetic Android framework universe (~50K APIs with permissions,
+//     intents, hidden APIs and a dependency graph),
+//   - an APK substrate (manifest + dex + behaviour programs),
+//   - a dynamic-analysis engine (emulator profiles with a calibrated
+//     virtual clock, Xposed-style hooking, Monkey UI exercising),
+//   - a from-scratch ML library (the nine classifiers of Table 2),
+//   - the APICHECKER pipeline (key-API selection, A+P+I features, random
+//     forest, monthly model evolution),
+//   - a T-Market simulation (antivirus consensus, FP/FN workflows), and
+//   - an experiment harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// Quickstart:
+//
+//	u, _ := apichecker.NewUniverse(10000, 1)
+//	corpus, _ := apichecker.NewCorpus(u, 2000, 1)
+//	checker, report, _ := apichecker.Train(corpus, apichecker.DefaultConfig())
+//	verdict, _ := checker.VetAPK(apkBytes)
+//
+// See the examples/ directory for runnable scenarios and DESIGN.md for the
+// system inventory.
+package apichecker
+
+import (
+	"io"
+
+	"apichecker/internal/apk"
+	"apichecker/internal/behavior"
+	"apichecker/internal/core"
+	"apichecker/internal/dataset"
+	"apichecker/internal/emulator"
+	"apichecker/internal/features"
+	"apichecker/internal/framework"
+	"apichecker/internal/market"
+	"apichecker/internal/ml"
+)
+
+// Re-exported core types. The aliases form the supported API surface; the
+// internal packages behind them are implementation detail.
+type (
+	// Universe is the Android framework API surface.
+	Universe = framework.Universe
+	// UniverseConfig controls universe generation.
+	UniverseConfig = framework.Config
+
+	// Corpus is a labelled ground-truth app population.
+	Corpus = dataset.Corpus
+	// CorpusConfig controls corpus generation.
+	CorpusConfig = dataset.Config
+	// App is one corpus entry.
+	App = dataset.App
+
+	// Program is the executable semantics of one app.
+	Program = behavior.Program
+	// Generator derives programs from specs.
+	Generator = behavior.Generator
+	// Spec identifies one app to generate.
+	Spec = behavior.Spec
+
+	// Checker is the trained vetting pipeline.
+	Checker = core.Checker
+	// Config is the deployment configuration.
+	Config = core.Config
+	// TrainReport summarizes a training round.
+	TrainReport = core.TrainReport
+	// Verdict is the outcome of vetting one submission.
+	Verdict = core.Verdict
+
+	// APK is a parsed package.
+	APK = apk.APK
+
+	// Market simulates T-Market's review process.
+	Market = market.Market
+	// MarketConfig tunes the market simulation.
+	MarketConfig = market.Config
+	// YearConfig drives the 12-month deployment simulation.
+	YearConfig = market.YearConfig
+	// YearReport is the deployment simulation outcome.
+	YearReport = market.YearReport
+
+	// Profile describes an emulation engine.
+	Profile = emulator.Profile
+
+	// Selection is a key-API selection outcome.
+	Selection = features.Selection
+	// FeatureMode selects the feature families (A/P/I combinations).
+	FeatureMode = features.Mode
+
+	// Confusion is a binary confusion matrix with P/R/F1 accessors.
+	Confusion = ml.Confusion
+)
+
+// Label values for ground-truth classes.
+const (
+	Benign    = behavior.Benign
+	Malicious = behavior.Malicious
+)
+
+// Family and Category classify apps in the synthetic corpus.
+type (
+	// Family is a malware family.
+	Family = behavior.Family
+	// Category is a benign app-store category.
+	Category = behavior.Category
+)
+
+// Malware families.
+const (
+	FamilySMSFraud         = behavior.FamilySMSFraud
+	FamilySpyware          = behavior.FamilySpyware
+	FamilyRansomware       = behavior.FamilyRansomware
+	FamilyOverlay          = behavior.FamilyOverlay
+	FamilyRootExploit      = behavior.FamilyRootExploit
+	FamilyUpdateAttack     = behavior.FamilyUpdateAttack
+	FamilyAdFraud          = behavior.FamilyAdFraud
+	FamilyReflectionEvader = behavior.FamilyReflectionEvader
+	FamilyIntentEvader     = behavior.FamilyIntentEvader
+	FamilyLowProfile       = behavior.FamilyLowProfile
+)
+
+// Feature combinations (Fig. 10). ModeAPI is the deployed configuration.
+const (
+	ModeA   = features.ModeA
+	ModeP   = features.ModeP
+	ModeI   = features.ModeI
+	ModeAP  = features.ModeAP
+	ModeAI  = features.ModeAI
+	ModePI  = features.ModePI
+	ModeAPI = features.ModeAPI
+)
+
+// Review outcomes of the market simulation.
+const (
+	Published               = market.Published
+	RejectedFingerprint     = market.RejectedFingerprint
+	RejectedML              = market.RejectedML
+	PublishedAfterComplaint = market.PublishedAfterComplaint
+	QuarantinedAfterReport  = market.QuarantinedAfterReport
+)
+
+// Emulation engine profiles (§4.2, §5.1).
+var (
+	GoogleEmulator      = emulator.GoogleEmulator
+	LightweightEmulator = emulator.LightweightEmulator
+	RealDevice          = emulator.RealDevice
+)
+
+// NewUniverse generates a framework universe with numAPIs APIs. Use
+// PaperUniverse for the full 50K-API surface.
+func NewUniverse(numAPIs int, seed int64) (*Universe, error) {
+	cfg := framework.TestConfig(numAPIs)
+	cfg.Seed = seed
+	return framework.Generate(cfg)
+}
+
+// PaperUniverse generates the paper-scale 50K-API universe.
+func PaperUniverse(seed int64) (*Universe, error) {
+	cfg := framework.DefaultConfig()
+	cfg.Seed = seed
+	return framework.Generate(cfg)
+}
+
+// NewCorpus generates a labelled corpus of numApps apps over the universe
+// with the T-Market class mix (§4.1).
+func NewCorpus(u *Universe, numApps int, seed int64) (*Corpus, error) {
+	cfg := dataset.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumApps = numApps
+	return dataset.Generate(u, cfg)
+}
+
+// DefaultConfig is the production deployment configuration from the paper:
+// 5K Monkey events, A+P+I features, the lightweight engine, and a random
+// forest.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Train builds a Checker from a labelled corpus: measure API usage, select
+// the key APIs (Set-C ∪ Set-P ∪ Set-S), extract A+P+I features, train the
+// forest (§4, §5).
+func Train(c *Corpus, cfg Config) (*Checker, *TrainReport, error) {
+	return core.TrainFromCorpus(c, cfg)
+}
+
+// BuildAPK serializes a behaviour program into an APK archive.
+func BuildAPK(p *Program, u *Universe) ([]byte, error) { return apk.Build(p, u) }
+
+// ParseAPK opens an APK archive.
+func ParseAPK(data []byte) (*APK, error) { return apk.Parse(data) }
+
+// NewGenerator builds a program generator bound to a universe.
+func NewGenerator(u *Universe) *Generator { return behavior.NewGenerator(u) }
+
+// NewMarket wraps a trained checker in a simulated T-Market.
+func NewMarket(ck *Checker, cfg MarketConfig) *Market { return market.New(ck, cfg) }
+
+// DefaultMarketConfig matches the paper's review-process description.
+func DefaultMarketConfig() MarketConfig { return market.DefaultConfig() }
+
+// RunYear simulates month-by-month deployment with monthly retraining
+// (§5.3, Figs. 12/14).
+func RunYear(u *Universe, cfg YearConfig) (*YearReport, error) { return market.RunYear(u, cfg) }
+
+// DefaultYearConfig returns a laptop-scale deployment year.
+func DefaultYearConfig() YearConfig { return market.DefaultYearConfig() }
+
+// ImportModel loads a model exported with Checker.Export into a Checker
+// bound to the (matching) universe — the §5.4 distribution path by which
+// large markets share trained models with smaller ones.
+func ImportModel(r io.Reader, u *Universe) (*Checker, error) { return core.Import(r, u) }

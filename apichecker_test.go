@@ -1,0 +1,130 @@
+package apichecker
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The facade integration test: everything a downstream user would do in
+// their first hour, through the public API only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	u, err := NewUniverse(3000, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := NewCorpus(u, 900, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, report, err := Train(corpus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.KeyAPIs == 0 || report.Features < report.KeyAPIs {
+		t.Fatalf("report = %+v", report)
+	}
+
+	// Build and vet fresh apps through the archive path.
+	gen := NewGenerator(u)
+	benign := gen.Generate(Spec{
+		PackageName: "com.pub.notes", Version: 1, Seed: 5001, Label: Benign,
+	})
+	evil := gen.Generate(Spec{
+		PackageName: "com.pub.sms", Version: 1, Seed: 5002,
+		Label: Malicious, Family: FamilySMSFraud,
+	})
+	for _, tc := range []struct {
+		p    *Program
+		want bool
+	}{{benign, false}, {evil, true}} {
+		data, err := BuildAPK(tc.p, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ParseAPK(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parsed.PackageName() != tc.p.PackageName {
+			t.Errorf("parsed package = %s", parsed.PackageName())
+		}
+		v, err := checker.VetAPK(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Malicious != tc.want {
+			t.Errorf("%s: malicious = %v, want %v (score %f)",
+				tc.p.PackageName, v.Malicious, tc.want, v.Score)
+		}
+	}
+
+	// Market wrapping and review.
+	m := NewMarket(checker, DefaultMarketConfig())
+	m.SeedFingerprints(corpus)
+	var reviewed int
+	for _, app := range corpus.Apps[:50] {
+		if _, err := m.Review(app, nil); err != nil {
+			t.Fatal(err)
+		}
+		reviewed++
+	}
+	if reviewed != 50 {
+		t.Fatal("reviews lost")
+	}
+
+	// Model distribution.
+	var blob bytes.Buffer
+	if err := checker.Export(&blob); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := ImportModel(&blob, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := checker.VetProgram(evil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := imported.VetProgram(evil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Malicious != v2.Malicious {
+		t.Error("imported model disagrees with original")
+	}
+}
+
+func TestPublicYearSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("year simulation in -short mode")
+	}
+	u, err := NewUniverse(3000, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultYearConfig()
+	cfg.Months = 2
+	cfg.InitialApps = 400
+	cfg.MonthlyApps = 120
+	cfg.RetrainCap = 700
+	rep, err := RunYear(u, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Months) != 2 {
+		t.Fatalf("months = %d", len(rep.Months))
+	}
+}
+
+func TestPaperUniverseSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50K-API universe in -short mode")
+	}
+	u, err := PaperUniverse(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumAPIs() != 50000 {
+		t.Errorf("NumAPIs = %d", u.NumAPIs())
+	}
+}

@@ -1,0 +1,459 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus micro-benchmarks of the hot paths. Each experiment
+// bench runs the full experiment (measurement sweeps, model training,
+// evaluation) once per iteration and reports its headline numbers as
+// custom metrics.
+//
+// Scale defaults to "small" so `go test -bench=. -benchmem` completes in
+// minutes; set APICHECKER_BENCH_SCALE=medium|paper for the EXPERIMENTS.md
+// record (the paper scale builds the full 50K-API universe).
+package apichecker
+
+import (
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"apichecker/internal/core"
+	"apichecker/internal/dataset"
+	"apichecker/internal/emulator"
+	"apichecker/internal/experiments"
+	"apichecker/internal/features"
+	"apichecker/internal/hook"
+	"apichecker/internal/ml"
+	"apichecker/internal/monkey"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		name := os.Getenv("APICHECKER_BENCH_SCALE")
+		if name == "" {
+			name = "small"
+		}
+		scale, err := experiments.ScaleByName(name)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchEnv, benchErr = experiments.NewEnv(scale, 1)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// out returns the stream experiment rows are printed to; verbose runs show
+// them, quiet runs discard them.
+func out() io.Writer {
+	if testing.Verbose() {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+func BenchmarkTable1(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Table1(out())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(100*last.Precision, "apichecker-P%")
+		b.ReportMetric(100*last.Recall, "apichecker-R%")
+		b.ReportMetric(last.PerApp.Minutes(), "apichecker-min/app")
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Table2(out())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rf := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(100*rf.PrecisionKeys, "rf-keys-P%")
+		b.ReportMetric(100*rf.RecallKeys, "rf-keys-R%")
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Fig1(out())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			if p.Events == 5000 {
+				b.ReportMetric(100*p.RAC, "rac5k%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Fig2(out())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CDF.Summary.Mean, "mean-Minvocations")
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Fig3(out())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TrackNone.Summary.Mean, "none-min")
+		b.ReportMetric(res.TrackAll.Summary.Mean, "all-min")
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Fig4(out())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.StrongPositive), "src>=0.2")
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Fig5(out())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.NonTrivial), "setC")
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Fig6(out())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LinearFit.R2, "linR2")
+		b.ReportMetric(res.LogFit.R2, "logR2")
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Fig7(out())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.All.Recall, "all-R%")
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Fig8(out())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Union), "keys")
+		b.ReportMetric(float64(res.TotalPairwiseOverlaps), "overlaps")
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Fig9(out())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TrackKeys.Summary.Mean, "keys-min")
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Fig10(out())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			if r.Mode == features.ModeAPI {
+				b.ReportMetric(100*r.F1, "api-F1%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Fig11(out())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Saving, "saving%")
+		b.ReportMetric(res.Lightweight.Summary.Mean, "light-min")
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Fig12(out(), 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pMin, _, rMin, _ := res.Report.MinMaxPrecisionRecall()
+		b.ReportMetric(100*pMin, "minP%")
+		b.ReportMetric(100*rMin, "minR%")
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Fig13(out())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.APIs), "apis-in-top20")
+		b.ReportMetric(float64(res.Permissions), "perms-in-top20")
+		b.ReportMetric(float64(res.Intents), "intents-in-top20")
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Fig14(out(), 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Report.InitialKeyAPIs), "initial-keys")
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Fig15(out())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(100*last.F1, "full-F1%")
+	}
+}
+
+func BenchmarkFig16(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := e.Fig16(out())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Track150.Summary.Mean, "subset-min")
+		b.ReportMetric(res.TrackKeys.Summary.Mean, "keys-min")
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+// BenchmarkEmulatorRun measures one 5K-event emulation with the key APIs
+// hooked (the per-app production scan path).
+func BenchmarkEmulatorRun(b *testing.B) {
+	e := env(b)
+	reg, err := hook.NewRegistry(e.U, e.Selection.Keys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	emu := emulator.New(emulator.LightweightEmulator, reg)
+	p := e.Corpus.Program(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := emu.Run(p, monkey.ProductionConfig(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorpusVectorize measures the full-corpus feature-extraction
+// pass that backs every ML experiment.
+func BenchmarkCorpusVectorize(b *testing.B) {
+	e := env(b)
+	ex, err := features.NewExtractor(e.U, e.Selection.Keys, features.ModeAPI)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Corpus.Vectorize(ex, emulator.GoogleEmulator, 5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestTrain measures random-forest training on the deployed
+// feature configuration.
+func BenchmarkForestTrain(b *testing.B) {
+	e := env(b)
+	ex, err := features.NewExtractor(e.U, e.Selection.Keys, features.ModeAPI)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := e.Corpus.Vectorize(ex, emulator.GoogleEmulator, 5000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf := ml.NewRandomForest(ml.ForestConfig{Trees: 80, MaxDepth: 16, MinLeaf: 2, Seed: int64(i)})
+		if err := rf.Train(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUsageCollection measures the §4.3 track-everything measurement
+// pass over the corpus.
+func BenchmarkUsageCollection(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Corpus.CollectUsage(5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKeyAPISelection measures the §4.4 selection strategy given
+// collected usage statistics.
+func BenchmarkKeyAPISelection(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel := features.SelectKeyAPIs(e.U, e.Usage, features.DefaultSelectionConfig())
+		if len(sel.Keys) == 0 {
+			b.Fatal("no keys selected")
+		}
+	}
+}
+
+// BenchmarkAblationEncoding compares the deployed One-Hot encoding with
+// the histogram (invocation-frequency) encoding the paper's §6 proposes as
+// future work, on the same key-API tracking set.
+func BenchmarkAblationEncoding(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		for _, enc := range []features.Encoding{features.EncodingOneHot, features.EncodingHistogram} {
+			ex, err := features.NewExtractorWithEncoding(e.U, e.Selection.Keys, features.ModeAPI, enc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := e.Corpus.Vectorize(ex, emulator.GoogleEmulator, 5000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := ml.CrossValidate(func() ml.Classifier {
+				return ml.NewRandomForest(ml.DefaultForestConfig(7))
+			}, d, 5, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*res.Confusion.F1(), enc.String()+"-F1%")
+		}
+	}
+}
+
+// BenchmarkAblationForestVsDNN isolates the paper's §1 design call: the
+// forest matches the deep model's accuracy at a fraction of the training
+// cost.
+func BenchmarkAblationForestVsDNN(b *testing.B) {
+	e := env(b)
+	ex, err := features.NewExtractor(e.U, e.Selection.Keys, features.ModeAPI)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := e.Corpus.Vectorize(ex, emulator.GoogleEmulator, 5000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, test := d.Split(0.7, 5)
+	b.ResetTimer()
+	labels := map[ml.ModelKind]string{ml.ModelRandomForest: "rf", ml.ModelDNN: "dnn"}
+	for i := 0; i < b.N; i++ {
+		for _, kind := range []ml.ModelKind{ml.ModelRandomForest, ml.ModelDNN} {
+			c := ml.NewClassifier(kind, 7)
+			m, trainTime, _, err := ml.TrainEval(c, train, test)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*m.F1(), labels[kind]+"-F1%")
+			b.ReportMetric(trainTime.Seconds(), labels[kind]+"-train-s")
+		}
+	}
+}
+
+// BenchmarkModelExportImport measures the §5.4 model-distribution path.
+func BenchmarkModelExportImport(b *testing.B) {
+	e := env(b)
+	sub := dataset.FromApps(e.U, 3, e.Corpus.Apps[:min(600, e.Corpus.Len())])
+	ck, _, err := core.TrainFromCorpus(sub, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := ck.ExportBytes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.ImportBytes(data, e.U); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(data))/1024, "model-KiB")
+	}
+}
+
+// BenchmarkAPKBuildParse measures the archive round trip.
+func BenchmarkAPKBuildParse(b *testing.B) {
+	e := env(b)
+	p := e.Corpus.Program(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := BuildAPK(p, e.U)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ParseAPK(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// silence unused-import complaints if metrics change shape later
+var _ = dataset.AllTrackableAPIs

@@ -1,0 +1,73 @@
+// Command apkgen generates a labelled corpus of synthetic APK files.
+//
+// Usage:
+//
+//	apkgen -out ./corpus -n 50 -universe-apis 10000 -seed 1
+//
+// It writes <package>-<version>.apk archives plus labels.csv with the
+// ground truth. The universe parameters must match the apichecker command
+// vetting these APKs (both sides resolve API/permission/intent names
+// against the same generated framework).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"apichecker"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "corpus", "output directory")
+		n    = flag.Int("n", 20, "number of apps to generate")
+		apis = flag.Int("universe-apis", 10000, "framework universe size")
+		seed = flag.Int64("seed", 1, "global random seed")
+	)
+	flag.Parse()
+
+	u, err := apichecker.NewUniverse(*apis, *seed)
+	if err != nil {
+		fail(err)
+	}
+	corpus, err := apichecker.NewCorpus(u, *n, *seed+1)
+	if err != nil {
+		fail(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	labels, err := os.Create(filepath.Join(*out, "labels.csv"))
+	if err != nil {
+		fail(err)
+	}
+	defer labels.Close()
+	fmt.Fprintln(labels, "file,package,version,label,family_or_category")
+
+	for i := 0; i < corpus.Len(); i++ {
+		p := corpus.Program(i)
+		data, err := apichecker.BuildAPK(p, u)
+		if err != nil {
+			fail(err)
+		}
+		name := fmt.Sprintf("%s-%d.apk", p.PackageName, p.Version)
+		if err := os.WriteFile(filepath.Join(*out, name), data, 0o644); err != nil {
+			fail(err)
+		}
+		app := corpus.Apps[i]
+		detail := app.Spec.Category.String()
+		if app.Label == apichecker.Malicious {
+			detail = app.Spec.Family.String()
+		}
+		fmt.Fprintf(labels, "%s,%s,%d,%s,%s\n", name, p.PackageName, p.Version, app.Label, detail)
+	}
+	fmt.Printf("wrote %d APKs + labels.csv to %s (universe: %d APIs, seed %d)\n",
+		corpus.Len(), *out, *apis, *seed)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "apkgen:", err)
+	os.Exit(1)
+}

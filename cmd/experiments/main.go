@@ -1,0 +1,63 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp table2            # one experiment
+//	experiments -exp all               # everything
+//	experiments -exp fig12 -scale medium -seed 7
+//
+// Scales: small (seconds), medium (default, ~minutes), paper (50K-API
+// universe, the EXPERIMENTS.md record).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"apichecker/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (table1, table2, fig1..fig16) or 'all'")
+		scale = flag.String("scale", "medium", "environment scale: small | medium | paper")
+		seed  = flag.Int64("seed", 1, "global random seed")
+	)
+	flag.Parse()
+
+	sc, err := experiments.ScaleByName(*scale)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("# preparing %s-scale environment (universe %d APIs, corpus %d apps)...\n",
+		sc.Name, sc.UniverseAPIs, sc.Apps)
+	start := time.Now()
+	env, err := experiments.NewEnv(sc, *seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("# environment ready in %s: %d key APIs selected (C=%d P=%d S=%d)\n\n",
+		time.Since(start).Round(time.Millisecond), len(env.Selection.Keys),
+		len(env.Selection.SetC), len(env.Selection.SetP), len(env.Selection.SetS))
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		fmt.Printf("== %s ==\n", strings.ToUpper(id))
+		t0 := time.Now()
+		if err := experiments.Run(env, id, os.Stdout); err != nil {
+			fail(err)
+		}
+		fmt.Printf("   (%s)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command tmarket simulates months of market deployment: initial training
+// on ground-truth data, monthly submission review through the full
+// pipeline (fingerprint consensus → APICHECKER → manual workflows), SDK
+// evolution, and monthly retraining (§5.2-§5.3).
+//
+// Usage:
+//
+//	tmarket -months 12 -universe-apis 12000 -initial 900 -monthly 250
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"apichecker"
+)
+
+func main() {
+	var (
+		apis    = flag.Int("universe-apis", 10000, "framework universe size")
+		seed    = flag.Int64("seed", 1, "global random seed")
+		months  = flag.Int("months", 12, "months to simulate")
+		initial = flag.Int("initial", 900, "initial ground-truth corpus size")
+		monthly = flag.Int("monthly", 250, "submissions per month")
+		sdk     = flag.Int("sdk-every", 4, "SDK release cadence in months (0 = never)")
+	)
+	flag.Parse()
+
+	u, err := apichecker.NewUniverse(*apis, *seed)
+	if err != nil {
+		fail(err)
+	}
+	cfg := apichecker.DefaultYearConfig()
+	cfg.Seed = *seed
+	cfg.Months = *months
+	cfg.InitialApps = *initial
+	cfg.MonthlyApps = *monthly
+	cfg.SDKEveryMonths = *sdk
+	cfg.RetrainCap = *initial + 5**monthly
+
+	fmt.Printf("simulating %d months (universe %d APIs, initial corpus %d, %d submissions/month)\n\n",
+		cfg.Months, *apis, cfg.InitialApps, cfg.MonthlyApps)
+	start := time.Now()
+	rep, err := apichecker.RunYear(u, cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%6s %10s %8s %8s %8s %9s %10s %9s\n",
+		"Month", "Precision", "Recall", "Known", "Flagged", "Fast/Full", "Reports", "KeyAPIs")
+	var manualTotal float64
+	for _, m := range rep.Months {
+		fmt.Printf("%6d %9.1f%% %7.1f%% %8d %8d %5d/%-4d %10d %9d\n",
+			m.Month, 100*m.Precision(), 100*m.Recall(),
+			m.RejectedKnown, m.Flagged, m.FastTracked, m.ManualFull, m.UserReports, m.KeyAPIs)
+		manualTotal += m.ManualMinutes
+	}
+	pMin, pMax, rMin, rMax := rep.MinMaxPrecisionRecall()
+	fmt.Printf("\nsimulated in %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("precision band %.1f%%-%.1f%%, recall band %.1f%%-%.1f%%\n",
+		100*pMin, 100*pMax, 100*rMin, 100*rMax)
+	fmt.Printf("key-API set: %d initially, %d-%d over the run\n",
+		rep.InitialKeyAPIs, minKeys(rep), maxKeys(rep))
+	fmt.Printf("total manual-analysis effort: %.0f analyst-hours\n", manualTotal/60)
+}
+
+func minKeys(rep *apichecker.YearReport) int {
+	v := rep.Months[0].KeyAPIs
+	for _, m := range rep.Months {
+		if m.KeyAPIs < v {
+			v = m.KeyAPIs
+		}
+	}
+	return v
+}
+
+func maxKeys(rep *apichecker.YearReport) int {
+	v := rep.Months[0].KeyAPIs
+	for _, m := range rep.Months {
+		if m.KeyAPIs > v {
+			v = m.KeyAPIs
+		}
+	}
+	return v
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tmarket:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Distribute: the §5.4 model-distribution story. A large market trains
+// APICHECKER on its ground-truth corpus, exports the model (key-API
+// selection + trained forest), and a smaller market imports it to vet
+// submissions without owning any training data or spending any training
+// compute.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"apichecker"
+)
+
+func main() {
+	u, err := apichecker.NewUniverse(6000, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The large market: owns ground truth, trains, exports.
+	groundTruth, err := apichecker.NewCorpus(u, 1500, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	big, report, err := apichecker.Train(groundTruth, apichecker.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var model bytes.Buffer
+	if err := big.Export(&model); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("large market: trained on %d apps (%d key APIs), exported model: %d KiB\n",
+		groundTruth.Len(), report.KeyAPIs, model.Len()/1024)
+
+	// The small market: imports and vets. It needs only the model blob
+	// and the same framework universe (SDK level).
+	small, err := apichecker.ImportModel(&model, u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	day, err := apichecker.NewCorpus(u, 300, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	correct, flagged := 0, 0
+	for i := 0; i < day.Len(); i++ {
+		v, err := small.VetProgram(day.Program(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v.Malicious {
+			flagged++
+		}
+		if v.Malicious == (day.Apps[i].Label == apichecker.Malicious) {
+			correct++
+		}
+	}
+	fmt.Printf("small market: vetted %d submissions in %s (flagged %d, accuracy %.1f%%)\n",
+		day.Len(), time.Since(start).Round(time.Millisecond),
+		flagged, 100*float64(correct)/float64(day.Len()))
+	fmt.Println("zero training data, zero training compute on the small market's side.")
+}

@@ -1,0 +1,71 @@
+// Evasion: the adversary's perspective of §4.5. Malware can bypass key-API
+// hooks with Java reflection into hidden APIs or by delegating actions to
+// other apps via intents — but it cannot avoid requesting the backing
+// permissions or registering the broadcasts it needs. This example trains
+// two checkers, one with API-only features and one with the deployed
+// A+P+I combination, and vets a batch of evasive malware with both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"apichecker"
+)
+
+func main() {
+	u, err := apichecker.NewUniverse(6000, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus, err := apichecker.NewCorpus(u, 1500, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	apiOnly := apichecker.DefaultConfig()
+	apiOnly.Mode = apichecker.ModeA
+	ckA, _, err := apichecker.Train(corpus, apiOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ckAPI, _, err := apichecker.Train(corpus, apichecker.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gen := apichecker.NewGenerator(u)
+	families := []apichecker.Family{
+		apichecker.FamilyReflectionEvader,
+		apichecker.FamilyIntentEvader,
+		apichecker.FamilySpyware, // non-evasive control group
+	}
+	fmt.Printf("%-20s %14s %14s\n", "Family", "A-only catch", "A+P+I catch")
+	for _, fam := range families {
+		const n = 60
+		caughtA, caughtAPI := 0, 0
+		for seed := int64(0); seed < n; seed++ {
+			p := gen.Generate(apichecker.Spec{
+				PackageName: "com.evasion.sample", Version: 1, Seed: 90000 + seed,
+				Label: apichecker.Malicious, Family: fam,
+			})
+			vA, err := ckA.VetProgram(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			vAPI, err := ckAPI.VetProgram(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if vA.Malicious {
+				caughtA++
+			}
+			if vAPI.Malicious {
+				caughtAPI++
+			}
+		}
+		fmt.Printf("%-20s %12d/%d %12d/%d\n", fam, caughtA, n, caughtAPI, n)
+	}
+	fmt.Println("\nthe auxiliary P and I features recover the evaders that pure API")
+	fmt.Println("tracking misses (§4.5: recall 93.7% -> 96.7% in the paper).")
+}

@@ -1,0 +1,42 @@
+// Evolution: run the month-by-month deployment loop of §5.3 — monthly
+// submissions, accumulated market labels, periodic SDK releases adding new
+// framework APIs, and monthly retraining with fresh key-API selection.
+// This is the workflow behind Figures 12 and 14.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"apichecker"
+)
+
+func main() {
+	u, err := apichecker.NewUniverse(6000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := apichecker.DefaultYearConfig()
+	cfg.Months = 6
+	cfg.InitialApps = 900
+	cfg.MonthlyApps = 220
+	cfg.SDKEveryMonths = 3
+
+	fmt.Printf("simulating %d months of deployment (initial corpus %d apps, %d submissions/month)\n\n",
+		cfg.Months, cfg.InitialApps, cfg.MonthlyApps)
+	report, err := apichecker.RunYear(u, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%6s %10s %8s %9s %9s %8s\n", "Month", "Precision", "Recall", "Flagged", "KeyAPIs", "Manual")
+	for _, m := range report.Months {
+		fmt.Printf("%6d %9.1f%% %7.1f%% %9d %9d %7.0fm\n",
+			m.Month, 100*m.Precision(), 100*m.Recall(), m.Flagged, m.KeyAPIs, m.ManualMinutes)
+	}
+	pMin, pMax, rMin, rMax := report.MinMaxPrecisionRecall()
+	fmt.Printf("\nprecision band %.1f%%-%.1f%%, recall band %.1f%%-%.1f%% (initial key set: %d APIs)\n",
+		100*pMin, 100*pMax, 100*rMin, 100*rMax, report.InitialKeyAPIs)
+	fmt.Println("the key-API count drifts a few entries per month while detection quality stays level —")
+	fmt.Println("the paper's Fig. 14 observes 425-432 keys over a year at 50K-API scale.")
+}

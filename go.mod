@@ -1,0 +1,3 @@
+module apichecker
+
+go 1.24

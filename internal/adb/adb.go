@@ -1,0 +1,303 @@
+// Package adb is the device control plane: the Android-debug-bridge layer
+// the production system drives emulators through (§4.2: "we sequentially
+// execute adb commands to automatically install the app, run the Monkey UI
+// exerciser, record the running logs, uninstall the app, and clear up the
+// residual data").
+//
+// A Device wraps one emulator instance with package-manager state, a
+// logcat buffer, and residual-data tracking; a Session performs the full
+// per-app vetting sequence with guaranteed cleanup, so one submission can
+// never contaminate the next (stale caches and leftover databases are a
+// classic source of cross-app contamination in emulator farms).
+package adb
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"apichecker/internal/apk"
+	"apichecker/internal/emulator"
+	"apichecker/internal/hook"
+	"apichecker/internal/monkey"
+)
+
+// DeviceState tracks a device's lifecycle.
+type DeviceState uint8
+
+const (
+	// StateIdle: ready for the next app.
+	StateIdle DeviceState = iota
+	// StateBusy: an emulation is in flight.
+	StateBusy
+	// StateDirty: the last app was not cleaned up; installing is
+	// refused until ClearData runs.
+	StateDirty
+)
+
+func (s DeviceState) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateBusy:
+		return "busy"
+	case StateDirty:
+		return "dirty"
+	}
+	return fmt.Sprintf("DeviceState(%d)", uint8(s))
+}
+
+// Device is one controlled emulator instance.
+type Device struct {
+	serial string
+	emu    *emulator.Emulator
+
+	state     DeviceState
+	installed map[string]*apk.APK
+	// residual tracks per-package leftover files (databases, caches)
+	// created during emulation; uninstalling does NOT remove them —
+	// that is what "clear up the residual data" is for.
+	residual map[string][]string
+	logcat   []string
+}
+
+// NewDevice creates a device over an emulation profile and hook registry.
+func NewDevice(serial string, profile emulator.Profile, reg *hook.Registry) *Device {
+	return &Device{
+		serial:    serial,
+		emu:       emulator.New(profile, reg),
+		installed: make(map[string]*apk.APK),
+		residual:  make(map[string][]string),
+	}
+}
+
+// Serial returns the device identifier.
+func (d *Device) Serial() string { return d.serial }
+
+// State returns the device lifecycle state.
+func (d *Device) State() DeviceState { return d.state }
+
+// Emulator returns the underlying engine.
+func (d *Device) Emulator() *emulator.Emulator { return d.emu }
+
+// InstalledPackages lists installed package names, sorted.
+func (d *Device) InstalledPackages() []string {
+	out := make([]string, 0, len(d.installed))
+	for pkg := range d.installed {
+		out = append(out, pkg)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResidualFiles returns leftover files for a package.
+func (d *Device) ResidualFiles(pkg string) []string { return d.residual[pkg] }
+
+// Logcat drains the device log buffer.
+func (d *Device) Logcat() []string {
+	out := d.logcat
+	d.logcat = nil
+	return out
+}
+
+func (d *Device) logf(format string, args ...any) {
+	d.logcat = append(d.logcat, fmt.Sprintf(format, args...))
+}
+
+// Install parses and installs an APK. It refuses on a busy/dirty device,
+// on corrupt archives, and on duplicate installs.
+func (d *Device) Install(data []byte) (*apk.APK, error) {
+	if d.state != StateIdle {
+		return nil, fmt.Errorf("adb: %s: install on %s device", d.serial, d.state)
+	}
+	parsed, err := apk.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("adb: %s: install: %w", d.serial, err)
+	}
+	return parsed, d.installParsed(parsed)
+}
+
+// InstallParsed installs an already-parsed APK (the simulation fast path).
+func (d *Device) InstallParsed(parsed *apk.APK) error {
+	if d.state != StateIdle {
+		return fmt.Errorf("adb: %s: install on %s device", d.serial, d.state)
+	}
+	return d.installParsed(parsed)
+}
+
+func (d *Device) installParsed(parsed *apk.APK) error {
+	pkg := parsed.PackageName()
+	if existing, dup := d.installed[pkg]; dup {
+		if existing.VersionCode() >= parsed.VersionCode() {
+			return fmt.Errorf("adb: %s: INSTALL_FAILED_VERSION_DOWNGRADE: %s %d <= %d",
+				d.serial, pkg, parsed.VersionCode(), existing.VersionCode())
+		}
+	}
+	d.installed[pkg] = parsed
+	d.logf("PackageManager: installed %s versionCode=%d", pkg, parsed.VersionCode())
+	return nil
+}
+
+// RunMonkey exercises an installed package and records the run into the
+// logcat buffer (activity starts, crash reports, fallback notices).
+func (d *Device) RunMonkey(pkg string, mk monkey.Config) (*emulator.Result, error) {
+	parsed, ok := d.installed[pkg]
+	if !ok {
+		return nil, fmt.Errorf("adb: %s: monkey: package %s not installed", d.serial, pkg)
+	}
+	if d.state != StateIdle {
+		return nil, fmt.Errorf("adb: %s: monkey on %s device", d.serial, d.state)
+	}
+	d.state = StateBusy
+	defer func() { d.state = StateDirty }()
+
+	res, err := d.emu.Run(parsed.Program, mk)
+	if err != nil {
+		return nil, fmt.Errorf("adb: %s: monkey %s: %w", d.serial, pkg, err)
+	}
+	d.logf("Monkey: injected %d events into %s", res.Events, pkg)
+	for _, act := range res.Log.ReachedActivities {
+		d.logf("ActivityManager: START u0 {cmp=%s}", act)
+	}
+	for i := 0; i < res.Crashed; i++ {
+		d.logf("SystemServer: process %s crashed, restarting emulation", pkg)
+	}
+	if res.FellBack {
+		d.logf("SystemServer: %s incompatible with x86 engine, fell back to %s", pkg, res.Profile)
+	}
+	// Emulation leaves app data behind.
+	d.residual[pkg] = []string{
+		"/data/data/" + pkg + "/databases/app.db",
+		"/data/data/" + pkg + "/cache/webview",
+		"/sdcard/Android/data/" + pkg,
+	}
+	return res, nil
+}
+
+// Uninstall removes the package but deliberately leaves residual data
+// (matching pm uninstall semantics without the clear step).
+func (d *Device) Uninstall(pkg string) error {
+	if _, ok := d.installed[pkg]; !ok {
+		return fmt.Errorf("adb: %s: uninstall: package %s not installed", d.serial, pkg)
+	}
+	delete(d.installed, pkg)
+	d.logf("PackageManager: uninstalled %s", pkg)
+	return nil
+}
+
+// ClearData removes a package's residual files and returns the device to
+// idle.
+func (d *Device) ClearData(pkg string) {
+	delete(d.residual, pkg)
+	if len(d.residual) == 0 && len(d.installed) == 0 && d.state == StateDirty {
+		d.state = StateIdle
+	}
+	d.logf("pm clear %s: OK", pkg)
+}
+
+// Clean reports whether the device carries no apps and no residual data.
+func (d *Device) Clean() bool {
+	return len(d.installed) == 0 && len(d.residual) == 0
+}
+
+// Session performs the §4.2 per-app sequence with guaranteed cleanup.
+type Session struct {
+	dev *Device
+}
+
+// NewSession wraps a device.
+func NewSession(dev *Device) *Session { return &Session{dev: dev} }
+
+// Device returns the underlying device.
+func (s *Session) Device() *Device { return s.dev }
+
+// VetResult is the outcome of one full device session.
+type VetResult struct {
+	APK      *apk.APK
+	Run      *emulator.Result
+	Logcat   []string
+	Duration time.Duration // virtual time incl. the run
+}
+
+// Vet installs, exercises, uninstalls and cleans in order, returning the
+// run result and the session's logcat. The device is guaranteed idle and
+// clean afterwards, whatever happened in between.
+func (s *Session) Vet(data []byte, mk monkey.Config) (*VetResult, error) {
+	parsed, err := s.dev.Install(data)
+	if err != nil {
+		return nil, err
+	}
+	return s.finish(parsed, mk)
+}
+
+// VetParsed is Vet for an already-parsed APK.
+func (s *Session) VetParsed(parsed *apk.APK, mk monkey.Config) (*VetResult, error) {
+	if err := s.dev.InstallParsed(parsed); err != nil {
+		return nil, err
+	}
+	return s.finish(parsed, mk)
+}
+
+func (s *Session) finish(parsed *apk.APK, mk monkey.Config) (*VetResult, error) {
+	pkg := parsed.PackageName()
+	defer func() {
+		// Cleanup must run even on failure paths.
+		if _, still := s.dev.installed[pkg]; still {
+			_ = s.dev.Uninstall(pkg)
+		}
+		s.dev.ClearData(pkg)
+	}()
+	res, err := s.dev.RunMonkey(pkg, mk)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.dev.Uninstall(pkg); err != nil {
+		return nil, err
+	}
+	s.dev.ClearData(pkg)
+	if !s.dev.Clean() {
+		return nil, fmt.Errorf("adb: %s: residual state after vetting %s", s.dev.serial, pkg)
+	}
+	return &VetResult{
+		APK:      parsed,
+		Run:      res,
+		Logcat:   s.dev.Logcat(),
+		Duration: res.VirtualTime,
+	}, nil
+}
+
+// Pool is a set of devices with FIFO checkout — the per-server 16-emulator
+// deployment unit's control plane.
+type Pool struct {
+	devices []*Device
+	free    chan *Device
+}
+
+// NewPool creates n devices sharing a profile and registry.
+func NewPool(n int, profile emulator.Profile, reg *hook.Registry) (*Pool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("adb: pool size %d", n)
+	}
+	p := &Pool{free: make(chan *Device, n)}
+	for i := 0; i < n; i++ {
+		dev := NewDevice(fmt.Sprintf("emulator-%04d", 5554+2*i), profile, reg)
+		p.devices = append(p.devices, dev)
+		p.free <- dev
+	}
+	return p, nil
+}
+
+// Size returns the device count.
+func (p *Pool) Size() int { return len(p.devices) }
+
+// Checkout blocks until a device is free.
+func (p *Pool) Checkout() *Device { return <-p.free }
+
+// Release returns a device to the pool; it must be clean.
+func (p *Pool) Release(dev *Device) error {
+	if !dev.Clean() {
+		return fmt.Errorf("adb: release of unclean device %s", dev.serial)
+	}
+	p.free <- dev
+	return nil
+}

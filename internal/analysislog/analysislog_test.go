@@ -1,0 +1,113 @@
+package analysislog
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"apichecker/internal/behavior"
+	"apichecker/internal/emulator"
+	"apichecker/internal/framework"
+	"apichecker/internal/hook"
+	"apichecker/internal/monkey"
+)
+
+var (
+	testU   = framework.MustGenerate(framework.TestConfig(3000))
+	testGen = behavior.NewGenerator(testU)
+)
+
+func sampleRecord(t *testing.T, seed int64) *Record {
+	t.Helper()
+	reg := hook.MustNewRegistry(testU, testU.DesignedKeyAPIs())
+	emu := emulator.New(emulator.GoogleEmulator, reg)
+	p := testGen.Generate(behavior.Spec{
+		PackageName: "com.log.app", Version: 2, Seed: seed,
+		Label: behavior.Malicious, Family: behavior.FamilySMSFraud,
+	})
+	res, err := emu.Run(p, monkey.ProductionConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromResult(p.PackageName, p.Version, "00ff", res, testU)
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var want []*Record
+	for seed := int64(0); seed < 5; seed++ {
+		rec := sampleRecord(t, seed)
+		want = append(want, rec)
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 5 {
+		t.Errorf("count = %d", w.Count())
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("records = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Package != want[i].Package ||
+			got[i].TotalInvocations != want[i].TotalInvocations ||
+			len(got[i].Invocations) != len(want[i].Invocations) ||
+			got[i].ScanTime() != want[i].ScanTime() {
+			t.Errorf("record %d mismatch:\ngot  %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRecordContent(t *testing.T) {
+	rec := sampleRecord(t, 3)
+	if rec.Version != FormatVersion || rec.Package != "com.log.app" || rec.Events != 5000 {
+		t.Errorf("record header: %+v", rec)
+	}
+	if rec.TotalInvocations == 0 || rec.Intercepted == 0 || len(rec.Invocations) == 0 {
+		t.Error("record lost invocation data")
+	}
+	for _, inv := range rec.Invocations {
+		if inv.API == "" || inv.Count == 0 {
+			t.Errorf("invalid invocation %+v", inv)
+		}
+		if !strings.Contains(inv.API, ".") {
+			t.Errorf("API name %q not fully qualified", inv.API)
+		}
+	}
+	if rec.RAC <= 0 || rec.RAC > 1 {
+		t.Errorf("RAC = %f", rec.RAC)
+	}
+}
+
+func TestReaderRejectsBadInput(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("{broken json\n")); err == nil {
+		t.Error("broken JSON accepted")
+	}
+	if _, err := ReadAll(strings.NewReader(`{"v":99,"package":"a"}` + "\n")); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := ReadAll(strings.NewReader(`{"v":1}` + "\n")); err == nil {
+		t.Error("record without package accepted")
+	}
+	// Blank lines are tolerated.
+	recs, err := ReadAll(strings.NewReader("\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("blank stream: %v %d", err, len(recs))
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("err = %v, want EOF", err)
+	}
+}

@@ -1,0 +1,47 @@
+package analysislog
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader hardens the JSONL reader: arbitrary input must never panic,
+// and any stream that parses must round-trip.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(&Record{Package: "a.b", VersionCode: 1, Engine: "e", Events: 10}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("{}\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"v":1,"package":"x"}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		w := NewWriter(&out)
+		for _, rec := range recs {
+			if rec.Package == "" {
+				t.Fatal("reader accepted a record without package")
+			}
+			if err := w.Write(rec); err != nil {
+				t.Fatalf("accepted record fails to re-encode: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		recs2, err := ReadAll(bytes.NewReader(out.Bytes()))
+		if err != nil || len(recs2) != len(recs) {
+			t.Fatalf("round trip: %v (%d vs %d)", err, len(recs2), len(recs))
+		}
+	})
+}

@@ -1,0 +1,209 @@
+// Package apk builds and parses Android application packages.
+//
+// An APK is a ZIP archive; ours contains the same load-bearing entries a
+// real one does:
+//
+//	AndroidManifest.xml  — configuration (package, permissions, components)
+//	classes.dex          — compiled code (see internal/dex)
+//	assets/behavior.bin  — the executable semantics (see internal/behavior);
+//	                       this plays the role of the bytecode our emulator
+//	                       actually runs
+//	lib/<abi>/*.so       — native libraries (ARM; markers only)
+//	META-INF/MANIFEST.MF — digest manifest standing in for the signature
+//
+// App identity follows the paper (§4.1): APKs with the same package name
+// but different MD5 hashes are different apps; same package name with a
+// higher versionCode is an update.
+package apk
+
+import (
+	"archive/zip"
+	"bytes"
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+
+	"apichecker/internal/behavior"
+	"apichecker/internal/dex"
+	"apichecker/internal/framework"
+	"apichecker/internal/manifest"
+)
+
+// APK is a parsed package.
+type APK struct {
+	Manifest *manifest.Manifest
+	Dex      *dex.File
+	Program  *behavior.Program
+
+	// MD5 is the hex digest of the serialized archive, the app's
+	// identity key in the market database.
+	MD5 string
+
+	// Size is the archive size in bytes.
+	Size int64
+}
+
+// PackageName returns the manifest package name.
+func (a *APK) PackageName() string { return a.Manifest.Package }
+
+// VersionCode returns the manifest version code.
+func (a *APK) VersionCode() int { return a.Manifest.VersionCode }
+
+// Build serializes a program into an APK archive. The universe resolves
+// permission/intent/API names for the manifest and dex views.
+func Build(p *behavior.Program, u *framework.Universe) ([]byte, error) {
+	m, err := p.Manifest(u)
+	if err != nil {
+		return nil, fmt.Errorf("apk: build %s: %w", p.PackageName, err)
+	}
+	manifestXML, err := m.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("apk: build %s: %w", p.PackageName, err)
+	}
+	d, err := p.Dex(u)
+	if err != nil {
+		return nil, fmt.Errorf("apk: build %s: %w", p.PackageName, err)
+	}
+	dexBytes, err := d.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("apk: build %s: %w", p.PackageName, err)
+	}
+	prog, err := p.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("apk: build %s: %w", p.PackageName, err)
+	}
+
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	write := func(name string, data []byte) error {
+		// Deterministic archives: fixed method, no timestamps.
+		w, err := zw.CreateHeader(&zip.FileHeader{Name: name, Method: zip.Deflate})
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(data)
+		return err
+	}
+	entries := map[string][]byte{
+		"AndroidManifest.xml": manifestXML,
+		"classes.dex":         dexBytes,
+		"assets/behavior.bin": prog,
+		"resources.arsc":      resourceBlob(p),
+	}
+	for _, lib := range p.NativeLibs {
+		entries[lib] = []byte("\x7fELF-ARM-stub:" + lib)
+	}
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := write(name, entries[name]); err != nil {
+			return nil, fmt.Errorf("apk: build %s: write %s: %w", p.PackageName, name, err)
+		}
+	}
+	if err := write("META-INF/MANIFEST.MF", signatureFor(entries)); err != nil {
+		return nil, fmt.Errorf("apk: build %s: sign: %w", p.PackageName, err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("apk: build %s: close: %w", p.PackageName, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// resourceBlob emits a small filler resource table so archive sizes vary
+// plausibly with app complexity.
+func resourceBlob(p *behavior.Program) []byte {
+	n := 256 + 64*len(p.Activities)
+	blob := make([]byte, n)
+	seed := uint64(p.Seed)
+	for i := range blob {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		blob[i] = byte(seed >> 56)
+	}
+	return blob
+}
+
+// signatureFor builds the digest manifest.
+func signatureFor(entries map[string][]byte) []byte {
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf bytes.Buffer
+	buf.WriteString("Manifest-Version: 1.0\nCreated-By: apichecker-apkgen\n\n")
+	for _, name := range names {
+		sum := md5.Sum(entries[name])
+		fmt.Fprintf(&buf, "Name: %s\nMD5-Digest: %s\n\n", name, hex.EncodeToString(sum[:]))
+	}
+	return buf.Bytes()
+}
+
+// Parse opens an APK archive and decodes its load-bearing entries.
+func Parse(data []byte) (*APK, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("apk: parse: not a zip archive: %w", err)
+	}
+	readEntry := func(name string) ([]byte, error) {
+		for _, f := range zr.File {
+			if f.Name == name {
+				rc, err := f.Open()
+				if err != nil {
+					return nil, err
+				}
+				defer rc.Close()
+				return io.ReadAll(rc)
+			}
+		}
+		return nil, fmt.Errorf("entry %s missing", name)
+	}
+
+	out := &APK{Size: int64(len(data))}
+	manifestXML, err := readEntry("AndroidManifest.xml")
+	if err != nil {
+		return nil, fmt.Errorf("apk: parse: %w", err)
+	}
+	if out.Manifest, err = manifest.Decode(manifestXML); err != nil {
+		return nil, fmt.Errorf("apk: parse: %w", err)
+	}
+	dexBytes, err := readEntry("classes.dex")
+	if err != nil {
+		return nil, fmt.Errorf("apk: parse %s: %w", out.Manifest.Package, err)
+	}
+	if out.Dex, err = dex.Decode(dexBytes); err != nil {
+		return nil, fmt.Errorf("apk: parse %s: %w", out.Manifest.Package, err)
+	}
+	progBytes, err := readEntry("assets/behavior.bin")
+	if err != nil {
+		return nil, fmt.Errorf("apk: parse %s: %w", out.Manifest.Package, err)
+	}
+	if out.Program, err = behavior.Decode(progBytes); err != nil {
+		return nil, fmt.Errorf("apk: parse %s: %w", out.Manifest.Package, err)
+	}
+	if out.Program.PackageName != out.Manifest.Package {
+		return nil, fmt.Errorf("apk: parse: manifest package %s != program package %s",
+			out.Manifest.Package, out.Program.PackageName)
+	}
+	sum := md5.Sum(data)
+	out.MD5 = hex.EncodeToString(sum[:])
+	return out, nil
+}
+
+// BuildAndParse is a convenience composing Build and Parse; it returns the
+// archive bytes alongside the parsed view.
+func BuildAndParse(p *behavior.Program, u *framework.Universe) ([]byte, *APK, error) {
+	data, err := Build(p, u)
+	if err != nil {
+		return nil, nil, err
+	}
+	parsed, err := Parse(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("apk: self-check failed: %w", err)
+	}
+	return data, parsed, nil
+}

@@ -1,0 +1,137 @@
+package apk
+
+import (
+	"bytes"
+	"testing"
+
+	"apichecker/internal/behavior"
+	"apichecker/internal/framework"
+)
+
+var (
+	testU   = framework.MustGenerate(framework.TestConfig(3000))
+	testGen = behavior.NewGenerator(testU)
+)
+
+func program(seed int64, label behavior.Label, fam behavior.Family) *behavior.Program {
+	return testGen.Generate(behavior.Spec{
+		PackageName: "com.apk.test",
+		Version:     2,
+		Seed:        seed,
+		Label:       label,
+		Family:      fam,
+		Category:    behavior.CategoryMedia,
+	})
+}
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	p := program(5, behavior.Malicious, behavior.FamilySMSFraud)
+	data, parsed, err := BuildAndParse(p, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.PackageName() != p.PackageName || parsed.VersionCode() != p.Version {
+		t.Errorf("identity = %s/%d", parsed.PackageName(), parsed.VersionCode())
+	}
+	if parsed.Size != int64(len(data)) {
+		t.Errorf("Size = %d, want %d", parsed.Size, len(data))
+	}
+	if len(parsed.MD5) != 32 {
+		t.Errorf("MD5 = %q", parsed.MD5)
+	}
+	if len(parsed.Program.Activities) != len(p.Activities) {
+		t.Errorf("activities = %d, want %d", len(parsed.Program.Activities), len(p.Activities))
+	}
+	if len(parsed.Manifest.Permissions) != len(p.Permissions) {
+		t.Errorf("permissions = %d, want %d", len(parsed.Manifest.Permissions), len(p.Permissions))
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	p := program(9, behavior.Benign, behavior.FamilyNone)
+	a, err := Build(p, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(p, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("Build is not deterministic")
+	}
+}
+
+func TestMD5DistinguishesApps(t *testing.T) {
+	p1 := program(1, behavior.Benign, behavior.FamilyNone)
+	p2 := program(2, behavior.Benign, behavior.FamilyNone)
+	_, a1, err := BuildAndParse(p1, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, a2, err := BuildAndParse(p2, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same package name, different content: different apps (§4.1).
+	if a1.PackageName() != a2.PackageName() {
+		t.Fatal("test setup: packages differ")
+	}
+	if a1.MD5 == a2.MD5 {
+		t.Error("different content produced identical MD5 identity")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("definitely not a zip")); err == nil {
+		t.Error("Parse accepted non-zip input")
+	}
+}
+
+func TestParseRejectsMissingEntries(t *testing.T) {
+	p := program(3, behavior.Benign, behavior.FamilyNone)
+	data, err := Build(p, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the zip without classes.dex.
+	stripped := rezipWithout(t, data, "classes.dex")
+	if _, err := Parse(stripped); err == nil {
+		t.Error("Parse accepted APK without classes.dex")
+	}
+	stripped = rezipWithout(t, data, "assets/behavior.bin")
+	if _, err := Parse(stripped); err == nil {
+		t.Error("Parse accepted APK without behavior.bin")
+	}
+}
+
+func TestNativeLibsPackaged(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		p := program(seed, behavior.Benign, behavior.FamilyNone)
+		if len(p.NativeLibs) == 0 {
+			continue
+		}
+		data, err := Build(p, testU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lib := range p.NativeLibs {
+			if !zipHasEntry(t, data, lib) {
+				t.Errorf("native lib %s missing from archive", lib)
+			}
+		}
+		return
+	}
+	t.Skip("no generated program carried native libs")
+}
+
+func TestSignaturePresent(t *testing.T) {
+	p := program(4, behavior.Benign, behavior.FamilyNone)
+	data, err := Build(p, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zipHasEntry(t, data, "META-INF/MANIFEST.MF") {
+		t.Error("signature manifest missing")
+	}
+}

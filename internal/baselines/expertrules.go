@@ -1,0 +1,68 @@
+package baselines
+
+import (
+	"fmt"
+	"time"
+
+	"apichecker/internal/behavior"
+	"apichecker/internal/dataset"
+	"apichecker/internal/emulator"
+	"apichecker/internal/hook"
+	"apichecker/internal/inspector"
+	"apichecker/internal/monkey"
+)
+
+// expertRules adapts T-Market's 2014 expert-informed API inspection (§2)
+// as a comparison row: no learning, just curated invocation-pattern rules
+// over a dynamically hooked rule-API set.
+type expertRules struct {
+	ins *inspector.Inspector
+	emu *emulator.Emulator
+	seq int64
+}
+
+// NewExpertRules builds the 2014-process row.
+func NewExpertRules() Baseline { return &expertRules{} }
+
+func (b *expertRules) Name() string   { return "T-Market 2014" }
+func (b *expertRules) Method() string { return "dynamic" }
+func (b *expertRules) NumAPIs() int {
+	if b.ins == nil {
+		return 0
+	}
+	return len(b.ins.RequiredAPIs())
+}
+
+// Fit builds the rule set against the corpus's universe; there is nothing
+// to train — that is precisely the 2014 process's limitation.
+func (b *expertRules) Fit(c *dataset.Corpus) error {
+	ins, err := inspector.New(c.Universe(), inspector.ExpertRules(c.Universe()))
+	if err != nil {
+		return err
+	}
+	reg, err := hook.NewRegistry(c.Universe(), ins.RequiredAPIs())
+	if err != nil {
+		return err
+	}
+	b.ins = ins
+	b.emu = emulator.New(emulator.GoogleEmulator, reg)
+	return nil
+}
+
+func (b *expertRules) Classify(gen *behavior.Generator, app dataset.App) (bool, time.Duration, error) {
+	if b.ins == nil {
+		return false, 0, fmt.Errorf("baselines: expert rules not fitted")
+	}
+	p := gen.Generate(app.Spec)
+	b.seq++
+	res, err := b.emu.Run(p, monkey.ProductionConfig(app.Spec.Seed^b.seq))
+	if err != nil {
+		return false, 0, err
+	}
+	man, err := p.Manifest(gen.Universe())
+	if err != nil {
+		return false, 0, err
+	}
+	verdict := inspector.Verdict(b.ins.Inspect(res.Log, man))
+	return verdict >= inspector.SeveritySuspicious, res.VirtualTime, nil
+}

@@ -1,0 +1,550 @@
+package behavior
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"apichecker/internal/framework"
+)
+
+// Tuning constants for program generation. Calibrated so that corpus-level
+// statistics match §4.2-§4.3 (see internal/experiments for the
+// measurements).
+const (
+	// exactRateThreshold: APIs whose class rate is at least this are
+	// sampled with an exact per-API Bernoulli draw; colder APIs go
+	// through bucketed binomial sampling.
+	exactRateThreshold = 0.15
+
+	// rateJitterSigma spreads per-app invocation counts (lognormal).
+	rateJitterSigma = 0.35
+
+	// appVolumeSigma spreads whole-app invocation volume.
+	appVolumeSigma = 0.18
+
+	// familyAffineMult boosts a malware family's affine signal APIs;
+	// familyOtherMult damps the rest. Commodity signal APIs (shared by
+	// all families) keep their base rate.
+	familyAffineMult = 2.0
+	familyOtherMult  = 0.55
+
+	// categoryBoostMult raises a benign category's characteristic
+	// guarded APIs (the source of false-positive pressure).
+	categoryBoostMult = 3.0
+
+	// maxRate caps any per-app usage probability.
+	maxRate = 0.97
+
+	// Activity reachability mixture (§4.2: RAC ≈ 76.5% at 5K events,
+	// ≈ 86% at 100K, 88% of declared activities referenced).
+	reachEasyFrac    = 0.74
+	reachSlowFrac    = 0.12
+	reachEasyRateMin = 0.8 // per 1K events
+	reachEasyRateMax = 6.0
+	reachSlowRateMin = 0.012
+	reachSlowRateMax = 0.04
+	referencedFrac   = 0.88
+
+	// Evasion traits.
+	reflectionSwapFrac = 0.60 // fraction of signal APIs a reflection evader hides
+	intentSwapFrac     = 0.55 // fraction of signal APIs an intent evader delegates
+	lowProfileMult     = 0.12
+
+	// Emulator-detection prevalence (§4.2: 86.6% of apps behave
+	// identically on the stock emulator => ~13.4% run probes).
+	benignCheckRate  = 0.085
+	malwareCheckRate = 0.60
+	sensorNeedRate   = 0.014 // apps needing live sensor data
+
+	// Gray apps: benign apps bundling aggressive ad/analytics SDKs that
+	// touch sensitive surface heavily. They are the corpus's false-
+	// positive pressure (the paper's production precision sits at
+	// 98.5-99.0%, not 100%).
+	grayAppRate  = 0.02
+	grayAPIBoost = 8.0
+	grayAPICap   = 0.45
+
+	// Lightweight-engine incompatibility (§5.1: <1% of apps).
+	crashBiasMax = 0.02
+)
+
+// Generator derives per-app Programs from a framework universe. It is
+// immutable after construction and safe for concurrent use.
+type Generator struct {
+	u *framework.Universe
+
+	// exact APIs get a per-app Bernoulli draw.
+	exact []framework.APIID
+
+	// cold APIs are bucketed by per-class rate for binomial sampling.
+	benignPools []pool
+	malicePools []pool
+
+	// hidden APIs indexable as reflection targets; hiddenFor maps a
+	// visible signal API to its hidden counterpart.
+	hidden    []framework.APIID
+	hiddenFor map[framework.APIID]framework.APIID
+
+	systemIntents []framework.IntentID
+	appIntents    []framework.IntentID
+}
+
+// pool is a set of APIs sharing one sampled usage rate.
+type pool struct {
+	apis []framework.APIID
+	rate float64
+}
+
+// NewGenerator precomputes sampling pools for the universe. Rebuild the
+// generator after Universe.Evolve to pick up new APIs.
+func NewGenerator(u *framework.Universe) *Generator {
+	g := &Generator{u: u, hiddenFor: make(map[framework.APIID]framework.APIID)}
+
+	type coldAPI struct {
+		id   framework.APIID
+		rate float64
+	}
+	var coldBenign, coldMalice []coldAPI
+
+	for i := range u.APIs() {
+		a := &u.APIs()[i]
+		if a.Hidden {
+			g.hidden = append(g.hidden, a.ID)
+			continue
+		}
+		restricted := a.Permission != framework.NoPermission &&
+			u.Permission(a.Permission).Level.Restrictive()
+		exact := a.Role == framework.RoleMaliceSignal ||
+			a.Role == framework.RoleBenignCommon ||
+			restricted || a.Category != framework.CategoryNone ||
+			a.BenignRate >= exactRateThreshold || a.MaliceRate >= exactRateThreshold
+		if exact {
+			g.exact = append(g.exact, a.ID)
+			continue
+		}
+		if a.BenignRate > 0 {
+			coldBenign = append(coldBenign, coldAPI{a.ID, a.BenignRate})
+		}
+		if a.MaliceRate > 0 {
+			coldMalice = append(coldMalice, coldAPI{a.ID, a.MaliceRate})
+		}
+	}
+
+	buckets := func(cold []coldAPI) []pool {
+		sort.Slice(cold, func(i, j int) bool { return cold[i].rate < cold[j].rate })
+		const nBuckets = 24
+		if len(cold) == 0 {
+			return nil
+		}
+		per := (len(cold) + nBuckets - 1) / nBuckets
+		var pools []pool
+		for start := 0; start < len(cold); start += per {
+			end := start + per
+			if end > len(cold) {
+				end = len(cold)
+			}
+			var p pool
+			sum := 0.0
+			for _, c := range cold[start:end] {
+				p.apis = append(p.apis, c.id)
+				sum += c.rate
+			}
+			p.rate = sum / float64(len(p.apis))
+			pools = append(pools, p)
+		}
+		return pools
+	}
+	g.benignPools = buckets(coldBenign)
+	g.malicePools = buckets(coldMalice)
+
+	// Pair each signal API with a deterministic hidden counterpart that
+	// requires the same kind of access: the reflection evasion target.
+	if len(g.hidden) > 0 {
+		for _, id := range g.exact {
+			a := u.API(id)
+			if a.Role == framework.RoleMaliceSignal {
+				g.hiddenFor[id] = g.hidden[int(uint32(id)*2654435761)%len(g.hidden)]
+			}
+		}
+	}
+
+	for _, in := range u.Intents() {
+		if in.System {
+			g.systemIntents = append(g.systemIntents, in.ID)
+		} else {
+			g.appIntents = append(g.appIntents, in.ID)
+		}
+	}
+	return g
+}
+
+// Universe returns the generator's universe.
+func (g *Generator) Universe() *framework.Universe { return g.u }
+
+// familyGroup assigns each signal API to a family-affinity group:
+// 0..NumFamilies-1 are family-specific, values >= NumFamilies are
+// "commodity" capability shared by all families.
+func familyGroup(id framework.APIID) int {
+	return int(uint32(id)*0x9e3779b9>>8) % (NumFamilies + 2)
+}
+
+// categoryGroup assigns guarded APIs to the benign category that uses them
+// legitimately.
+func categoryGroup(id framework.APIID) Category {
+	return Category(uint32(id) * 2246822519 >> 16 % NumCategories)
+}
+
+// isGray deterministically marks grayAppRate of benign apps as carrying an
+// aggressive ad/analytics SDK: heavy sensitive-API usage, hoarded
+// permissions and broad broadcast registration. Grayness is a property of
+// the app (its seed), so it consistently shapes APIs, permissions and
+// intents.
+func isGray(p *Program) bool {
+	if p.Label != Benign {
+		return false
+	}
+	h := uint64(p.Seed) * 0xff51afd7ed558ccd
+	return float64(h%100000)/100000 < grayAppRate
+}
+
+// Spec identifies one app to generate.
+type Spec struct {
+	PackageName string
+	Version     int
+	Seed        int64
+	Label       Label
+	Family      Family   // meaningful when Label == Malicious
+	Category    Category // meaningful when Label == Benign
+}
+
+// Generate builds the deterministic Program for spec.
+func (g *Generator) Generate(spec Spec) *Program {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	p := &Program{
+		PackageName: spec.PackageName,
+		Version:     spec.Version,
+		Seed:        spec.Seed,
+		Label:       spec.Label,
+		Family:      spec.Family,
+		Category:    spec.Category,
+	}
+	if spec.Label == Benign {
+		p.Family = FamilyNone
+	}
+
+	used := g.sampleUsage(rng, p)
+	g.buildActivities(rng, p, used)
+	g.assignIntents(rng, p)
+	g.derivePermissions(rng, p)
+	g.assignTraits(rng, p)
+	return p
+}
+
+// usedAPI is one API the app invokes, with its per-1K-events rate.
+type usedAPI struct {
+	id         framework.APIID
+	rate       float64
+	reflection bool               // invoked via reflection (hidden API)
+	viaIntent  framework.IntentID // action delegated instead (intent evader); NoIntent if unused
+	delegated  bool
+}
+
+// usageRate returns the per-app usage probability of an API for the spec's
+// class, with family/category modulation. gray marks a benign app carrying
+// an aggressive ad SDK.
+func (g *Generator) usageRate(a *framework.API, p *Program, gray bool) float64 {
+	if p.Label == Benign {
+		r := a.BenignRate
+		guarded := a.Category != framework.CategoryNone ||
+			(a.Permission != framework.NoPermission && g.u.Permission(a.Permission).Level.Restrictive())
+		if guarded && categoryGroup(a.ID) == p.Category {
+			r = clampRate(r*categoryBoostMult, 0.35)
+		}
+		if gray && a.Role == framework.RoleMaliceSignal {
+			r = clampRate(r*grayAPIBoost, grayAPICap)
+		}
+		return r
+	}
+	r := a.MaliceRate
+	if a.Role == framework.RoleMaliceSignal {
+		switch grp := familyGroup(a.ID); {
+		case grp >= NumFamilies:
+			// commodity capability: base rate
+		case grp == int(p.Family)-1:
+			r *= familyAffineMult
+		default:
+			r *= familyOtherMult
+		}
+		if p.Family == FamilyLowProfile {
+			r *= lowProfileMult
+		}
+	}
+	return clampRate(r, maxRate)
+}
+
+// sampleUsage draws the set of APIs the app uses, with rates.
+func (g *Generator) sampleUsage(rng *rand.Rand, p *Program) []usedAPI {
+	volume := lognorm(rng, appVolumeSigma)
+	gray := isGray(p)
+	var used []usedAPI
+	add := func(id framework.APIID, popularity float64) {
+		rate := popularity * volume * lognorm(rng, rateJitterSigma) / 5.0 // per 1K events at 5K-event calibration
+		used = append(used, usedAPI{id: id, rate: rate, viaIntent: framework.IntentID(-1)})
+	}
+
+	for _, id := range g.exact {
+		a := g.u.API(id)
+		if rng.Float64() < g.usageRate(a, p, gray) {
+			add(id, a.Popularity)
+		}
+	}
+
+	pools := g.benignPools
+	if p.Label == Malicious {
+		pools = g.malicePools
+	}
+	for _, pl := range pools {
+		k := binomial(rng, len(pl.apis), pl.rate)
+		for _, idx := range pickDistinct(rng, len(pl.apis), k) {
+			add(pl.apis[idx], g.u.API(pl.apis[idx]).Popularity)
+		}
+	}
+
+	// Evasion rewriting for malicious apps: hide or delegate part of the
+	// signal footprint.
+	if p.Label == Malicious {
+		for i := range used {
+			a := g.u.API(used[i].id)
+			if a.Role != framework.RoleMaliceSignal {
+				continue
+			}
+			switch p.Family {
+			case FamilyReflectionEvader:
+				if h, ok := g.hiddenFor[used[i].id]; ok && rng.Float64() < reflectionSwapFrac {
+					used[i].reflection = true
+					used[i].id = h
+				}
+			case FamilyIntentEvader:
+				if len(g.systemIntents) > 0 && rng.Float64() < intentSwapFrac {
+					used[i].delegated = true
+					used[i].viaIntent = g.systemIntents[int(uint32(used[i].id))%len(g.systemIntents)]
+				}
+			}
+		}
+	}
+	return used
+}
+
+// buildActivities lays the used APIs out over a plausible activity graph.
+func (g *Generator) buildActivities(rng *rand.Rand, p *Program, used []usedAPI) {
+	nAct := 3 + poisson(rng, 7)
+	if nAct > 40 {
+		nAct = 40
+	}
+	acts := make([]ActivityBehavior, nAct)
+	for i := range acts {
+		name := fmt.Sprintf("%s.Activity%d", p.PackageName, i)
+		if i == 0 {
+			name = p.PackageName + ".MainActivity"
+		}
+		acts[i] = ActivityBehavior{Name: name}
+		switch {
+		case i == 0:
+			acts[i].Referenced = true
+			acts[i].ReachRate = reachEasyRateMax // launcher starts immediately
+		case rng.Float64() >= referencedFrac:
+			// declared but never referenced by code
+			acts[i].Referenced = false
+		default:
+			acts[i].Referenced = true
+			switch r := rng.Float64(); {
+			case r < reachEasyFrac:
+				acts[i].ReachRate = reachEasyRateMin + rng.Float64()*(reachEasyRateMax-reachEasyRateMin)
+			case r < reachEasyFrac+reachSlowFrac:
+				acts[i].ReachRate = reachSlowRateMin + rng.Float64()*(reachSlowRateMax-reachSlowRateMin)
+			default:
+				acts[i].ReachRate = 0 // login wall, unreachable by Monkey
+			}
+		}
+	}
+
+	// Reachable activity indexes, launcher-favoured.
+	var reachable []int
+	for i := range acts {
+		if acts[i].Referenced && acts[i].ReachRate > 0 {
+			reachable = append(reachable, i)
+		}
+	}
+	place := func() *ActivityBehavior {
+		if rng.Float64() < 0.35 {
+			return &acts[0]
+		}
+		return &acts[reachable[rng.Intn(len(reachable))]]
+	}
+
+	// Update-attack apps move most of their signal footprint into a
+	// dynamically loaded payload, invisible to the manifest and the dex.
+	var payloadActs []ActivityBehavior
+	usePayload := p.Label == Malicious && p.Family == FamilyUpdateAttack
+	if usePayload {
+		payloadActs = []ActivityBehavior{{
+			Name:             p.PackageName + ".payload.Dropper",
+			Referenced:       true,
+			ReachRate:        reachEasyRateMax,
+			MaliciousPayload: true,
+		}}
+	}
+
+	for _, ua := range used {
+		a := g.u.API(ua.id)
+		signalish := a.Role == framework.RoleMaliceSignal || ua.reflection
+		target := place()
+		if p.Label == Malicious && signalish {
+			if usePayload && rng.Float64() < 0.8 {
+				target = &payloadActs[0]
+			} else {
+				// Malicious behaviour lives in reachable
+				// activities and is marked for
+				// emulation-detection suppression.
+				target.MaliciousPayload = true
+			}
+		}
+		switch {
+		case ua.delegated:
+			target.SendIntents = append(target.SendIntents, ua.viaIntent)
+		case ua.reflection:
+			target.Reflection = append(target.Reflection, APIRate{API: ua.id, Rate: ua.rate})
+		default:
+			target.Direct = append(target.Direct, APIRate{API: ua.id, Rate: ua.rate})
+		}
+	}
+
+	p.Activities = acts
+	if usePayload {
+		p.Payload = &Payload{Activities: payloadActs}
+	}
+}
+
+// assignIntents populates receiver registrations and extra runtime sends.
+func (g *Generator) assignIntents(rng *rand.Rand, p *Program) {
+	sysRate, appRate := 0.025, 0.10
+	if isGray(p) {
+		sysRate = 0.12
+	}
+	if p.Label == Malicious {
+		sysRate = 0.20
+		if p.Family == FamilyIntentEvader {
+			sysRate = 0.40
+		}
+		if p.Family == FamilyLowProfile {
+			sysRate = 0.05
+		}
+		appRate = 0.12
+	}
+	for _, id := range g.systemIntents {
+		rate := sysRate
+		// Malware camps on characteristic system broadcasts (SMS
+		// interceptors on SMS_RECEIVED, boot persistence on
+		// BOOT_COMPLETED, admin hijackers on DEVICE_ADMIN_ENABLED);
+		// each broadcast group is shared by a couple of families,
+		// concentrating the intent-side signal of §4.5.
+		if p.Label == Malicious && int(uint32(id)*40503)%5 == (int(p.Family)-1)%5 {
+			rate = clampRate(rate*8.0, 0.95)
+		}
+		if rng.Float64() < rate {
+			p.ReceiverIntents = append(p.ReceiverIntents, id)
+		}
+	}
+	// A few runtime intent sends on the launcher (ordinary navigation).
+	for _, id := range g.appIntents {
+		if rng.Float64() < appRate {
+			p.Activities[0].SendIntents = append(p.Activities[0].SendIntents, id)
+		}
+	}
+}
+
+// derivePermissions requests everything the program's API usage needs plus
+// class-dependent over-requesting.
+func (g *Generator) derivePermissions(rng *rand.Rand, p *Program) {
+	need := make(map[framework.PermissionID]bool)
+	addAPI := func(id framework.APIID) {
+		if perm := g.u.API(id).Permission; perm != framework.NoPermission {
+			need[perm] = true
+		}
+	}
+	acts := p.Activities
+	if p.Payload != nil {
+		acts = append(append([]ActivityBehavior{}, acts...), p.Payload.Activities...)
+	}
+	for i := range acts {
+		for _, r := range acts[i].Direct {
+			addAPI(r.API)
+		}
+		for _, r := range acts[i].Reflection {
+			addAPI(r.API) // reflection cannot bypass the permission (§4.5)
+		}
+	}
+	// Over-request: malware hoards dangerous permissions well beyond its
+	// visible API usage (the manifest-side signal that makes "P"
+	// features powerful in §4.5); benign apps over-request only
+	// occasionally. Low-profile malware keeps its manifest clean too.
+	overRate := 0.01
+	if isGray(p) {
+		overRate = 0.12
+	}
+	if p.Label == Malicious {
+		switch p.Family {
+		case FamilyIntentEvader, FamilyReflectionEvader:
+			// Evaders still need the permissions backing the
+			// actions they hide, and hoard extras to keep the
+			// hidden payload flexible.
+			overRate = 0.38
+		case FamilyLowProfile:
+			overRate = 0.03
+		default:
+			overRate = 0.24
+		}
+	}
+	for _, perm := range g.u.Permissions() {
+		if perm.Level.Restrictive() && rng.Float64() < overRate {
+			need[perm.ID] = true
+		}
+	}
+	// Everyone asks for the basics.
+	if id, ok := g.u.LookupPermission("android.permission.INTERNET"); ok {
+		need[id] = true
+	}
+	p.Permissions = make([]framework.PermissionID, 0, len(need))
+	for id := range need {
+		p.Permissions = append(p.Permissions, id)
+	}
+	sort.Slice(p.Permissions, func(i, j int) bool { return p.Permissions[i] < p.Permissions[j] })
+}
+
+// assignTraits sets emulator detection, sensor needs, native code and
+// lightweight-engine crash bias.
+func (g *Generator) assignTraits(rng *rand.Rand, p *Program) {
+	checkRate := benignCheckRate
+	if p.Label == Malicious {
+		checkRate = malwareCheckRate
+	}
+	if rng.Float64() < checkRate {
+		for _, bit := range []uint8{CheckBuildProps, CheckInputTiming, CheckSensors, CheckHookArtifacts} {
+			if rng.Float64() < 0.6 {
+				p.EmulatorChecks |= bit
+			}
+		}
+		if p.EmulatorChecks == 0 {
+			p.EmulatorChecks = CheckBuildProps
+		}
+		p.SuppressOnEmulator = p.Label == Malicious || rng.Float64() < 0.3
+	}
+	p.RequiresRealSensors = rng.Float64() < sensorNeedRate
+	if rng.Float64() < 0.25 {
+		p.NativeLibs = append(p.NativeLibs, "lib/armeabi-v7a/lib"+p.PackageName[max(0, len(p.PackageName)-6):]+".so")
+	}
+	if rng.Float64() < 0.4 {
+		p.CrashBias = rng.Float64() * crashBiasMax
+	}
+}

@@ -1,0 +1,133 @@
+package behavior
+
+import (
+	"math"
+	"math/rand"
+)
+
+// poisson samples a Poisson(lambda) variate. Knuth's product method for
+// small lambda, a rounded normal approximation for large lambda.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	return int(math.Round(v))
+}
+
+// binomial samples a Binomial(n, p) variate, switching between exact
+// Bernoulli trials, a Poisson approximation (rare events), and a normal
+// approximation (bulk regime).
+func binomial(rng *rand.Rand, n int, p float64) int {
+	switch {
+	case n <= 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	case n < 32:
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	np := float64(n) * p
+	nq := float64(n) * (1 - p)
+	switch {
+	case np < 30:
+		k := poisson(rng, np)
+		if k > n {
+			return n
+		}
+		return k
+	case nq < 30:
+		k := n - poisson(rng, nq)
+		if k < 0 {
+			return 0
+		}
+		return k
+	default:
+		v := np + math.Sqrt(np*(1-p))*rng.NormFloat64()
+		k := int(math.Round(v))
+		if k < 0 {
+			return 0
+		}
+		if k > n {
+			return n
+		}
+		return k
+	}
+}
+
+// pickDistinct returns k distinct integers in [0, n), unsorted. It uses
+// rejection sampling when k is small relative to n and complement selection
+// when k is close to n.
+func pickDistinct(rng *rand.Rand, n, k int) []int {
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if k > n/2 {
+		// Choose the complement instead and invert.
+		drop := make(map[int]bool, n-k)
+		for len(drop) < n-k {
+			drop[rng.Intn(n)] = true
+		}
+		out := make([]int, 0, k)
+		for i := 0; i < n; i++ {
+			if !drop[i] {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := rng.Intn(n)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// lognorm returns a lognormal multiplier with median 1 and the given sigma.
+func lognorm(rng *rand.Rand, sigma float64) float64 {
+	return math.Exp(rng.NormFloat64() * sigma)
+}
+
+// clamp01 clamps v into [0, hi].
+func clampRate(v, hi float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

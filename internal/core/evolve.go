@@ -1,0 +1,27 @@
+package core
+
+import "apichecker/internal/dataset"
+
+// Retrain re-runs the full §4.4 selection and model training against a
+// refreshed labelled corpus (the original dataset plus newly labelled
+// submissions), in place. This is the monthly model-evolution step of
+// §5.3: as the SDK gains APIs and the app mix shifts, the key-API set
+// drifts slightly (the paper observes 425-432 keys over a year) while
+// detection quality stays stable.
+//
+// The corpus must be bound to the checker's universe (retraining after
+// Universe.Evolve requires a corpus rebuilt over the evolved universe so
+// its generator knows the new APIs).
+func (ck *Checker) Retrain(c *dataset.Corpus) (*TrainReport, error) {
+	next, rep, err := TrainFromCorpus(c, ck.cfg)
+	if err != nil {
+		return nil, err
+	}
+	ck.u = next.u
+	ck.selection = next.selection
+	ck.extractor = next.extractor
+	ck.registry = next.registry
+	ck.emu = next.emu
+	ck.model = next.model
+	return rep, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"apichecker/internal/features"
+	"apichecker/internal/framework"
+	"apichecker/internal/ml"
+)
+
+// Model persistence (§5.4: "large app markets can possibly distribute
+// their trained models to smaller markets, who thus do not need to train
+// their own models"). Export serializes everything a peer market needs to
+// vet submissions — the key-API selection and the trained forest — but not
+// the training data. Import reconstructs a Checker against the same
+// framework universe (identified by generation config, since API ids are
+// universe-relative).
+
+// modelWire is the serialized form.
+type modelWire struct {
+	FormatVersion int
+
+	// UniverseCfg identifies the framework universe the ids refer to.
+	UniverseCfg framework.Config
+	UniverseLvl int
+
+	Cfg       Config
+	Selection features.Selection
+	Forest    *ml.RandomForest
+}
+
+// modelFormatVersion guards against incompatible payloads.
+const modelFormatVersion = 1
+
+// Export writes the trained model (gob, gzip-compressed).
+func (ck *Checker) Export(w io.Writer) error {
+	if ck.model == nil {
+		return fmt.Errorf("core: export: checker has no trained model")
+	}
+	zw := gzip.NewWriter(w)
+	wire := modelWire{
+		FormatVersion: modelFormatVersion,
+		UniverseCfg:   ck.u.Config(),
+		UniverseLvl:   ck.u.Level(),
+		Cfg:           ck.cfg,
+		Selection:     *ck.selection,
+		Forest:        ck.model,
+	}
+	if err := gob.NewEncoder(zw).Encode(&wire); err != nil {
+		return fmt.Errorf("core: export: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("core: export: %w", err)
+	}
+	return nil
+}
+
+// ExportBytes is Export into a byte slice.
+func (ck *Checker) ExportBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := ck.Export(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Import reconstructs a Checker from an exported model. The universe must
+// match the exporter's (same generation config and SDK level) — API ids
+// are universe-relative, so a mismatch would silently mis-map features.
+func Import(r io.Reader, u *framework.Universe) (*Checker, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: import: %w", err)
+	}
+	defer zr.Close()
+	var wire modelWire
+	if err := gob.NewDecoder(zr).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: import: %w", err)
+	}
+	if wire.FormatVersion != modelFormatVersion {
+		return nil, fmt.Errorf("core: import: format version %d, want %d", wire.FormatVersion, modelFormatVersion)
+	}
+	if wire.UniverseCfg != u.Config() {
+		return nil, fmt.Errorf("core: import: model was trained on a different universe config")
+	}
+	if wire.UniverseLvl != u.Level() {
+		return nil, fmt.Errorf("core: import: model expects SDK level %d, universe is at %d",
+			wire.UniverseLvl, u.Level())
+	}
+	if wire.Forest == nil {
+		return nil, fmt.Errorf("core: import: payload has no forest")
+	}
+	ex, err := features.NewExtractor(u, wire.Selection.Keys, wire.Cfg.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("core: import: %w", err)
+	}
+	return New(u, &wire.Selection, ex, wire.Forest, wire.Cfg)
+}
+
+// ImportBytes is Import from a byte slice.
+func ImportBytes(data []byte, u *framework.Universe) (*Checker, error) {
+	return Import(bytes.NewReader(data), u)
+}

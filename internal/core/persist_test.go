@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"apichecker/internal/dataset"
+	"apichecker/internal/framework"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	ck, corpus := trainedChecker(t, 500)
+	data, err := ck.ExportBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty export")
+	}
+
+	// A "smaller market" imports the model against its own copy of the
+	// universe and vets without ever training.
+	imported, err := ImportBytes(data, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(imported.Selection().Keys), len(ck.Selection().Keys); got != want {
+		t.Fatalf("imported keys = %d, want %d", got, want)
+	}
+	for i := 0; i < 60; i++ {
+		p := corpus.Program(i)
+		v1, err := ck.VetProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := imported.VetProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same model + same app: identical classification. (Scores
+		// match too because the forest is identical.)
+		if v1.Malicious != v2.Malicious || v1.Score != v2.Score {
+			t.Fatalf("app %d: original %v/%f vs imported %v/%f",
+				i, v1.Malicious, v1.Score, v2.Malicious, v2.Score)
+		}
+	}
+}
+
+func TestImportRejectsMismatchedUniverse(t *testing.T) {
+	ck, _ := trainedChecker(t, 400)
+	data, err := ck.ExportBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := framework.MustGenerate(framework.TestConfig(2000))
+	if _, err := ImportBytes(data, other); err == nil {
+		t.Error("import accepted a mismatched universe")
+	}
+	// Same config but evolved level also mismatches.
+	evolved := framework.MustGenerate(framework.TestConfig(3000))
+	evolved.Evolve(9)
+	if _, err := ImportBytes(data, evolved); err == nil {
+		t.Error("import accepted a universe at a different SDK level")
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	if _, err := ImportBytes([]byte("not a model"), testU); err == nil {
+		t.Error("import accepted garbage")
+	}
+	if _, err := Import(bytes.NewReader(nil), testU); err == nil {
+		t.Error("import accepted empty stream")
+	}
+}
+
+func TestExportRequiresTraining(t *testing.T) {
+	ck := &Checker{}
+	var buf bytes.Buffer
+	if err := ck.Export(&buf); err == nil {
+		t.Error("export of untrained checker succeeded")
+	}
+}
+
+// TestDistributedModelWorkflow covers §5.4's distribution story end to
+// end: a big market trains, a small market imports and runs a review day.
+func TestDistributedModelWorkflow(t *testing.T) {
+	big, _ := trainedChecker(t, 700)
+	data, err := big.ExportBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := ImportBytes(data, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dataset.DefaultConfig()
+	cfg.Seed = 31
+	cfg.NumApps = 200
+	day, err := dataset.Generate(testU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for i := 0; i < day.Len(); i++ {
+		v, err := small.VetProgram(day.Program(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if v.Malicious == (day.Labels()[i]) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.93 {
+		t.Errorf("imported model accuracy = %.3f", acc)
+	}
+}

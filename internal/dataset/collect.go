@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"apichecker/internal/behavior"
+	"apichecker/internal/emulator"
+	"apichecker/internal/features"
+	"apichecker/internal/framework"
+	"apichecker/internal/hook"
+	"apichecker/internal/ml"
+	"apichecker/internal/monkey"
+)
+
+// AppRun captures the per-app observables of one corpus emulation pass.
+type AppRun struct {
+	Time             time.Duration
+	TotalInvocations uint64
+	Intercepted      uint64
+	RAC              float64
+	Detected         bool
+	FellBack         bool
+	DistinctAPIs     int
+}
+
+// AllTrackableAPIs returns every non-hidden API: the "track all 50K"
+// registry input.
+func AllTrackableAPIs(u *framework.Universe) []framework.APIID {
+	var out []framework.APIID
+	for i := range u.APIs() {
+		if !u.APIs()[i].Hidden {
+			out = append(out, u.APIs()[i].ID)
+		}
+	}
+	return out
+}
+
+// runAll emulates every corpus app under the registry/profile and hands
+// each (index, result) to sink in app order.
+func (c *Corpus) runAll(reg *hook.Registry, prof emulator.Profile, events int,
+	sink func(i int, p *behavior.Program, res *emulator.Result) error) error {
+
+	type outcome struct {
+		p   *behavior.Program
+		res *emulator.Result
+		err error
+	}
+	outs := make([]outcome, c.Len())
+	emu := emulator.New(prof, reg)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > c.Len() {
+		workers = c.Len()
+	}
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				p := c.Program(i)
+				mk := monkey.ProductionConfig(int64(i) * 0x9e37)
+				mk.Events = events
+				res, err := emu.Run(p, mk)
+				outs[i] = outcome{p, res, err}
+			}
+		}()
+	}
+	for i := range c.Apps {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	for i := range outs {
+		if outs[i].err != nil {
+			return fmt.Errorf("dataset: app %d (%s): %w", i, c.Apps[i].Spec.PackageName, outs[i].err)
+		}
+		if err := sink(i, outs[i].p, outs[i].res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CollectUsage runs the full corpus on the hardened study engine tracking
+// every hookable API, producing the per-API usage statistics feature
+// selection consumes (§4.3's measurement pass) plus per-app run info.
+func (c *Corpus) CollectUsage(events int) (*features.UsageStats, []AppRun, error) {
+	reg, err := hook.NewRegistry(c.u, AllTrackableAPIs(c.u))
+	if err != nil {
+		return nil, nil, err
+	}
+	usage := features.NewUsageStats(c.u.NumAPIs(), c.Len(), c.Positives())
+	runs := make([]AppRun, c.Len())
+	err = c.runAll(reg, emulator.GoogleEmulator, events, func(i int, p *behavior.Program, res *emulator.Result) error {
+		malicious := c.Apps[i].Label == behavior.Malicious
+		for _, id := range res.Log.InvokedAPIs() {
+			usage.Observe(id, float64(res.Log.Invocation(id).Count), malicious)
+		}
+		runs[i] = appRun(res)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return usage, runs, nil
+}
+
+// RunTimes emulates the corpus under an arbitrary tracked set and profile,
+// returning per-app run info (the timing experiments of Figs. 3, 6, 9, 11,
+// 16).
+func (c *Corpus) RunTimes(tracked []framework.APIID, prof emulator.Profile, events int) ([]AppRun, error) {
+	reg, err := hook.NewRegistry(c.u, tracked)
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]AppRun, c.Len())
+	err = c.runAll(reg, prof, events, func(i int, p *behavior.Program, res *emulator.Result) error {
+		runs[i] = appRun(res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+func appRun(res *emulator.Result) AppRun {
+	return AppRun{
+		Time:             res.VirtualTime,
+		TotalInvocations: res.Log.TotalInvocations,
+		Intercepted:      res.Log.Intercepted,
+		RAC:              res.RAC,
+		Detected:         res.Detected,
+		FellBack:         res.FellBack,
+		DistinctAPIs:     res.Log.DistinctInvoked(),
+	}
+}
+
+// Vectorize emulates the corpus under the extractor's tracked set and
+// builds the labelled ML dataset (the One-Hot encoding pass of §4.2).
+func (c *Corpus) Vectorize(ex *features.Extractor, prof emulator.Profile, events int) (*ml.Dataset, error) {
+	reg, err := hook.NewRegistry(c.u, ex.TrackedAPIs())
+	if err != nil {
+		return nil, err
+	}
+	d := ml.NewDataset(ex.NumFeatures())
+	err = c.runAll(reg, prof, events, func(i int, p *behavior.Program, res *emulator.Result) error {
+		man, err := p.Manifest(c.u)
+		if err != nil {
+			return err
+		}
+		v, err := ex.Vector(res.Log, man)
+		if err != nil {
+			return err
+		}
+		return d.Add(v, c.Apps[i].Label == behavior.Malicious)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,236 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"apichecker/internal/behavior"
+	"apichecker/internal/emulator"
+	"apichecker/internal/features"
+	"apichecker/internal/framework"
+	"apichecker/internal/ml"
+)
+
+var testU = framework.MustGenerate(framework.TestConfig(3000))
+
+func testCorpus(t *testing.T, n int) *Corpus {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.NumApps = n
+	c, err := Generate(testU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateCorpus(t *testing.T) {
+	c := testCorpus(t, 500)
+	if c.Len() != 500 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	frac := float64(c.Positives()) / float64(c.Len())
+	if frac < 0.04 || frac > 0.12 {
+		t.Errorf("malicious fraction = %.3f, want ≈ 0.077", frac)
+	}
+	updated := 0
+	families := make(map[behavior.Family]bool)
+	for i := range c.Apps {
+		a := &c.Apps[i]
+		if a.Spec.Version > 1 {
+			updated++
+		}
+		if a.Label == behavior.Malicious {
+			families[a.Spec.Family] = true
+			if a.Spec.Family == behavior.FamilyNone {
+				t.Error("malicious app without family")
+			}
+		}
+	}
+	if f := float64(updated) / float64(c.Len()); f < 0.8 || f > 0.9 {
+		t.Errorf("updated fraction = %.3f, want ≈ 0.85", f)
+	}
+	if len(families) < behavior.NumFamilies-2 {
+		t.Errorf("families represented = %d, want ≈ %d", len(families), behavior.NumFamilies)
+	}
+	// Programs regenerate deterministically.
+	p1 := c.Program(3)
+	p2 := c.Program(3)
+	if p1.PackageName != p2.PackageName || len(p1.Activities) != len(p2.Activities) {
+		t.Error("Program not deterministic")
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.NumApps = 2 },
+		func(c *Config) { c.MaliciousFraction = 0 },
+		func(c *Config) { c.MaliciousFraction = 1 },
+		func(c *Config) { c.UpdatedFraction = 2 },
+	} {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := Generate(testU, cfg); err == nil {
+			t.Errorf("Generate accepted %+v", cfg)
+		}
+	}
+}
+
+// The central calibration test: collect usage on a mid-size corpus, run
+// key-API selection, and check the emergent structure matches the paper's
+// shape (scaled to the test universe).
+func TestUsageSelectionCalibration(t *testing.T) {
+	c := testCorpus(t, 900)
+	usage, runs, err := c.CollectUsage(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != c.Len() {
+		t.Fatalf("runs = %d", len(runs))
+	}
+
+	sel := features.SelectKeyAPIs(testU, usage, features.DefaultSelectionConfig())
+
+	// Designed signal population (test scale): how much does Set-C
+	// recover?
+	designedSignal := 0
+	recovered := 0
+	inC := make(map[framework.APIID]bool)
+	for _, id := range sel.SetC {
+		inC[id] = true
+	}
+	for _, a := range testU.APIs() {
+		if a.Role == framework.RoleMaliceSignal && !a.Hidden {
+			designedSignal++
+			if inC[a.ID] {
+				recovered++
+			}
+		}
+	}
+	if designedSignal == 0 {
+		t.Fatal("universe has no signal APIs")
+	}
+	recall := float64(recovered) / float64(designedSignal)
+	if recall < 0.4 {
+		t.Errorf("Set-C recovers %.2f of designed signal APIs (%d/%d)", recall, recovered, designedSignal)
+	}
+	// Set-C should not balloon with uncorrelated APIs.
+	if len(sel.SetC) > designedSignal*2+20 {
+		t.Errorf("Set-C = %d APIs, designed signal only %d", len(sel.SetC), designedSignal)
+	}
+	// Union sizes: keys ≈ C + P + S minus overlaps.
+	if len(sel.Keys) < len(sel.SetP) || len(sel.Keys) > len(sel.SetC)+len(sel.SetP)+len(sel.SetS) {
+		t.Errorf("keys = %d (C=%d P=%d S=%d)", len(sel.Keys), len(sel.SetC), len(sel.SetP), len(sel.SetS))
+	}
+
+	// The designated frequent-negative anchors must show negative SRC.
+	negStrong := 0
+	for _, a := range testU.APIs() {
+		if a.Role == framework.RoleBenignCommon && a.MaliceRate < 0.9 && !a.Hidden {
+			if usage.SRC(a.ID) < -0.1 {
+				negStrong++
+			}
+		}
+	}
+	if negStrong == 0 {
+		t.Error("no frequent API shows negative correlation")
+	}
+
+	// Invocation-volume sanity: hot APIs dominate.
+	var total float64
+	for i := range runs {
+		total += float64(runs[i].TotalInvocations)
+	}
+	mean := total / float64(len(runs))
+	if mean <= 0 {
+		t.Fatal("no invocations recorded")
+	}
+}
+
+func TestVectorizeAndClassify(t *testing.T) {
+	c := testCorpus(t, 700)
+	usage, _, err := c.CollectUsage(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := features.SelectKeyAPIs(testU, usage, features.DefaultSelectionConfig())
+	ex, err := features.NewExtractor(testU, sel.Keys, features.ModeAPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Vectorize(ex, emulator.GoogleEmulator, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != c.Len() || d.Positives() != c.Positives() {
+		t.Fatalf("dataset %d/%d, want %d/%d", d.Len(), d.Positives(), c.Len(), c.Positives())
+	}
+	res, err := ml.CrossValidate(func() ml.Classifier {
+		return ml.NewClassifier(ml.ModelRandomForest, 7)
+	}, d, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confusion.Precision() < 0.8 || res.Confusion.Recall() < 0.65 {
+		t.Errorf("RF on key APIs: %v — want high precision/recall", res.Confusion)
+	}
+}
+
+func TestRunTimesTrackingMonotonicity(t *testing.T) {
+	c := testCorpus(t, 200)
+	none, err := c.RunTimes(nil, emulator.GoogleEmulator, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := c.RunTimes(AllTrackableAPIs(testU), emulator.GoogleEmulator, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tNone, tAll float64
+	for i := range none {
+		tNone += none[i].Time.Minutes()
+		tAll += all[i].Time.Minutes()
+	}
+	if !(tAll > tNone*2) {
+		t.Errorf("tracking all (%0.1f min) not clearly slower than none (%0.1f min)", tAll, tNone)
+	}
+	// Total invocation volume is tracking-independent.
+	for i := range none {
+		if none[i].TotalInvocations != all[i].TotalInvocations {
+			t.Fatalf("app %d volume differs across registries", i)
+		}
+	}
+}
+
+func TestLightweightSavingOnCorpus(t *testing.T) {
+	c := testCorpus(t, 200)
+	usage, _, err := c.CollectUsage(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := features.SelectKeyAPIs(testU, usage, features.DefaultSelectionConfig())
+	google, err := c.RunTimes(sel.Keys, emulator.GoogleEmulator, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := c.RunTimes(sel.Keys, emulator.LightweightEmulator, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tg, tl float64
+	fellBack := 0
+	for i := range google {
+		tg += google[i].Time.Minutes()
+		tl += light[i].Time.Minutes()
+		if light[i].FellBack {
+			fellBack++
+		}
+	}
+	saving := 1 - tl/tg
+	if math.Abs(saving-0.7) > 0.15 {
+		t.Errorf("lightweight saving = %.2f, want ≈ 0.70", saving)
+	}
+	if frac := float64(fellBack) / float64(len(light)); frac > 0.03 {
+		t.Errorf("fallback fraction = %.3f, want < 1%%-ish", frac)
+	}
+}

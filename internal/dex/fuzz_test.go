@@ -1,0 +1,43 @@
+package dex
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode hardens the codec against malformed archives: decoding must
+// never panic, and anything that decodes must re-encode/decode to the same
+// value.
+func FuzzDecode(f *testing.F) {
+	good, err := sample().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	empty, err := (&File{}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add(Magic[:])
+	f.Add(append(append([]byte{}, Magic[:]...), 0xFF, 0xFF, 0xFF, 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := file.Encode()
+		if err != nil {
+			t.Fatalf("decoded file fails to re-encode: %v", err)
+		}
+		file2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded file fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(file, file2) {
+			t.Fatal("re-encode round trip diverged")
+		}
+	})
+}

@@ -1,0 +1,310 @@
+package emulator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"apichecker/internal/behavior"
+	"apichecker/internal/framework"
+	"apichecker/internal/hook"
+	"apichecker/internal/monkey"
+)
+
+// incompatibleThreshold: apps whose lightweight-engine crash bias exceeds
+// this are deterministically incompatible with the x86 port (< 1% of apps)
+// and fall back to the Google engine (§5.1).
+const incompatibleThreshold = 0.0195
+
+// Emulator runs programs under one profile with one hook registry.
+type Emulator struct {
+	profile Profile
+	reg     *hook.Registry
+}
+
+// New builds an emulator. When the profile is hardened, anti-detection
+// tampering callbacks are installed on the identity-revealing APIs the
+// registry happens to track (§4.2's fourth improvement).
+func New(profile Profile, reg *hook.Registry) *Emulator {
+	e := &Emulator{profile: profile, reg: reg}
+	if profile.Hardened {
+		u := reg.Universe()
+		for _, name := range []string{
+			"android.content.pm.PackageManager.getInstalledApplications",
+			"android.content.pm.PackageManager.getInstalledPackages",
+			"android.telephony.TelephonyManager.getDeviceId",
+			"android.net.wifi.WifiInfo.getMacAddress",
+		} {
+			if id, ok := u.LookupAPI(name); ok && reg.Tracks(id) {
+				// Installing on our own registry cannot fail for
+				// a tracked id.
+				_ = reg.OnInvoke(id, func(inv *hook.Invocation) { inv.Tampered = true })
+			}
+		}
+	}
+	return e
+}
+
+// Profile returns the emulator's profile.
+func (e *Emulator) Profile() Profile { return e.profile }
+
+// Registry returns the hook registry in use.
+func (e *Emulator) Registry() *hook.Registry { return e.reg }
+
+// Result is the outcome of emulating one app.
+type Result struct {
+	Log *hook.Log
+
+	// VirtualTime is the simulated wall-clock analysis time, including
+	// crash retries and fallback re-runs.
+	VirtualTime time.Duration
+
+	// Events is the number of Monkey events injected.
+	Events int
+
+	// RAC is the Referred Activity Coverage achieved (§4.2).
+	RAC float64
+
+	// ReachedActivities / ReferencedActivities are RAC's numerator and
+	// denominator.
+	ReachedActivities    int
+	ReferencedActivities int
+
+	// Detected reports whether the app's emulator-detection probes
+	// succeeded (and, if it suppresses, its payload stayed quiet).
+	Detected bool
+
+	// Suppressed reports that malicious-payload activities were muted.
+	Suppressed bool
+
+	// Crashed counts transient crashes (each costs a retry).
+	Crashed int
+
+	// FellBack reports that the app was incompatible with this engine
+	// and was re-run on the fallback profile.
+	FellBack bool
+
+	// Profile names the engine that produced the final log.
+	Profile string
+}
+
+// Run emulates the program: install, exercise with the Monkey, record the
+// hook log, uninstall. The virtual clock advances per event and per
+// intercepted invocation.
+func (e *Emulator) Run(p *behavior.Program, mk monkey.Config) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("emulator: %w", err)
+	}
+	if err := mk.Validate(); err != nil {
+		return nil, fmt.Errorf("emulator: %w", err)
+	}
+
+	// Incompatible apps abort early and re-run on the fallback engine.
+	if e.profile.CompatRisk && p.CrashBias > incompatibleThreshold && e.profile.Fallback != nil {
+		fb := New(*e.profile.Fallback, e.reg)
+		res, err := fb.Run(p, mk)
+		if err != nil {
+			return nil, err
+		}
+		// The aborted attempt still cost a partial run before the
+		// SystemServer exception report arrived.
+		res.VirtualTime += time.Duration(float64(e.profile.PerEvent) * float64(mk.Events) * 0.3)
+		res.FellBack = true
+		return res, nil
+	}
+
+	rng := rand.New(rand.NewSource(p.Seed ^ int64(mk.Seed)<<1 ^ 0x5ca1ab1e))
+	log := hook.NewLog(e.reg)
+	res := &Result{Log: log, Events: mk.Events, Profile: e.profile.Name}
+
+	// Transient crashes on risky engines: detect, restart, continue
+	// (crash detection + restart is what keeps the engine reliable).
+	retryCost := 0.0
+	if e.profile.CompatRisk {
+		for rng.Float64() < p.CrashBias {
+			res.Crashed++
+			retryCost += 0.4
+			if res.Crashed >= 3 {
+				break
+			}
+		}
+	}
+
+	// Emulator detection: which probes does this environment fail?
+	failed := e.failedProbes(mk)
+	res.Detected = p.EmulatorChecks&failed != 0
+	res.Suppressed = res.Detected && p.SuppressOnEmulator
+
+	// Activity discovery times (in events), driven by the Monkey's
+	// exploration intensity.
+	type active struct {
+		ab    *behavior.ActivityBehavior
+		start float64 // event index at discovery
+	}
+	var actives []active
+	referenced := 0
+	reached := 0
+	events := float64(mk.Events)
+	for i := range p.Activities {
+		ab := &p.Activities[i]
+		if !ab.Referenced {
+			continue
+		}
+		referenced++
+		if ab.ReachRate <= 0 {
+			continue
+		}
+		rate := ab.ReachRate
+		// Coverage-guided exploration (§6) re-targets stuck input
+		// streams, sharply accelerating discovery of the slow
+		// activities; already-easy screens gain little.
+		if mk.Strategy == monkey.StrategyCoverage && rate < 0.5 {
+			rate *= monkey.CoverageBoost
+		}
+		start := 0.0
+		if i > 0 {
+			start = rng.ExpFloat64() * 1000 / rate
+		}
+		if start < events {
+			reached++
+			log.ObserveActivity(ab.Name)
+			actives = append(actives, active{ab, start})
+		}
+	}
+	res.ReferencedActivities = referenced
+	res.ReachedActivities = reached
+	if referenced > 0 {
+		res.RAC = float64(reached) / float64(referenced)
+	}
+
+	// Dynamic payload joins after its download-and-load delay, unless
+	// the app went quiet.
+	if p.Payload != nil && !res.Suppressed {
+		delay := 200 + rng.ExpFloat64()*300
+		if delay < events {
+			for i := range p.Payload.Activities {
+				actives = append(actives, active{&p.Payload.Activities[i], delay})
+			}
+		}
+	}
+
+	// Execute: each active activity emits its behaviour over its active
+	// window.
+	u := e.reg.Universe()
+	for _, ac := range actives {
+		ab := ac.ab
+		if res.Suppressed && ab.MaliciousPayload {
+			continue
+		}
+		if p.RequiresRealSensors && !e.profile.RealDevice && sensorGated(ab.Name) {
+			continue // needs live sensor data no emulator can provide
+		}
+		window := (events - ac.start) / 1000.0
+		for _, r := range ab.Direct {
+			count := poissonCount(rng, r.Rate*window)
+			if count == 0 {
+				continue
+			}
+			api := u.API(r.API)
+			log.Observe(r.API, count, sampleParam(rng, api))
+		}
+		for _, r := range ab.Reflection {
+			// Reflection bypasses method hooks: invocations run,
+			// are counted, but are never intercepted.
+			count := poissonCount(rng, r.Rate*window)
+			log.TotalInvocations += count
+		}
+		for _, in := range ab.SendIntents {
+			log.ObserveIntent(in, 1+uint64(poissonCount(rng, 1.5*window)))
+		}
+	}
+
+	// Virtual clock: per-app speed is a stable property of the app.
+	speed := appSpeed(p, e.profile)
+	base := float64(e.profile.PerEvent) * events * speed
+	hookCost := float64(e.profile.PerHook) * float64(log.Intercepted)
+	res.VirtualTime = time.Duration(base*(1+retryCost) + hookCost)
+	return res, nil
+}
+
+// failedProbes returns the probe bitmask this environment fails (i.e. the
+// probes that would detect it).
+func (e *Emulator) failedProbes(mk monkey.Config) uint8 {
+	if e.profile.RealDevice {
+		return 0
+	}
+	var failed uint8
+	if !e.profile.Hardened {
+		failed |= behavior.CheckBuildProps | behavior.CheckSensors
+		if e.reg.Size() > 0 {
+			failed |= behavior.CheckHookArtifacts
+		}
+	}
+	if !mk.Realistic() {
+		failed |= behavior.CheckInputTiming
+	}
+	return failed
+}
+
+// appSpeed derives the app's stable speed multiplier on a profile.
+func appSpeed(p *behavior.Program, prof Profile) float64 {
+	rng := rand.New(rand.NewSource(p.Seed * 0x9e3779b9))
+	s := math.Exp(rng.NormFloat64() * prof.SpeedSigma)
+	if s < prof.SpeedMin {
+		s = prof.SpeedMin
+	}
+	if s > prof.SpeedMax {
+		s = prof.SpeedMax
+	}
+	return s
+}
+
+// sensorGated deterministically marks ~30% of an app's activities as
+// requiring live sensor input.
+func sensorGated(name string) bool {
+	var h uint32 = 2166136261
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return h%100 < 30
+}
+
+// sampleParam fabricates a plausible recorded parameter for an invocation.
+func sampleParam(rng *rand.Rand, api *framework.API) string {
+	switch rng.Intn(4) {
+	case 0:
+		return "arg=" + api.Name[max(0, len(api.Name)-12):]
+	case 1:
+		return fmt.Sprintf("flags=0x%x", rng.Intn(1<<12))
+	case 2:
+		return fmt.Sprintf("uid=%d", 10000+rng.Intn(500))
+	default:
+		return "ctx=app"
+	}
+}
+
+// poissonCount samples a Poisson variate as uint64 (Knuth for small means,
+// normal approximation above).
+func poissonCount(rng *rand.Rand, lambda float64) uint64 {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return uint64(k)
+			}
+			k++
+		}
+	}
+	v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	return uint64(math.Round(v))
+}

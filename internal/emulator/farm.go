@@ -1,0 +1,121 @@
+package emulator
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"apichecker/internal/behavior"
+	"apichecker/internal/monkey"
+)
+
+// Farm models the production deployment unit (§4.2, §5.1): one commodity
+// x86 server (5×4-core Xeon) running Lanes emulator instances concurrently
+// (16 in production; the remaining 4 cores schedule, monitor and log).
+type Farm struct {
+	emu   *Emulator
+	lanes int
+}
+
+// ProductionLanes is the deployed per-server emulator count.
+const ProductionLanes = 16
+
+// NewFarm builds a farm over an emulator with the given parallel lanes.
+func NewFarm(e *Emulator, lanes int) (*Farm, error) {
+	if lanes <= 0 {
+		return nil, fmt.Errorf("emulator: farm lanes %d must be positive", lanes)
+	}
+	return &Farm{emu: e, lanes: lanes}, nil
+}
+
+// FarmResult aggregates a batch run.
+type FarmResult struct {
+	Results []*Result
+
+	// Makespan is the virtual wall time to drain the queue with Lanes
+	// parallel emulators (FIFO dispatch to the first free lane).
+	Makespan time.Duration
+
+	// TotalCPU is the summed per-app virtual analysis time.
+	TotalCPU time.Duration
+}
+
+// MeanPerApp returns the mean virtual analysis time per app.
+func (fr *FarmResult) MeanPerApp() time.Duration {
+	if len(fr.Results) == 0 {
+		return 0
+	}
+	return fr.TotalCPU / time.Duration(len(fr.Results))
+}
+
+// RunAll vets a queue of programs. Per-app Monkey seeds derive from the
+// base config's seed and the queue position, so results are independent of
+// host scheduling.
+func (f *Farm) RunAll(programs []*behavior.Program, mkBase monkey.Config) (*FarmResult, error) {
+	results := make([]*Result, len(programs))
+	errs := make([]error, len(programs))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(programs) {
+		workers = len(programs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				mk := mkBase
+				mk.Seed = mkBase.Seed + int64(i)*0x9e37
+				results[i], errs[i] = f.emu.Run(programs[i], mk)
+			}
+		}()
+	}
+	for i := range programs {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("emulator: farm app %d (%s): %w", i, programs[i].PackageName, err)
+		}
+	}
+
+	// FIFO lane simulation for the virtual makespan.
+	lanes := make([]time.Duration, f.lanes)
+	var total time.Duration
+	for _, res := range results {
+		li := 0
+		for j := 1; j < len(lanes); j++ {
+			if lanes[j] < lanes[li] {
+				li = j
+			}
+		}
+		lanes[li] += res.VirtualTime
+		total += res.VirtualTime
+	}
+	makespan := time.Duration(0)
+	for _, t := range lanes {
+		if t > makespan {
+			makespan = t
+		}
+	}
+	return &FarmResult{Results: results, Makespan: makespan, TotalCPU: total}, nil
+}
+
+// DailyCapacity estimates how many apps one server can vet per day given a
+// mean per-app time (the paper's headline: ~10K/day at 1.3 min/app on 16
+// lanes).
+func DailyCapacity(meanPerApp time.Duration, lanes int) int {
+	if meanPerApp <= 0 || lanes <= 0 {
+		return 0
+	}
+	return int(int64(24*time.Hour)/int64(meanPerApp)) * lanes
+}

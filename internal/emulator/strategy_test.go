@@ -1,0 +1,53 @@
+package emulator
+
+import (
+	"testing"
+
+	"apichecker/internal/behavior"
+	"apichecker/internal/monkey"
+)
+
+// Coverage-guided exploration (§6 future work) must raise RAC at the same
+// event budget, without changing the event count or the invocation model.
+func TestCoverageStrategyImprovesRAC(t *testing.T) {
+	reg := registryNone(t)
+	e := New(GoogleEmulator, reg)
+	var racRandom, racCoverage float64
+	const n = 80
+	for seed := int64(0); seed < n; seed++ {
+		p := prog(seed, behavior.Benign, behavior.FamilyNone)
+		random := monkey.ProductionConfig(seed)
+		coverage := random
+		coverage.Strategy = monkey.StrategyCoverage
+
+		r1, err := e.Run(p, random)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := e.Run(p, coverage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		racRandom += r1.RAC
+		racCoverage += r2.RAC
+		if r1.Events != r2.Events {
+			t.Fatal("strategies used different event budgets")
+		}
+	}
+	racRandom /= n
+	racCoverage /= n
+	if racCoverage <= racRandom+0.01 {
+		t.Errorf("coverage RAC %.3f not above random %.3f", racCoverage, racRandom)
+	}
+	// Unreachable activities (login walls) stay unreachable: the gain is
+	// bounded.
+	if racCoverage > 0.95 {
+		t.Errorf("coverage RAC %.3f implausibly near total", racCoverage)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if monkey.StrategyRandom.String() != "random" || monkey.StrategyCoverage.String() != "coverage-guided" {
+		t.Error("strategy names wrong")
+	}
+}

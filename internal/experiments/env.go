@@ -1,0 +1,149 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Table 1, Table 2, Figures 1-16) against the synthetic
+// substrate. Each experiment prints the same rows/series the paper
+// reports and returns a structured result for tests and benchmarks.
+//
+// Absolute values depend on corpus scale; the reproduction target is the
+// *shape*: who wins, by what rough factor, and where the knees fall. See
+// EXPERIMENTS.md for the paper-vs-measured record.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"apichecker/internal/dataset"
+	"apichecker/internal/emulator"
+	"apichecker/internal/features"
+	"apichecker/internal/framework"
+	"apichecker/internal/ml"
+)
+
+// Scale sizes an experiment environment.
+type Scale struct {
+	Name         string
+	UniverseAPIs int
+	Apps         int
+	Events       int
+}
+
+// Predefined scales. Small keeps the full suite under a minute; Medium is
+// the default benchmark scale; Paper uses the full 50K-API universe.
+var (
+	ScaleSmall  = Scale{Name: "small", UniverseAPIs: 3000, Apps: 800, Events: 5000}
+	ScaleMedium = Scale{Name: "medium", UniverseAPIs: 12000, Apps: 2200, Events: 5000}
+	ScalePaper  = Scale{Name: "paper", UniverseAPIs: 50000, Apps: 5000, Events: 5000}
+)
+
+// ScaleByName resolves a scale name.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "small":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	case "paper":
+		return ScalePaper, nil
+	}
+	return Scale{}, fmt.Errorf("experiments: unknown scale %q (small|medium|paper)", name)
+}
+
+// Env is a prepared experiment environment: universe, corpus, and the
+// expensive track-everything measurement pass, shared across experiments.
+type Env struct {
+	Scale  Scale
+	Seed   int64
+	U      *framework.Universe
+	Corpus *dataset.Corpus
+
+	// Usage and Runs come from the §4.3 measurement pass (hardened
+	// Google engine, all APIs tracked).
+	Usage *features.UsageStats
+	Runs  []dataset.AppRun
+
+	// Selection is the §4.4 outcome on this corpus.
+	Selection *features.Selection
+
+	// cached deployed-configuration model (A+P+I over keys).
+	cachedForest    *ml.RandomForest
+	cachedExtractor *features.Extractor
+
+	// cached year-simulation reports, keyed by month count.
+	cachedDeploy map[int]*DeployResult
+}
+
+// frameworkClone regenerates a fresh universe with the same config (the
+// deployment simulation mutates its universe via Evolve).
+func frameworkClone(cfg framework.Config, seed int64) (*framework.Universe, error) {
+	cfg.Seed = seed
+	return framework.Generate(cfg)
+}
+
+// NewEnv builds an environment, running the measurement pass once.
+func NewEnv(scale Scale, seed int64) (*Env, error) {
+	var ucfg framework.Config
+	if scale.UniverseAPIs >= 50000 {
+		ucfg = framework.DefaultConfig()
+	} else {
+		ucfg = framework.TestConfig(scale.UniverseAPIs)
+	}
+	ucfg.Seed = seed
+	u, err := framework.Generate(ucfg)
+	if err != nil {
+		return nil, err
+	}
+	ccfg := dataset.DefaultConfig()
+	ccfg.Seed = seed + 1
+	ccfg.NumApps = scale.Apps
+	corpus, err := dataset.Generate(u, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	usage, runs, err := corpus.CollectUsage(scale.Events)
+	if err != nil {
+		return nil, err
+	}
+	sel := features.SelectKeyAPIs(u, usage, features.DefaultSelectionConfig())
+	return &Env{Scale: scale, Seed: seed, U: u, Corpus: corpus, Usage: usage, Runs: runs, Selection: sel}, nil
+}
+
+// subCorpus builds a corpus view over a slice of the apps.
+func (e *Env) subCorpus(seed int64, from, to int) *dataset.Corpus {
+	return dataset.FromApps(e.U, seed, e.Corpus.Apps[from:to])
+}
+
+// timesOf extracts minutes from runs.
+func timesOf(runs []dataset.AppRun) []float64 {
+	out := make([]float64, len(runs))
+	for i := range runs {
+		out[i] = runs[i].Time.Minutes()
+	}
+	return out
+}
+
+// meanDuration averages run times.
+func meanDuration(runs []dataset.AppRun) time.Duration {
+	if len(runs) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for i := range runs {
+		total += runs[i].Time
+	}
+	return total / time.Duration(len(runs))
+}
+
+// googleProfile is the study engine; lightProfile the production engine.
+var (
+	googleProfile = emulator.GoogleEmulator
+	lightProfile  = emulator.LightweightEmulator
+)
+
+// fprintf writes formatted output, ignoring the writer's error (the
+// writers here are stdout or test buffers).
+func fprintf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}

@@ -1,0 +1,485 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"apichecker/internal/ml"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = NewEnv(ScaleSmall, 1)
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func TestTable1Shape(t *testing.T) {
+	e := testEnv(t)
+	var buf bytes.Buffer
+	res, err := e.Table1(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d, want 6 baselines + APICHECKER", len(res.Rows))
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last.Name != "APICHECKER" {
+		t.Fatalf("last row = %s", last.Name)
+	}
+	// APICHECKER must have the best F1 and be far faster than the
+	// dynamic baselines.
+	f1 := func(r Table1Row) float64 {
+		if r.Precision+r.Recall == 0 {
+			return 0
+		}
+		return 2 * r.Precision * r.Recall / (r.Precision + r.Recall)
+	}
+	for _, r := range res.Rows[:len(res.Rows)-1] {
+		if f1(r) > f1(last) {
+			t.Errorf("%s F1 %.3f beats APICHECKER %.3f", r.Name, f1(r), f1(last))
+		}
+		if r.Method == "dynamic" && r.PerApp <= last.PerApp {
+			t.Errorf("%s per-app %v not above APICHECKER %v", r.Name, r.PerApp, last.PerApp)
+		}
+		// The long-budget dynamic detectors pay an order of magnitude
+		// more emulation time.
+		if (r.Name == "Yang et al." || r.Name == "DroidDolphin") && r.PerApp < 5*last.PerApp {
+			t.Errorf("%s per-app %v not ≫ APICHECKER %v", r.Name, r.PerApp, last.PerApp)
+		}
+	}
+	if !strings.Contains(buf.String(), "APICHECKER") {
+		t.Error("printed table lacks APICHECKER row")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.Table2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byModel := map[string]Table2Row{}
+	for _, r := range res.Rows {
+		byModel[r.Model] = r
+	}
+	rf := byModel["Random Forest"]
+	nb := byModel["Naive Bayes"]
+	svm := byModel["SVM"]
+	// RF is the quality pick (Table 2's row ordering).
+	for name, r := range byModel {
+		if name == "Random Forest" {
+			continue
+		}
+		if r.PrecisionKeys > rf.PrecisionKeys+0.03 && r.RecallKeys > rf.RecallKeys+0.03 {
+			t.Errorf("%s clearly beats RF on keys (%.3f/%.3f vs %.3f/%.3f)",
+				name, r.PrecisionKeys, r.RecallKeys, rf.PrecisionKeys, rf.RecallKeys)
+		}
+	}
+	// Cost ordering at this scale: NB cheapest of the serious models;
+	// wide features cost more than keys for RF. (The paper's SVM-
+	// dominates-everything ordering is a corpus-*size* effect — see
+	// TestSVMScalesQuadratically.)
+	if nb.TimeKeys > rf.TimeKeys {
+		t.Errorf("NB (%v) slower than RF (%v) on keys", nb.TimeKeys, rf.TimeKeys)
+	}
+	if svm.TimeAll <= 0 || svm.TimeKeys <= 0 {
+		t.Error("SVM times not recorded")
+	}
+	if rf.TimeAll < rf.TimeKeys {
+		t.Errorf("RF all-API training (%v) cheaper than keys (%v)", rf.TimeAll, rf.TimeKeys)
+	}
+	// Keys beat the full feature space for RF (over-fitting, §4.3).
+	if rf.RecallKeys+0.005 < rf.RecallAll {
+		t.Errorf("RF recall: keys %.3f < all %.3f — key selection should win", rf.RecallKeys, rf.RecallAll)
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.Fig1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Points
+	if len(pts) < 5 {
+		t.Fatal("too few points")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].RAC+1e-9 < pts[i-1].RAC {
+			t.Errorf("RAC not monotone at %d events: %.3f < %.3f", pts[i].Events, pts[i].RAC, pts[i-1].RAC)
+		}
+		if pts[i].MeanTime <= pts[i-1].MeanTime {
+			t.Errorf("time not increasing at %d events", pts[i].Events)
+		}
+	}
+	// Saturation: the last doubling of events buys little RAC.
+	gainEarly := pts[3].RAC - pts[0].RAC
+	gainLate := pts[len(pts)-1].RAC - pts[len(pts)-2].RAC
+	if gainLate > gainEarly {
+		t.Errorf("RAC not saturating: late gain %.3f > early gain %.3f", gainLate, gainEarly)
+	}
+	// 5K events land near the paper's 76.5%.
+	var rac5k float64
+	for _, p := range pts {
+		if p.Events == 5000 {
+			rac5k = p.RAC
+		}
+	}
+	if rac5k < 0.68 || rac5k > 0.85 {
+		t.Errorf("RAC(5K) = %.3f, want ≈ 0.765", rac5k)
+	}
+}
+
+func TestFig2And3Shape(t *testing.T) {
+	e := testEnv(t)
+	f2, err := e.Fig2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f2.CDF.Summary
+	if !(s.Min < s.Median && s.Median < s.Max) || s.Min <= 0 {
+		t.Errorf("implausible invocation distribution: %+v", s)
+	}
+	f3, err := e.Fig3(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := f3.TrackAll.Summary.Mean / f3.TrackNone.Summary.Mean
+	// Paper: 53.6 / 2.1 ≈ 25x at 50K APIs; the ratio scales with
+	// universe size (hook volume is universe-proportional).
+	if ratio < 3 {
+		t.Errorf("track-all/none ratio = %.1f, want clearly > 3 even at small scale", ratio)
+	}
+	if f3.TrackNone.Summary.Mean < 1.5 || f3.TrackNone.Summary.Mean > 2.9 {
+		t.Errorf("untracked mean = %.2f min, want ≈ 2.1", f3.TrackNone.Summary.Mean)
+	}
+}
+
+func TestFig4And5Shape(t *testing.T) {
+	e := testEnv(t)
+	f4, err := e.Fig4(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f4.StrongPositive == 0 {
+		t.Error("no strongly positive APIs")
+	}
+	if f4.MaxSRC < 0.2 || f4.MinSRC > -0.05 {
+		t.Errorf("SRC range [%.3f, %.3f] lacks spread", f4.MinSRC, f4.MaxSRC)
+	}
+	// Descending order.
+	for i := 1; i < len(f4.SRCsDescending); i++ {
+		if f4.SRCsDescending[i] > f4.SRCsDescending[i-1] {
+			t.Fatal("fig4 not sorted")
+		}
+	}
+	f5, err := e.Fig5(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f5.NonTrivial == 0 || f5.NonTrivial != len(e.Selection.SetC) {
+		t.Errorf("fig5 non-trivial = %d, Set-C = %d", f5.NonTrivial, len(e.Selection.SetC))
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.Fig6(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Points
+	if len(pts) < 8 {
+		t.Fatalf("too few points: %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MeanTime < pts[i-1].MeanTime {
+			t.Errorf("time decreased at n=%d", pts[i].TrackedAPIs)
+		}
+	}
+	// Shape properties that survive down-scaling: cost rises
+	// substantially overall; the steepest per-API stretch happens while
+	// the heavy (hot/shared) APIs enroll — i.e. in the middle ranks,
+	// not in the final tail — and the tail saturates.
+	slope := func(a, b Fig6Point) float64 {
+		return (b.MeanTime.Minutes() - a.MeanTime.Minutes()) / float64(b.TrackedAPIs-a.TrackedAPIs)
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if last.MeanTime.Minutes() < 2*first.MeanTime.Minutes() {
+		t.Errorf("tracking everything (%.1f min) not ≫ tracking few (%.1f min)",
+			last.MeanTime.Minutes(), first.MeanTime.Minutes())
+	}
+	maxSlope, maxAt := 0.0, 0
+	for i := 1; i < len(pts); i++ {
+		if s := slope(pts[i-1], pts[i]); s > maxSlope {
+			maxSlope, maxAt = s, pts[i].TrackedAPIs
+		}
+	}
+	if maxAt > e.U.NumAPIs()/10 {
+		t.Errorf("steepest stretch at n=%d, want within the correlated head", maxAt)
+	}
+	tailSlope := slope(pts[len(pts)-2], last)
+	if tailSlope > maxSlope/4 {
+		t.Errorf("tail slope %.5f not saturating vs max %.5f", tailSlope, maxSlope)
+	}
+	// Segment fits stay reported; head and tail must fit well.
+	if res.LinearFit.R2 < 0.7 || res.LogFit.R2 < 0.7 {
+		t.Errorf("fits poor: lin R2=%.3f pow R2=%.3f log R2=%.3f",
+			res.LinearFit.R2, res.PowerFit.R2, res.LogFit.R2)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.Fig7(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for _, p := range res.Points {
+		if f := f1of(p.Precision, p.Recall); f > best {
+			best = f
+		}
+	}
+	allF1 := f1of(res.All.Precision, res.All.Recall)
+	if best < allF1 {
+		t.Errorf("no top-n configuration (best %.3f) beats tracking all (%.3f): over-fitting shape missing", best, allF1)
+	}
+}
+
+func f1of(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func TestFig8Shape(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.Fig8(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inclusion-exclusion: |C∪P∪S| = Σ|sets| − Σ|pairwise| + |triple|.
+	if res.Union != res.SetC+res.SetP+res.SetS-(res.CP+res.CS+res.PS)+res.CPS {
+		t.Errorf("Venn accounting inconsistent: %+v", res)
+	}
+	// Overlaps stay well below the union (the paper: 16 of 426; the
+	// small-scale universe over-represents the fixed well-known anchor
+	// APIs, which carry most designed overlap).
+	if res.TotalPairwiseOverlaps*2 > res.Union {
+		t.Errorf("overlaps %d too large for union %d", res.TotalPairwiseOverlaps, res.Union)
+	}
+}
+
+func TestFig9And16Shape(t *testing.T) {
+	e := testEnv(t)
+	f9, err := e.Fig9(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f9.TrackNone.Summary.Mean < f9.TrackKeys.Summary.Mean) {
+		t.Errorf("keys (%.2f) not slower than none (%.2f)", f9.TrackKeys.Summary.Mean, f9.TrackNone.Summary.Mean)
+	}
+	f16, err := e.Fig16(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := f16.TrackNone.Summary.Mean, f16.Track150.Summary.Mean, f16.TrackKeys.Summary.Mean
+	if !(a < b && b < c) {
+		t.Errorf("fig16 ordering broken: none=%.2f top=%.2f keys=%.2f", a, b, c)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.Fig10(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byMode := map[string]Fig10Row{}
+	for _, r := range res.Rows {
+		byMode[r.Mode.String()] = r
+	}
+	// At small scale the A-vs-A+P+I gap sits inside CV noise (the
+	// medium/paper-scale runs in EXPERIMENTS.md show the clean +3-4
+	// point F1 gain); require only that the full combination does not
+	// lose ground.
+	if byMode["A+P+I"].F1+0.02 < byMode["A"].F1 {
+		t.Errorf("A+P+I (%.3f) worse than A (%.3f)", byMode["A+P+I"].F1, byMode["A"].F1)
+	}
+	if byMode["A+P"].Recall+0.02 < byMode["A"].Recall {
+		t.Errorf("A+P recall (%.3f) below A (%.3f)", byMode["A+P"].Recall, byMode["A"].Recall)
+	}
+	// P+I alone is a sound detector (§4.5).
+	if byMode["P+I"].F1 < 0.6 {
+		t.Errorf("P+I F1 = %.3f, want sound performance", byMode["P+I"].F1)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.Fig11(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saving < 0.55 || res.Saving > 0.85 {
+		t.Errorf("saving = %.2f, want ≈ 0.70", res.Saving)
+	}
+	if res.FellBack > len(e.Corpus.Apps)/33 {
+		t.Errorf("fallbacks = %d of %d, want < ~3%%", res.FellBack, len(e.Corpus.Apps))
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.Fig13(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Top) != 20 {
+		t.Fatalf("top features = %d", len(res.Top))
+	}
+	// All three feature families appear in the top 20 (paper: 7/8/5).
+	if res.APIs == 0 || res.Permissions == 0 || res.Intents == 0 {
+		t.Errorf("family mix = %d/%d/%d, want all three represented", res.APIs, res.Permissions, res.Intents)
+	}
+	for i := 1; i < len(res.Top); i++ {
+		if res.Top[i].Importance > res.Top[i-1].Importance {
+			t.Fatal("importance not descending")
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.Fig15(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	last := res.Points[len(res.Points)-1]
+	// Tracking fewer important keys costs much less time while keeping
+	// F1 close (§5.4).
+	mid := res.Points[len(res.Points)/2]
+	if mid.MeanTime >= last.MeanTime {
+		t.Errorf("subset time %v not below full-key time %v", mid.MeanTime, last.MeanTime)
+	}
+	if mid.F1 < last.F1-0.08 {
+		t.Errorf("subset F1 %.3f collapsed vs full %.3f", mid.F1, last.F1)
+	}
+}
+
+func TestDeployShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deployment simulation in -short mode")
+	}
+	e := testEnv(t)
+	res, err := e.Fig12(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Months) != 3 {
+		t.Fatalf("months = %d", len(res.Report.Months))
+	}
+	pMin, _, rMin, _ := res.Report.MinMaxPrecisionRecall()
+	if pMin < 0.7 || rMin < 0.45 {
+		t.Errorf("deployment stats degraded: p=%.3f r=%.3f", pMin, rMin)
+	}
+	// Fig14 reuses the cached report.
+	res2, err := e.Fig14(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res {
+		t.Error("deployment report not cached")
+	}
+	for _, m := range res2.Report.Months {
+		if m.KeyAPIs == 0 {
+			t.Error("missing key-API count")
+		}
+	}
+}
+
+func TestRunDispatcher(t *testing.T) {
+	e := testEnv(t)
+	var buf bytes.Buffer
+	if err := Run(e, "fig8", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 8") {
+		t.Errorf("output = %q", buf.String())
+	}
+	if err := Run(e, "nope", &buf); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if len(IDs()) != 19 {
+		t.Errorf("IDs = %d, want 19", len(IDs()))
+	}
+}
+
+// TestAuthenticityShape reproduces §4.2's controlled experiment: hardening
+// closes most of the stock emulator's behaviour gap, up to the apps that
+// need live sensors.
+func TestAuthenticityShape(t *testing.T) {
+	e := testEnv(t)
+	res, err := e.Authenticity(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sample == 0 {
+		t.Fatal("empty sample")
+	}
+	// Paper: 86.6% stock vs 98.6% hardened.
+	if res.StockFraction < 0.75 || res.StockFraction > 0.95 {
+		t.Errorf("stock fraction = %.3f, want ≈ 0.866", res.StockFraction)
+	}
+	if res.HardenedFraction < 0.96 {
+		t.Errorf("hardened fraction = %.3f, want ≈ 0.986", res.HardenedFraction)
+	}
+	if res.HardenedFraction <= res.StockFraction {
+		t.Error("hardening did not close the gap")
+	}
+	// The hardened residual is bounded by the sensor-limited apps.
+	misses := res.Sample - res.HardenedMatches
+	if misses > res.SensorLimited {
+		t.Errorf("hardened misses %d exceed sensor-limited apps %d", misses, res.SensorLimited)
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"small", "medium", "paper"} {
+		s, err := ScaleByName(name)
+		if err != nil || s.Apps == 0 {
+			t.Errorf("%s: %v %+v", name, err, s)
+		}
+	}
+	if _, err := ScaleByName("huge"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+// keep ml import used even if assertions change
+var _ = ml.Confusion{}

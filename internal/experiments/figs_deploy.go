@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"io"
+
+	"apichecker/internal/market"
+)
+
+// DeployResult covers the year-long deployment figures: monthly precision
+// and recall (Fig. 12) and the key-API count evolution (Fig. 14).
+type DeployResult struct {
+	Report *market.YearReport
+}
+
+// Deploy runs the month-by-month market simulation once per month count;
+// Fig12 and Fig14 are two views of the cached report.
+func (e *Env) Deploy(months int) (*DeployResult, error) {
+	if cached, ok := e.cachedDeploy[months]; ok {
+		return cached, nil
+	}
+	cfg := market.DefaultYearConfig()
+	cfg.Seed = e.Seed + 71
+	cfg.Months = months
+	cfg.InitialApps = min(900, e.Corpus.Len())
+	cfg.MonthlyApps = min(250, e.Corpus.Len()/3)
+	cfg.RetrainCap = cfg.InitialApps + 5*cfg.MonthlyApps
+	// The year simulation evolves the universe; run it on a private copy
+	// so the rest of the experiment suite stays comparable.
+	ucfg := e.U.Config()
+	u, err := frameworkClone(ucfg, e.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := market.RunYear(u, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &DeployResult{Report: rep}
+	if e.cachedDeploy == nil {
+		e.cachedDeploy = make(map[int]*DeployResult)
+	}
+	e.cachedDeploy[months] = res
+	return res, nil
+}
+
+// Fig12 prints the monthly online precision/recall series.
+func (e *Env) Fig12(w io.Writer, months int) (*DeployResult, error) {
+	res, err := e.Deploy(months)
+	if err != nil {
+		return nil, err
+	}
+	fprintf(w, "Figure 12: online precision/recall over %d months\n", months)
+	fprintf(w, "%6s %10s %8s %8s %10s\n", "Month", "Precision", "Recall", "Flagged", "Scan(min)")
+	for _, m := range res.Report.Months {
+		fprintf(w, "%6d %9.1f%% %7.1f%% %8d %10.2f\n",
+			m.Month, 100*m.Precision(), 100*m.Recall(), m.Flagged, m.MeanScanMinute)
+	}
+	pMin, pMax, rMin, rMax := res.Report.MinMaxPrecisionRecall()
+	fprintf(w, "  precision: %.1f%%-%.1f%% | recall: %.1f%%-%.1f%%\n",
+		100*pMin, 100*pMax, 100*rMin, 100*rMax)
+	return res, nil
+}
+
+// Fig14 prints the key-API count evolution series.
+func (e *Env) Fig14(w io.Writer, months int) (*DeployResult, error) {
+	res, err := e.Deploy(months)
+	if err != nil {
+		return nil, err
+	}
+	fprintf(w, "Figure 14: key-API count over %d months (initial %d)\n",
+		months, res.Report.InitialKeyAPIs)
+	for _, m := range res.Report.Months {
+		fprintf(w, "  month %2d: %d key APIs\n", m.Month, m.KeyAPIs)
+	}
+	return res, nil
+}

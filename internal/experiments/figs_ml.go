@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"apichecker/internal/features"
+	"apichecker/internal/framework"
+	"apichecker/internal/ml"
+)
+
+// Fig7Point is one tracking-set size of Figure 7.
+type Fig7Point struct {
+	TrackedAPIs int
+	Precision   float64
+	Recall      float64
+}
+
+// Fig7Result is precision/recall vs top-n correlated tracking sets.
+type Fig7Result struct {
+	Points []Fig7Point
+	// All is the track-everything configuration (the over-fitting end).
+	All Fig7Point
+}
+
+// Fig7 shows that strategically tracking fewer APIs beats tracking all of
+// them (§4.3's counter-intuitive over-fitting result), using the random
+// forest throughout.
+func (e *Env) Fig7(w io.Writer) (*Fig7Result, error) {
+	scaled := func(n int) int {
+		v := e.U.NumAPIs() * n / 50000
+		if v < 10 {
+			v = 10
+		}
+		return v
+	}
+	ns := []int{scaled(100), scaled(200), scaled(400), scaled(490), scaled(600), scaled(800), scaled(1000), scaled(10000)}
+	res := &Fig7Result{}
+	seen := map[int]bool{}
+	for _, n := range ns {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		p, r, err := e.forestQuality(featuresTop(e, n), features.ModeA)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Fig7Point{TrackedAPIs: n, Precision: p, Recall: r})
+	}
+	var all []framework.APIID
+	for i := 0; i < e.U.NumAPIs(); i++ {
+		if !e.U.API(framework.APIID(i)).Hidden {
+			all = append(all, framework.APIID(i))
+		}
+	}
+	p, r, err := e.forestQuality(all, features.ModeA)
+	if err != nil {
+		return nil, err
+	}
+	res.All = Fig7Point{TrackedAPIs: len(all), Precision: p, Recall: r}
+
+	fprintf(w, "Figure 7: precision/recall vs top-n correlated tracked APIs (random forest)\n")
+	fprintf(w, "%10s %10s %8s\n", "n", "Precision", "Recall")
+	for _, pt := range res.Points {
+		fprintf(w, "%10d %9.1f%% %7.1f%%\n", pt.TrackedAPIs, 100*pt.Precision, 100*pt.Recall)
+	}
+	fprintf(w, "%10d %9.1f%% %7.1f%%  <- all APIs (over-fitting)\n",
+		res.All.TrackedAPIs, 100*res.All.Precision, 100*res.All.Recall)
+	return res, nil
+}
+
+// forestQuality trains/evaluates an RF on a tracked set and feature mode
+// with a fixed 70/30 split.
+func (e *Env) forestQuality(tracked []framework.APIID, mode features.Mode) (precision, recall float64, err error) {
+	ex, err := features.NewExtractor(e.U, tracked, mode)
+	if err != nil {
+		return 0, 0, err
+	}
+	d, err := e.Corpus.Vectorize(ex, googleProfile, e.Scale.Events)
+	if err != nil {
+		return 0, 0, err
+	}
+	train, test := d.Split(0.7, e.Seed+5)
+	rf := ml.NewRandomForest(ml.DefaultForestConfig(e.Seed + 7))
+	m, _, _, err := ml.TrainEval(rf, train, test)
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.Precision(), m.Recall(), nil
+}
+
+// Fig10Row is one feature combination of Figure 10.
+type Fig10Row struct {
+	Mode      features.Mode
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Fig10Result compares the auxiliary-feature combinations.
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// Fig10 evaluates A, A+P, A+I, P+I and A+P+I over the key APIs (§4.5:
+// hidden features lift recall from 93.7% to 96.7%).
+func (e *Env) Fig10(w io.Writer) (*Fig10Result, error) {
+	res := &Fig10Result{}
+	for _, mode := range []features.Mode{features.ModeA, features.ModeAP, features.ModeAI, features.ModePI, features.ModeAPI} {
+		tracked := e.Selection.Keys
+		if mode == features.ModePI {
+			tracked = nil // P+I uses no API features at all
+		}
+		ex, err := features.NewExtractor(e.U, tracked, mode)
+		if err != nil {
+			return nil, err
+		}
+		d, err := e.Corpus.Vectorize(ex, googleProfile, e.Scale.Events)
+		if err != nil {
+			return nil, err
+		}
+		cv, err := ml.CrossValidate(func() ml.Classifier {
+			return ml.NewRandomForest(ml.DefaultForestConfig(e.Seed + 7))
+		}, d, 5, e.Seed+5)
+		if err != nil {
+			return nil, err
+		}
+		m := cv.Confusion
+		res.Rows = append(res.Rows, Fig10Row{Mode: mode, Precision: m.Precision(), Recall: m.Recall(), F1: m.F1()})
+	}
+	fprintf(w, "Figure 10: auxiliary features (A: %d key APIs, P: permissions, I: intents)\n", len(e.Selection.Keys))
+	fprintf(w, "%8s %10s %8s %8s\n", "Features", "Precision", "Recall", "F1")
+	for _, r := range res.Rows {
+		fprintf(w, "%8s %9.1f%% %7.1f%% %7.1f%%\n", r.Mode, 100*r.Precision, 100*r.Recall, 100*r.F1)
+	}
+	return res, nil
+}
+
+// keyForest lazily trains the deployed-configuration forest (A+P+I over
+// the key APIs) and caches it with its extractor.
+func (e *Env) keyForest() (*ml.RandomForest, *features.Extractor, error) {
+	if e.cachedForest != nil {
+		return e.cachedForest, e.cachedExtractor, nil
+	}
+	ex, err := features.NewExtractor(e.U, e.Selection.Keys, features.ModeAPI)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := e.Corpus.Vectorize(ex, googleProfile, e.Scale.Events)
+	if err != nil {
+		return nil, nil, err
+	}
+	rf := ml.NewRandomForest(ml.DefaultForestConfig(e.Seed + 13))
+	if err := rf.Train(d); err != nil {
+		return nil, nil, err
+	}
+	e.cachedForest, e.cachedExtractor = rf, ex
+	return rf, ex, nil
+}
+
+// topImportantKeys returns the k key APIs with the highest Gini importance
+// in the deployed model.
+func (e *Env) topImportantKeys(k int) ([]framework.APIID, error) {
+	rf, ex, err := e.keyForest()
+	if err != nil {
+		return nil, err
+	}
+	imp := rf.Importance()
+	type cand struct {
+		id framework.APIID
+		v  float64
+	}
+	tracked := ex.TrackedAPIs()
+	cands := make([]cand, len(tracked))
+	for i, id := range tracked {
+		cands[i] = cand{id, imp[i]} // API features occupy the first indexes
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].v != cands[j].v {
+			return cands[i].v > cands[j].v
+		}
+		return cands[i].id < cands[j].id
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]framework.APIID, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].id
+	}
+	return out, nil
+}
+
+// Fig13Feature is one ranked feature of Figure 13.
+type Fig13Feature struct {
+	Name       string
+	Importance float64
+}
+
+// Fig13Result is the top-feature ranking.
+type Fig13Result struct {
+	Top []Fig13Feature
+
+	// Family mix of the top 20: APIs / permissions / intents.
+	APIs, Permissions, Intents int
+}
+
+// Fig13 ranks the deployed model's features by Gini importance (the paper
+// finds 7 APIs, 8 permissions and 5 intents in the top 20).
+func (e *Env) Fig13(w io.Writer) (*Fig13Result, error) {
+	rf, ex, err := e.keyForest()
+	if err != nil {
+		return nil, err
+	}
+	imp := rf.Importance()
+	type cand struct {
+		idx int
+		v   float64
+	}
+	cands := make([]cand, len(imp))
+	for i, v := range imp {
+		cands[i] = cand{i, v}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].v != cands[j].v {
+			return cands[i].v > cands[j].v
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	res := &Fig13Result{}
+	numAPIs := len(ex.TrackedAPIs())
+	permEnd := numAPIs + len(e.U.Permissions())
+	for i := 0; i < 20 && i < len(cands); i++ {
+		name := ex.FeatureName(cands[i].idx)
+		res.Top = append(res.Top, Fig13Feature{Name: name, Importance: cands[i].v})
+		switch {
+		case cands[i].idx < numAPIs:
+			res.APIs++
+		case cands[i].idx < permEnd:
+			res.Permissions++
+		default:
+			res.Intents++
+		}
+	}
+	fprintf(w, "Figure 13: top-20 features by Gini importance (%d APIs, %d permissions, %d intents)\n",
+		res.APIs, res.Permissions, res.Intents)
+	for _, f := range res.Top {
+		fprintf(w, "  %-55s %.4f\n", f.Name, f.Importance)
+	}
+	return res, nil
+}
+
+// Fig15Point is one top-k configuration of Figure 15.
+type Fig15Point struct {
+	TopK     int
+	F1       float64
+	MeanTime time.Duration
+}
+
+// Fig15Result sweeps tracking only the top-k Gini-important key APIs.
+type Fig15Result struct {
+	Points []Fig15Point
+}
+
+// Fig15 trades detection accuracy against analysis time over the
+// importance ranking (§5.4: the top ~150 keys nearly match all 426 at a
+// fraction of the time).
+func (e *Env) Fig15(w io.Writer) (*Fig15Result, error) {
+	total := len(e.Selection.Keys)
+	ks := []int{total / 16, total / 8, total / 4, total * 150 / 426, total / 2, total}
+	sub := e.subCorpus(e.Seed+43, 0, min(250, e.Corpus.Len()))
+	res := &Fig15Result{}
+	seen := map[int]bool{}
+	for _, k := range ks {
+		if k < 2 || seen[k] {
+			continue
+		}
+		seen[k] = true
+		top, err := e.topImportantKeys(k)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := features.NewExtractor(e.U, top, features.ModeAPI)
+		if err != nil {
+			return nil, err
+		}
+		d, err := e.Corpus.Vectorize(ex, googleProfile, e.Scale.Events)
+		if err != nil {
+			return nil, err
+		}
+		train, test := d.Split(0.7, e.Seed+5)
+		rf := ml.NewRandomForest(ml.DefaultForestConfig(e.Seed + 7))
+		m, _, _, err := ml.TrainEval(rf, train, test)
+		if err != nil {
+			return nil, err
+		}
+		runs, err := sub.RunTimes(top, googleProfile, e.Scale.Events)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Fig15Point{TopK: k, F1: m.F1(), MeanTime: meanDuration(runs)})
+	}
+	fprintf(w, "Figure 15: F1 and analysis time vs top-k important key APIs (of %d)\n", total)
+	fprintf(w, "%8s %8s %12s\n", "k", "F1", "MeanTime")
+	for _, p := range res.Points {
+		fprintf(w, "%8d %7.1f%% %12s\n", p.TopK, 100*p.F1, p.MeanTime.Round(time.Second))
+	}
+	return res, nil
+}

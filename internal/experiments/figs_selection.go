@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+
+	"apichecker/internal/features"
+	"apichecker/internal/framework"
+)
+
+// featuresTop ranks the top-n not-seldom APIs by |SRC|.
+func featuresTop(e *Env, n int) []framework.APIID {
+	return features.TopCorrelated(e.U, e.Usage, n, e.Selection.Config)
+}
+
+// Fig4Result is the full SRC spectrum.
+type Fig4Result struct {
+	// SRCsDescending is the measured SRC of every non-hidden API, sorted
+	// descending (Fig. 4's curve).
+	SRCsDescending []float64
+
+	// Counts at the paper's thresholds.
+	StrongPositive int // SRC >= +0.2
+	StrongNegative int // SRC <= -0.2
+	MaxSRC, MinSRC float64
+}
+
+// Fig4 ranks all APIs by SRC (§4.3: 247 APIs above +0.2; a negative tail
+// dominated by seldom-invoked APIs).
+func (e *Env) Fig4(w io.Writer) (*Fig4Result, error) {
+	res := &Fig4Result{}
+	for i := 0; i < e.U.NumAPIs(); i++ {
+		id := framework.APIID(i)
+		if e.U.API(id).Hidden {
+			continue
+		}
+		src := e.Selection.SRC[i]
+		res.SRCsDescending = append(res.SRCsDescending, src)
+		if src >= 0.2 {
+			res.StrongPositive++
+		}
+		if src <= -0.2 {
+			res.StrongNegative++
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(res.SRCsDescending)))
+	if len(res.SRCsDescending) > 0 {
+		res.MaxSRC = res.SRCsDescending[0]
+		res.MinSRC = res.SRCsDescending[len(res.SRCsDescending)-1]
+	}
+	fprintf(w, "Figure 4: SRC ranking of %d APIs\n", len(res.SRCsDescending))
+	fprintf(w, "  SRC >= +0.2: %d APIs | SRC <= -0.2: %d APIs | range [%.3f, %.3f]\n",
+		res.StrongPositive, res.StrongNegative, res.MinSRC, res.MaxSRC)
+	for _, rank := range []int{0, 9, 49, 99, 199, 499, 999} {
+		if rank < len(res.SRCsDescending) {
+			fprintf(w, "  rank %5d: SRC = %+.3f\n", rank+1, res.SRCsDescending[rank])
+		}
+	}
+	return res, nil
+}
+
+// Fig5Result is the |SRC| ranking of not-seldom APIs.
+type Fig5Result struct {
+	AbsSRCDescending []float64
+	NonTrivial       int // |SRC| >= threshold among not-seldom APIs (Set-C size)
+}
+
+// Fig5 ranks the not-seldom-invoked APIs by |SRC| (the paper's top-1K
+// view; 260 non-trivial).
+func (e *Env) Fig5(w io.Writer) (*Fig5Result, error) {
+	cfg := e.Selection.Config
+	res := &Fig5Result{}
+	for i := 0; i < e.U.NumAPIs(); i++ {
+		id := framework.APIID(i)
+		if e.U.API(id).Hidden || e.Usage.UsageFraction(id) < cfg.SeldomFraction {
+			continue
+		}
+		abs := e.Selection.SRC[i]
+		if abs < 0 {
+			abs = -abs
+		}
+		res.AbsSRCDescending = append(res.AbsSRCDescending, abs)
+		if abs >= cfg.SRCThreshold {
+			res.NonTrivial++
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(res.AbsSRCDescending)))
+	limit := e.U.NumAPIs() * 1000 / 50000 // the paper plots the top 1K of 50K
+	if limit < 10 {
+		limit = 10
+	}
+	if limit < len(res.AbsSRCDescending) {
+		res.AbsSRCDescending = res.AbsSRCDescending[:limit]
+	}
+	fprintf(w, "Figure 5: top-%d not-seldom APIs by |SRC| — %d non-trivial (Set-C)\n",
+		len(res.AbsSRCDescending), res.NonTrivial)
+	for _, rank := range []int{0, len(res.AbsSRCDescending) / 4, len(res.AbsSRCDescending) / 2, len(res.AbsSRCDescending) - 1} {
+		if rank >= 0 && rank < len(res.AbsSRCDescending) {
+			fprintf(w, "  rank %4d: |SRC| = %.3f\n", rank+1, res.AbsSRCDescending[rank])
+		}
+	}
+	return res, nil
+}
+
+// Fig8Result is the Venn accounting of the three key-API sets.
+type Fig8Result struct {
+	SetC, SetP, SetS      int
+	CP, CS, PS, CPS       int
+	Union                 int
+	TotalPairwiseOverlaps int
+}
+
+// Fig8 reports the set sizes and overlaps behind the 426-key union (the
+// paper: 260 + 112 + 70 with only 16 overlapping APIs).
+func (e *Env) Fig8(w io.Writer) (*Fig8Result, error) {
+	cp, cs, ps, cps := e.Selection.Overlaps()
+	res := &Fig8Result{
+		SetC: len(e.Selection.SetC),
+		SetP: len(e.Selection.SetP),
+		SetS: len(e.Selection.SetS),
+		CP:   cp, CS: cs, PS: ps, CPS: cps,
+		Union:                 len(e.Selection.Keys),
+		TotalPairwiseOverlaps: cp + cs + ps - 2*cps,
+	}
+	fprintf(w, "Figure 8: key-API sets — C=%d P=%d S=%d, overlaps C∩P=%d C∩S=%d P∩S=%d (triple %d), union=%d\n",
+		res.SetC, res.SetP, res.SetS, res.CP, res.CS, res.PS, res.CPS, res.Union)
+	return res, nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one named experiment against an environment, printing
+// the paper-style rows/series to w.
+type Runner func(e *Env, w io.Writer) error
+
+// registry maps experiment ids (table1, table2, fig1..fig16) to runners.
+var registry = map[string]Runner{
+	"table1": func(e *Env, w io.Writer) error { _, err := e.Table1(w); return err },
+	"table2": func(e *Env, w io.Writer) error { _, err := e.Table2(w); return err },
+	"fig1":   func(e *Env, w io.Writer) error { _, err := e.Fig1(w); return err },
+	"fig2":   func(e *Env, w io.Writer) error { _, err := e.Fig2(w); return err },
+	"fig3":   func(e *Env, w io.Writer) error { _, err := e.Fig3(w); return err },
+	"fig4":   func(e *Env, w io.Writer) error { _, err := e.Fig4(w); return err },
+	"fig5":   func(e *Env, w io.Writer) error { _, err := e.Fig5(w); return err },
+	"fig6":   func(e *Env, w io.Writer) error { _, err := e.Fig6(w); return err },
+	"fig7":   func(e *Env, w io.Writer) error { _, err := e.Fig7(w); return err },
+	"fig8":   func(e *Env, w io.Writer) error { _, err := e.Fig8(w); return err },
+	"fig9":   func(e *Env, w io.Writer) error { _, err := e.Fig9(w); return err },
+	"fig10":  func(e *Env, w io.Writer) error { _, err := e.Fig10(w); return err },
+	"fig11":  func(e *Env, w io.Writer) error { _, err := e.Fig11(w); return err },
+	"fig12":  func(e *Env, w io.Writer) error { _, err := e.Fig12(w, 12); return err },
+	"fig13":  func(e *Env, w io.Writer) error { _, err := e.Fig13(w); return err },
+	"fig14":  func(e *Env, w io.Writer) error { _, err := e.Fig14(w, 12); return err },
+	"fig15":  func(e *Env, w io.Writer) error { _, err := e.Fig15(w); return err },
+	"fig16":  func(e *Env, w io.Writer) error { _, err := e.Fig16(w); return err },
+	// authenticity is §4.2's controlled three-environment experiment
+	// (stock 86.6% vs hardened 98.6% vs real device).
+	"authenticity": func(e *Env, w io.Writer) error { _, err := e.Authenticity(w); return err },
+}
+
+// IDs returns the known experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(e *Env, id string, w io.Writer) error {
+	r, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	return r(e, w)
+}

@@ -1,0 +1,93 @@
+package features
+
+import (
+	"fmt"
+
+	"apichecker/internal/framework"
+	"apichecker/internal/hook"
+	"apichecker/internal/ml"
+)
+
+// Encoding selects how tracked-API observations become bits.
+//
+// The deployed system uses One-Hot ("invoked at least once"), which §6
+// notes can lose information such as invocation frequency. EncodingHistogram
+// is the paper's proposed future-work alternative: each API maps to a
+// thermometer-coded magnitude bucket, so the classifier can distinguish an
+// app that calls sendTextMessage once from one that calls it ten thousand
+// times.
+type Encoding uint8
+
+const (
+	// EncodingOneHot is the deployed bit-per-API encoding.
+	EncodingOneHot Encoding = iota
+	// EncodingHistogram thermometer-codes log-scaled invocation counts:
+	// bit k set when count >= histogramThresholds[k].
+	EncodingHistogram
+)
+
+func (e Encoding) String() string {
+	switch e {
+	case EncodingOneHot:
+		return "one-hot"
+	case EncodingHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Encoding(%d)", uint8(e))
+}
+
+// histogramThresholds are the bucket lower bounds (invocation counts).
+// Thermometer coding keeps Hamming/Jaccard distances monotone in count
+// magnitude.
+var histogramThresholds = [4]uint64{1, 32, 1024, 32768}
+
+// HistogramBits is the per-API width of the histogram encoding.
+const HistogramBits = len(histogramThresholds)
+
+// NewExtractorWithEncoding is NewExtractor with an explicit encoding.
+func NewExtractorWithEncoding(u *framework.Universe, tracked []framework.APIID, mode Mode, enc Encoding) (*Extractor, error) {
+	if enc != EncodingOneHot && enc != EncodingHistogram {
+		return nil, fmt.Errorf("features: unknown encoding %v", enc)
+	}
+	e, err := NewExtractor(u, tracked, mode)
+	if err != nil {
+		return nil, err
+	}
+	if enc == EncodingHistogram && mode&ModeA != 0 {
+		// Re-layout: API features widen to HistogramBits each.
+		shift := len(e.tracked) * (HistogramBits - 1)
+		e.permBase += shift
+		e.intentBase += shift
+		e.total += shift
+	}
+	e.encoding = enc
+	return e, nil
+}
+
+// Encoding returns the extractor's encoding.
+func (e *Extractor) Encoding() Encoding { return e.encoding }
+
+// apiBits fills the API-feature region of v for one log.
+func (e *Extractor) apiBits(log *hook.Log, v ml.Vector) {
+	if e.encoding == EncodingOneHot {
+		for _, id := range log.InvokedAPIs() {
+			if idx, ok := e.apiIndex[id]; ok {
+				v.Set(idx)
+			}
+		}
+		return
+	}
+	for _, id := range log.InvokedAPIs() {
+		idx, ok := e.apiIndex[id]
+		if !ok {
+			continue
+		}
+		count := log.Invocation(id).Count
+		base := idx * HistogramBits
+		for k, threshold := range histogramThresholds {
+			if count >= threshold {
+				v.Set(base + k)
+			}
+		}
+	}
+}

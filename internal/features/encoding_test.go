@@ -1,0 +1,93 @@
+package features
+
+import (
+	"strings"
+	"testing"
+
+	"apichecker/internal/framework"
+	"apichecker/internal/hook"
+	"apichecker/internal/manifest"
+)
+
+func TestHistogramExtractorLayout(t *testing.T) {
+	tracked := visible(3)
+	ex, err := NewExtractorWithEncoding(testU, tracked, ModeAPI, EncodingHistogram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3*HistogramBits + len(testU.Permissions()) + len(testU.Intents())
+	if ex.NumFeatures() != want {
+		t.Fatalf("NumFeatures = %d, want %d", ex.NumFeatures(), want)
+	}
+	if ex.Encoding() != EncodingHistogram {
+		t.Error("encoding not recorded")
+	}
+	// One-hot path unchanged through the new constructor.
+	oh, err := NewExtractorWithEncoding(testU, tracked, ModeAPI, EncodingOneHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oh.NumFeatures() != 3+len(testU.Permissions())+len(testU.Intents()) {
+		t.Errorf("one-hot width = %d", oh.NumFeatures())
+	}
+	if _, err := NewExtractorWithEncoding(testU, tracked, ModeAPI, Encoding(9)); err == nil {
+		t.Error("bogus encoding accepted")
+	}
+}
+
+func TestHistogramThermometerBits(t *testing.T) {
+	tracked := visible(2)
+	ex, err := NewExtractorWithEncoding(testU, tracked, ModeA, EncodingHistogram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := hook.MustNewRegistry(testU, tracked)
+	log := hook.NewLog(reg)
+	log.Observe(tracked[0], 5)     // crosses thresholds 1, 32? no: only >=1
+	log.Observe(tracked[1], 50000) // crosses all four
+
+	man := manifest.New("c.d", 1)
+	v, err := ex.Vector(log, man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// API 0 (5 invocations): only the >=1 bit.
+	if !v.Get(0) || v.Get(1) || v.Get(2) || v.Get(3) {
+		t.Errorf("API0 bits wrong")
+	}
+	// API 1 (50K invocations): all bits (thermometer monotone).
+	for k := 0; k < HistogramBits; k++ {
+		if !v.Get(HistogramBits + k) {
+			t.Errorf("API1 bit %d clear", k)
+		}
+	}
+	// Thermometer property: a set bit implies all lower bits set.
+	for api := 0; api < 2; api++ {
+		for k := HistogramBits - 1; k > 0; k-- {
+			if v.Get(api*HistogramBits+k) && !v.Get(api*HistogramBits+k-1) {
+				t.Errorf("thermometer violated at api %d bit %d", api, k)
+			}
+		}
+	}
+}
+
+func TestHistogramFeatureNames(t *testing.T) {
+	id, ok := testU.LookupAPI("android.telephony.SmsManager.sendTextMessage")
+	if !ok {
+		t.Fatal("anchor missing")
+	}
+	ex, err := NewExtractorWithEncoding(testU, []framework.APIID{id}, ModeA, EncodingHistogram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := ex.FeatureName(1)
+	if !strings.Contains(name, "SmsManager_sendTextMessage") || !strings.Contains(name, ">=") {
+		t.Errorf("histogram feature name = %q", name)
+	}
+}
+
+func TestEncodingStrings(t *testing.T) {
+	if EncodingOneHot.String() != "one-hot" || EncodingHistogram.String() != "histogram" {
+		t.Error("encoding names wrong")
+	}
+}

@@ -1,0 +1,281 @@
+package features
+
+import (
+	"strings"
+	"testing"
+
+	"apichecker/internal/framework"
+	"apichecker/internal/hook"
+	"apichecker/internal/manifest"
+)
+
+var testU = framework.MustGenerate(framework.TestConfig(3000))
+
+// fabricatedUsage builds usage stats with known correlation structure:
+// APIs in hot are used by everyone, APIs in malOnly only by malware.
+func fabricatedUsage(numApps, positives int, malOnly, hot []framework.APIID) *UsageStats {
+	u := NewUsageStats(testU.NumAPIs(), numApps, positives)
+	for _, id := range malOnly {
+		for i := 0; i < positives; i++ {
+			u.Observe(id, float64(10+i%7), true)
+		}
+	}
+	for _, id := range hot {
+		for i := 0; i < numApps; i++ {
+			u.Observe(id, float64(1000+i%13), i < positives)
+		}
+	}
+	return u
+}
+
+func visible(n int) []framework.APIID {
+	var out []framework.APIID
+	for _, a := range testU.APIs() {
+		if !a.Hidden && a.Permission == framework.NoPermission && a.Category == framework.CategoryNone {
+			out = append(out, a.ID)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestSRCAndSelection(t *testing.T) {
+	ids := visible(6)
+	malOnly, hot := ids[:3], ids[3:]
+	usage := fabricatedUsage(1000, 100, malOnly, hot)
+
+	for _, id := range malOnly {
+		if src := usage.SRC(id); src < 0.5 {
+			t.Errorf("malware-only API %d SRC = %.3f, want strongly positive", id, src)
+		}
+	}
+	for _, id := range hot {
+		src := usage.SRC(id)
+		if src < -0.2 || src > 0.2 {
+			t.Errorf("uniform hot API %d SRC = %.3f, want near 0", id, src)
+		}
+	}
+
+	sel := SelectKeyAPIs(testU, usage, DefaultSelectionConfig())
+	inC := idSet(sel.SetC)
+	for _, id := range malOnly {
+		if !inC[id] {
+			t.Errorf("malware-only API %d missing from Set-C", id)
+		}
+	}
+	for _, id := range hot {
+		if inC[id] {
+			t.Errorf("uncorrelated hot API %d selected into Set-C", id)
+		}
+	}
+	// Structural sets come from the universe.
+	if len(sel.SetP) != len(testU.RestrictedAPIs()) {
+		t.Errorf("SetP = %d, want %d", len(sel.SetP), len(testU.RestrictedAPIs()))
+	}
+	if len(sel.SetS) != len(testU.SensitiveAPIs()) {
+		t.Errorf("SetS = %d, want %d", len(sel.SetS), len(testU.SensitiveAPIs()))
+	}
+	// Union is sorted and deduplicated.
+	for i := 1; i < len(sel.Keys); i++ {
+		if sel.Keys[i] <= sel.Keys[i-1] {
+			t.Fatal("Keys not sorted/unique")
+		}
+	}
+	wantMax := len(sel.SetC) + len(sel.SetP) + len(sel.SetS)
+	if len(sel.Keys) > wantMax {
+		t.Errorf("Keys = %d > sum of sets %d", len(sel.Keys), wantMax)
+	}
+}
+
+func TestSeldomExclusion(t *testing.T) {
+	ids := visible(1)
+	usage := NewUsageStats(testU.NumAPIs(), 10000, 1000)
+	// Used by 3 apps (0.03%), all malicious: perfectly correlated but
+	// seldom.
+	for i := 0; i < 3; i++ {
+		usage.Observe(ids[0], 5, true)
+	}
+	sel := SelectKeyAPIs(testU, usage, DefaultSelectionConfig())
+	for _, id := range sel.SetC {
+		if id == ids[0] {
+			t.Error("seldom-invoked API selected into Set-C")
+		}
+	}
+}
+
+func TestTopCorrelated(t *testing.T) {
+	ids := visible(6)
+	usage := fabricatedUsage(1000, 100, ids[:3], ids[3:])
+	top := TopCorrelated(testU, usage, 3, DefaultSelectionConfig())
+	if len(top) != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	want := idSet(ids[:3])
+	for _, id := range top {
+		if !want[id] {
+			t.Errorf("top-correlated contains %d, want one of %v", id, ids[:3])
+		}
+	}
+	// Requesting more than available clamps.
+	all := TopCorrelated(testU, usage, 10000, DefaultSelectionConfig())
+	if len(all) != 6 {
+		t.Errorf("clamped top = %d, want 6 (only 6 APIs ever used)", len(all))
+	}
+}
+
+func TestOverlapsAccounting(t *testing.T) {
+	sel := &Selection{
+		SetC: []framework.APIID{1, 2, 3},
+		SetP: []framework.APIID{3, 4},
+		SetS: []framework.APIID{2, 5},
+	}
+	cp, cs, ps, cps := sel.Overlaps()
+	if cp != 1 || cs != 1 || ps != 0 || cps != 0 {
+		t.Errorf("overlaps = %d %d %d %d", cp, cs, ps, cps)
+	}
+}
+
+func TestExtractorLayoutAndVector(t *testing.T) {
+	tracked := visible(5)
+	ex, err := NewExtractor(testU, tracked, ModeAPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWidth := 5 + len(testU.Permissions()) + len(testU.Intents())
+	if ex.NumFeatures() != wantWidth {
+		t.Errorf("NumFeatures = %d, want %d", ex.NumFeatures(), wantWidth)
+	}
+
+	reg := hook.MustNewRegistry(testU, tracked)
+	log := hook.NewLog(reg)
+	log.Observe(tracked[1], 4)
+	log.Observe(tracked[3], 1)
+	log.ObserveIntent(2, 1)
+
+	man := manifest.New("com.x.y", 1)
+	man.AddPermission(testU.Permission(0).Name)
+	man.Application.Receivers = []manifest.Receiver{{
+		Name: "com.x.y.R",
+		Filters: []manifest.IntentFilter{{Actions: []manifest.Action{
+			{Name: testU.Intent(5).Name},
+		}}},
+	}}
+
+	v, err := ex.Vector(log, man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Get(1) || !v.Get(3) || v.Get(0) || v.Get(2) || v.Get(4) {
+		t.Error("API bits wrong")
+	}
+	if !v.Get(5 + 0) {
+		t.Error("permission bit missing")
+	}
+	intentBase := 5 + len(testU.Permissions())
+	if !v.Get(intentBase+2) || !v.Get(intentBase+5) {
+		t.Error("intent bits missing (runtime send + receiver filter)")
+	}
+	if got := v.Ones(); got != 5 {
+		t.Errorf("total bits = %d, want 5", got)
+	}
+}
+
+func TestExtractorModes(t *testing.T) {
+	tracked := visible(4)
+	for _, mode := range []Mode{ModeA, ModeP, ModeI, ModeAP, ModeAI, ModePI, ModeAPI} {
+		ex, err := NewExtractor(testU, tracked, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		want := 0
+		if mode&ModeA != 0 {
+			want += 4
+		}
+		if mode&ModeP != 0 {
+			want += len(testU.Permissions())
+		}
+		if mode&ModeI != 0 {
+			want += len(testU.Intents())
+		}
+		if ex.NumFeatures() != want {
+			t.Errorf("%v: width %d, want %d", mode, ex.NumFeatures(), want)
+		}
+		if ex.Mode().String() == "" {
+			t.Errorf("%v: empty mode name", mode)
+		}
+	}
+	if _, err := NewExtractor(testU, tracked, 0); err == nil {
+		t.Error("empty mode accepted")
+	}
+	if _, err := NewExtractor(testU, append(tracked, tracked[0]), ModeA); err == nil {
+		t.Error("duplicate tracked API accepted")
+	}
+}
+
+func TestFeatureNames(t *testing.T) {
+	id, ok := testU.LookupAPI("android.telephony.SmsManager.sendTextMessage")
+	if !ok {
+		t.Fatal("anchor missing")
+	}
+	ex, err := NewExtractor(testU, []framework.APIID{id}, ModeAPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.FeatureName(0); got != "API: SmsManager_sendTextMessage" {
+		t.Errorf("API feature name = %q", got)
+	}
+	permName := ex.FeatureName(1 + int(mustPerm(t, "android.permission.SEND_SMS")))
+	if permName != "Permission: SEND_SMS" {
+		t.Errorf("permission feature name = %q", permName)
+	}
+	intentIdx := 1 + len(testU.Permissions()) + int(mustIntent(t, "android.net.wifi.STATE_CHANGE"))
+	if got := ex.FeatureName(intentIdx); got != "Intent: wifi.STATE_CHANGE" {
+		t.Errorf("intent feature name = %q", got)
+	}
+}
+
+func mustPerm(t *testing.T, name string) framework.PermissionID {
+	t.Helper()
+	id, ok := testU.LookupPermission(name)
+	if !ok {
+		t.Fatalf("permission %s missing", name)
+	}
+	return id
+}
+
+func mustIntent(t *testing.T, name string) framework.IntentID {
+	t.Helper()
+	id, ok := testU.LookupIntent(name)
+	if !ok {
+		t.Fatalf("intent %s missing", name)
+	}
+	return id
+}
+
+func TestVectorNilInputs(t *testing.T) {
+	ex, err := NewExtractor(testU, visible(2), ModeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Vector(nil, manifest.New("a.b", 1)); err == nil {
+		t.Error("nil log accepted")
+	}
+	reg := hook.MustNewRegistry(testU, visible(2))
+	if _, err := ex.Vector(hook.NewLog(reg), nil); err == nil {
+		t.Error("nil manifest accepted")
+	}
+}
+
+func TestShortNames(t *testing.T) {
+	if got := shortAPIName("a.b.C.d"); got != "C_d" {
+		t.Errorf("shortAPIName = %q", got)
+	}
+	if got := shortAPIName("nodots"); got != "nodots" {
+		t.Errorf("shortAPIName = %q", got)
+	}
+	if got := shortIntentName("android.intent.action.BOOT_COMPLETED"); !strings.HasSuffix(got, "BOOT_COMPLETED") {
+		t.Errorf("shortIntentName = %q", got)
+	}
+}

@@ -1,0 +1,80 @@
+package framework
+
+import "math/rand"
+
+// EvolutionReport summarizes one SDK release applied via Evolve.
+type EvolutionReport struct {
+	Level         int // the new SDK level
+	NewAPIs       int
+	NewSignal     int // new APIs malware will gravitate to
+	NewRestricted int // new APIs guarded by restrictive permissions
+	NewSensitive  int // new APIs in sensitive categories
+}
+
+// Evolve advances the universe by one SDK level, appending new framework
+// APIs the way periodic Android SDK releases do (§5.3). Most additions are
+// neutral; a few open new restricted/sensitive surface, and occasionally a
+// new API becomes a malware magnet (a new RoleMaliceSignal member), which is
+// what makes the key-API set drift between retraining rounds (Fig. 14).
+//
+// Existing APIIDs remain valid; new APIs get fresh ids at the tail.
+func (u *Universe) Evolve(seed int64) EvolutionReport {
+	rng := rand.New(rand.NewSource(seed ^ int64(u.level)*0x9e3779b9))
+	u.level++
+	rep := EvolutionReport{Level: u.level}
+
+	newAPIs := 60 + rng.Intn(120)
+	// Scale additions down for test-sized universes.
+	if u.cfg.NumAPIs < 20000 {
+		newAPIs = 10 + rng.Intn(20)
+	}
+	for i := 0; i < newAPIs; i++ {
+		a := API{
+			Name:       u.uniqueName(rng),
+			Permission: NoPermission,
+			Role:       RoleNeutral,
+			Popularity: float64(neutralPopMin) + rng.Float64()*float64(neutralPopMax-neutralPopMin),
+		}
+		rate := 0.001 + 0.03*rng.Float64()
+		a.BenignRate, a.MaliceRate = rate, rate
+		switch r := rng.Float64(); {
+		case r < 0.03:
+			// A new API that malware adopts quickly.
+			a.Role = RoleMaliceSignal
+			a.Popularity = signalPopularity * lognorm(rng, 0.7)
+			a.BenignRate = 0.004 + 0.02*rng.Float64()
+			a.MaliceRate = 0.30 + 0.40*rng.Float64()
+			rep.NewSignal++
+		case r < 0.08:
+			a.Permission = u.randomRestrictivePermission(rng)
+			a.Popularity = guardPopularity * lognorm(rng, 0.6)
+			a.BenignRate = 0.04 + 0.04*rng.Float64()
+			a.MaliceRate = 0.08 + 0.08*rng.Float64()
+			rep.NewRestricted++
+		case r < 0.11:
+			a.Category = SensitiveCategory(1 + rng.Intn(NumSensitiveCategories))
+			a.Popularity = guardPopularity * lognorm(rng, 0.6)
+			a.BenignRate = 0.04 + 0.04*rng.Float64()
+			a.MaliceRate = 0.08 + 0.08*rng.Float64()
+			rep.NewSensitive++
+		}
+		a.ID = APIID(len(u.apis))
+		a.Level = u.level
+		u.apis = append(u.apis, a)
+		u.byName[a.Name] = a.ID
+		rep.NewAPIs++
+	}
+
+	// New APIs occasionally wrap existing key surface internally.
+	keys := u.DesignedKeyAPIs()
+	if len(keys) > 0 {
+		for i := 0; i < rep.NewAPIs/10; i++ {
+			id := APIID(len(u.apis) - 1 - rng.Intn(rep.NewAPIs))
+			if _, dup := u.implementedVia[id]; dup {
+				continue
+			}
+			u.implementedVia[id] = []APIID{keys[rng.Intn(len(keys))]}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,211 @@
+// Package framework models the Android framework API surface that
+// APICHECKER selects features from: a universe of ~50K framework APIs,
+// the permissions that protect some of them, and the intent actions apps
+// exchange over Binder.
+//
+// The real Android SDK is not available to a pure-Go reproduction, so the
+// universe is generated deterministically from a seed. Its *shape* follows
+// the measurements reported in the paper (EuroSys'20, §4): a heavily skewed
+// invocation-popularity distribution, a small population of APIs whose use
+// correlates with malice, ~112 APIs guarded by restrictive (dangerous or
+// signature) permissions, ~70 APIs performing sensitive operations in five
+// categories, and a dependency graph in which ~9.6% of all APIs are
+// internally implemented on top of the key APIs.
+package framework
+
+import "fmt"
+
+// APIID indexes an API inside a Universe. IDs are dense, stable for a given
+// (seed, config) pair, and usable as feature indices.
+type APIID int32
+
+// NoAPI is the sentinel for "no API".
+const NoAPI APIID = -1
+
+// PermissionID indexes a Permission inside a Universe.
+type PermissionID int32
+
+// NoPermission marks APIs that need no permission.
+const NoPermission PermissionID = -1
+
+// IntentID indexes an intent action inside a Universe.
+type IntentID int32
+
+// ProtectionLevel mirrors Android's permission protection levels (§4.4
+// step 2). Dangerous- and signature-level permissions are "restrictive":
+// APIs they guard form Set-P.
+type ProtectionLevel uint8
+
+const (
+	// ProtectionNormal is granted automatically at install time.
+	ProtectionNormal ProtectionLevel = iota
+	// ProtectionDangerous guards sensitive user data (SMS, camera,
+	// location, ...) and requires an explicit user grant.
+	ProtectionDangerous
+	// ProtectionSignature is only granted to apps signed with the
+	// platform key.
+	ProtectionSignature
+)
+
+// Restrictive reports whether the level is dangerous or signature, i.e.
+// whether APIs guarded by it belong in Set-P.
+func (l ProtectionLevel) Restrictive() bool {
+	return l == ProtectionDangerous || l == ProtectionSignature
+}
+
+func (l ProtectionLevel) String() string {
+	switch l {
+	case ProtectionNormal:
+		return "normal"
+	case ProtectionDangerous:
+		return "dangerous"
+	case ProtectionSignature:
+		return "signature"
+	}
+	return fmt.Sprintf("ProtectionLevel(%d)", uint8(l))
+}
+
+// SensitiveCategory classifies APIs that perform the five kinds of
+// sensitive operations the paper identifies for Set-S (§4.4 step 3).
+type SensitiveCategory uint8
+
+const (
+	// CategoryNone marks APIs with no sensitive-operation role.
+	CategoryNone SensitiveCategory = iota
+	// CategoryPrivilegeEscalation covers shell-command execution and
+	// similar privilege-escalation surfaces.
+	CategoryPrivilegeEscalation
+	// CategoryDataStore covers database operations and file read/write
+	// commonly used in privacy-leakage attacks.
+	CategoryDataStore
+	// CategoryWindowOverlay covers window/overlay creation used in
+	// Activity-hijacking and cloak-and-dagger attacks.
+	CategoryWindowOverlay
+	// CategoryCrypto covers cryptographic operations used by ransomware.
+	CategoryCrypto
+	// CategoryDynamicCode covers dynamic code loading used in update
+	// attacks.
+	CategoryDynamicCode
+)
+
+// NumSensitiveCategories counts the non-None categories.
+const NumSensitiveCategories = 5
+
+func (c SensitiveCategory) String() string {
+	switch c {
+	case CategoryNone:
+		return "none"
+	case CategoryPrivilegeEscalation:
+		return "privilege-escalation"
+	case CategoryDataStore:
+		return "data-store"
+	case CategoryWindowOverlay:
+		return "window-overlay"
+	case CategoryCrypto:
+		return "crypto"
+	case CategoryDynamicCode:
+		return "dynamic-code"
+	}
+	return fmt.Sprintf("SensitiveCategory(%d)", uint8(c))
+}
+
+// CorpusRole is a corpus-shaping hint consumed ONLY by the synthetic
+// behaviour generator (internal/behavior and internal/dataset). It encodes
+// which statistical population an API belongs to so that the generated
+// corpus reproduces the paper's measured SRC spectrum (Figs. 4-5).
+//
+// Detection code (internal/features, internal/ml, internal/core) must never
+// read this field: the detector only sees invocation logs, manifests and
+// labels, exactly like the real system.
+type CorpusRole uint8
+
+const (
+	// RoleNeutral APIs are invoked independently of malice.
+	RoleNeutral CorpusRole = iota
+	// RoleMaliceSignal APIs are invoked preferentially by malware;
+	// they are the population from which Set-C's positive-SRC
+	// (~247 APIs) emerges.
+	RoleMaliceSignal
+	// RoleBenignNiche APIs are rare APIs used by small slices of benign
+	// apps only; they produce the ~2.5K seldom-invoked negative-SRC tail.
+	RoleBenignNiche
+	// RoleBenignCommon APIs are ubiquitous operations (file I/O, UI)
+	// invoked by nearly every benign app and slightly less uniformly by
+	// malware; the 13 frequent negative-SRC APIs come from here.
+	RoleBenignCommon
+)
+
+func (r CorpusRole) String() string {
+	switch r {
+	case RoleNeutral:
+		return "neutral"
+	case RoleMaliceSignal:
+		return "malice-signal"
+	case RoleBenignNiche:
+		return "benign-niche"
+	case RoleBenignCommon:
+		return "benign-common"
+	}
+	return fmt.Sprintf("CorpusRole(%d)", uint8(r))
+}
+
+// API is one framework API (a method on a framework class).
+type API struct {
+	ID   APIID
+	Name string // fully qualified, e.g. "android.telephony.SmsManager.sendTextMessage"
+
+	// Permission is the permission required to invoke the API, or
+	// NoPermission. APIs guarded by a restrictive permission form Set-P.
+	Permission PermissionID
+
+	// Category is the sensitive-operation category (Set-S), if any.
+	Category SensitiveCategory
+
+	// Hidden marks internal/hidden APIs that are not part of the public
+	// SDK and can only be reached via Java reflection (§4.5). Hidden
+	// APIs cannot be hooked by name-based API tracking.
+	Hidden bool
+
+	// Level is the SDK level at which the API was introduced. The
+	// universe starts at level 1; SDK evolution (§5.3) appends APIs with
+	// higher levels.
+	Level int
+
+	// Popularity is the relative invocation rate of the API across the
+	// app population (arbitrary units; see internal/behavior for how it
+	// becomes invocation counts). The distribution is heavily skewed:
+	// a few hundred hot APIs carry ~90% of all invocation volume.
+	Popularity float64
+
+	// Role is a corpus-shaping hint for the synthetic generator only.
+	// See CorpusRole.
+	Role CorpusRole
+
+	// BenignRate and MaliceRate are corpus-shaping hints for the
+	// synthetic generator only: the probability that a benign
+	// (respectively malicious) app invokes this API at least once during
+	// a full UI exploration. Together with Popularity they are calibrated
+	// so that the corpus-wide statistics (SRC spectrum, invocation-volume
+	// distribution, hook-overhead curves) match the paper's measurements.
+	// Like Role, they must never be read by detection code.
+	BenignRate float64
+	MaliceRate float64
+}
+
+// Permission is one Android permission.
+type Permission struct {
+	ID    PermissionID
+	Name  string // e.g. "android.permission.SEND_SMS"
+	Level ProtectionLevel
+}
+
+// Intent is one intent action (Android's Binder-based IPC vocabulary).
+type Intent struct {
+	ID   IntentID
+	Name string // e.g. "android.provider.Telephony.SMS_RECEIVED"
+
+	// System marks broadcast actions originated by the system
+	// (BOOT_COMPLETED, SMS_RECEIVED, ...); monitoring them is a classic
+	// malware trait (§5.2).
+	System bool
+}

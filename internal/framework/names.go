@@ -1,0 +1,236 @@
+package framework
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Name banks used to synthesize realistic fully-qualified API names.
+// The well-known entries below anchor the universe: the paper's top-Gini
+// features (Fig. 13) and Set-S exemplars appear verbatim, so experiment
+// output reads like the paper's.
+
+// wellKnownAPIs are seeded first, in order, so their APIIDs are stable.
+// Each is tagged with the permission that guards it (by name, or "" for
+// none) and a sensitive category.
+var wellKnownAPIs = []struct {
+	Name       string
+	Permission string
+	Category   SensitiveCategory
+	Role       CorpusRole
+}{
+	{"android.telephony.SmsManager.sendTextMessage", "android.permission.SEND_SMS", CategoryNone, RoleMaliceSignal},
+	{"android.telephony.TelephonyManager.getLine1Number", "android.permission.READ_PHONE_STATE", CategoryNone, RoleMaliceSignal},
+	{"android.net.wifi.WifiInfo.getMacAddress", "android.permission.ACCESS_WIFI_STATE", CategoryNone, RoleMaliceSignal},
+	{"android.view.View.setBackgroundColor", "", CategoryWindowOverlay, RoleMaliceSignal},
+	{"android.database.sqlite.SQLiteDatabase.insertWithOnConflict", "", CategoryDataStore, RoleMaliceSignal},
+	{"java.net.HttpURLConnection.connect", "android.permission.INTERNET", CategoryNone, RoleMaliceSignal},
+	{"android.app.ActivityManager.getRunningTasks", "android.permission.GET_TASKS", CategoryNone, RoleMaliceSignal},
+	{"java.lang.Runtime.exec", "", CategoryPrivilegeEscalation, RoleMaliceSignal},
+	{"dalvik.system.DexClassLoader.loadClass", "", CategoryDynamicCode, RoleMaliceSignal},
+	{"javax.crypto.Cipher.doFinal", "", CategoryCrypto, RoleMaliceSignal},
+	{"android.view.WindowManager.addView", "android.permission.SYSTEM_ALERT_WINDOW", CategoryWindowOverlay, RoleMaliceSignal},
+	{"android.telephony.SmsManager.sendDataMessage", "android.permission.SEND_SMS", CategoryNone, RoleMaliceSignal},
+	{"android.telephony.TelephonyManager.getDeviceId", "android.permission.READ_PHONE_STATE", CategoryNone, RoleMaliceSignal},
+	{"android.location.LocationManager.getLastKnownLocation", "android.permission.ACCESS_FINE_LOCATION", CategoryNone, RoleMaliceSignal},
+	{"android.media.AudioRecord.startRecording", "android.permission.RECORD_AUDIO", CategoryNone, RoleMaliceSignal},
+	{"android.hardware.Camera.open", "android.permission.CAMERA", CategoryNone, RoleMaliceSignal},
+	{"android.content.ContentResolver.query", "android.permission.READ_CONTACTS", CategoryDataStore, RoleMaliceSignal},
+	{"java.io.FileOutputStream.write", "", CategoryDataStore, RoleBenignCommon},
+	{"java.io.FileInputStream.read", "", CategoryDataStore, RoleBenignCommon},
+	{"android.content.SharedPreferences$Editor.commit", "", CategoryNone, RoleBenignCommon},
+	{"android.os.Handler.sendMessage", "", CategoryNone, RoleBenignCommon},
+	{"android.view.LayoutInflater.inflate", "", CategoryNone, RoleBenignCommon},
+	{"android.app.Activity.findViewById", "", CategoryNone, RoleBenignCommon},
+	{"android.widget.TextView.setText", "", CategoryNone, RoleBenignCommon},
+	{"android.content.Context.getSystemService", "", CategoryNone, RoleBenignCommon},
+	{"java.lang.StringBuilder.append", "", CategoryNone, RoleBenignCommon},
+	{"android.util.Log.d", "", CategoryNone, RoleBenignCommon},
+	{"android.os.Bundle.getString", "", CategoryNone, RoleBenignCommon},
+	{"android.content.Intent.putExtra", "", CategoryNone, RoleBenignCommon},
+	{"android.app.Activity.startActivity", "", CategoryNone, RoleBenignCommon},
+	{"android.webkit.WebView.loadUrl", "android.permission.INTERNET", CategoryNone, RoleNeutral},
+	{"android.net.ConnectivityManager.getActiveNetworkInfo", "android.permission.ACCESS_NETWORK_STATE", CategoryNone, RoleMaliceSignal},
+	{"android.telephony.SmsManager.sendMultipartTextMessage", "android.permission.SEND_SMS", CategoryNone, RoleMaliceSignal},
+	{"android.accounts.AccountManager.getAccounts", "android.permission.GET_ACCOUNTS", CategoryNone, RoleMaliceSignal},
+	{"android.app.admin.DevicePolicyManager.lockNow", "android.permission.BIND_DEVICE_ADMIN", CategoryNone, RoleMaliceSignal},
+	{"dalvik.system.PathClassLoader.findLibrary", "", CategoryDynamicCode, RoleMaliceSignal},
+	{"javax.crypto.KeyGenerator.generateKey", "", CategoryCrypto, RoleMaliceSignal},
+	{"java.lang.ProcessBuilder.start", "", CategoryPrivilegeEscalation, RoleMaliceSignal},
+	{"android.content.pm.PackageManager.getInstalledApplications", "", CategoryNone, RoleMaliceSignal},
+	{"android.content.pm.PackageManager.getInstalledPackages", "", CategoryNone, RoleMaliceSignal},
+}
+
+// wellKnownPermissions is the anchor set of permission names. Entries
+// appear in the paper's Fig. 13 and Set-P discussion. More synthetic
+// permissions are appended after these.
+var wellKnownPermissions = []struct {
+	Name  string
+	Level ProtectionLevel
+}{
+	{"android.permission.SEND_SMS", ProtectionDangerous},
+	{"android.permission.RECEIVE_SMS", ProtectionDangerous},
+	{"android.permission.READ_SMS", ProtectionDangerous},
+	{"android.permission.RECEIVE_MMS", ProtectionDangerous},
+	{"android.permission.RECEIVE_WAP_PUSH", ProtectionDangerous},
+	{"android.permission.READ_PHONE_STATE", ProtectionDangerous},
+	{"android.permission.CALL_PHONE", ProtectionDangerous},
+	{"android.permission.READ_CONTACTS", ProtectionDangerous},
+	{"android.permission.WRITE_CONTACTS", ProtectionDangerous},
+	{"android.permission.ACCESS_FINE_LOCATION", ProtectionDangerous},
+	{"android.permission.ACCESS_COARSE_LOCATION", ProtectionDangerous},
+	{"android.permission.RECORD_AUDIO", ProtectionDangerous},
+	{"android.permission.CAMERA", ProtectionDangerous},
+	{"android.permission.READ_CALENDAR", ProtectionDangerous},
+	{"android.permission.WRITE_CALENDAR", ProtectionDangerous},
+	{"android.permission.READ_CALL_LOG", ProtectionDangerous},
+	{"android.permission.WRITE_CALL_LOG", ProtectionDangerous},
+	{"android.permission.GET_ACCOUNTS", ProtectionDangerous},
+	{"android.permission.READ_EXTERNAL_STORAGE", ProtectionDangerous},
+	{"android.permission.WRITE_EXTERNAL_STORAGE", ProtectionDangerous},
+	{"android.permission.SYSTEM_ALERT_WINDOW", ProtectionSignature},
+	{"android.permission.WRITE_SETTINGS", ProtectionSignature},
+	{"android.permission.INSTALL_PACKAGES", ProtectionSignature},
+	{"android.permission.DELETE_PACKAGES", ProtectionSignature},
+	{"android.permission.BIND_DEVICE_ADMIN", ProtectionSignature},
+	{"android.permission.READ_LOGS", ProtectionSignature},
+	{"android.permission.GET_TASKS", ProtectionSignature},
+	{"android.permission.REBOOT", ProtectionSignature},
+	{"android.permission.RECEIVE_BOOT_COMPLETED", ProtectionNormal},
+	{"android.permission.ACCESS_NETWORK_STATE", ProtectionNormal},
+	{"android.permission.ACCESS_WIFI_STATE", ProtectionNormal},
+	{"android.permission.CHANGE_WIFI_STATE", ProtectionNormal},
+	{"android.permission.INTERNET", ProtectionNormal},
+	{"android.permission.VIBRATE", ProtectionNormal},
+	{"android.permission.WAKE_LOCK", ProtectionNormal},
+	{"android.permission.NFC", ProtectionNormal},
+	{"android.permission.BLUETOOTH", ProtectionNormal},
+	{"android.permission.SET_WALLPAPER", ProtectionNormal},
+	{"android.permission.EXPAND_STATUS_BAR", ProtectionNormal},
+	{"android.permission.FLASHLIGHT", ProtectionNormal},
+}
+
+// wellKnownIntents anchors the intent-action vocabulary (Fig. 13 names
+// included).
+var wellKnownIntents = []struct {
+	Name   string
+	System bool
+}{
+	{"android.provider.Telephony.SMS_RECEIVED", true},
+	{"android.net.wifi.STATE_CHANGE", true},
+	{"android.app.action.DEVICE_ADMIN_ENABLED", true},
+	{"android.bluetooth.adapter.action.STATE_CHANGED", true},
+	{"android.intent.action.ACTION_BATTERY_OKAY", true},
+	{"android.intent.action.BOOT_COMPLETED", true},
+	{"android.intent.action.PACKAGE_ADDED", true},
+	{"android.intent.action.PACKAGE_REMOVED", true},
+	{"android.intent.action.USER_PRESENT", true},
+	{"android.intent.action.NEW_OUTGOING_CALL", true},
+	{"android.intent.action.PHONE_STATE", true},
+	{"android.net.conn.CONNECTIVITY_CHANGE", true},
+	{"android.intent.action.AIRPLANE_MODE", true},
+	{"android.intent.action.BATTERY_LOW", true},
+	{"android.intent.action.SCREEN_ON", true},
+	{"android.intent.action.SCREEN_OFF", true},
+	{"android.intent.action.MAIN", false},
+	{"android.intent.action.VIEW", false},
+	{"android.intent.action.SEND", false},
+	{"android.intent.action.DIAL", false},
+	{"android.intent.action.CALL", false},
+	{"android.intent.action.EDIT", false},
+	{"android.intent.action.PICK", false},
+	{"android.intent.action.GET_CONTENT", false},
+	{"android.media.action.IMAGE_CAPTURE", false},
+	{"android.intent.action.INSTALL_PACKAGE", false},
+	{"android.intent.action.UNINSTALL_PACKAGE", false},
+	{"android.settings.SETTINGS", false},
+}
+
+// synthetic name material: combined to create the long tail of the 50K-API
+// universe with plausible Android spellings.
+var (
+	packageBank = []string{
+		"android.app", "android.content", "android.content.pm", "android.content.res",
+		"android.database", "android.database.sqlite", "android.graphics",
+		"android.graphics.drawable", "android.hardware", "android.hardware.camera2",
+		"android.location", "android.media", "android.net", "android.net.wifi",
+		"android.nfc", "android.os", "android.preference", "android.provider",
+		"android.telephony", "android.text", "android.util", "android.view",
+		"android.view.animation", "android.webkit", "android.widget",
+		"android.accounts", "android.animation", "android.bluetooth",
+		"android.speech", "android.security", "android.print", "android.transition",
+		"java.io", "java.lang", "java.lang.reflect", "java.net", "java.nio",
+		"java.security", "java.text", "java.util", "java.util.concurrent",
+		"java.util.zip", "javax.crypto", "javax.net.ssl", "org.json",
+		"org.xml.sax", "org.w3c.dom", "dalvik.system",
+	}
+	classBank = []string{
+		"Manager", "Service", "Provider", "Helper", "Adapter", "Controller",
+		"Session", "Layout", "View", "Dialog", "Loader", "Monitor", "Record",
+		"Request", "Response", "Parser", "Builder", "Channel", "Client",
+		"Config", "Cursor", "Device", "Engine", "Event", "Factory", "Filter",
+		"Handler", "Info", "Item", "Listener", "Metrics", "Notification",
+		"Policy", "Profile", "Queue", "Registry", "Scheduler", "Settings",
+		"State", "Stats", "Storage", "Stream", "Task", "Token", "Tracker",
+		"Transport", "Window", "Wrapper",
+	}
+	classPrefixBank = []string{
+		"Activity", "Audio", "Backup", "Battery", "Bitmap", "Bluetooth",
+		"Broadcast", "Camera", "Clipboard", "Connectivity", "Contact",
+		"Content", "Display", "Download", "Gesture", "Input", "Key",
+		"Location", "Media", "Message", "Network", "Package", "Power",
+		"Print", "Search", "Sensor", "Sms", "Storage", "Sync", "System",
+		"Telephony", "Text", "Usage", "Usb", "User", "Vibrator", "Wallpaper",
+		"WebView", "Wifi", "Widget",
+	}
+	verbBank = []string{
+		"get", "set", "query", "update", "create", "open", "close", "start",
+		"stop", "register", "unregister", "request", "release", "bind",
+		"unbind", "send", "receive", "read", "write", "load", "save", "add",
+		"remove", "clear", "enable", "disable", "notify", "dispatch",
+		"resolve", "schedule", "cancel", "acquire", "obtain", "apply",
+		"commit", "fetch", "peek", "poll", "post", "scan",
+	}
+	nounBank = []string{
+		"State", "Info", "Config", "Data", "Value", "List", "Count", "Id",
+		"Name", "Type", "Mode", "Flag", "Status", "Event", "Property",
+		"Option", "Setting", "Buffer", "Cache", "Entry", "Extra", "Field",
+		"Handle", "Index", "Label", "Level", "Limit", "Params", "Path",
+		"Policy", "Priority", "Range", "Result", "Rate", "Scope", "Session",
+		"Size", "Source", "Target", "Ticket", "Timeout", "Token", "Uri",
+		"Version", "Window", "Bounds", "Metrics", "Snapshot",
+	}
+)
+
+// syntheticAPIName builds a plausible fully-qualified API name. Collisions
+// are disambiguated by the caller.
+func syntheticAPIName(rng *rand.Rand) string {
+	pkg := packageBank[rng.Intn(len(packageBank))]
+	class := classPrefixBank[rng.Intn(len(classPrefixBank))] + classBank[rng.Intn(len(classBank))]
+	method := verbBank[rng.Intn(len(verbBank))] + nounBank[rng.Intn(len(nounBank))]
+	return pkg + "." + class + "." + method
+}
+
+// syntheticPermissionName builds a plausible permission name.
+func syntheticPermissionName(rng *rand.Rand, i int) string {
+	v := verbBank[rng.Intn(len(verbBank))]
+	n := nounBank[rng.Intn(len(nounBank))]
+	return fmt.Sprintf("android.permission.%s_%s_%d", upper(v), upper(n), i)
+}
+
+// syntheticIntentName builds a plausible intent-action name.
+func syntheticIntentName(rng *rand.Rand, i int) string {
+	n := nounBank[rng.Intn(len(nounBank))]
+	v := verbBank[rng.Intn(len(verbBank))]
+	return fmt.Sprintf("android.intent.action.%s_%s_%d", upper(n), upper(v), i)
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}

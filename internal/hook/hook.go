@@ -1,0 +1,202 @@
+// Package hook is the API-interception engine, our stand-in for the Xposed
+// framework (§4.2): it intercepts a configured set of framework APIs before
+// they run, records their names and parameters, and lets callers install
+// callbacks that tamper with return values (the emulator's anti-detection
+// hardening uses this to fake device identity and hide hooking artifacts).
+//
+// Interception has a real cost: every intercepted invocation pays a fixed
+// overhead, which is why the size and heat of the tracked set dominates
+// per-app analysis time (Figs. 3, 6, 9, 16). The engine therefore accounts
+// intercepted invocations separately from total invocations.
+package hook
+
+import (
+	"fmt"
+	"sort"
+
+	"apichecker/internal/framework"
+)
+
+// Registry is the set of APIs to intercept plus installed callbacks. Build
+// once per tracked-set configuration; safe for concurrent readers.
+type Registry struct {
+	universe *framework.Universe
+	tracked  map[framework.APIID]bool
+	list     []framework.APIID
+
+	// callbacks run when a tracked API is invoked; used by the
+	// hardening layer to tamper with returns (e.g. hiding Xposed from
+	// PackageManager.getInstalledApplications).
+	callbacks map[framework.APIID]Callback
+}
+
+// Callback observes one intercepted invocation and may rewrite its result.
+type Callback func(inv *Invocation)
+
+// NewRegistry builds a registry tracking the given APIs. Hidden APIs cannot
+// be hooked by name (they are not part of the public SDK surface) and are
+// rejected.
+func NewRegistry(u *framework.Universe, apis []framework.APIID) (*Registry, error) {
+	r := &Registry{
+		universe:  u,
+		tracked:   make(map[framework.APIID]bool, len(apis)),
+		callbacks: make(map[framework.APIID]Callback),
+	}
+	for _, id := range apis {
+		if id < 0 || int(id) >= u.NumAPIs() {
+			return nil, fmt.Errorf("hook: API id %d out of range", id)
+		}
+		if u.API(id).Hidden {
+			return nil, fmt.Errorf("hook: cannot hook hidden API %s", u.API(id).Name)
+		}
+		if !r.tracked[id] {
+			r.tracked[id] = true
+			r.list = append(r.list, id)
+		}
+	}
+	sort.Slice(r.list, func(i, j int) bool { return r.list[i] < r.list[j] })
+	return r, nil
+}
+
+// MustNewRegistry panics on invalid input; for tests and fixed configs.
+func MustNewRegistry(u *framework.Universe, apis []framework.APIID) *Registry {
+	r, err := NewRegistry(u, apis)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Tracks reports whether the registry intercepts the API.
+func (r *Registry) Tracks(id framework.APIID) bool { return r.tracked[id] }
+
+// Size returns the number of tracked APIs.
+func (r *Registry) Size() int { return len(r.list) }
+
+// TrackedAPIs returns the sorted tracked set. Callers must not modify it.
+func (r *Registry) TrackedAPIs() []framework.APIID { return r.list }
+
+// Universe returns the registry's universe.
+func (r *Registry) Universe() *framework.Universe { return r.universe }
+
+// OnInvoke installs a callback for a tracked API. Installing on an
+// untracked API is an error: Xposed only sees methods it hooked.
+func (r *Registry) OnInvoke(id framework.APIID, cb Callback) error {
+	if !r.tracked[id] {
+		return fmt.Errorf("hook: OnInvoke on untracked API %d", id)
+	}
+	r.callbacks[id] = cb
+	return nil
+}
+
+// Invocation is the aggregated record of one API over one emulation run.
+type Invocation struct {
+	API    framework.APIID
+	Count  uint64
+	Params []string // sampled parameter values (first few observed)
+
+	// Tampered marks invocations whose results a callback rewrote.
+	Tampered bool
+}
+
+// Log collects everything one emulation run observes.
+type Log struct {
+	registry *Registry
+
+	byAPI map[framework.APIID]*Invocation
+	order []framework.APIID
+
+	sentIntents map[framework.IntentID]uint64
+
+	// TotalInvocations counts every framework API invocation the app
+	// performed, tracked or not (Fig. 2's statistic).
+	TotalInvocations uint64
+
+	// Intercepted counts invocations that paid hook overhead.
+	Intercepted uint64
+
+	// ReachedActivities lists activity class names seen starting.
+	ReachedActivities []string
+}
+
+// NewLog creates an empty log for the registry.
+func NewLog(r *Registry) *Log {
+	return &Log{
+		registry:    r,
+		byAPI:       make(map[framework.APIID]*Invocation),
+		sentIntents: make(map[framework.IntentID]uint64),
+	}
+}
+
+// Registry returns the registry the log was recorded under.
+func (l *Log) Registry() *Registry { return l.registry }
+
+// Observe records count invocations of the API. Only tracked APIs are
+// intercepted and recorded; untracked ones still count toward
+// TotalInvocations (they happen, the hook just does not see them).
+func (l *Log) Observe(id framework.APIID, count uint64, params ...string) {
+	if count == 0 {
+		return
+	}
+	l.TotalInvocations += count
+	if !l.registry.Tracks(id) {
+		return
+	}
+	l.Intercepted += count
+	inv := l.byAPI[id]
+	if inv == nil {
+		inv = &Invocation{API: id}
+		l.byAPI[id] = inv
+		l.order = append(l.order, id)
+	}
+	inv.Count += count
+	for _, p := range params {
+		if len(inv.Params) < 8 {
+			inv.Params = append(inv.Params, p)
+		}
+	}
+	if cb := l.registry.callbacks[id]; cb != nil {
+		cb(inv)
+	}
+}
+
+// ObserveIntent records an intent send. Binder transactions are visible to
+// the instrumentation layer without per-API hook overhead (§4.5: auxiliary
+// features cost no extra dynamic-analysis time).
+func (l *Log) ObserveIntent(id framework.IntentID, count uint64) {
+	if count > 0 {
+		l.sentIntents[id] += count
+	}
+}
+
+// ObserveActivity records that an activity came to the foreground.
+func (l *Log) ObserveActivity(name string) {
+	l.ReachedActivities = append(l.ReachedActivities, name)
+}
+
+// InvokedAPIs returns the tracked APIs observed at least once, in first-
+// observation order.
+func (l *Log) InvokedAPIs() []framework.APIID {
+	out := make([]framework.APIID, len(l.order))
+	copy(out, l.order)
+	return out
+}
+
+// Invocation returns the record for an API, or nil.
+func (l *Log) Invocation(id framework.APIID) *Invocation { return l.byAPI[id] }
+
+// DistinctInvoked returns how many tracked APIs were observed.
+func (l *Log) DistinctInvoked() int { return len(l.order) }
+
+// SentIntents returns the distinct intent actions sent, sorted by id.
+func (l *Log) SentIntents() []framework.IntentID {
+	out := make([]framework.IntentID, 0, len(l.sentIntents))
+	for id := range l.sentIntents {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IntentCount returns how many times an intent action was sent.
+func (l *Log) IntentCount(id framework.IntentID) uint64 { return l.sentIntents[id] }

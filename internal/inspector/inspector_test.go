@@ -1,0 +1,195 @@
+package inspector
+
+import (
+	"testing"
+
+	"apichecker/internal/behavior"
+	"apichecker/internal/dataset"
+	"apichecker/internal/emulator"
+	"apichecker/internal/framework"
+	"apichecker/internal/hook"
+	"apichecker/internal/manifest"
+	"apichecker/internal/monkey"
+)
+
+var testU = framework.MustGenerate(framework.TestConfig(3000))
+
+func mustAPI(t *testing.T, name string) framework.APIID {
+	t.Helper()
+	id, ok := testU.LookupAPI(name)
+	if !ok {
+		t.Fatalf("API %s missing", name)
+	}
+	return id
+}
+
+func TestRuleValidation(t *testing.T) {
+	if _, err := New(testU, []Rule{{Name: ""}}); err == nil {
+		t.Error("empty-name rule accepted")
+	}
+	if _, err := New(testU, []Rule{{Name: "r"}}); err == nil {
+		t.Error("match-everything rule accepted")
+	}
+	if _, err := New(testU, []Rule{{Name: "r", AllOf: []framework.APIID{1}}}); err != nil {
+		t.Errorf("valid rule rejected: %v", err)
+	}
+}
+
+func TestExpertRulesBuild(t *testing.T) {
+	rules := ExpertRules(testU)
+	if len(rules) < 6 {
+		t.Fatalf("expert rules = %d, want a substantial set", len(rules))
+	}
+	ins, err := New(testU, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins.RequiredAPIs()) == 0 {
+		t.Error("no required APIs")
+	}
+	// Required APIs must all be hookable.
+	if _, err := hook.NewRegistry(testU, ins.RequiredAPIs()); err != nil {
+		t.Errorf("required APIs not hookable: %v", err)
+	}
+}
+
+func TestMatchAllOfAndIntents(t *testing.T) {
+	sms := mustAPI(t, "android.telephony.SmsManager.sendTextMessage")
+	recvIntent, ok := testU.LookupIntent("android.provider.Telephony.SMS_RECEIVED")
+	if !ok {
+		t.Fatal("intent missing")
+	}
+	ins, err := New(testU, ExpertRules(testU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := hook.MustNewRegistry(testU, ins.RequiredAPIs())
+	log := hook.NewLog(reg)
+	log.Observe(sms, 3)
+
+	man := manifest.New("a.b", 1)
+	man.Application.Receivers = []manifest.Receiver{{
+		Name: "a.b.R",
+		Filters: []manifest.IntentFilter{{Actions: []manifest.Action{
+			{Name: testU.Intent(recvIntent).Name},
+		}}},
+	}}
+	findings := ins.Inspect(log, man)
+	found := false
+	for _, f := range findings {
+		if f.Rule == "premium-sms-fraud" {
+			found = true
+			if f.Severity != SeverityMalicious || len(f.Evidence) == 0 {
+				t.Errorf("finding = %+v", f)
+			}
+		}
+	}
+	if !found {
+		t.Error("premium-sms-fraud not matched")
+	}
+	if Verdict(findings) != SeverityMalicious {
+		t.Errorf("verdict = %v", Verdict(findings))
+	}
+	// Without the receiver, no match.
+	clean := ins.Inspect(log, manifest.New("a.b", 1))
+	for _, f := range clean {
+		if f.Rule == "premium-sms-fraud" {
+			t.Error("rule matched without the intent")
+		}
+	}
+}
+
+func TestOrderedMatching(t *testing.T) {
+	imei := mustAPI(t, "android.telephony.TelephonyManager.getDeviceId")
+	conn := mustAPI(t, "java.net.HttpURLConnection.connect")
+	ins, err := New(testU, []Rule{{
+		Name: "seq", Severity: SeveritySuspicious,
+		Ordered: []framework.APIID{imei, conn},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := hook.MustNewRegistry(testU, []framework.APIID{imei, conn})
+
+	// Right order: identity first, network second.
+	log := hook.NewLog(reg)
+	log.Observe(imei, 1)
+	log.Observe(conn, 1)
+	if got := ins.Inspect(log, manifest.New("a.b", 1)); len(got) != 1 {
+		t.Errorf("ordered match failed: %v", got)
+	}
+
+	// Wrong order: network first.
+	log2 := hook.NewLog(reg)
+	log2.Observe(conn, 1)
+	log2.Observe(imei, 1)
+	if got := ins.Inspect(log2, manifest.New("a.b", 1)); len(got) != 0 {
+		t.Errorf("reverse order matched: %v", got)
+	}
+}
+
+func TestVerdictSeverity(t *testing.T) {
+	if Verdict(nil) != SeverityInfo {
+		t.Error("empty verdict not info")
+	}
+	fs := []Finding{{Severity: SeverityInfo}, {Severity: SeveritySuspicious}}
+	if Verdict(fs) != SeveritySuspicious {
+		t.Error("verdict not max severity")
+	}
+}
+
+// TestInspectorOnCorpus: the rule set must flag a meaningful share of
+// malware while staying quiet on most benign apps — and clearly trail the
+// ML pipeline (the reason APICHECKER exists).
+func TestInspectorOnCorpus(t *testing.T) {
+	ins, err := New(testU, ExpertRules(testU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := hook.MustNewRegistry(testU, ins.RequiredAPIs())
+	emu := emulator.New(emulator.GoogleEmulator, reg)
+
+	cfg := dataset.DefaultConfig()
+	cfg.NumApps = 600
+	corpus, err := dataset.Generate(testU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tp, fp, tn, fn int
+	for i := 0; i < corpus.Len(); i++ {
+		p := corpus.Program(i)
+		res, err := emu.Run(p, monkey.ProductionConfig(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		man, err := p.Manifest(testU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flagged := Verdict(ins.Inspect(res.Log, man)) >= SeveritySuspicious
+		truth := corpus.Apps[i].Label == behavior.Malicious
+		switch {
+		case flagged && truth:
+			tp++
+		case flagged && !truth:
+			fp++
+		case !flagged && !truth:
+			tn++
+		default:
+			fn++
+		}
+	}
+	recall := float64(tp) / float64(tp+fn)
+	benignFlagRate := float64(fp) / float64(fp+tn)
+	t.Logf("expert rules: recall %.2f, benign flag rate %.3f (tp=%d fp=%d tn=%d fn=%d)",
+		recall, benignFlagRate, tp, fp, tn, fn)
+	if recall < 0.3 {
+		t.Errorf("expert rules recall %.2f too low to be a credible 2014 baseline", recall)
+	}
+	if recall > 0.95 {
+		t.Errorf("expert rules recall %.2f implausibly high — rules should lag novel malware", recall)
+	}
+	if benignFlagRate > 0.25 {
+		t.Errorf("benign flag rate %.3f too noisy", benignFlagRate)
+	}
+}

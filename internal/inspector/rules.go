@@ -1,0 +1,147 @@
+package inspector
+
+import "apichecker/internal/framework"
+
+// ExpertRules builds the 2014-era T-Market rule set against a universe,
+// anchored on the well-known API/permission/intent names (§2: rules encode
+// analysts' intuition that certain invocation patterns imply threats).
+// Rules referencing names absent from the universe are skipped, so the set
+// degrades gracefully on small test universes.
+func ExpertRules(u *framework.Universe) []Rule {
+	api := func(name string) (framework.APIID, bool) { return u.LookupAPI(name) }
+	perm := func(name string) (framework.PermissionID, bool) { return u.LookupPermission(name) }
+	intent := func(name string) (framework.IntentID, bool) { return u.LookupIntent(name) }
+
+	var rules []Rule
+	add := func(r Rule, ok bool) {
+		if ok {
+			rules = append(rules, r)
+		}
+	}
+
+	// Premium-SMS fraud: sends texts while intercepting carrier replies.
+	if sms, ok1 := api("android.telephony.SmsManager.sendTextMessage"); ok1 {
+		if recv, ok2 := intent("android.provider.Telephony.SMS_RECEIVED"); ok2 {
+			add(Rule{
+				Name:        "premium-sms-fraud",
+				Description: "sends SMS and intercepts incoming SMS broadcasts",
+				Severity:    SeverityMalicious,
+				AllOf:       []framework.APIID{sms},
+				Intents:     []framework.IntentID{recv},
+			}, true)
+		}
+		if multi, ok2 := api("android.telephony.SmsManager.sendMultipartTextMessage"); ok2 {
+			add(Rule{
+				Name:        "sms-burst",
+				Description: "uses both single and multipart SMS send APIs",
+				Severity:    SeveritySuspicious,
+				AllOf:       []framework.APIID{sms, multi},
+			}, true)
+		}
+	}
+
+	// Device-identity harvesting followed by network exfiltration, in
+	// that order.
+	imei, okIMEI := api("android.telephony.TelephonyManager.getDeviceId")
+	mac, okMAC := api("android.net.wifi.WifiInfo.getMacAddress")
+	conn, okConn := api("java.net.HttpURLConnection.connect")
+	if okIMEI && okConn {
+		add(Rule{
+			Name:        "identity-exfiltration",
+			Description: "reads device identity then opens a network connection",
+			Severity:    SeveritySuspicious,
+			Ordered:     []framework.APIID{imei, conn},
+		}, true)
+	}
+	if okMAC && okConn {
+		add(Rule{
+			Name:        "mac-exfiltration",
+			Description: "reads MAC address then opens a network connection",
+			Severity:    SeveritySuspicious,
+			Ordered:     []framework.APIID{mac, conn},
+		}, true)
+	}
+
+	// Ransomware: crypto plus device-admin lock.
+	if cipher, ok1 := api("javax.crypto.Cipher.doFinal"); ok1 {
+		if lock, ok2 := api("android.app.admin.DevicePolicyManager.lockNow"); ok2 {
+			add(Rule{
+				Name:        "crypto-locker",
+				Description: "encrypts data and locks the device",
+				Severity:    SeverityMalicious,
+				AllOf:       []framework.APIID{cipher, lock},
+			}, true)
+		}
+	}
+
+	// Overlay attack: draws system windows while watching running tasks.
+	if addView, ok1 := api("android.view.WindowManager.addView"); ok1 {
+		if tasks, ok2 := api("android.app.ActivityManager.getRunningTasks"); ok2 {
+			if alert, ok3 := perm("android.permission.SYSTEM_ALERT_WINDOW"); ok3 {
+				add(Rule{
+					Name:        "overlay-hijack",
+					Description: "system overlay plus foreground-task probing",
+					Severity:    SeverityMalicious,
+					AllOf:       []framework.APIID{addView, tasks},
+					Permissions: []framework.PermissionID{alert},
+				}, true)
+			}
+		}
+	}
+
+	// Privilege escalation: shell execution of any flavour.
+	if exec, ok1 := api("java.lang.Runtime.exec"); ok1 {
+		pb, ok2 := api("java.lang.ProcessBuilder.start")
+		anyOf := []framework.APIID{exec}
+		if ok2 {
+			anyOf = append(anyOf, pb)
+		}
+		add(Rule{
+			Name:        "shell-execution",
+			Description: "executes shell commands",
+			Severity:    SeveritySuspicious,
+			AnyOf:       anyOf,
+		}, true)
+	}
+
+	// Update attack: dynamic code loading plus boot persistence.
+	if loader, ok1 := api("dalvik.system.DexClassLoader.loadClass"); ok1 {
+		if boot, ok2 := intent("android.intent.action.BOOT_COMPLETED"); ok2 {
+			add(Rule{
+				Name:        "dynamic-payload-persistence",
+				Description: "loads code at runtime and persists across reboots",
+				Severity:    SeverityMalicious,
+				AllOf:       []framework.APIID{loader},
+				Intents:     []framework.IntentID{boot},
+			}, true)
+		}
+	}
+
+	// Admin hijack: device-admin activation broadcast registration.
+	if admin, ok := intent("android.app.action.DEVICE_ADMIN_ENABLED"); ok {
+		if bind, ok2 := perm("android.permission.BIND_DEVICE_ADMIN"); ok2 {
+			add(Rule{
+				Name:        "device-admin-grab",
+				Description: "registers for device-admin activation with the bind permission",
+				Severity:    SeveritySuspicious,
+				Permissions: []framework.PermissionID{bind},
+				Intents:     []framework.IntentID{admin},
+			}, true)
+		}
+	}
+
+	// Contact scraping into the network.
+	if contacts, ok1 := api("android.content.ContentResolver.query"); ok1 && okConn {
+		if readC, ok2 := perm("android.permission.READ_CONTACTS"); ok2 {
+			add(Rule{
+				Name:        "contact-scraper",
+				Description: "queries contacts and talks to the network",
+				Severity:    SeveritySuspicious,
+				Ordered:     []framework.APIID{contacts, conn},
+				Permissions: []framework.PermissionID{readC},
+			}, true)
+		}
+	}
+
+	return rules
+}

@@ -1,0 +1,179 @@
+// Package manifest models AndroidManifest.xml: the APK configuration file
+// that declares the package identity, the requested permissions, and the
+// app's components (activities, services, broadcast receivers) with their
+// intent filters.
+//
+// APICHECKER reads two things from the manifest: the requested permissions
+// (the "P" auxiliary feature, §4.5) and the declared activities (the
+// denominator material for Referred Activity Coverage, §4.2). Receiver
+// intent filters contribute to the "I" auxiliary feature.
+package manifest
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// Manifest is the parsed AndroidManifest.xml.
+type Manifest struct {
+	XMLName     xml.Name    `xml:"manifest"`
+	Package     string      `xml:"package,attr"`
+	VersionCode int         `xml:"versionCode,attr"`
+	VersionName string      `xml:"versionName,attr"`
+	MinSDK      int         `xml:"uses-sdk>minSdkVersion"`
+	TargetSDK   int         `xml:"uses-sdk>targetSdkVersion"`
+	Permissions []UsesPerm  `xml:"uses-permission"`
+	Application Application `xml:"application"`
+}
+
+// UsesPerm is one <uses-permission> entry.
+type UsesPerm struct {
+	Name string `xml:"name,attr"`
+}
+
+// Application holds the component declarations.
+type Application struct {
+	Label      string     `xml:"label,attr"`
+	Activities []Activity `xml:"activity"`
+	Services   []Service  `xml:"service"`
+	Receivers  []Receiver `xml:"receiver"`
+}
+
+// Activity is one declared <activity>.
+type Activity struct {
+	Name     string         `xml:"name,attr"`
+	Exported bool           `xml:"exported,attr"`
+	Filters  []IntentFilter `xml:"intent-filter"`
+}
+
+// Service is one declared <service>.
+type Service struct {
+	Name string `xml:"name,attr"`
+}
+
+// Receiver is one declared broadcast <receiver>.
+type Receiver struct {
+	Name    string         `xml:"name,attr"`
+	Filters []IntentFilter `xml:"intent-filter"`
+}
+
+// IntentFilter declares the intent actions a component responds to.
+type IntentFilter struct {
+	Actions []Action `xml:"action"`
+}
+
+// Action is one <action> inside an intent filter.
+type Action struct {
+	Name string `xml:"name,attr"`
+}
+
+// New returns a minimal valid manifest for the given package.
+func New(pkg string, versionCode int) *Manifest {
+	return &Manifest{
+		Package:     pkg,
+		VersionCode: versionCode,
+		VersionName: fmt.Sprintf("%d.0", versionCode),
+		MinSDK:      19,
+		TargetSDK:   27,
+	}
+}
+
+// PermissionNames returns the requested permission names in declaration
+// order.
+func (m *Manifest) PermissionNames() []string {
+	out := make([]string, len(m.Permissions))
+	for i, p := range m.Permissions {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// RequestsPermission reports whether the manifest requests the named
+// permission.
+func (m *Manifest) RequestsPermission(name string) bool {
+	for _, p := range m.Permissions {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// AddPermission appends a <uses-permission> entry if not already present.
+func (m *Manifest) AddPermission(name string) {
+	if !m.RequestsPermission(name) {
+		m.Permissions = append(m.Permissions, UsesPerm{Name: name})
+	}
+}
+
+// ActivityNames returns the declared activity names.
+func (m *Manifest) ActivityNames() []string {
+	out := make([]string, len(m.Application.Activities))
+	for i, a := range m.Application.Activities {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// ReceiverActions returns the union of intent actions declared across all
+// receiver intent filters (metadata input to the "I" feature).
+func (m *Manifest) ReceiverActions() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, r := range m.Application.Receivers {
+		for _, f := range r.Filters {
+			for _, a := range f.Actions {
+				if !seen[a.Name] {
+					seen[a.Name] = true
+					out = append(out, a.Name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants.
+func (m *Manifest) Validate() error {
+	if m.Package == "" {
+		return fmt.Errorf("manifest: empty package name")
+	}
+	if m.VersionCode <= 0 {
+		return fmt.Errorf("manifest: package %s: versionCode %d must be positive", m.Package, m.VersionCode)
+	}
+	seen := make(map[string]bool)
+	for _, a := range m.Application.Activities {
+		if a.Name == "" {
+			return fmt.Errorf("manifest: package %s: activity with empty name", m.Package)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("manifest: package %s: duplicate activity %s", m.Package, a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// Encode serializes the manifest to XML.
+func (m *Manifest) Encode() ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := xml.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("manifest: encode %s: %w", m.Package, err)
+	}
+	return append([]byte(xml.Header), b...), nil
+}
+
+// Decode parses an AndroidManifest.xml document.
+func Decode(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := xml.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("manifest: decode: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

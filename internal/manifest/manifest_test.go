@@ -1,0 +1,163 @@
+package manifest
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Manifest {
+	m := New("com.example.demo", 3)
+	m.AddPermission("android.permission.INTERNET")
+	m.AddPermission("android.permission.SEND_SMS")
+	m.Application.Label = "Demo"
+	m.Application.Activities = []Activity{
+		{Name: "com.example.demo.MainActivity", Exported: true,
+			Filters: []IntentFilter{{Actions: []Action{{Name: "android.intent.action.MAIN"}}}}},
+		{Name: "com.example.demo.SettingsActivity"},
+	}
+	m.Application.Services = []Service{{Name: "com.example.demo.SyncService"}}
+	m.Application.Receivers = []Receiver{
+		{Name: "com.example.demo.BootReceiver",
+			Filters: []IntentFilter{{Actions: []Action{
+				{Name: "android.intent.action.BOOT_COMPLETED"},
+				{Name: "android.provider.Telephony.SMS_RECEIVED"},
+			}}}},
+		{Name: "com.example.demo.NetReceiver",
+			Filters: []IntentFilter{{Actions: []Action{
+				{Name: "android.provider.Telephony.SMS_RECEIVED"},
+			}}}},
+	}
+	return m
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := sample()
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !strings.Contains(string(data), "<manifest") {
+		t.Fatalf("missing root element:\n%s", data)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Package != m.Package || got.VersionCode != m.VersionCode {
+		t.Errorf("identity mismatch: got %s/%d", got.Package, got.VersionCode)
+	}
+	if len(got.Permissions) != 2 || !got.RequestsPermission("android.permission.SEND_SMS") {
+		t.Errorf("permissions lost: %+v", got.Permissions)
+	}
+	if len(got.Application.Activities) != 2 || got.Application.Activities[0].Name != "com.example.demo.MainActivity" {
+		t.Errorf("activities lost: %+v", got.Application.Activities)
+	}
+	if !got.Application.Activities[0].Exported || got.Application.Activities[1].Exported {
+		t.Error("exported flags lost")
+	}
+	if len(got.Application.Receivers) != 2 {
+		t.Errorf("receivers lost: %+v", got.Application.Receivers)
+	}
+}
+
+func TestReceiverActionsDeduplicated(t *testing.T) {
+	m := sample()
+	got := m.ReceiverActions()
+	want := []string{"android.intent.action.BOOT_COMPLETED", "android.provider.Telephony.SMS_RECEIVED"}
+	if len(got) != len(want) {
+		t.Fatalf("ReceiverActions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ReceiverActions[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAddPermissionIdempotent(t *testing.T) {
+	m := New("a.b.c", 1)
+	m.AddPermission("android.permission.CAMERA")
+	m.AddPermission("android.permission.CAMERA")
+	if len(m.Permissions) != 1 {
+		t.Errorf("permissions = %d, want 1", len(m.Permissions))
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+	}{
+		{"empty package", func(m *Manifest) { m.Package = "" }},
+		{"bad version", func(m *Manifest) { m.VersionCode = 0 }},
+		{"empty activity name", func(m *Manifest) {
+			m.Application.Activities = append(m.Application.Activities, Activity{})
+		}},
+		{"duplicate activity", func(m *Manifest) {
+			m.Application.Activities = append(m.Application.Activities, m.Application.Activities[0])
+		}},
+	}
+	for _, tc := range cases {
+		m := sample()
+		tc.mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid manifest", tc.name)
+		}
+		if _, err := m.Encode(); err == nil {
+			t.Errorf("%s: Encode accepted invalid manifest", tc.name)
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not xml at all <<<")); err == nil {
+		t.Error("Decode accepted garbage")
+	}
+	if _, err := Decode([]byte("<manifest></manifest>")); err == nil {
+		t.Error("Decode accepted manifest without package")
+	}
+}
+
+// Property: any manifest built from printable identifiers round-trips.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(pkgSuffix uint32, version uint8, nPerms, nActs uint8) bool {
+		m := New("com.q.p"+itoa(pkgSuffix), int(version)+1)
+		for i := 0; i < int(nPerms%8); i++ {
+			m.AddPermission("android.permission.P_" + itoa(uint32(i)))
+		}
+		for i := 0; i < int(nActs%6); i++ {
+			m.Application.Activities = append(m.Application.Activities,
+				Activity{Name: m.Package + ".A" + itoa(uint32(i))})
+		}
+		data, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return got.Package == m.Package &&
+			len(got.Permissions) == len(m.Permissions) &&
+			len(got.Application.Activities) == len(m.Application.Activities)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v uint32) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return "0"
+	}
+	var b [10]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = digits[v%10]
+		v /= 10
+	}
+	return string(b[i:])
+}

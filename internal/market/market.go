@@ -1,0 +1,351 @@
+// Package market simulates T-Market's app review process around
+// APICHECKER (§2, §5.2): fingerprint-based antivirus consensus for known
+// malware, the ML scan for zero-day detection, fast-track manual vetting
+// of flagged app updates (the false-positive workflow), and user-report
+// driven manual analysis of published malware (the false-negative
+// workflow). It also drives the year-long deployment simulation behind
+// Figs. 12 and 14.
+package market
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"apichecker/internal/antivirus"
+	"apichecker/internal/behavior"
+	"apichecker/internal/core"
+	"apichecker/internal/dataset"
+)
+
+// Config tunes the market simulation.
+type Config struct {
+	Seed int64
+
+	// KnownMalwareFraction of malicious submissions match an antivirus
+	// fingerprint and never reach the ML stage.
+	KnownMalwareFraction float64
+
+	// EngineFPRate is each antivirus engine's false-positive rate
+	// (§4.1: every engine claims < 5%; T-Market requires all four to
+	// agree, bounding label noise by (1-95%)^4).
+	EngineFPRate float64
+
+	// Engines is the consensus size (paper: at least four).
+	Engines int
+
+	// UserReportRate is the monthly probability that a published
+	// malicious app is reported by end users and manually analyzed.
+	UserReportRate float64
+
+	// ManualMinutesFull is the cost of a from-scratch manual analysis
+	// (§2: a couple of days); ManualMinutesFast is the quick vet of an
+	// update against its previous version (§1: ~90% of flagged apps).
+	ManualMinutesFull float64
+	ManualMinutesFast float64
+}
+
+// DefaultConfig matches the paper's description.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                 1,
+		KnownMalwareFraction: 0.35,
+		EngineFPRate:         0.04,
+		Engines:              4,
+		UserReportRate:       0.6,
+		ManualMinutesFull:    2 * 24 * 60,
+		ManualMinutesFast:    15,
+	}
+}
+
+// Outcome classifies a submission's fate.
+type Outcome int
+
+const (
+	// Published: passed every gate.
+	Published Outcome = iota
+	// RejectedFingerprint: matched the antivirus consensus.
+	RejectedFingerprint
+	// RejectedML: flagged by APICHECKER and confirmed by manual review.
+	RejectedML
+	// PublishedAfterComplaint: flagged, but manual review cleared it
+	// (an ML false positive resolved via the developer workflow).
+	PublishedAfterComplaint
+	// QuarantinedAfterReport: published, later user-reported and pulled
+	// (an ML false negative resolved via the user workflow).
+	QuarantinedAfterReport
+)
+
+func (o Outcome) String() string {
+	names := [...]string{"published", "rejected-fingerprint", "rejected-ml",
+		"published-after-complaint", "quarantined-after-report"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// SubmissionResult records one reviewed submission.
+type SubmissionResult struct {
+	Package string
+	Outcome Outcome
+
+	// MLMalicious is APICHECKER's raw verdict (when the ML stage ran).
+	MLRan       bool
+	MLMalicious bool
+
+	// FastTracked: the manual confirmation used the previous version.
+	FastTracked bool
+
+	// ManualMinutes of human effort spent on this submission.
+	ManualMinutes float64
+}
+
+// MonthStats aggregates one review month.
+type MonthStats struct {
+	Month       int
+	Submissions int
+
+	// ML-stage confusion against ground truth.
+	TP, FP, TN, FN int
+
+	RejectedKnown  int
+	Flagged        int
+	FastTracked    int
+	ManualFull     int
+	UserReports    int
+	ManualMinutes  float64
+	KeyAPIs        int // key-API set size after this month's retraining
+	MeanScanMinute float64
+}
+
+// Precision of the ML stage this month.
+func (m MonthStats) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall of the ML stage this month.
+func (m MonthStats) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// F1 of the ML stage this month.
+func (m MonthStats) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// pastRecord tracks the market's knowledge of a package lineage.
+type pastRecord struct {
+	lastVersion   int
+	everPublished bool
+}
+
+// Market is one running marketplace.
+type Market struct {
+	cfg     Config
+	checker *core.Checker
+	rng     *rand.Rand
+
+	// av is the commercial-scanner consensus (stage 1 of the review
+	// process); program seeds stand in for sample hashes.
+	av *antivirus.Consensus
+
+	records map[string]*pastRecord
+
+	// Labeled accumulates the market's labelled submissions for
+	// retraining. Labels are the market's belief: ground truth except
+	// for unreported false negatives (§5.3: "no false positives, a
+	// small number of false negatives").
+	Labeled []dataset.App
+
+	// gen regenerates programs from specs; rebuilt when the checker's
+	// universe evolves.
+	gen *behavior.Generator
+}
+
+// New creates a market around a trained checker.
+func New(checker *core.Checker, cfg Config) *Market {
+	return &Market{
+		cfg:     cfg,
+		checker: checker,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		av:      antivirus.NewConsensusN(cfg.Seed^0xa7, cfg.EngineFPRate, cfg.KnownMalwareFraction, cfg.Engines),
+		records: make(map[string]*pastRecord),
+	}
+}
+
+// Checker returns the market's vetting pipeline.
+func (m *Market) Checker() *core.Checker { return m.checker }
+
+// SeedFingerprints pushes the market's own confirmed malware samples into
+// every vendor feed (T-Market contributes its fingerprints alongside the
+// commercial ones, §2).
+func (m *Market) SeedFingerprints(c *dataset.Corpus) {
+	for i := range c.Apps {
+		if c.Apps[i].Label == behavior.Malicious && m.rng.Float64() < m.cfg.KnownMalwareFraction {
+			m.av.LearnAll(c.Apps[i].Spec.Seed)
+		}
+	}
+}
+
+// PublishedPackages returns the package names the market has ever
+// published, sorted (the lineage pool app updates arrive against).
+func (m *Market) PublishedPackages() []string {
+	var out []string
+	for pkg, rec := range m.records {
+		if rec.everPublished {
+			out = append(out, pkg)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Known reports whether any vendor feed fingerprints the sample.
+func (m *Market) Known(sampleID int64, malicious bool) bool {
+	for _, e := range m.av.Engines() {
+		if e.Knows(sampleID, malicious) {
+			return true
+		}
+	}
+	return false
+}
+
+// avConsensus runs the scanner consensus: reject only on unanimity.
+func (m *Market) avConsensus(app dataset.App) bool {
+	return m.av.Scan(app.Spec.Seed, app.Label == behavior.Malicious).Rejected
+}
+
+// Review processes one submission end to end and records the labelled
+// outcome for retraining. stats may be nil.
+func (m *Market) Review(app dataset.App, stats *MonthStats) (*SubmissionResult, error) {
+	res := &SubmissionResult{Package: app.Spec.PackageName}
+	truth := app.Label == behavior.Malicious
+	rec := m.records[app.Spec.PackageName]
+	if rec == nil {
+		rec = &pastRecord{}
+		m.records[app.Spec.PackageName] = rec
+	}
+	if stats != nil {
+		stats.Submissions++
+	}
+
+	// Stage 1: fingerprint consensus.
+	if m.avConsensus(app) {
+		res.Outcome = RejectedFingerprint
+		if stats != nil {
+			stats.RejectedKnown++
+		}
+		m.label(app, behavior.Malicious)
+		return res, nil
+	}
+
+	// Stage 2: APICHECKER.
+	verdict, err := m.checker.VetProgram(m.programOf(app))
+	if err != nil {
+		return nil, fmt.Errorf("market: review %s: %w", app.Spec.PackageName, err)
+	}
+	res.MLRan = true
+	res.MLMalicious = verdict.Malicious
+	if stats != nil {
+		stats.MeanScanMinute += verdict.ScanTime.Minutes()
+		switch {
+		case verdict.Malicious && truth:
+			stats.TP++
+		case verdict.Malicious && !truth:
+			stats.FP++
+		case !verdict.Malicious && !truth:
+			stats.TN++
+		default:
+			stats.FN++
+		}
+	}
+
+	if verdict.Malicious {
+		// Stage 3: flagged apps are confirmed manually before any
+		// developer-facing rejection (§5.2 actively avoids false
+		// positives). Updates of known packages fast-track against
+		// their previous version.
+		if stats != nil {
+			stats.Flagged++
+		}
+		if app.Spec.Version > 1 && rec.everPublished {
+			res.FastTracked = true
+			res.ManualMinutes = m.cfg.ManualMinutesFast
+			if stats != nil {
+				stats.FastTracked++
+			}
+		} else {
+			res.ManualMinutes = m.cfg.ManualMinutesFull
+			if stats != nil {
+				stats.ManualFull++
+			}
+		}
+		if stats != nil {
+			stats.ManualMinutes += res.ManualMinutes
+		}
+		if truth {
+			res.Outcome = RejectedML
+			m.av.LearnAll(app.Spec.Seed)
+			m.label(app, behavior.Malicious)
+		} else {
+			res.Outcome = PublishedAfterComplaint
+			rec.everPublished = true
+			m.label(app, behavior.Benign)
+		}
+		rec.lastVersion = app.Spec.Version
+		return res, nil
+	}
+
+	// Stage 4: published. Malicious apps that slipped through may be
+	// user-reported; only then is manual analysis performed (§5.2
+	// passively mitigates false negatives).
+	rec.everPublished = true
+	rec.lastVersion = app.Spec.Version
+	if truth && m.rng.Float64() < m.cfg.UserReportRate {
+		res.Outcome = QuarantinedAfterReport
+		res.ManualMinutes = m.cfg.ManualMinutesFull
+		if stats != nil {
+			stats.UserReports++
+			stats.ManualFull++
+			stats.ManualMinutes += res.ManualMinutes
+		}
+		m.av.LearnAll(app.Spec.Seed)
+		m.label(app, behavior.Malicious)
+		return res, nil
+	}
+	res.Outcome = Published
+	// Unreported malware stays labelled benign in the retraining set —
+	// the market does not know better yet.
+	m.label(app, behavior.Benign)
+	return res, nil
+}
+
+func (m *Market) label(app dataset.App, label behavior.Label) {
+	spec := app.Spec
+	spec.Label = label
+	if label == behavior.Benign {
+		spec.Family = behavior.FamilyNone
+	}
+	m.Labeled = append(m.Labeled, dataset.App{Spec: spec, Label: label})
+}
+
+func (m *Market) programOf(app dataset.App) *behavior.Program {
+	// Programs are regenerated from the spec with a generator bound to
+	// the checker's current universe; the market itself only ever sees
+	// the APK-equivalent artifact.
+	if m.gen == nil || m.gen.Universe() != m.checker.Universe() {
+		m.gen = behavior.NewGenerator(m.checker.Universe())
+	}
+	return m.gen.Generate(app.Spec)
+}

@@ -1,0 +1,203 @@
+package market
+
+import (
+	"testing"
+
+	"apichecker/internal/behavior"
+	"apichecker/internal/core"
+	"apichecker/internal/dataset"
+	"apichecker/internal/framework"
+)
+
+var testU = framework.MustGenerate(framework.TestConfig(3000))
+
+func trainedMarket(t *testing.T, nApps int) (*Market, *dataset.Corpus) {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumApps = nApps
+	corpus, err := dataset.Generate(testU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, _, err := core.TrainFromCorpus(corpus, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(ck, DefaultConfig())
+	m.SeedFingerprints(corpus)
+	return m, corpus
+}
+
+func TestReviewOutcomes(t *testing.T) {
+	m, corpus := trainedMarket(t, 600)
+	var stats MonthStats
+	outcomes := make(map[Outcome]int)
+	for _, app := range corpus.Apps {
+		res, err := m.Review(app, &stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes[res.Outcome]++
+		if res.ManualMinutes < 0 {
+			t.Fatal("negative manual minutes")
+		}
+	}
+	if stats.Submissions != corpus.Len() {
+		t.Errorf("submissions = %d, want %d", stats.Submissions, corpus.Len())
+	}
+	if outcomes[Published] == 0 {
+		t.Error("no app published")
+	}
+	if outcomes[RejectedFingerprint] == 0 {
+		t.Error("fingerprint stage never fired despite seeded known malware")
+	}
+	if outcomes[RejectedML] == 0 {
+		t.Error("ML stage never rejected malware")
+	}
+	// The ML stage only sees apps that passed fingerprinting.
+	mlSeen := stats.TP + stats.FP + stats.TN + stats.FN
+	if mlSeen+stats.RejectedKnown != corpus.Len() {
+		t.Errorf("ML saw %d + %d known != %d", mlSeen, stats.RejectedKnown, corpus.Len())
+	}
+	if stats.Precision() < 0.7 || stats.Recall() < 0.6 {
+		t.Errorf("month stats: P=%.3f R=%.3f", stats.Precision(), stats.Recall())
+	}
+	// Every reviewed app produced a market label.
+	if len(m.Labeled) != corpus.Len() {
+		t.Errorf("labeled = %d, want %d", len(m.Labeled), corpus.Len())
+	}
+}
+
+func TestConsensusPreventsFingerprintFPs(t *testing.T) {
+	m, _ := trainedMarket(t, 200)
+	// Benign app: four engines each with 4% FP rate must essentially
+	// never all agree.
+	app := dataset.App{Spec: behavior.Spec{
+		PackageName: "com.clean.app", Version: 1, Seed: 42,
+		Label: behavior.Benign, Category: behavior.CategoryTool,
+	}, Label: behavior.Benign}
+	rejected := 0
+	for i := 0; i < 2000; i++ {
+		if m.avConsensus(app) {
+			rejected++
+		}
+	}
+	if rejected > 2 {
+		t.Errorf("consensus rejected a benign app %d/2000 times", rejected)
+	}
+}
+
+func TestFlaggedUpdatesFastTrack(t *testing.T) {
+	m, _ := trainedMarket(t, 400)
+	gen := behavior.NewGenerator(testU)
+	_ = gen
+	// First publish version 1 of a package (benign), then submit a
+	// malicious "update attack" version; if flagged it must fast-track.
+	benign := dataset.App{Spec: behavior.Spec{
+		PackageName: "com.lineage.app", Version: 1, Seed: 77,
+		Label: behavior.Benign, Category: behavior.CategoryGame,
+	}, Label: behavior.Benign}
+	if _, err := m.Review(benign, nil); err != nil {
+		t.Fatal(err)
+	}
+	fastSeen := false
+	for seed := int64(100); seed < 160 && !fastSeen; seed++ {
+		evil := dataset.App{Spec: behavior.Spec{
+			PackageName: "com.lineage.app", Version: 2, Seed: seed,
+			Label: behavior.Malicious, Family: behavior.FamilySpyware,
+		}, Label: behavior.Malicious}
+		res, err := m.Review(evil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome == RejectedML {
+			if !res.FastTracked {
+				t.Error("flagged update of a published package not fast-tracked")
+			}
+			if res.ManualMinutes >= DefaultConfig().ManualMinutesFull {
+				t.Error("fast-track cost as much as full manual analysis")
+			}
+			fastSeen = true
+		}
+	}
+	if !fastSeen {
+		t.Skip("no update got flagged in the seed range")
+	}
+}
+
+func TestFalseNegativeUserReportWorkflow(t *testing.T) {
+	m, _ := trainedMarket(t, 400)
+	reported, missed := 0, 0
+	for seed := int64(0); seed < 80; seed++ {
+		// Low-profile malware slips past the model most often.
+		app := dataset.App{Spec: behavior.Spec{
+			PackageName: "com.quiet.app", Version: 1, Seed: seed + 5000,
+			Label: behavior.Malicious, Family: behavior.FamilyLowProfile,
+		}, Label: behavior.Malicious}
+		res, err := m.Review(app, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch res.Outcome {
+		case QuarantinedAfterReport:
+			reported++
+		case Published:
+			missed++
+		}
+	}
+	if reported == 0 {
+		t.Error("user-report workflow never triggered")
+	}
+	// Reported samples become fingerprints: resubmitting one is caught
+	// at stage 1.
+	if reported > 0 {
+		for seed := int64(0); seed < 80; seed++ {
+			app := dataset.App{Spec: behavior.Spec{
+				PackageName: "com.quiet.app", Version: 1, Seed: seed + 5000,
+				Label: behavior.Malicious, Family: behavior.FamilyLowProfile,
+			}, Label: behavior.Malicious}
+			if m.Known(app.Spec.Seed, true) {
+				res, err := m.Review(app, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Outcome != RejectedFingerprint {
+					t.Errorf("known sample outcome = %v", res.Outcome)
+				}
+				return
+			}
+		}
+	}
+}
+
+func TestRunYearStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("year simulation in -short mode")
+	}
+	u := framework.MustGenerate(framework.TestConfig(3000))
+	cfg := DefaultYearConfig()
+	cfg.Months = 4
+	cfg.InitialApps = 500
+	cfg.MonthlyApps = 150
+	cfg.RetrainCap = 1100
+	rep, err := RunYear(u, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Months) != cfg.Months {
+		t.Fatalf("months = %d", len(rep.Months))
+	}
+	pMin, _, rMin, _ := rep.MinMaxPrecisionRecall()
+	if pMin < 0.7 || rMin < 0.55 {
+		t.Errorf("deployment degraded: pMin=%.3f rMin=%.3f", pMin, rMin)
+	}
+	for i, ms := range rep.Months {
+		if ms.KeyAPIs == 0 {
+			t.Errorf("month %d: no key APIs recorded", i+1)
+		}
+		// Key set drift stays bounded (Fig. 14's 425-432 band scaled).
+		if diff := ms.KeyAPIs - rep.InitialKeyAPIs; diff < -rep.InitialKeyAPIs/3 || diff > rep.InitialKeyAPIs/3 {
+			t.Errorf("month %d: key APIs %d drifted far from initial %d", i+1, ms.KeyAPIs, rep.InitialKeyAPIs)
+		}
+	}
+}

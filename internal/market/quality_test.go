@@ -1,0 +1,83 @@
+package market
+
+import (
+	"testing"
+
+	"apichecker/internal/behavior"
+	"apichecker/internal/core"
+	"apichecker/internal/dataset"
+)
+
+// TestOutOfSampleQuality trains on 1,100 apps and vets 500 held-out ones;
+// the paper's deployment band is 98%+ precision / 96%+ recall at 500K-app
+// scale, and the residual false negatives must concentrate in families
+// that barely touch key APIs (§5.2).
+func TestOutOfSampleQuality(t *testing.T) {
+	cfg := dataset.DefaultConfig()
+	cfg.NumApps = 1600
+	corpus, err := dataset.Generate(testU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := dataset.FromApps(testU, 5, corpus.Apps[:1100])
+	test := corpus.Apps[1100:]
+	ck, rep, err := core.TrainFromCorpus(train, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("train report: %+v", rep)
+	var tp, fp, tn, fn int
+	var tpKeyAPIs, fnKeyAPIs int
+	missByFam := map[behavior.Family]int{}
+	totByFam := map[behavior.Family]int{}
+	gen := behavior.NewGenerator(ck.Universe())
+	for _, app := range test {
+		v, err := ck.VetProgram(gen.Generate(app.Spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := app.Label == behavior.Malicious
+		if truth {
+			totByFam[app.Spec.Family]++
+		}
+		switch {
+		case v.Malicious && truth:
+			tp++
+			tpKeyAPIs += v.InvokedKeyAPIs
+		case v.Malicious && !truth:
+			fp++
+		case !v.Malicious && !truth:
+			tn++
+		default:
+			fn++
+			fnKeyAPIs += v.InvokedKeyAPIs
+			missByFam[app.Spec.Family]++
+		}
+	}
+	precision := float64(tp) / float64(tp+fp)
+	recall := float64(tp) / float64(tp+fn)
+	t.Logf("P=%.3f R=%.3f (tp=%d fp=%d tn=%d fn=%d)", precision, recall, tp, fp, tn, fn)
+	for f, tot := range totByFam {
+		t.Logf("family %v: %d/%d missed", f, missByFam[f], tot)
+	}
+	if precision < 0.93 {
+		t.Errorf("precision = %.3f, want >= 0.93", precision)
+	}
+	if recall < 0.85 {
+		t.Errorf("recall = %.3f, want >= 0.85", recall)
+	}
+	// §5.2: false negatives barely use the key APIs (87% of sampled FN
+	// apps in the paper). Missed malware must show a much thinner
+	// key-API footprint than caught malware.
+	if fn > 0 && tp > 0 {
+		meanFN := float64(fnKeyAPIs) / float64(fn)
+		meanTP := float64(tpKeyAPIs) / float64(tp)
+		t.Logf("mean key APIs: caught %.1f, missed %.1f", meanTP, meanFN)
+		// Every app (malicious or not) trips the handful of hot
+		// common key APIs, so "barely use" means clearly-below, not
+		// near-zero.
+		if meanFN > 0.65*meanTP {
+			t.Errorf("missed malware uses %.1f key APIs vs %.1f for caught — FNs should be quiet", meanFN, meanTP)
+		}
+	}
+}

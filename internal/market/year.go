@@ -1,0 +1,160 @@
+package market
+
+import (
+	"fmt"
+	"math/rand"
+
+	"apichecker/internal/core"
+	"apichecker/internal/dataset"
+	"apichecker/internal/framework"
+)
+
+// YearConfig drives the 12-month deployment simulation (Figs. 12, 14).
+type YearConfig struct {
+	Seed int64
+
+	// Months to simulate (paper: 12, March 2018 - February 2019).
+	Months int
+
+	// InitialApps is the ground-truth training corpus size (the §4.1
+	// dataset); MonthlyApps is the submission volume per month.
+	InitialApps int
+	MonthlyApps int
+
+	// SDKEveryMonths: the Android SDK gains APIs every several months
+	// (§5.3); 0 disables evolution.
+	SDKEveryMonths int
+
+	// RetrainCap bounds the retraining corpus (initial data plus the
+	// most recent labelled submissions) to keep monthly retraining
+	// affordable.
+	RetrainCap int
+
+	Market  Config
+	Checker core.Config
+	Corpus  dataset.Config
+}
+
+// DefaultYearConfig returns a laptop-scale year.
+func DefaultYearConfig() YearConfig {
+	return YearConfig{
+		Seed:           1,
+		Months:         12,
+		InitialApps:    900,
+		MonthlyApps:    250,
+		SDKEveryMonths: 4,
+		RetrainCap:     2600,
+		Market:         DefaultConfig(),
+		Checker:        core.DefaultConfig(),
+		Corpus:         dataset.DefaultConfig(),
+	}
+}
+
+// YearReport is the outcome of RunYear.
+type YearReport struct {
+	Months []MonthStats
+
+	// InitialKeyAPIs after the first training round.
+	InitialKeyAPIs int
+}
+
+// MinMaxPrecisionRecall summarizes the monthly series the way the paper
+// reports them ("min: 98.5%, max: 99.0%").
+func (r *YearReport) MinMaxPrecisionRecall() (pMin, pMax, rMin, rMax float64) {
+	pMin, rMin = 1, 1
+	for _, m := range r.Months {
+		p, rr := m.Precision(), m.Recall()
+		if p < pMin {
+			pMin = p
+		}
+		if p > pMax {
+			pMax = p
+		}
+		if rr < rMin {
+			rMin = rr
+		}
+		if rr > rMax {
+			rMax = rr
+		}
+	}
+	return pMin, pMax, rMin, rMax
+}
+
+// RunYear trains APICHECKER on an initial ground-truth corpus, then
+// simulates monthly operation: review a month of submissions, accumulate
+// market labels, evolve the SDK every few months, and retrain the model
+// monthly (§5.3).
+func RunYear(u *framework.Universe, cfg YearConfig) (*YearReport, error) {
+	if cfg.Months <= 0 {
+		return nil, fmt.Errorf("market: months must be positive")
+	}
+	corpusCfg := cfg.Corpus
+	corpusCfg.Seed = cfg.Seed
+	corpusCfg.NumApps = cfg.InitialApps
+	initial, err := dataset.Generate(u, corpusCfg)
+	if err != nil {
+		return nil, err
+	}
+	checker, rep, err := core.TrainFromCorpus(initial, cfg.Checker)
+	if err != nil {
+		return nil, err
+	}
+	m := New(checker, cfg.Market)
+	m.SeedFingerprints(initial)
+
+	report := &YearReport{InitialKeyAPIs: rep.KeyAPIs}
+	for month := 1; month <= cfg.Months; month++ {
+		// SDK evolution: new framework APIs appear; the corpus
+		// generator and all programs must be rebuilt over the evolved
+		// universe.
+		if cfg.SDKEveryMonths > 0 && month%cfg.SDKEveryMonths == 0 {
+			u.Evolve(cfg.Seed + int64(month))
+		}
+
+		monthCfg := cfg.Corpus
+		monthCfg.Seed = cfg.Seed + int64(month)*7919
+		monthCfg.NumApps = cfg.MonthlyApps
+		submissions, err := dataset.Generate(u, monthCfg)
+		if err != nil {
+			return nil, err
+		}
+		// Updates (version > 1) arrive against packages the market has
+		// already published — the lineage that enables fast-track
+		// manual vetting of flagged updates (§1: ~90% of flagged apps
+		// are updates vetted against their previous version).
+		if published := m.PublishedPackages(); len(published) > 0 {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(month)*104729))
+			for i := range submissions.Apps {
+				spec := &submissions.Apps[i].Spec
+				if spec.Version > 1 && rng.Float64() < 0.7 {
+					spec.PackageName = published[rng.Intn(len(published))]
+				}
+			}
+		}
+
+		stats := MonthStats{Month: month}
+		for _, app := range submissions.Apps {
+			if _, err := m.Review(app, &stats); err != nil {
+				return nil, err
+			}
+		}
+		if n := stats.TP + stats.FP + stats.TN + stats.FN; n > 0 {
+			stats.MeanScanMinute /= float64(n)
+		}
+
+		// Monthly retraining on the original data plus the most
+		// recent labelled submissions.
+		apps := append(append([]dataset.App{}, initial.Apps...), m.Labeled...)
+		if cfg.RetrainCap > 0 && len(apps) > cfg.RetrainCap {
+			apps = apps[len(apps)-cfg.RetrainCap:]
+		}
+		retrainCorpus := dataset.FromApps(u, cfg.Seed+int64(month), apps)
+		trainRep, err := checker.Retrain(retrainCorpus)
+		if err != nil {
+			return nil, err
+		}
+		stats.KeyAPIs = trainRep.KeyAPIs
+		report.Months = append(report.Months, stats)
+	}
+	return report, nil
+}

@@ -1,0 +1,199 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// CARTConfig configures a single classification tree.
+type CARTConfig struct {
+	MaxDepth int
+	MinLeaf  int
+	// MTry, when positive, restricts each split to a random feature
+	// subset of that size (used by random forests). Zero means all
+	// features are candidates.
+	MTry int
+	Seed int64
+}
+
+// CART is a classification tree splitting on binary features by Gini
+// impurity (Breiman et al., the paper's [8]).
+type CART struct {
+	cfg     CARTConfig
+	trained bool
+	root    *treeNode
+	// importance accumulates per-feature Gini importance (impurity
+	// decrease weighted by node size), populated during Train.
+	importance []float64
+}
+
+type treeNode struct {
+	feature     int // -1 for leaves
+	left, right *treeNode
+	prob        float64 // P(malicious) at leaf
+}
+
+// NewCART returns an untrained tree.
+func NewCART(cfg CARTConfig) *CART {
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 14
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 1
+	}
+	return &CART{cfg: cfg}
+}
+
+// Name implements Classifier.
+func (t *CART) Name() string { return "CART" }
+
+// Importance returns per-feature Gini importance (unnormalized).
+func (t *CART) Importance() []float64 { return t.importance }
+
+// Train implements Classifier.
+func (t *CART) Train(d *Dataset) error {
+	if err := checkTrainable(d); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(t.cfg.Seed))
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t.importance = make([]float64, d.NumFeatures)
+	t.root = t.grow(d, idx, 0, rng)
+	t.trained = true
+	return nil
+}
+
+// TrainBootstrap trains on a bootstrap sample drawn with rng (random
+// forest bagging).
+func (t *CART) TrainBootstrap(d *Dataset, rng *rand.Rand) error {
+	if err := checkTrainable(d); err != nil {
+		return err
+	}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = rng.Intn(d.Len())
+	}
+	t.importance = make([]float64, d.NumFeatures)
+	t.root = t.grow(d, idx, 0, rng)
+	t.trained = true
+	return nil
+}
+
+func gini(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+func (t *CART) grow(d *Dataset, idx []int, depth int, rng *rand.Rand) *treeNode {
+	pos := 0
+	for _, i := range idx {
+		if d.Examples[i].Y {
+			pos++
+		}
+	}
+	n := len(idx)
+	leaf := func() *treeNode {
+		return &treeNode{feature: -1, prob: (float64(pos) + 0.5) / (float64(n) + 1)}
+	}
+	if depth >= t.cfg.MaxDepth || n < 2*t.cfg.MinLeaf || pos == 0 || pos == n {
+		return leaf()
+	}
+
+	parentGini := gini(pos, n)
+	bestFeature, bestGain := -1, 1e-12
+
+	candidates := t.candidateFeatures(d.NumFeatures, rng)
+	for _, f := range candidates {
+		setN, setPos := 0, 0
+		for _, i := range idx {
+			if d.Examples[i].X.Get(f) {
+				setN++
+				if d.Examples[i].Y {
+					setPos++
+				}
+			}
+		}
+		if setN < t.cfg.MinLeaf || n-setN < t.cfg.MinLeaf {
+			continue
+		}
+		gain := parentGini -
+			(float64(setN)/float64(n))*gini(setPos, setN) -
+			(float64(n-setN)/float64(n))*gini(pos-setPos, n-setN)
+		if gain > bestGain {
+			bestGain, bestFeature = gain, f
+		}
+	}
+	if bestFeature < 0 {
+		return leaf()
+	}
+	t.importance[bestFeature] += bestGain * float64(n)
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if d.Examples[i].X.Get(bestFeature) {
+			rightIdx = append(rightIdx, i)
+		} else {
+			leftIdx = append(leftIdx, i)
+		}
+	}
+	return &treeNode{
+		feature: bestFeature,
+		left:    t.grow(d, leftIdx, depth+1, rng),
+		right:   t.grow(d, rightIdx, depth+1, rng),
+	}
+}
+
+// candidateFeatures returns the features to evaluate at one split.
+func (t *CART) candidateFeatures(numFeatures int, rng *rand.Rand) []int {
+	if t.cfg.MTry <= 0 || t.cfg.MTry >= numFeatures {
+		all := make([]int, numFeatures)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	out := make([]int, t.cfg.MTry)
+	for i := range out {
+		out[i] = rng.Intn(numFeatures)
+	}
+	return out
+}
+
+// Score implements Scorer: leaf probability shifted to a zero threshold.
+func (t *CART) Score(x Vector) float64 { return t.prob(x) - 0.5 }
+
+// prob walks the tree.
+func (t *CART) prob(x Vector) float64 {
+	node := t.root
+	for node.feature >= 0 {
+		if x.Get(node.feature) {
+			node = node.right
+		} else {
+			node = node.left
+		}
+	}
+	return node.prob
+}
+
+// Predict implements Classifier.
+func (t *CART) Predict(x Vector) bool {
+	if !t.trained {
+		return false
+	}
+	return t.prob(x) > 0.5
+}
+
+// defaultMTry is the forest's feature-subset size: sqrt(d).
+func defaultMTry(numFeatures int) int {
+	m := int(math.Sqrt(float64(numFeatures)))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}

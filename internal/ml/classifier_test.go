@@ -1,0 +1,204 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// syntheticDataset builds a learnable problem: 20 signal features that
+// malicious examples carry often, plus label-independent noise.
+func syntheticDataset(n, features int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := NewDataset(features)
+	for i := 0; i < n; i++ {
+		y := rng.Float64() < 0.3
+		v := NewVector(features)
+		for f := 0; f < 20 && f < features; f++ {
+			p := 0.06
+			if y {
+				p = 0.55
+			}
+			if rng.Float64() < p {
+				v.Set(f)
+			}
+		}
+		for f := 20; f < features; f++ {
+			if rng.Float64() < 0.08 {
+				v.Set(f)
+			}
+		}
+		_ = d.Add(v, y)
+	}
+	return d
+}
+
+func TestAllClassifiersLearnSignal(t *testing.T) {
+	full := syntheticDataset(900, 120, 7)
+	train, test := full.Split(0.75, 3)
+	for _, kind := range AllModelKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			c := NewClassifier(kind, 11)
+			if c.Name() == "" {
+				t.Error("empty model name")
+			}
+			m, _, _, err := TrainEval(c, train, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.F1() < 0.6 {
+				t.Errorf("%s F1 = %.3f (%v), want > 0.6", kind, m.F1(), m)
+			}
+		})
+	}
+}
+
+func TestClassifiersDeterministic(t *testing.T) {
+	d := syntheticDataset(400, 80, 5)
+	train, test := d.Split(0.8, 1)
+	for _, kind := range AllModelKinds {
+		a := NewClassifier(kind, 9)
+		b := NewClassifier(kind, 9)
+		ma, _, _, err := TrainEval(a, train, test)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		mb, _, _, err := TrainEval(b, train, test)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if ma != mb {
+			t.Errorf("%v not deterministic: %v vs %v", kind, ma, mb)
+		}
+	}
+}
+
+func TestPredictBeforeTrainIsSafe(t *testing.T) {
+	x := NewVector(16)
+	for _, kind := range AllModelKinds {
+		c := NewClassifier(kind, 1)
+		if c.Predict(x) {
+			t.Errorf("%v predicts positive before training", kind)
+		}
+	}
+}
+
+func TestTrainRejectsDegenerateSets(t *testing.T) {
+	empty := NewDataset(8)
+	oneClass := NewDataset(8)
+	for i := 0; i < 10; i++ {
+		_ = oneClass.Add(NewVector(8), false)
+	}
+	for _, kind := range AllModelKinds {
+		if err := NewClassifier(kind, 1).Train(empty); err == nil {
+			t.Errorf("%v trained on empty set", kind)
+		}
+		if err := NewClassifier(kind, 1).Train(oneClass); err == nil {
+			t.Errorf("%v trained on single-class set", kind)
+		}
+	}
+}
+
+func TestScorersAgreeWithPredict(t *testing.T) {
+	d := syntheticDataset(300, 60, 2)
+	train, test := d.Split(0.8, 4)
+	for _, kind := range AllModelKinds {
+		c := NewClassifier(kind, 3)
+		if _, _, _, err := TrainEval(c, train, test); err != nil {
+			t.Fatal(err)
+		}
+		s, ok := c.(Scorer)
+		if !ok {
+			if kind != ModelKNN {
+				t.Errorf("%v does not expose scores", kind)
+			}
+			continue
+		}
+		for i := range test.Examples {
+			x := test.Examples[i].X
+			if (s.Score(x) > 0) != c.Predict(x) {
+				t.Errorf("%v: Score and Predict disagree", kind)
+				break
+			}
+		}
+	}
+}
+
+func TestForestImportanceFindsSignal(t *testing.T) {
+	d := syntheticDataset(800, 100, 13)
+	rf := NewRandomForest(ForestConfig{Trees: 60, MaxDepth: 12, Seed: 2})
+	if err := rf.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	imp := rf.Importance()
+	if len(imp) != 100 {
+		t.Fatalf("importance length %d", len(imp))
+	}
+	sum := 0.0
+	signalMass := 0.0
+	for f, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance at %d", f)
+		}
+		sum += v
+		if f < 20 {
+			signalMass += v
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("importance sums to %f", sum)
+	}
+	if signalMass < 0.5 {
+		t.Errorf("signal features carry %.2f of importance, want > 0.5", signalMass)
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	d := syntheticDataset(500, 60, 21)
+	res, err := CrossValidate(func() Classifier { return NewNaiveBayes() }, d, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != "Naive Bayes" || res.Folds != 10 {
+		t.Errorf("res = %+v", res)
+	}
+	total := res.Confusion.TP + res.Confusion.FP + res.Confusion.TN + res.Confusion.FN
+	if total+res.DeduplicatedTest != d.Len() {
+		t.Errorf("CV covered %d + %d dedup, want %d", total, res.DeduplicatedTest, d.Len())
+	}
+	if res.TrainTime <= 0 {
+		t.Error("train time not recorded")
+	}
+	if res.Confusion.F1() < 0.5 {
+		t.Errorf("CV F1 = %.3f", res.Confusion.F1())
+	}
+	if _, err := CrossValidate(func() Classifier { return NewNaiveBayes() }, syntheticDataset(10, 8, 1), 10, 1); err == nil {
+		t.Error("CV accepted tiny dataset")
+	}
+}
+
+func TestKNNTieAndDistanceOrdering(t *testing.T) {
+	d := NewDataset(8)
+	mk := func(bits ...int) Vector {
+		v := NewVector(8)
+		for _, b := range bits {
+			v.Set(b)
+		}
+		return v
+	}
+	_ = d.Add(mk(0, 1, 2), true)
+	_ = d.Add(mk(0, 1, 3), true)
+	_ = d.Add(mk(5, 6, 7), false)
+	_ = d.Add(mk(5, 6), false)
+	_ = d.Add(mk(7), false)
+	k := NewKNN(KNNConfig{K: 3})
+	if err := k.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Predict(mk(0, 1)) {
+		t.Error("query near positives predicted negative")
+	}
+	if k.Predict(mk(5, 7)) {
+		t.Error("query near negatives predicted positive")
+	}
+}

@@ -1,0 +1,82 @@
+package ml
+
+import (
+	"fmt"
+	"time"
+)
+
+// CVResult aggregates a k-fold cross validation.
+type CVResult struct {
+	Model     string
+	Folds     int
+	Confusion Confusion // summed over folds
+
+	// TrainTime sums fold training durations; EvalTime sums fold
+	// prediction durations. Table 2's "training time" column corresponds
+	// to TrainTime for model-fitting algorithms; for kNN the cost shows
+	// up in EvalTime (noted in EXPERIMENTS.md).
+	TrainTime time.Duration
+	EvalTime  time.Duration
+
+	// DeduplicatedTest counts test examples dropped by the duplicate-
+	// vector leakage control.
+	DeduplicatedTest int
+}
+
+// CrossValidate runs stratified k-fold cross validation (§4.2: 10-fold,
+// with duplicate feature vectors between train and test removed from the
+// test fold). The factory builds a fresh classifier per fold.
+func CrossValidate(factory func() Classifier, d *Dataset, k int, seed int64) (*CVResult, error) {
+	if d.Len() < 2*k {
+		return nil, fmt.Errorf("ml: dataset too small (%d) for %d-fold CV", d.Len(), k)
+	}
+	folds := d.StratifiedFolds(k, seed)
+	res := &CVResult{Folds: k}
+	for fi, testIdx := range folds {
+		inTest := make(map[int]bool, len(testIdx))
+		for _, i := range testIdx {
+			inTest[i] = true
+		}
+		trainIdx := make([]int, 0, d.Len()-len(testIdx))
+		for i := 0; i < d.Len(); i++ {
+			if !inTest[i] {
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		train := d.Subset(trainIdx)
+		test := d.Subset(testIdx).RemoveDuplicatesOf(train)
+		res.DeduplicatedTest += len(testIdx) - test.Len()
+		if test.Len() == 0 {
+			continue
+		}
+
+		c := factory()
+		if res.Model == "" {
+			res.Model = c.Name()
+		}
+		start := time.Now()
+		if err := c.Train(train); err != nil {
+			return nil, fmt.Errorf("ml: fold %d: %w", fi, err)
+		}
+		res.TrainTime += time.Since(start)
+
+		start = time.Now()
+		res.Confusion.Add(Evaluate(c, test))
+		res.EvalTime += time.Since(start)
+	}
+	return res, nil
+}
+
+// TrainEval is the single-split variant: train on train, evaluate on test
+// (after duplicate removal), reporting times.
+func TrainEval(c Classifier, train, test *Dataset) (Confusion, time.Duration, time.Duration, error) {
+	test = test.RemoveDuplicatesOf(train)
+	start := time.Now()
+	if err := c.Train(train); err != nil {
+		return Confusion{}, 0, 0, err
+	}
+	trainTime := time.Since(start)
+	start = time.Now()
+	m := Evaluate(c, test)
+	return m, trainTime, time.Since(start), nil
+}

@@ -1,0 +1,41 @@
+package ml_test
+
+import (
+	"fmt"
+
+	"apichecker/internal/ml"
+)
+
+// ExampleRandomForest demonstrates the deployed classifier on a toy
+// problem: apps that touch both "SMS" (bit 0) and "network" (bit 1) are
+// malicious.
+func ExampleRandomForest() {
+	d := ml.NewDataset(4)
+	add := func(bits []int, malicious bool) {
+		v := ml.NewVector(4)
+		for _, b := range bits {
+			v.Set(b)
+		}
+		_ = d.Add(v, malicious)
+	}
+	for i := 0; i < 30; i++ {
+		add([]int{0, 1}, true)  // SMS + network
+		add([]int{0}, false)    // SMS only: a messaging app
+		add([]int{1, 2}, false) // network + UI: a browser
+		add([]int{3}, false)    // neither
+	}
+
+	rf := ml.NewRandomForest(ml.DefaultForestConfig(1))
+	if err := rf.Train(d); err != nil {
+		panic(err)
+	}
+	query := ml.NewVector(4)
+	query.Set(0)
+	query.Set(1)
+	fmt.Println("SMS+network app malicious:", rf.Predict(query))
+	query.Clear(1)
+	fmt.Println("SMS-only app malicious:  ", rf.Predict(query))
+	// Output:
+	// SMS+network app malicious: true
+	// SMS-only app malicious:   false
+}

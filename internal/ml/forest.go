@@ -1,0 +1,143 @@
+package ml
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// ForestConfig configures a random forest.
+type ForestConfig struct {
+	Trees    int
+	MaxDepth int
+	MinLeaf  int
+	// MTry defaults to sqrt(NumFeatures) when zero.
+	MTry int
+	Seed int64
+}
+
+// RandomForest is bagged CART trees with per-split feature subsampling —
+// the classifier APICHECKER deploys (§4.3: best precision, near-best
+// recall, cheap training, good interpretability via Gini importance).
+type RandomForest struct {
+	cfg     ForestConfig
+	trained bool
+	trees   []*CART
+
+	importance []float64 // summed Gini importance across trees
+}
+
+// NewRandomForest returns an untrained forest.
+func NewRandomForest(cfg ForestConfig) *RandomForest {
+	if cfg.Trees <= 0 {
+		cfg.Trees = 80
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 16
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 2
+	}
+	return &RandomForest{cfg: cfg}
+}
+
+// Name implements Classifier.
+func (rf *RandomForest) Name() string { return "Random Forest" }
+
+// Train implements Classifier. Trees are trained in parallel; tree seeds
+// derive from the forest seed and the tree index, so results are
+// independent of scheduling.
+func (rf *RandomForest) Train(d *Dataset) error {
+	if err := checkTrainable(d); err != nil {
+		return err
+	}
+	mtry := rf.cfg.MTry
+	if mtry <= 0 {
+		mtry = defaultMTry(d.NumFeatures)
+	}
+	rf.trees = make([]*CART, rf.cfg.Trees)
+	errs := make([]error, rf.cfg.Trees)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rf.cfg.Trees {
+		workers = rf.cfg.Trees
+	}
+	var wg sync.WaitGroup
+	treeCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range treeCh {
+				tree := NewCART(CARTConfig{
+					MaxDepth: rf.cfg.MaxDepth,
+					MinLeaf:  rf.cfg.MinLeaf,
+					MTry:     mtry,
+					Seed:     rf.cfg.Seed + int64(ti)*0x9e3779b9,
+				})
+				rng := rand.New(rand.NewSource(tree.cfg.Seed ^ 0x51ed))
+				errs[ti] = tree.TrainBootstrap(d, rng)
+				rf.trees[ti] = tree
+			}
+		}()
+	}
+	for ti := 0; ti < rf.cfg.Trees; ti++ {
+		treeCh <- ti
+	}
+	close(treeCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	rf.importance = make([]float64, d.NumFeatures)
+	for _, tree := range rf.trees {
+		for f, v := range tree.Importance() {
+			rf.importance[f] += v
+		}
+	}
+	rf.trained = true
+	return nil
+}
+
+// Score implements Scorer: mean leaf probability minus the 0.5 threshold.
+func (rf *RandomForest) Score(x Vector) float64 {
+	sum := 0.0
+	for _, tree := range rf.trees {
+		sum += tree.prob(x)
+	}
+	return sum/float64(len(rf.trees)) - 0.5
+}
+
+// Predict implements Classifier.
+func (rf *RandomForest) Predict(x Vector) bool {
+	if !rf.trained {
+		return false
+	}
+	return rf.Score(x) > 0
+}
+
+// Importance returns normalized Gini importance per feature (sums to 1
+// when any split happened). This is Fig. 13's ranking statistic.
+func (rf *RandomForest) Importance() []float64 {
+	out := make([]float64, len(rf.importance))
+	total := 0.0
+	for _, v := range rf.importance {
+		total += v
+	}
+	if total == 0 {
+		return out
+	}
+	for f, v := range rf.importance {
+		out[f] = v / total
+	}
+	return out
+}
+
+// DefaultForestConfig is the tuned production forest configuration (§4.2:
+// hyperparameters configured once from held-out data).
+func DefaultForestConfig(seed int64) ForestConfig {
+	return ForestConfig{Trees: 120, MaxDepth: 20, MinLeaf: 1, Seed: seed}
+}

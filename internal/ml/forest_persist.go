@@ -1,0 +1,101 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Gob serialization for trained forests (model distribution, §5.4). Trees
+// are flattened to index-linked node arrays in preorder.
+
+type nodeWire struct {
+	Feature     int32
+	Left, Right int32 // node indexes; -1 for none
+	Prob        float64
+}
+
+type treeWire struct {
+	Nodes []nodeWire
+}
+
+type forestWire struct {
+	Cfg        ForestConfig
+	Importance []float64
+	Trees      []treeWire
+}
+
+func flatten(root *treeNode) treeWire {
+	var w treeWire
+	var walk func(n *treeNode) int32
+	walk = func(n *treeNode) int32 {
+		idx := int32(len(w.Nodes))
+		w.Nodes = append(w.Nodes, nodeWire{Feature: int32(n.feature), Left: -1, Right: -1, Prob: n.prob})
+		if n.feature >= 0 {
+			w.Nodes[idx].Left = walk(n.left)
+			w.Nodes[idx].Right = walk(n.right)
+		}
+		return idx
+	}
+	if root != nil {
+		walk(root)
+	}
+	return w
+}
+
+func unflatten(w treeWire) (*treeNode, error) {
+	if len(w.Nodes) == 0 {
+		return nil, fmt.Errorf("ml: decode forest: empty tree")
+	}
+	nodes := make([]treeNode, len(w.Nodes))
+	for i, nw := range w.Nodes {
+		nodes[i] = treeNode{feature: int(nw.Feature), prob: nw.Prob}
+		if nw.Feature >= 0 {
+			if nw.Left < 0 || int(nw.Left) >= len(nodes) || nw.Right < 0 || int(nw.Right) >= len(nodes) {
+				return nil, fmt.Errorf("ml: decode forest: node %d has invalid children", i)
+			}
+			nodes[i].left = &nodes[nw.Left]
+			nodes[i].right = &nodes[nw.Right]
+		}
+	}
+	return &nodes[0], nil
+}
+
+// GobEncode implements gob.GobEncoder.
+func (rf *RandomForest) GobEncode() ([]byte, error) {
+	if !rf.trained {
+		return nil, fmt.Errorf("ml: cannot encode untrained forest")
+	}
+	w := forestWire{Cfg: rf.cfg, Importance: rf.importance}
+	for _, tree := range rf.trees {
+		w.Trees = append(w.Trees, flatten(tree.root))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (rf *RandomForest) GobDecode(data []byte) error {
+	var w forestWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	if len(w.Trees) == 0 {
+		return fmt.Errorf("ml: decode forest: no trees")
+	}
+	rf.cfg = w.Cfg
+	rf.importance = w.Importance
+	rf.trees = rf.trees[:0]
+	for _, tw := range w.Trees {
+		root, err := unflatten(tw)
+		if err != nil {
+			return err
+		}
+		rf.trees = append(rf.trees, &CART{cfg: CARTConfig{}, trained: true, root: root})
+	}
+	rf.trained = true
+	return nil
+}

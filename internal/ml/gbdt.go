@@ -1,0 +1,212 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GBDTConfig configures gradient-boosted decision trees.
+type GBDTConfig struct {
+	Trees        int
+	Depth        int
+	LearningRate float64
+	MinLeaf      int
+	Seed         int64
+}
+
+// GBDT is gradient boosting with logistic loss: each round fits a shallow
+// least-squares regression tree to the negative gradient (residuals).
+type GBDT struct {
+	cfg     GBDTConfig
+	trained bool
+	bias    float64
+	trees   []*regTree
+}
+
+// NewGBDT returns an untrained booster.
+func NewGBDT(cfg GBDTConfig) *GBDT {
+	if cfg.Trees <= 0 {
+		cfg.Trees = 60
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 4
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.2
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 4
+	}
+	return &GBDT{cfg: cfg}
+}
+
+// Name implements Classifier.
+func (g *GBDT) Name() string { return "GBDT" }
+
+// Train implements Classifier.
+func (g *GBDT) Train(d *Dataset) error {
+	if err := checkTrainable(d); err != nil {
+		return err
+	}
+	n := d.Len()
+	pos := d.Positives()
+	p0 := float64(pos) / float64(n)
+	g.bias = math.Log(p0 / (1 - p0))
+
+	score := make([]float64, n)
+	for i := range score {
+		score[i] = g.bias
+	}
+	residual := make([]float64, n)
+	rng := rand.New(rand.NewSource(g.cfg.Seed))
+	mtry := d.NumFeatures
+	if mtry > 4096 {
+		// Feature subsampling keeps wide (50K-feature) boosting
+		// tractable without changing small-problem behaviour.
+		mtry = 4096
+	}
+
+	g.trees = g.trees[:0]
+	for round := 0; round < g.cfg.Trees; round++ {
+		for i := range residual {
+			y := 0.0
+			if d.Examples[i].Y {
+				y = 1
+			}
+			residual[i] = y - sigmoid(score[i])
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		tree := &regTree{depth: g.cfg.Depth, minLeaf: g.cfg.MinLeaf, mtry: mtry}
+		tree.root = tree.grow(d, idx, residual, 0, rng)
+		g.trees = append(g.trees, tree)
+		for i := range score {
+			score[i] += g.cfg.LearningRate * tree.predict(d.Examples[i].X)
+		}
+	}
+	g.trained = true
+	return nil
+}
+
+// Score implements Scorer (boosted logit).
+func (g *GBDT) Score(x Vector) float64 {
+	s := g.bias
+	for _, tree := range g.trees {
+		s += g.cfg.LearningRate * tree.predict(x)
+	}
+	return s
+}
+
+// Predict implements Classifier.
+func (g *GBDT) Predict(x Vector) bool {
+	if !g.trained {
+		return false
+	}
+	return g.Score(x) > 0
+}
+
+// regTree is a least-squares regression tree over binary features.
+type regTree struct {
+	depth   int
+	minLeaf int
+	mtry    int
+	root    *regNode
+}
+
+type regNode struct {
+	feature     int
+	left, right *regNode
+	value       float64
+}
+
+func (t *regTree) grow(d *Dataset, idx []int, target []float64, depth int, rng *rand.Rand) *regNode {
+	n := len(idx)
+	sum := 0.0
+	for _, i := range idx {
+		sum += target[i]
+	}
+	mean := sum / float64(n)
+	leaf := func() *regNode { return &regNode{feature: -1, value: mean} }
+	if depth >= t.depth || n < 2*t.minLeaf {
+		return leaf()
+	}
+
+	// Best split by squared-error reduction; for binary splits this is
+	// maximizing nL*nR/(nL+nR) * (meanL-meanR)^2.
+	bestFeature := -1
+	bestGain := 1e-12
+	var bestSumR float64
+	var bestNR int
+
+	candidates := t.candidates(d.NumFeatures, rng)
+	for _, f := range candidates {
+		sumR := 0.0
+		nR := 0
+		for _, i := range idx {
+			if d.Examples[i].X.Get(f) {
+				sumR += target[i]
+				nR++
+			}
+		}
+		nL := n - nR
+		if nR < t.minLeaf || nL < t.minLeaf {
+			continue
+		}
+		sumL := sum - sumR
+		meanR := sumR / float64(nR)
+		meanL := sumL / float64(nL)
+		gain := float64(nL) * float64(nR) / float64(n) * (meanL - meanR) * (meanL - meanR)
+		if gain > bestGain {
+			bestGain, bestFeature = gain, f
+			bestSumR, bestNR = sumR, nR
+		}
+	}
+	if bestFeature < 0 {
+		return leaf()
+	}
+	_ = bestSumR
+	_ = bestNR
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if d.Examples[i].X.Get(bestFeature) {
+			rightIdx = append(rightIdx, i)
+		} else {
+			leftIdx = append(leftIdx, i)
+		}
+	}
+	return &regNode{
+		feature: bestFeature,
+		left:    t.grow(d, leftIdx, target, depth+1, rng),
+		right:   t.grow(d, rightIdx, target, depth+1, rng),
+	}
+}
+
+func (t *regTree) candidates(numFeatures int, rng *rand.Rand) []int {
+	if t.mtry >= numFeatures {
+		all := make([]int, numFeatures)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	out := make([]int, t.mtry)
+	for i := range out {
+		out[i] = rng.Intn(numFeatures)
+	}
+	return out
+}
+
+func (t *regTree) predict(x Vector) float64 {
+	node := t.root
+	for node.feature >= 0 {
+		if x.Get(node.feature) {
+			node = node.right
+		} else {
+			node = node.left
+		}
+	}
+	return node.value
+}

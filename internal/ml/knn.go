@@ -1,0 +1,107 @@
+package ml
+
+// KNNDistance selects the dissimilarity measure.
+type KNNDistance uint8
+
+const (
+	// DistanceJaccard is 1 - |a∩b| / |a∪b|: robust to the asymmetric
+	// sparsity of One-Hot API vectors (a quiet app and a busy app
+	// should not look alike just because both leave most bits clear).
+	DistanceJaccard KNNDistance = iota
+	// DistanceHamming counts differing bits.
+	DistanceHamming
+)
+
+// KNNConfig configures the k-nearest-neighbour classifier.
+type KNNConfig struct {
+	// K is the neighbourhood size (odd values avoid vote ties).
+	K int
+	// Distance defaults to Jaccard.
+	Distance KNNDistance
+}
+
+// KNN is a k-nearest-neighbour classifier. Training is instantaneous (it
+// memorizes the set); the cost lands at prediction time, which is why its
+// Table-2 "training time" (train + evaluate) is large.
+type KNN struct {
+	cfg     KNNConfig
+	trained bool
+	train   []Example
+	ones    []int // cached popcounts of training vectors
+}
+
+// NewKNN returns an untrained kNN.
+func NewKNN(cfg KNNConfig) *KNN {
+	if cfg.K <= 0 {
+		cfg.K = 5
+	}
+	return &KNN{cfg: cfg}
+}
+
+// Name implements Classifier.
+func (k *KNN) Name() string { return "kNN" }
+
+// Train implements Classifier.
+func (k *KNN) Train(d *Dataset) error {
+	if err := checkTrainable(d); err != nil {
+		return err
+	}
+	k.train = d.Examples
+	k.ones = make([]int, len(d.Examples))
+	for i := range d.Examples {
+		k.ones[i] = d.Examples[i].X.Ones()
+	}
+	k.trained = true
+	return nil
+}
+
+// distance computes the configured dissimilarity to training example i.
+func (k *KNN) distance(x Vector, xOnes, i int) float64 {
+	if k.cfg.Distance == DistanceHamming {
+		return float64(x.Hamming(k.train[i].X))
+	}
+	dot := x.Dot(k.train[i].X)
+	union := xOnes + k.ones[i] - dot
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(dot)/float64(union)
+}
+
+// Predict implements Classifier: majority label among the K nearest
+// training examples (first-seen wins ties in distance).
+func (k *KNN) Predict(x Vector) bool {
+	if !k.trained {
+		return false
+	}
+	type hit struct {
+		dist float64
+		y    bool
+	}
+	xOnes := x.Ones()
+	// Small insertion-sorted buffer of the current K best.
+	best := make([]hit, 0, k.cfg.K)
+	worst := func() float64 { return best[len(best)-1].dist }
+	for i := range k.train {
+		d := k.distance(x, xOnes, i)
+		if len(best) == k.cfg.K && d >= worst() {
+			continue
+		}
+		h := hit{d, k.train[i].Y}
+		if len(best) < k.cfg.K {
+			best = append(best, h)
+		} else {
+			best[len(best)-1] = h
+		}
+		for j := len(best) - 1; j > 0 && best[j].dist < best[j-1].dist; j-- {
+			best[j], best[j-1] = best[j-1], best[j]
+		}
+	}
+	votes := 0
+	for _, h := range best {
+		if h.y {
+			votes++
+		}
+	}
+	return votes*2 > len(best)
+}

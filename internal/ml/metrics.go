@@ -1,0 +1,86 @@
+package ml
+
+import "fmt"
+
+// Confusion is a binary confusion matrix ("positive" = malicious).
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Observe records one prediction.
+func (c *Confusion) Observe(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && !actual:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Add merges another matrix.
+func (c *Confusion) Add(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.TN += o.TN
+	c.FN += o.FN
+}
+
+// Precision = TP / (TP + FP) (§4.2).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall = TP / (TP + FN).
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall (§4.5).
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy = (TP + TN) / total.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// FalsePositiveRate = FP / (FP + TN).
+func (c Confusion) FalsePositiveRate() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+func (c Confusion) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f (tp=%d fp=%d tn=%d fn=%d)",
+		c.Precision(), c.Recall(), c.F1(), c.TP, c.FP, c.TN, c.FN)
+}
+
+// Evaluate runs a trained classifier over a dataset.
+func Evaluate(c Classifier, d *Dataset) Confusion {
+	var m Confusion
+	for i := range d.Examples {
+		m.Observe(c.Predict(d.Examples[i].X), d.Examples[i].Y)
+	}
+	return m
+}

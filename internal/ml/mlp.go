@@ -1,0 +1,205 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLPConfig configures a multi-layer perceptron. The paper's "ANN" is a
+// single hidden layer; "DNN" stacks several.
+type MLPConfig struct {
+	Hidden       []int
+	Epochs       int
+	LearningRate float64
+	Seed         int64
+}
+
+// MLP is a feed-forward network with ReLU hidden layers and a sigmoid
+// output, trained with SGD on cross-entropy loss. The first layer exploits
+// input sparsity: only columns of set bits are touched.
+type MLP struct {
+	name    string
+	cfg     MLPConfig
+	trained bool
+
+	// w[l][j][i] is the weight from unit i of layer l to unit j of
+	// layer l+1; layer 0 is the input.
+	w [][][]float64
+	b [][]float64
+
+	sizes []int // layer sizes including input and output
+}
+
+// NewMLP returns an untrained network.
+func NewMLP(name string, cfg MLPConfig) *MLP {
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = []int{32}
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 25
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.05
+	}
+	return &MLP{name: name, cfg: cfg}
+}
+
+// Name implements Classifier.
+func (m *MLP) Name() string { return m.name }
+
+// Train implements Classifier.
+func (m *MLP) Train(d *Dataset) error {
+	if err := checkTrainable(d); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	m.sizes = append(append([]int{d.NumFeatures}, m.cfg.Hidden...), 1)
+	nLayers := len(m.sizes) - 1
+	m.w = make([][][]float64, nLayers)
+	m.b = make([][]float64, nLayers)
+	for l := 0; l < nLayers; l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		scale := math.Sqrt(2 / float64(in))
+		if l == 0 {
+			// Sparse binary input: scale by expected active bits,
+			// not full width.
+			scale = 0.05
+		}
+		m.w[l] = make([][]float64, out)
+		for j := range m.w[l] {
+			m.w[l][j] = make([]float64, in)
+			for i := range m.w[l][j] {
+				m.w[l][j][i] = rng.NormFloat64() * scale
+			}
+		}
+		m.b[l] = make([]float64, out)
+	}
+
+	n := d.Len()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Pre-allocated activation and delta buffers.
+	acts := make([][]float64, nLayers)
+	deltas := make([][]float64, nLayers)
+	for l := 0; l < nLayers; l++ {
+		acts[l] = make([]float64, m.sizes[l+1])
+		deltas[l] = make([]float64, m.sizes[l+1])
+	}
+
+	eta := m.cfg.LearningRate
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			ex := &d.Examples[i]
+			m.forward(ex.X, acts)
+			p := acts[nLayers-1][0]
+			y := 0.0
+			if ex.Y {
+				y = 1
+			}
+			// Output delta for sigmoid + cross-entropy.
+			deltas[nLayers-1][0] = p - y
+			// Hidden deltas (ReLU derivative).
+			for l := nLayers - 2; l >= 0; l-- {
+				for j := 0; j < m.sizes[l+1]; j++ {
+					if acts[l][j] <= 0 {
+						deltas[l][j] = 0
+						continue
+					}
+					sum := 0.0
+					for k := 0; k < m.sizes[l+2]; k++ {
+						sum += deltas[l+1][k] * m.w[l+1][k][j]
+					}
+					deltas[l][j] = sum
+				}
+			}
+			// Dense updates for layers >= 1.
+			for l := nLayers - 1; l >= 1; l-- {
+				for j := 0; j < m.sizes[l+1]; j++ {
+					g := eta * deltas[l][j]
+					if g == 0 {
+						continue
+					}
+					row := m.w[l][j]
+					prev := acts[l-1]
+					for i2 := range row {
+						row[i2] -= g * prev[i2]
+					}
+					m.b[l][j] -= g
+				}
+			}
+			// Sparse update for the input layer.
+			for j := 0; j < m.sizes[1]; j++ {
+				g := eta * deltas[0][j]
+				if g == 0 {
+					continue
+				}
+				row := m.w[0][j]
+				ex.X.ForEachSet(func(f int) { row[f] -= g })
+				m.b[0][j] -= g
+			}
+		}
+		eta *= 0.93
+	}
+	m.trained = true
+	return nil
+}
+
+// forward fills the activation buffers; hidden layers use ReLU, the output
+// a sigmoid.
+func (m *MLP) forward(x Vector, acts [][]float64) {
+	nLayers := len(m.sizes) - 1
+	for j := 0; j < m.sizes[1]; j++ {
+		sum := m.b[0][j]
+		row := m.w[0][j]
+		x.ForEachSet(func(f int) { sum += row[f] })
+		if nLayers == 1 {
+			acts[0][j] = sigmoid(sum)
+		} else {
+			acts[0][j] = relu(sum)
+		}
+	}
+	for l := 1; l < nLayers; l++ {
+		prev := acts[l-1]
+		for j := 0; j < m.sizes[l+1]; j++ {
+			sum := m.b[l][j]
+			row := m.w[l][j]
+			for i := range row {
+				sum += row[i] * prev[i]
+			}
+			if l == nLayers-1 {
+				acts[l][j] = sigmoid(sum)
+			} else {
+				acts[l][j] = relu(sum)
+			}
+		}
+	}
+}
+
+func relu(z float64) float64 {
+	if z < 0 {
+		return 0
+	}
+	return z
+}
+
+// Score implements Scorer (probability minus threshold).
+func (m *MLP) Score(x Vector) float64 {
+	nLayers := len(m.sizes) - 1
+	acts := make([][]float64, nLayers)
+	for l := 0; l < nLayers; l++ {
+		acts[l] = make([]float64, m.sizes[l+1])
+	}
+	m.forward(x, acts)
+	return acts[nLayers-1][0] - 0.5
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(x Vector) bool {
+	if !m.trained {
+		return false
+	}
+	return m.Score(x) > 0
+}

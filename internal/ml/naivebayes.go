@@ -1,0 +1,58 @@
+package ml
+
+import "math"
+
+// NaiveBayes is a Bernoulli naive Bayes classifier with Laplace smoothing.
+// Prediction cost is O(set bits): the all-bits-clear baseline score is
+// precomputed and each set bit contributes a delta.
+type NaiveBayes struct {
+	trained bool
+	base    float64   // prior + sum of log((1-p1)/(1-p0)) over all features
+	delta   []float64 // per-feature score change when the bit is set
+}
+
+// NewNaiveBayes returns an untrained Bernoulli NB.
+func NewNaiveBayes() *NaiveBayes { return &NaiveBayes{} }
+
+// Name implements Classifier.
+func (nb *NaiveBayes) Name() string { return "Naive Bayes" }
+
+// Train implements Classifier.
+func (nb *NaiveBayes) Train(d *Dataset) error {
+	if err := checkTrainable(d); err != nil {
+		return err
+	}
+	pos, neg := d.FeatureCounts()
+	nPos := d.Positives()
+	nNeg := d.Len() - nPos
+
+	nb.base = math.Log(float64(nPos) / float64(nNeg))
+	nb.delta = make([]float64, d.NumFeatures)
+	for f := 0; f < d.NumFeatures; f++ {
+		p1 := (float64(pos[f]) + 1) / (float64(nPos) + 2) // P(bit|malicious)
+		p0 := (float64(neg[f]) + 1) / (float64(nNeg) + 2) // P(bit|benign)
+		nb.base += math.Log((1 - p1) / (1 - p0))
+		nb.delta[f] = math.Log(p1/(1-p1)) - math.Log(p0/(1-p0))
+	}
+	nb.trained = true
+	return nil
+}
+
+// Score implements Scorer (log-odds of malice).
+func (nb *NaiveBayes) Score(x Vector) float64 {
+	s := nb.base
+	x.ForEachSet(func(f int) {
+		if f < len(nb.delta) {
+			s += nb.delta[f]
+		}
+	})
+	return s
+}
+
+// Predict implements Classifier.
+func (nb *NaiveBayes) Predict(x Vector) bool {
+	if !nb.trained {
+		return false
+	}
+	return nb.Score(x) > 0
+}

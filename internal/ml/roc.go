@@ -1,0 +1,124 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ROCPoint is one operating point of a scored classifier.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64 // recall
+	FPR       float64
+}
+
+// ROC computes the ROC curve of a Scorer over a dataset, sorted by
+// ascending FPR. The curve always includes the (0,0) and (1,1) corners.
+func ROC(s Scorer, d *Dataset) []ROCPoint {
+	type scored struct {
+		score float64
+		y     bool
+	}
+	items := make([]scored, d.Len())
+	pos, neg := 0, 0
+	for i := range d.Examples {
+		items[i] = scored{s.Score(d.Examples[i].X), d.Examples[i].Y}
+		if d.Examples[i].Y {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].score > items[j].score })
+
+	var curve []ROCPoint
+	tp, fp := 0, 0
+	curve = append(curve, ROCPoint{Threshold: items[0].score + 1, TPR: 0, FPR: 0})
+	for i := 0; i < len(items); {
+		j := i
+		for j < len(items) && items[j].score == items[i].score {
+			if items[j].y {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		curve = append(curve, ROCPoint{
+			Threshold: items[i].score,
+			TPR:       float64(tp) / float64(pos),
+			FPR:       float64(fp) / float64(neg),
+		})
+		i = j
+	}
+	return curve
+}
+
+// AUC computes the area under an ROC curve by trapezoidal integration.
+func AUC(curve []ROCPoint) float64 {
+	if len(curve) < 2 {
+		return 0
+	}
+	area := 0.0
+	for i := 1; i < len(curve); i++ {
+		area += (curve[i].FPR - curve[i-1].FPR) * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}
+
+// ThresholdForPrecision returns the lowest score threshold achieving at
+// least the target precision on the calibration set, maximizing recall
+// under that constraint — the §5.2 policy of actively avoiding false
+// positives while conceding some false negatives. It fails when no
+// threshold reaches the target.
+func ThresholdForPrecision(s Scorer, d *Dataset, target float64) (float64, error) {
+	if target <= 0 || target > 1 {
+		return 0, fmt.Errorf("ml: target precision %f out of (0,1]", target)
+	}
+	type scored struct {
+		score float64
+		y     bool
+	}
+	items := make([]scored, d.Len())
+	for i := range d.Examples {
+		items[i] = scored{s.Score(d.Examples[i].X), d.Examples[i].Y}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].score > items[j].score })
+
+	best := 0.0
+	found := false
+	tp, fp := 0, 0
+	for i := 0; i < len(items); {
+		j := i
+		for j < len(items) && items[j].score == items[i].score {
+			if items[j].y {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		if tp > 0 && float64(tp)/float64(tp+fp) >= target {
+			best = items[i].score
+			found = true
+		}
+		i = j
+	}
+	if !found {
+		return 0, fmt.Errorf("ml: no threshold reaches precision %.3f", target)
+	}
+	return best, nil
+}
+
+// EvaluateAt evaluates a scorer at an explicit decision threshold
+// (score >= threshold ⇒ malicious).
+func EvaluateAt(s Scorer, d *Dataset, threshold float64) Confusion {
+	var m Confusion
+	for i := range d.Examples {
+		m.Observe(s.Score(d.Examples[i].X) >= threshold, d.Examples[i].Y)
+	}
+	return m
+}

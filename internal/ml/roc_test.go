@@ -1,0 +1,104 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func trainedScorer(t *testing.T) (Scorer, *Dataset) {
+	t.Helper()
+	full := syntheticDataset(800, 100, 17)
+	train, test := full.Split(0.7, 3)
+	rf := NewRandomForest(DefaultForestConfig(5))
+	if err := rf.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	return rf, test
+}
+
+func TestROCAndAUC(t *testing.T) {
+	s, test := trainedScorer(t)
+	curve := ROC(s, test)
+	if len(curve) < 3 {
+		t.Fatalf("curve points = %d", len(curve))
+	}
+	// Monotone in both axes, ends at (1,1).
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR {
+			t.Fatal("ROC not monotone")
+		}
+	}
+	last := curve[len(curve)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("curve end = %+v", last)
+	}
+	auc := AUC(curve)
+	if auc < 0.9 || auc > 1.0000001 {
+		t.Errorf("AUC = %.3f, want near 1 on a learnable problem", auc)
+	}
+}
+
+func TestAUCKnownValues(t *testing.T) {
+	// Perfect ranking.
+	perfect := []ROCPoint{{TPR: 0, FPR: 0}, {TPR: 1, FPR: 0}, {TPR: 1, FPR: 1}}
+	if got := AUC(perfect); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect AUC = %f", got)
+	}
+	// Chance diagonal.
+	chance := []ROCPoint{{TPR: 0, FPR: 0}, {TPR: 1, FPR: 1}}
+	if got := AUC(chance); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("chance AUC = %f", got)
+	}
+	if AUC(nil) != 0 {
+		t.Error("empty AUC")
+	}
+}
+
+func TestROCDegenerate(t *testing.T) {
+	d := NewDataset(8)
+	for i := 0; i < 5; i++ {
+		_ = d.Add(NewVector(8), false)
+	}
+	if ROC(NewNaiveBayes(), d) != nil {
+		t.Error("single-class ROC not nil")
+	}
+}
+
+func TestThresholdForPrecision(t *testing.T) {
+	s, test := trainedScorer(t)
+	// Default threshold as reference.
+	base := EvaluateAt(s, test, 0)
+
+	thr, err := ThresholdForPrecision(s, test, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict := EvaluateAt(s, test, thr)
+	if strict.Precision() < 0.99 {
+		t.Errorf("calibrated precision = %.3f", strict.Precision())
+	}
+	// The FP-avoidance policy trades recall for precision.
+	if strict.Precision() < base.Precision()-1e-9 {
+		t.Errorf("calibrated precision %.3f below default %.3f", strict.Precision(), base.Precision())
+	}
+	if _, err := ThresholdForPrecision(s, test, 1.5); err == nil {
+		t.Error("absurd target accepted")
+	}
+}
+
+func TestThresholdUnreachable(t *testing.T) {
+	// A scorer that ranks everything identically cannot reach high
+	// precision when negatives exist at the top score.
+	d := NewDataset(4)
+	v1 := NewVector(4)
+	v1.Set(0)
+	_ = d.Add(v1, true)
+	_ = d.Add(v1.Clone(), false)
+	nb := NewNaiveBayes()
+	if err := nb.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ThresholdForPrecision(nb, d, 0.999); err == nil {
+		t.Error("unreachable precision target accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package ml
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSVMScalesQuadratically demonstrates why Table 2's SVM training time
+// dwarfs everything at market scale: kernel-SVM cost grows ~quadratically
+// with the corpus while random-forest cost grows ~linearly. At 500K apps
+// the paper measures ~27K minutes vs 29 minutes.
+func TestSVMScalesQuadratically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling probe in -short mode")
+	}
+	timeTrain := func(c Classifier, n int) time.Duration {
+		d := syntheticDataset(n, 200, 5)
+		start := time.Now()
+		if err := c.Train(d); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	// Median of 3 to damp scheduler noise.
+	med := func(f func() time.Duration) time.Duration {
+		a, b, c := f(), f(), f()
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b = c
+		}
+		if a > b {
+			b = a
+		}
+		return b
+	}
+
+	svmSmall := med(func() time.Duration { return timeTrain(NewSVM(SVMConfig{Epochs: 8, Gamma: 0.05, Seed: 1}), 400) })
+	svmBig := med(func() time.Duration { return timeTrain(NewSVM(SVMConfig{Epochs: 8, Gamma: 0.05, Seed: 1}), 1600) })
+	rfSmall := med(func() time.Duration {
+		return timeTrain(NewRandomForest(ForestConfig{Trees: 40, MaxDepth: 12, Seed: 1}), 400)
+	})
+	rfBig := med(func() time.Duration {
+		return timeTrain(NewRandomForest(ForestConfig{Trees: 40, MaxDepth: 12, Seed: 1}), 1600)
+	})
+
+	svmGrowth := float64(svmBig) / float64(svmSmall)
+	rfGrowth := float64(rfBig) / float64(rfSmall)
+	t.Logf("4x corpus: SVM grew %.1fx (%v -> %v), RF grew %.1fx (%v -> %v)",
+		svmGrowth, svmSmall, svmBig, rfGrowth, rfSmall, rfBig)
+	// 4x data: quadratic ⇒ ~16x; allow slack but demand clearly
+	// superlinear SVM growth and clearly milder RF growth.
+	if svmGrowth < 6 {
+		t.Errorf("SVM growth %.1fx not clearly quadratic", svmGrowth)
+	}
+	if rfGrowth > svmGrowth/1.5 {
+		t.Errorf("RF growth %.1fx not clearly milder than SVM %.1fx", rfGrowth, svmGrowth)
+	}
+}

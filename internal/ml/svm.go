@@ -1,0 +1,203 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SVMConfig configures the kernel SVM.
+type SVMConfig struct {
+	// C caps the dual coefficients (soft margin).
+	C float64
+	// Gamma is the RBF bandwidth over Hamming distance. Zero selects an
+	// adaptive bandwidth of 1/median-pairwise-Hamming estimated from
+	// the training set, which keeps the kernel informative across
+	// feature-space widths (a fixed gamma underflows to the identity
+	// kernel on wide sparse vectors).
+	Gamma float64
+	// Epochs of dual coordinate updates over the training set.
+	Epochs int
+	Seed   int64
+
+	// CacheLimit is the maximum training-set size for which the full
+	// kernel matrix is cached (float32). Defaults to 4096.
+	CacheLimit int
+}
+
+// SVM is a soft-margin kernel SVM with an RBF kernel over Hamming distance
+// (exp(-gamma * hamming(x, y)), a valid exponential kernel for binary
+// vectors), trained by kernel-adatron style dual coordinate ascent.
+//
+// Training cost is quadratic in the number of examples — the same reason
+// Table 2's SVM row dwarfs every other training time.
+type SVM struct {
+	cfg     SVMConfig
+	trained bool
+	gamma   float64 // resolved bandwidth (cfg.Gamma or adaptive)
+
+	support []Example
+	alphaY  []float64 // alpha_i * y_i for the retained support vectors
+	bias    float64
+}
+
+// NewSVM returns an untrained SVM.
+func NewSVM(cfg SVMConfig) *SVM {
+	if cfg.C <= 0 {
+		cfg.C = 1
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 12
+	}
+	if cfg.CacheLimit <= 0 {
+		cfg.CacheLimit = 4096
+	}
+	return &SVM{cfg: cfg}
+}
+
+// Name implements Classifier.
+func (s *SVM) Name() string { return "SVM" }
+
+// kernel evaluates the RBF-over-Hamming kernel.
+func (s *SVM) kernel(a, b Vector) float64 {
+	return math.Exp(-s.gamma * float64(a.Hamming(b)))
+}
+
+// resolveGamma picks the bandwidth: configured, or adaptive from the
+// median pairwise Hamming distance of a training sample.
+func (s *SVM) resolveGamma(d *Dataset) {
+	if s.cfg.Gamma > 0 {
+		s.gamma = s.cfg.Gamma
+		return
+	}
+	sample := d.Len()
+	if sample > 128 {
+		sample = 128
+	}
+	var dists []int
+	for i := 0; i < sample; i++ {
+		for j := i + 1; j < sample; j++ {
+			dists = append(dists, d.Examples[i].X.Hamming(d.Examples[j].X))
+		}
+	}
+	median := 1
+	if len(dists) > 0 {
+		sort.Ints(dists)
+		median = dists[len(dists)/2]
+		if median < 1 {
+			median = 1
+		}
+	}
+	s.gamma = 1 / float64(median)
+}
+
+// Train implements Classifier.
+func (s *SVM) Train(d *Dataset) error {
+	if err := checkTrainable(d); err != nil {
+		return err
+	}
+	s.resolveGamma(d)
+	n := d.Len()
+	y := make([]float64, n)
+	for i := range y {
+		if d.Examples[i].Y {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+
+	// Kernel cache (float32) when the problem fits.
+	var cache []float32
+	if n <= s.cfg.CacheLimit {
+		cache = make([]float32, n*n)
+		for i := 0; i < n; i++ {
+			cache[i*n+i] = 1
+			for j := i + 1; j < n; j++ {
+				k := float32(s.kernel(d.Examples[i].X, d.Examples[j].X))
+				cache[i*n+j] = k
+				cache[j*n+i] = k
+			}
+		}
+	}
+	kval := func(i, j int) float64 {
+		if cache != nil {
+			return float64(cache[i*n+j])
+		}
+		return s.kernel(d.Examples[i].X, d.Examples[j].X)
+	}
+
+	alpha := make([]float64, n)
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	lr := 1.0
+	for epoch := 0; epoch < s.cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			f := 0.0
+			for j := 0; j < n; j++ {
+				if alpha[j] != 0 {
+					f += alpha[j] * y[j] * kval(i, j)
+				}
+			}
+			// Adatron update: push margin toward 1.
+			alpha[i] += lr * (1 - y[i]*f)
+			if alpha[i] < 0 {
+				alpha[i] = 0
+			}
+			if alpha[i] > s.cfg.C {
+				alpha[i] = s.cfg.C
+			}
+		}
+		lr *= 0.9
+	}
+
+	// Bias: average margin error over margin support vectors.
+	biasSum, biasN := 0.0, 0
+	for i := 0; i < n; i++ {
+		if alpha[i] > 1e-9 && alpha[i] < s.cfg.C-1e-9 {
+			f := 0.0
+			for j := 0; j < n; j++ {
+				if alpha[j] != 0 {
+					f += alpha[j] * y[j] * kval(i, j)
+				}
+			}
+			biasSum += y[i] - f
+			biasN++
+		}
+	}
+	if biasN > 0 {
+		s.bias = biasSum / float64(biasN)
+	}
+
+	s.support = s.support[:0]
+	s.alphaY = s.alphaY[:0]
+	for i := 0; i < n; i++ {
+		if alpha[i] > 1e-9 {
+			s.support = append(s.support, d.Examples[i])
+			s.alphaY = append(s.alphaY, alpha[i]*y[i])
+		}
+	}
+	s.trained = true
+	return nil
+}
+
+// Score implements Scorer (signed margin).
+func (s *SVM) Score(x Vector) float64 {
+	f := s.bias
+	for i := range s.support {
+		f += s.alphaY[i] * s.kernel(x, s.support[i].X)
+	}
+	return f
+}
+
+// Predict implements Classifier.
+func (s *SVM) Predict(x Vector) bool {
+	if !s.trained {
+		return false
+	}
+	return s.Score(x) > 0
+}

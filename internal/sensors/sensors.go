@@ -1,0 +1,200 @@
+// Package sensors implements the sensor-trace replay behind the emulator
+// hardening's third improvement (§4.2): real smartphones continuously emit
+// accelerometer/gyroscope readings with characteristic noise, gravity, and
+// motion micro-structure, while stock emulators return constant or zero
+// streams — an easy tell for emulator-detecting malware.
+//
+// Traces are generated once from recordings of "real devices" (here: a
+// calibrated synthetic model of resting/handling motion) and replayed into
+// the emulated sensor HAL. A replay must be realistic under the checks
+// malware actually runs: non-constant output, gravity-magnitude
+// plausibility, and bounded jerk.
+package sensors
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Kind is a sensor type.
+type Kind uint8
+
+const (
+	// Accelerometer measures m/s² including gravity.
+	Accelerometer Kind = iota
+	// Gyroscope measures rad/s.
+	Gyroscope
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Accelerometer:
+		return "accelerometer"
+	case Gyroscope:
+		return "gyroscope"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// gravity is standard gravity in m/s².
+const gravity = 9.80665
+
+// Sample is one 3-axis reading.
+type Sample struct {
+	X, Y, Z float64
+	// TimestampMs is milliseconds since trace start.
+	TimestampMs int64
+}
+
+// Magnitude returns the Euclidean norm.
+func (s Sample) Magnitude() float64 {
+	return math.Sqrt(s.X*s.X + s.Y*s.Y + s.Z*s.Z)
+}
+
+// Trace is a recorded sensor stream at a fixed rate.
+type Trace struct {
+	Kind    Kind
+	RateHz  int
+	Samples []Sample
+}
+
+// Duration returns the trace length in milliseconds.
+func (t *Trace) Duration() int64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	return t.Samples[len(t.Samples)-1].TimestampMs
+}
+
+// Record synthesizes a trace the way the paper collects them from a fleet
+// of real handsets: a resting pose with gravity on a tilted axis, sensor
+// noise, slow drift as the holder's hand moves, and occasional micro-jolts.
+func Record(kind Kind, rateHz int, durationMs int64, seed int64) (*Trace, error) {
+	if rateHz <= 0 || rateHz > 1000 {
+		return nil, fmt.Errorf("sensors: rate %d Hz out of range", rateHz)
+	}
+	if durationMs <= 0 {
+		return nil, fmt.Errorf("sensors: duration %d ms must be positive", durationMs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{Kind: kind, RateHz: rateHz}
+	stepMs := int64(1000 / rateHz)
+	if stepMs == 0 {
+		stepMs = 1
+	}
+
+	// Resting orientation: gravity split across axes by a random tilt.
+	theta := rng.Float64() * math.Pi / 3 // up to 60° tilt
+	phi := rng.Float64() * 2 * math.Pi
+	gx := gravity * math.Sin(theta) * math.Cos(phi)
+	gy := gravity * math.Sin(theta) * math.Sin(phi)
+	gz := gravity * math.Cos(theta)
+
+	// Slow hand drift (random walk) plus white noise.
+	var dx, dy, dz float64
+	noise := 0.03
+	drift := 0.004
+	if kind == Gyroscope {
+		gx, gy, gz = 0, 0, 0 // gyros read ~0 at rest
+		noise = 0.01
+		drift = 0.002
+	}
+
+	for ts := int64(0); ts <= durationMs; ts += stepMs {
+		dx += rng.NormFloat64() * drift
+		dy += rng.NormFloat64() * drift
+		dz += rng.NormFloat64() * drift
+		s := Sample{
+			X:           gx + dx + rng.NormFloat64()*noise,
+			Y:           gy + dy + rng.NormFloat64()*noise,
+			Z:           gz + dz + rng.NormFloat64()*noise,
+			TimestampMs: ts,
+		}
+		// Occasional micro-jolt (picking up / tapping the phone).
+		if rng.Float64() < 0.002 {
+			s.X += rng.NormFloat64() * 0.8
+			s.Y += rng.NormFloat64() * 0.8
+			s.Z += rng.NormFloat64() * 0.8
+		}
+		tr.Samples = append(tr.Samples, s)
+	}
+	return tr, nil
+}
+
+// Replayer feeds a trace into the emulated sensor HAL, looping seamlessly.
+type Replayer struct {
+	trace *Trace
+	pos   int
+}
+
+// NewReplayer wraps a trace; it must be non-empty.
+func NewReplayer(tr *Trace) (*Replayer, error) {
+	if tr == nil || len(tr.Samples) == 0 {
+		return nil, fmt.Errorf("sensors: empty trace")
+	}
+	return &Replayer{trace: tr}, nil
+}
+
+// Next returns the next reading, looping at the end.
+func (r *Replayer) Next() Sample {
+	s := r.trace.Samples[r.pos]
+	r.pos = (r.pos + 1) % len(r.trace.Samples)
+	return s
+}
+
+// Take returns the next n readings.
+func (r *Replayer) Take(n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = r.Next()
+	}
+	return out
+}
+
+// LooksReal runs the checks emulator-detecting malware uses against a
+// sensor window (§4.2): constant or all-zero streams, implausible gravity,
+// and physically impossible jerk all give an emulator away.
+func LooksReal(kind Kind, window []Sample) bool {
+	if len(window) < 8 {
+		return false
+	}
+	// 1. Variance: real sensors are never bit-identical across a window.
+	distinct := make(map[[3]float64]bool)
+	for _, s := range window {
+		distinct[[3]float64{s.X, s.Y, s.Z}] = true
+	}
+	if len(distinct) < len(window)/4 {
+		return false
+	}
+	if kind == Accelerometer {
+		// 2. Gravity magnitude plausibility at rest-ish.
+		var mean float64
+		for _, s := range window {
+			mean += s.Magnitude()
+		}
+		mean /= float64(len(window))
+		if mean < 0.5*gravity || mean > 2*gravity {
+			return false
+		}
+	}
+	// 3. Bounded jerk: consecutive readings cannot teleport.
+	for i := 1; i < len(window); i++ {
+		d := math.Abs(window[i].X-window[i-1].X) +
+			math.Abs(window[i].Y-window[i-1].Y) +
+			math.Abs(window[i].Z-window[i-1].Z)
+		if d > 6*gravity {
+			return false
+		}
+	}
+	return true
+}
+
+// StockEmulatorStream is what an unhardened emulator reports: zeros.
+func StockEmulatorStream(n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		out[i].TimestampMs = int64(i) * 20
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordValidation(t *testing.T) {
+	if _, err := Record(Accelerometer, 0, 1000, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Record(Accelerometer, 2000, 1000, 1); err == nil {
+		t.Error("absurd rate accepted")
+	}
+	if _, err := Record(Gyroscope, 50, 0, 1); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestRecordedTraceShape(t *testing.T) {
+	tr, err := Record(Accelerometer, 50, 10000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.RateHz != 50 || tr.Kind != Accelerometer {
+		t.Errorf("trace header %+v", tr)
+	}
+	wantSamples := 10000/(1000/50) + 1
+	if len(tr.Samples) != wantSamples {
+		t.Errorf("samples = %d, want %d", len(tr.Samples), wantSamples)
+	}
+	if tr.Duration() != 10000 {
+		t.Errorf("duration = %d", tr.Duration())
+	}
+	// Timestamps strictly increase at the configured rate.
+	for i := 1; i < len(tr.Samples); i++ {
+		if tr.Samples[i].TimestampMs <= tr.Samples[i-1].TimestampMs {
+			t.Fatal("timestamps not increasing")
+		}
+	}
+	// Mean magnitude near gravity.
+	var mean float64
+	for _, s := range tr.Samples {
+		mean += s.Magnitude()
+	}
+	mean /= float64(len(tr.Samples))
+	if math.Abs(mean-gravity) > 1.5 {
+		t.Errorf("mean magnitude = %.2f, want ≈ g", mean)
+	}
+}
+
+func TestGyroTraceRestsNearZero(t *testing.T) {
+	tr, err := Record(Gyroscope, 100, 5000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, s := range tr.Samples {
+		mean += s.Magnitude()
+	}
+	mean /= float64(len(tr.Samples))
+	if mean > 1.0 {
+		t.Errorf("resting gyro magnitude = %.3f", mean)
+	}
+}
+
+func TestReplayerLoops(t *testing.T) {
+	tr, err := Record(Accelerometer, 50, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReplayer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(tr.Samples)
+	first := r.Take(n)
+	second := r.Take(n)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("replay loop not seamless")
+		}
+	}
+	if _, err := NewReplayer(&Trace{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+// The headline property: replayed traces pass malware's emulator checks;
+// stock emulator streams fail them.
+func TestReplayDefeatsSensorProbes(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, err := Record(Accelerometer, 50, 4000, seed)
+		if err != nil {
+			return false
+		}
+		r, err := NewReplayer(tr)
+		if err != nil {
+			return false
+		}
+		return LooksReal(Accelerometer, r.Take(100))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+	if LooksReal(Accelerometer, StockEmulatorStream(100)) {
+		t.Error("stock emulator stream passed the realism probe")
+	}
+	if LooksReal(Accelerometer, nil) {
+		t.Error("empty window passed")
+	}
+}
+
+func TestLooksRealRejectsTeleports(t *testing.T) {
+	tr, err := Record(Accelerometer, 50, 4000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := append([]Sample(nil), tr.Samples[:50]...)
+	window[25].X += 1000 // physically impossible jump
+	if LooksReal(Accelerometer, window) {
+		t.Error("teleporting stream passed")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Accelerometer.String() != "accelerometer" || Gyroscope.String() != "gyroscope" {
+		t.Error("kind names wrong")
+	}
+}

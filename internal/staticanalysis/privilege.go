@@ -1,0 +1,59 @@
+package staticanalysis
+
+import (
+	"sort"
+
+	"apichecker/internal/framework"
+)
+
+// PrivilegeReport is a Stowaway-style over-privilege analysis (the paper's
+// [15]): requested permissions compared against the permissions the app's
+// statically visible API references actually need. Permissions requested
+// but backed by no visible API use are "unjustified" — either dead weight,
+// or cover for behaviour hidden behind reflection and dynamic loading,
+// which is why malware manifests skew heavily over-privileged.
+type PrivilegeReport struct {
+	// Requested permissions, from the manifest.
+	Requested []framework.PermissionID
+	// Justified: requested and needed by some statically referenced API.
+	Justified []framework.PermissionID
+	// Unjustified: requested with no visible API needing them.
+	Unjustified []framework.PermissionID
+	// UnjustifiedRestrictive counts unjustified dangerous/signature
+	// permissions — the threatening kind.
+	UnjustifiedRestrictive int
+}
+
+// OverPrivilegeRatio is |unjustified| / |requested| (0 for permissionless
+// apps).
+func (p *PrivilegeReport) OverPrivilegeRatio() float64 {
+	if len(p.Requested) == 0 {
+		return 0
+	}
+	return float64(len(p.Unjustified)) / float64(len(p.Requested))
+}
+
+// AnalyzePrivilege builds the permission map comparison for a static
+// report.
+func AnalyzePrivilege(r *Report, u *framework.Universe) *PrivilegeReport {
+	needed := make(map[framework.PermissionID]bool)
+	for _, id := range r.DirectAPIs {
+		if perm := u.API(id).Permission; perm != framework.NoPermission {
+			needed[perm] = true
+		}
+	}
+	out := &PrivilegeReport{Requested: append([]framework.PermissionID(nil), r.Permissions...)}
+	for _, perm := range out.Requested {
+		if needed[perm] {
+			out.Justified = append(out.Justified, perm)
+			continue
+		}
+		out.Unjustified = append(out.Unjustified, perm)
+		if u.Permission(perm).Level.Restrictive() {
+			out.UnjustifiedRestrictive++
+		}
+	}
+	sort.Slice(out.Justified, func(i, j int) bool { return out.Justified[i] < out.Justified[j] })
+	sort.Slice(out.Unjustified, func(i, j int) bool { return out.Unjustified[i] < out.Unjustified[j] })
+	return out
+}

@@ -1,0 +1,66 @@
+package staticanalysis
+
+import (
+	"testing"
+
+	"apichecker/internal/apk"
+	"apichecker/internal/behavior"
+	"apichecker/internal/framework"
+)
+
+func privilegeOf(t *testing.T, seed int64, label behavior.Label, fam behavior.Family) *PrivilegeReport {
+	t.Helper()
+	p := testGen.Generate(behavior.Spec{
+		PackageName: "com.priv.test", Version: 1, Seed: seed,
+		Label: label, Family: fam, Category: behavior.CategoryFinance,
+	})
+	_, parsed, err := apk.BuildAndParse(p, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Analyze(parsed, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return AnalyzePrivilege(r, testU)
+}
+
+func TestPrivilegePartition(t *testing.T) {
+	pr := privilegeOf(t, 1, behavior.Benign, behavior.FamilyNone)
+	if len(pr.Justified)+len(pr.Unjustified) != len(pr.Requested) {
+		t.Errorf("partition broken: %d + %d != %d",
+			len(pr.Justified), len(pr.Unjustified), len(pr.Requested))
+	}
+	ratio := pr.OverPrivilegeRatio()
+	if ratio < 0 || ratio > 1 {
+		t.Errorf("ratio = %f", ratio)
+	}
+	seen := map[framework.PermissionID]bool{}
+	for _, id := range append(append([]framework.PermissionID{}, pr.Justified...), pr.Unjustified...) {
+		if seen[id] {
+			t.Errorf("permission %d appears twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestEvadersLookOverPrivileged(t *testing.T) {
+	var benignUnjust, evaderUnjust int
+	const n = 40
+	for seed := int64(0); seed < n; seed++ {
+		benignUnjust += privilegeOf(t, seed, behavior.Benign, behavior.FamilyNone).UnjustifiedRestrictive
+		evaderUnjust += privilegeOf(t, seed, behavior.Malicious, behavior.FamilyReflectionEvader).UnjustifiedRestrictive
+	}
+	// Reflection evaders hide API use but cannot hide the permissions
+	// backing it: their manifests look heavily over-privileged.
+	if evaderUnjust <= benignUnjust*2 {
+		t.Errorf("evader unjustified-restrictive %d not ≫ benign %d", evaderUnjust, benignUnjust)
+	}
+}
+
+func TestEmptyPrivilegeReport(t *testing.T) {
+	pr := AnalyzePrivilege(&Report{}, testU)
+	if pr.OverPrivilegeRatio() != 0 || len(pr.Requested) != 0 {
+		t.Errorf("empty report: %+v", pr)
+	}
+}

@@ -1,0 +1,98 @@
+package stats
+
+import "math"
+
+// Fit is a fitted curve with its goodness.
+type Fit struct {
+	// A and B parameterize the model (see the fit functions).
+	A, B float64
+	// R2 is the coefficient of determination against the input data.
+	R2 float64
+}
+
+// rSquared computes R² of predictions against observations.
+func rSquared(y []float64, pred func(i int) float64) float64 {
+	n := len(y)
+	if n == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+	var ssRes, ssTot float64
+	for i, v := range y {
+		d := v - pred(i)
+		ssRes += d * d
+		dt := v - mean
+		ssTot += dt * dt
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}
+
+// FitLinear fits y = A*x + B by least squares.
+func FitLinear(x, y []float64) Fit {
+	n := float64(len(x))
+	if n == 0 {
+		return Fit{}
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{B: sy / n, R2: rSquared(y, func(int) float64 { return sy / n })}
+	}
+	a := (n*sxy - sx*sy) / den
+	b := (sy - a*sx) / n
+	return Fit{A: a, B: b, R2: rSquared(y, func(i int) float64 { return a*x[i] + b })}
+}
+
+// FitPower fits y = A * x^B (log-log linear regression); requires positive
+// data, non-positive points are skipped for the regression but still count
+// toward R².
+func FitPower(x, y []float64) Fit {
+	var lx, ly []float64
+	for i := range x {
+		if x[i] > 0 && y[i] > 0 {
+			lx = append(lx, math.Log(x[i]))
+			ly = append(ly, math.Log(y[i]))
+		}
+	}
+	lin := FitLinear(lx, ly)
+	a := math.Exp(lin.B)
+	b := lin.A
+	return Fit{A: a, B: b, R2: rSquared(y, func(i int) float64 {
+		if x[i] <= 0 {
+			return 0
+		}
+		return a * math.Pow(x[i], b)
+	})}
+}
+
+// FitLog fits y = A*ln(x) + B; requires positive x.
+func FitLog(x, y []float64) Fit {
+	lx := make([]float64, 0, len(x))
+	ly := make([]float64, 0, len(y))
+	for i := range x {
+		if x[i] > 0 {
+			lx = append(lx, math.Log(x[i]))
+			ly = append(ly, y[i])
+		}
+	}
+	lin := FitLinear(lx, ly)
+	return Fit{A: lin.A, B: lin.B, R2: rSquared(y, func(i int) float64 {
+		if x[i] <= 0 {
+			return lin.B
+		}
+		return lin.A*math.Log(x[i]) + lin.B
+	})}
+}

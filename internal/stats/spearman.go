@@ -1,0 +1,140 @@
+// Package stats provides the statistical machinery behind the paper's
+// measurement study: Spearman rank correlation with tie handling (the SRC
+// feature-selection statistic of §4.3), least-squares curve fitting with R²
+// (Fig. 6's tri-modal fit), and distribution summaries (the CDF figures).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Ranks assigns average ranks (1-based) to the values, averaging ties.
+func Ranks(values []float64) []float64 {
+	n := len(values)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && values[idx[j+1]] == values[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Pearson computes the Pearson correlation coefficient; 0 when either side
+// is constant.
+func Pearson(x, y []float64) float64 {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return 0
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx, vy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Spearman computes the rank correlation with average-rank tie handling
+// (the SRC of §4.3, the paper's [30]).
+func Spearman(x, y []float64) float64 {
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// SpearmanSparse computes Spearman between a mostly-zero non-negative
+// variable and a binary label without materializing the dense vectors.
+//
+// nonzero holds the variable's non-zero values with their labels; total is
+// the population size and totalPos the number of positive labels overall
+// (zeros' labels are inferred). This is the fast path for computing SRC of
+// one API's invocation counts across the whole corpus: most apps never
+// invoke a given API.
+func SpearmanSparse(nonzeroValues []float64, nonzeroLabels []bool, total, totalPos int) float64 {
+	m := len(nonzeroValues)
+	if m > total || total == 0 {
+		return 0
+	}
+	zeros := total - m
+	// Ranks of the variable: zeros tie at the bottom with average rank
+	// (zeros+1)/2; non-zeros ranked above them.
+	zeroRank := float64(zeros+1) / 2
+
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return nonzeroValues[idx[a]] < nonzeroValues[idx[b]] })
+	xr := make([]float64, m) // ranks of non-zero entries
+	for i := 0; i < m; {
+		j := i
+		for j+1 < m && nonzeroValues[idx[j+1]] == nonzeroValues[idx[i]] {
+			j++
+		}
+		avg := float64(zeros) + float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			xr[idx[k]] = avg
+		}
+		i = j + 1
+	}
+
+	// Label ranks: negatives tie, positives tie.
+	neg := total - totalPos
+	negRank := float64(neg+1) / 2
+	posRank := float64(neg) + float64(totalPos+1)/2
+
+	// Means of both rank vectors are (total+1)/2 exactly.
+	mean := float64(total+1) / 2
+
+	posNonzero := 0
+	var cov, vx float64
+	for i := 0; i < m; i++ {
+		dx := xr[i] - mean
+		var dy float64
+		if nonzeroLabels[i] {
+			dy = posRank - mean
+			posNonzero++
+		} else {
+			dy = negRank - mean
+		}
+		cov += dx * dy
+		vx += dx * dx
+	}
+	// Zero entries: dx is constant; labels split between pos and neg.
+	posZero := totalPos - posNonzero
+	negZero := zeros - posZero
+	if posZero < 0 || negZero < 0 {
+		return 0
+	}
+	dxz := zeroRank - mean
+	cov += dxz * (float64(posZero)*(posRank-mean) + float64(negZero)*(negRank-mean))
+	vx += float64(zeros) * dxz * dxz
+
+	vy := float64(totalPos)*(posRank-mean)*(posRank-mean) + float64(neg)*(negRank-mean)*(negRank-mean)
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
