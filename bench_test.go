@@ -12,6 +12,7 @@ package apichecker
 import (
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"testing"
 
@@ -20,7 +21,9 @@ import (
 	"apichecker/internal/emulator"
 	"apichecker/internal/experiments"
 	"apichecker/internal/features"
+	"apichecker/internal/framework"
 	"apichecker/internal/hook"
+	"apichecker/internal/market"
 	"apichecker/internal/ml"
 	"apichecker/internal/monkey"
 )
@@ -414,6 +417,146 @@ func BenchmarkAblationForestVsDNN(b *testing.B) {
 			}
 			b.ReportMetric(100*m.F1(), labels[kind]+"-F1%")
 			b.ReportMetric(trainTime.Seconds(), labels[kind]+"-train-s")
+		}
+	}
+}
+
+// BenchmarkTrainFromCorpus measures the end-to-end training pipeline with
+// the run cache: one emulation pass serves both usage measurement and
+// vectorization. The cache is invalidated each iteration so every run pays
+// the full pass. Compare against BenchmarkTrainFromCorpusTwoPass.
+func BenchmarkTrainFromCorpus(b *testing.B) {
+	e := env(b)
+	sub := dataset.FromApps(e.U, 11, e.Corpus.Apps[:min(600, e.Corpus.Len())])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub.InvalidateRuns()
+		_, rep, err := core.TrainFromCorpus(sub, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.EmulationRuns), "emu-runs")
+	}
+}
+
+// BenchmarkTrainFromCorpusTwoPass is the pre-optimization training
+// pipeline, reproduced faithfully: the measurement pass, a *serial*
+// per-API Spearman sweep (SelectKeyAPIs now fans it out), a second corpus
+// emulation under the selected keys on the deployment profile, and forest
+// training. Compare with BenchmarkTrainFromCorpus for the PR's headline
+// speedup.
+func BenchmarkTrainFromCorpusTwoPass(b *testing.B) {
+	e := env(b)
+	sub := dataset.FromApps(e.U, 11, e.Corpus.Apps[:min(600, e.Corpus.Len())])
+	sub.SetRunCaching(false)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runs0 := emulator.RunCount()
+		usage, _, err := sub.CollectUsage(cfg.Events)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sel := serialSelectKeyAPIs(e, usage, cfg.Selection)
+		ex, err := features.NewExtractor(e.U, sel.Keys, cfg.Mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := sub.Vectorize(ex, cfg.Profile, cfg.Events)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fc := cfg.Forest
+		fc.Seed = cfg.Seed
+		if err := ml.NewRandomForest(fc).Train(d); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(emulator.RunCount()-runs0), "emu-runs")
+	}
+}
+
+// serialSelectKeyAPIs replicates the pre-PR selection strategy: the same
+// four steps, with step 1's per-API correlation sweep done serially.
+func serialSelectKeyAPIs(e *experiments.Env, usage *features.UsageStats, cfg features.SelectionConfig) *features.Selection {
+	sel := &features.Selection{Config: cfg, SRC: make([]float64, e.U.NumAPIs())}
+	for i := 0; i < e.U.NumAPIs(); i++ {
+		id := framework.APIID(i)
+		if e.U.API(id).Hidden {
+			continue
+		}
+		src := usage.SRC(id)
+		sel.SRC[i] = src
+		if usage.UsageFraction(id) < cfg.SeldomFraction {
+			continue
+		}
+		if src >= cfg.SRCThreshold || src <= -cfg.SRCThreshold {
+			sel.SetC = append(sel.SetC, id)
+		}
+	}
+	sel.SetP = e.U.RestrictedAPIs()
+	sel.SetS = e.U.SensitiveAPIs()
+	seen := make(map[framework.APIID]bool)
+	for _, set := range [][]framework.APIID{sel.SetC, sel.SetP, sel.SetS} {
+		for _, id := range set {
+			if !seen[id] {
+				seen[id] = true
+				sel.Keys = append(sel.Keys, id)
+			}
+		}
+	}
+	sort.Slice(sel.Keys, func(i, j int) bool { return sel.Keys[i] < sel.Keys[j] })
+	return sel
+}
+
+// benchMonth prepares a trained market plus one month of submissions for
+// the review benchmarks.
+func benchMonth(b *testing.B, lanes int) (*market.Market, []dataset.App) {
+	b.Helper()
+	e := env(b)
+	sub := dataset.FromApps(e.U, 13, e.Corpus.Apps[:min(600, e.Corpus.Len())])
+	ck, _, err := core.TrainFromCorpus(sub, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mcfg := market.DefaultConfig()
+	mcfg.Lanes = lanes
+	m := market.New(ck, mcfg)
+	m.SeedFingerprints(sub)
+	monthCfg := dataset.DefaultConfig()
+	monthCfg.Seed = 7919
+	monthCfg.NumApps = 200
+	month, err := dataset.Generate(e.U, monthCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, month.Apps
+}
+
+// BenchmarkRunYearMonth measures one month of market review with the ML
+// scans fanned out over the production lane count (the RunYear inner loop).
+// Compare against BenchmarkRunYearMonthSerial.
+func BenchmarkRunYearMonth(b *testing.B) {
+	m, apps := benchMonth(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats := market.MonthStats{Month: i + 1}
+		if _, err := m.ReviewBatch(apps, &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunYearMonthSerial is the pre-pool baseline: the same month
+// reviewed one submission at a time.
+func BenchmarkRunYearMonthSerial(b *testing.B) {
+	m, apps := benchMonth(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats := market.MonthStats{Month: i + 1}
+		for _, app := range apps {
+			if _, err := m.Review(app, &stats); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

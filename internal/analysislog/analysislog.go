@@ -69,10 +69,9 @@ func FromResult(pkg string, versionCode int, md5 string, res *emulator.Result, u
 		Intercepted:      res.Log.Intercepted,
 		Activities:       append([]string(nil), res.Log.ReachedActivities...),
 	}
-	for _, id := range res.Log.InvokedAPIs() {
-		inv := res.Log.Invocation(id)
+	for _, inv := range res.Log.Invocations() {
 		rec.Invocations = append(rec.Invocations, Invocation{
-			API:    u.API(id).Name,
+			API:    u.API(inv.API).Name,
 			Count:  inv.Count,
 			Params: append([]string(nil), inv.Params...),
 		})

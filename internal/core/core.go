@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"apichecker/internal/adb"
@@ -84,14 +85,28 @@ type TrainReport struct {
 	TrainTime  time.Duration
 	UsageTime  time.Duration // corpus measurement pass
 	CorpusSize int
+
+	// EmulationRuns counts emulator executions this round paid for; with
+	// the run cache warmable single-pass pipeline this is the corpus size
+	// (plus fallback re-runs), not twice it.
+	EmulationRuns int64
 }
 
-// TrainFromCorpus builds a Checker from a labelled corpus.
+// TrainFromCorpus builds a Checker from a labelled corpus in a single
+// emulation pass: the §4.3 measurement pass tracks every hookable API, and
+// because a full-tracking log is a strict superset of any key-API log, the
+// A+P+I training vectors are projected from the retained measurement
+// results instead of re-emulating the corpus under the selected keys (the
+// pre-cache pipeline emulated twice). Training vectors therefore come from
+// the hardened study engine the ground-truth logs were collected on, as in
+// the paper's offline study; cfg.Profile selects the engine submissions
+// are vetted on.
 func TrainFromCorpus(c *dataset.Corpus, cfg Config) (*Checker, *TrainReport, error) {
 	if cfg.Events <= 0 {
 		return nil, nil, fmt.Errorf("core: events must be positive")
 	}
 	rep := &TrainReport{CorpusSize: c.Len()}
+	runs0 := emulator.RunCount()
 
 	start := time.Now()
 	usage, _, err := c.CollectUsage(cfg.Events)
@@ -110,10 +125,11 @@ func TrainFromCorpus(c *dataset.Corpus, cfg Config) (*Checker, *TrainReport, err
 	}
 	rep.Features = ex.NumFeatures()
 
-	d, err := c.Vectorize(ex, cfg.Profile, cfg.Events)
+	d, err := c.VectorizeMeasured(ex, cfg.Events)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: vectorize: %w", err)
 	}
+	rep.EmulationRuns = emulator.RunCount() - runs0
 
 	fc := cfg.Forest
 	fc.Seed = cfg.Seed
@@ -205,12 +221,33 @@ func (ck *Checker) VetAPK(data []byte) (*Verdict, error) {
 	return v, err
 }
 
+// VetCount returns how many submissions the checker has vetted (or has
+// reserved sequence numbers for).
+func (ck *Checker) VetCount() int64 { return atomic.LoadInt64(&ck.vetCount) }
+
+// ReserveVetSeqs atomically reserves n consecutive vet sequence numbers
+// and returns the first. Parallel review pools reserve up front and assign
+// sequences by queue position, so per-app Monkey seeds — and therefore
+// verdicts — are independent of scheduling order and bit-identical to a
+// serial review of the same queue.
+func (ck *Checker) ReserveVetSeqs(n int) int64 {
+	return atomic.AddInt64(&ck.vetCount, int64(n)) - int64(n) + 1
+}
+
+// nextVetSeq reserves the next single sequence number.
+func (ck *Checker) nextVetSeq() int64 { return atomic.AddInt64(&ck.vetCount, 1) }
+
+// vetMonkey derives the Monkey configuration for one vet sequence number.
+func (ck *Checker) vetMonkey(seq int64) monkey.Config {
+	mk := monkey.ProductionConfig(ck.cfg.Seed ^ seq<<7)
+	mk.Events = ck.cfg.Events
+	return mk
+}
+
 // VetAPKWithRun is VetAPK, additionally returning the raw emulation result
 // (the input to analysis-log export).
 func (ck *Checker) VetAPKWithRun(data []byte) (*Verdict, *emulator.Result, error) {
-	ck.vetCount++
-	mk := monkey.ProductionConfig(ck.cfg.Seed ^ ck.vetCount<<7)
-	mk.Events = ck.cfg.Events
+	mk := ck.vetMonkey(ck.nextVetSeq())
 	vr, err := ck.session.Vet(data, mk)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: vet: %w", err)
@@ -240,11 +277,20 @@ func (ck *Checker) VetProgram(p *behavior.Program) (*Verdict, error) {
 	return ck.VetParsed(p, nil)
 }
 
+// VetProgramSeq vets a behaviour program under an explicit vet sequence
+// number (previously reserved via ReserveVetSeqs). Safe for concurrent
+// use: the emulator, extractor and model are all read-only at vet time.
+func (ck *Checker) VetProgramSeq(p *behavior.Program, seq int64) (*Verdict, error) {
+	return ck.vetParsedSeq(p, nil, seq)
+}
+
 // VetParsed is the shared vetting core.
 func (ck *Checker) VetParsed(p *behavior.Program, parsed *apk.APK) (*Verdict, error) {
-	ck.vetCount++
-	mk := monkey.ProductionConfig(ck.cfg.Seed ^ ck.vetCount<<7)
-	mk.Events = ck.cfg.Events
+	return ck.vetParsedSeq(p, parsed, ck.nextVetSeq())
+}
+
+func (ck *Checker) vetParsedSeq(p *behavior.Program, parsed *apk.APK, seq int64) (*Verdict, error) {
+	mk := ck.vetMonkey(seq)
 	res, err := ck.emu.Run(p, mk)
 	if err != nil {
 		return nil, fmt.Errorf("core: vet %s: %w", p.PackageName, err)

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"apichecker/internal/dataset"
+	"apichecker/internal/emulator"
+	"apichecker/internal/framework"
+)
+
+// TestTrainFromCorpusSinglePass is the headline acceptance check of the run
+// cache: training performs exactly one corpus emulation pass. The usage
+// measurement emulates each app once under full tracking; vectorization
+// projects from those retained logs and must not emulate again.
+func TestTrainFromCorpusSinglePass(t *testing.T) {
+	u := framework.MustGenerate(framework.TestConfig(3000))
+	cfg := dataset.DefaultConfig()
+	cfg.NumApps = 300
+	corpus, err := dataset.Generate(u, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := emulator.RunCount()
+	_, rep, err := TrainFromCorpus(corpus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := emulator.RunCount() - before
+	if got != int64(corpus.Len()) {
+		t.Fatalf("training ran %d emulations for %d apps, want exactly one pass", got, corpus.Len())
+	}
+	if rep.EmulationRuns != got {
+		t.Fatalf("TrainReport.EmulationRuns = %d, emulator counted %d", rep.EmulationRuns, got)
+	}
+}
+
+// TestTrainFromCorpusLegacyTwoPass pins the pre-cache behaviour the
+// benchmark baseline relies on: with run caching disabled, training pays
+// two corpus passes (measurement + per-profile vectorization re-runs, which
+// may add lightweight-engine fallbacks).
+func TestTrainFromCorpusLegacyTwoPass(t *testing.T) {
+	u := framework.MustGenerate(framework.TestConfig(3000))
+	cfg := dataset.DefaultConfig()
+	cfg.NumApps = 300
+	corpus, err := dataset.Generate(u, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus.SetRunCaching(false)
+	before := emulator.RunCount()
+	_, rep, err := TrainFromCorpus(corpus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := emulator.RunCount() - before
+	if got < 2*int64(corpus.Len()) {
+		t.Fatalf("legacy pipeline ran %d emulations for %d apps, want >= two passes", got, corpus.Len())
+	}
+	if rep.EmulationRuns != got {
+		t.Fatalf("TrainReport.EmulationRuns = %d, emulator counted %d", rep.EmulationRuns, got)
+	}
+}
+
+// TestConcurrentVetProgram exercises the vet-sequence counter from many
+// goroutines (run under -race this is the regression test for the vetCount
+// data race) and checks the sequence-reservation arithmetic stays exact.
+func TestConcurrentVetProgram(t *testing.T) {
+	ck, corpus := trainedChecker(t, 400)
+	start := ck.VetCount()
+
+	const workers = 8
+	const perWorker = 5
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := ck.VetProgram(corpus.Program((w*perWorker + i) % corpus.Len())); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := ck.VetCount() - start; got != workers*perWorker {
+		t.Fatalf("vet count advanced by %d, want %d", got, workers*perWorker)
+	}
+	first := ck.ReserveVetSeqs(10)
+	if first != ck.VetCount()-9 {
+		t.Fatalf("ReserveVetSeqs returned %d with count %d, want first of the reserved block", first, ck.VetCount())
+	}
+}

@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"sync"
+
+	"apichecker/internal/behavior"
+	"apichecker/internal/emulator"
+	"apichecker/internal/manifest"
+)
+
+// runKey identifies one cached full-tracking corpus pass. Epoch is the
+// universe's SDK level: Universe.Evolve bumps it, so results recorded
+// against an older SDK can never be served for an evolved universe.
+type runKey struct {
+	epoch   int
+	profile string
+	events  int
+}
+
+// runEntry retains the observables of one full-tracking pass: the per-app
+// emulation results (whose logs are supersets of any key-API log under the
+// same profile/seed) and the per-app manifests the vectorizer pairs them
+// with.
+type runEntry struct {
+	key       runKey
+	results   []*emulator.Result
+	manifests []*manifest.Manifest
+}
+
+// runCacheCapacity bounds retained passes per corpus. Two entries cover
+// the common working set — the §4.3 measurement profile plus one
+// deployment profile — without letting event-count sweeps hoard memory at
+// paper scale.
+const runCacheCapacity = 2
+
+// runCache is the per-corpus store of full-tracking passes, LRU-evicted.
+type runCache struct {
+	mu      sync.Mutex
+	entries []*runEntry // most recently used last
+}
+
+// lookup returns the entry for key, refreshing its LRU position.
+func (rc *runCache) lookup(key runKey) *runEntry {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for i, e := range rc.entries {
+		if e.key == key {
+			rc.entries = append(append(rc.entries[:i:i], rc.entries[i+1:]...), e)
+			return e
+		}
+	}
+	return nil
+}
+
+// store inserts an entry, evicting the least recently used beyond
+// capacity.
+func (rc *runCache) store(e *runEntry) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for i, old := range rc.entries {
+		if old.key == e.key {
+			rc.entries = append(rc.entries[:i:i], rc.entries[i+1:]...)
+			break
+		}
+	}
+	rc.entries = append(rc.entries, e)
+	if len(rc.entries) > runCacheCapacity {
+		rc.entries = rc.entries[len(rc.entries)-runCacheCapacity:]
+	}
+}
+
+// invalidate drops every retained pass.
+func (rc *runCache) invalidate() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.entries = nil
+}
+
+// SetRunCaching enables or disables run-result retention. Disabling also
+// drops anything already cached; every subsequent pass re-emulates, which
+// is the pre-cache two-pass pipeline (kept reachable for the determinism
+// tests and the before/after benchmarks).
+func (c *Corpus) SetRunCaching(enabled bool) {
+	c.cacheOff = !enabled
+	c.cache.invalidate()
+}
+
+// InvalidateRuns drops all cached emulation passes. Callers that evolve
+// the universe do not strictly need this — cache keys carry the SDK epoch,
+// so stale entries already miss — but freeing the memory eagerly matters
+// at paper scale.
+func (c *Corpus) InvalidateRuns() { c.cache.invalidate() }
+
+// FullRuns returns the full-tracking emulation results (and per-app
+// manifests) of the corpus under a profile, emulating at most once per
+// (epoch, profile, events): repeated calls are served from the run cache.
+// This is the single pass that CollectUsage measures usage from and
+// Vectorize projects feature vectors from.
+func (c *Corpus) FullRuns(prof emulator.Profile, events int) ([]*emulator.Result, []*manifest.Manifest, error) {
+	key := runKey{epoch: c.u.Level(), profile: prof.Name, events: events}
+	if !c.cacheOff {
+		if e := c.cache.lookup(key); e != nil {
+			return e.results, e.manifests, nil
+		}
+	}
+	reg, err := newFullRegistry(c.u)
+	if err != nil {
+		return nil, nil, err
+	}
+	entry := &runEntry{
+		key:       key,
+		results:   make([]*emulator.Result, c.Len()),
+		manifests: make([]*manifest.Manifest, c.Len()),
+	}
+	err = c.runAll(reg, prof, events, func(i int, p *behavior.Program, res *emulator.Result) error {
+		man, err := p.Manifest(c.u)
+		if err != nil {
+			return err
+		}
+		entry.results[i] = res
+		entry.manifests[i] = man
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !c.cacheOff {
+		c.cache.store(entry)
+	}
+	return entry.results, entry.manifests, nil
+}

@@ -1,0 +1,162 @@
+package dataset
+
+import (
+	"testing"
+
+	"apichecker/internal/emulator"
+	"apichecker/internal/features"
+	"apichecker/internal/framework"
+	"apichecker/internal/ml"
+)
+
+// newTestCorpus builds two identical corpora over fresh universes so the
+// cached single-pass pipeline and the legacy two-pass pipeline can be
+// compared without sharing state.
+func twinCorpora(t *testing.T, nApps int) (*Corpus, *Corpus) {
+	t.Helper()
+	ua := framework.MustGenerate(framework.TestConfig(2000))
+	ub := framework.MustGenerate(framework.TestConfig(2000))
+	cfg := DefaultConfig()
+	cfg.NumApps = nApps
+	a := MustGenerate(ua, cfg)
+	b := MustGenerate(ub, cfg)
+	return a, b
+}
+
+func selectKeys(t *testing.T, c *Corpus, events int) *features.Selection {
+	t.Helper()
+	usage, _, err := c.CollectUsage(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return features.SelectKeyAPIs(c.Universe(), usage, features.DefaultSelectionConfig())
+}
+
+func datasetsEqual(t *testing.T, a, b *ml.Dataset) {
+	t.Helper()
+	if a.Len() != b.Len() || a.NumFeatures != b.NumFeatures {
+		t.Fatalf("shape: %d×%d vs %d×%d", a.Len(), a.NumFeatures, b.Len(), b.NumFeatures)
+	}
+	for i := range a.Examples {
+		ea, eb := a.Examples[i], b.Examples[i]
+		if ea.Y != eb.Y {
+			t.Fatalf("app %d: label %v vs %v", i, ea.Y, eb.Y)
+		}
+		if ea.X.Hamming(eb.X) != 0 {
+			t.Fatalf("app %d: projected vector differs from two-pass vector (hamming %d)",
+				i, ea.X.Hamming(eb.X))
+		}
+	}
+}
+
+// TestVectorizeProjectionMatchesTwoPass is the determinism contract of the
+// run cache: projecting A+P+I vectors from the retained full-tracking
+// measurement logs must equal the legacy pipeline's dedicated key-API
+// re-emulation, feature for feature.
+func TestVectorizeProjectionMatchesTwoPass(t *testing.T) {
+	const events = 2000
+	cached, legacy := twinCorpora(t, 120)
+	legacy.SetRunCaching(false)
+
+	for _, prof := range []emulator.Profile{emulator.GoogleEmulator, emulator.LightweightEmulator} {
+		sel := selectKeys(t, cached, events)
+		exA, err := features.NewExtractor(cached.Universe(), sel.Keys, features.ModeAPI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		selB := selectKeys(t, legacy, events)
+		exB, err := features.NewExtractor(legacy.Universe(), selB.Keys, features.ModeAPI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sel.Keys) != len(selB.Keys) {
+			t.Fatalf("selection diverged between twin corpora: %d vs %d keys", len(sel.Keys), len(selB.Keys))
+		}
+
+		da, err := cached.Vectorize(exA, prof, events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := legacy.Vectorize(exB, prof, events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		datasetsEqual(t, da, db)
+	}
+}
+
+// TestFullRunsCachedOnce asserts the cache really eliminates the second
+// corpus pass: CollectUsage pays one emulation per app, and a following
+// Vectorize over the same engine pays zero.
+func TestFullRunsCachedOnce(t *testing.T) {
+	const events = 1500
+	u := framework.MustGenerate(framework.TestConfig(2000))
+	cfg := DefaultConfig()
+	cfg.NumApps = 80
+	c := MustGenerate(u, cfg)
+
+	before := emulator.RunCount()
+	sel := selectKeys(t, c, events)
+	afterUsage := emulator.RunCount()
+	if got := afterUsage - before; got != int64(c.Len()) {
+		t.Fatalf("measurement pass ran %d emulations, want %d", got, c.Len())
+	}
+
+	ex, err := features.NewExtractor(u, sel.Keys, features.ModeAPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.VectorizeMeasured(ex, events); err != nil {
+		t.Fatal(err)
+	}
+	if got := emulator.RunCount() - afterUsage; got != 0 {
+		t.Fatalf("vectorization after measurement ran %d extra emulations, want 0", got)
+	}
+
+	// A different profile is a different pass (and fallback re-runs may
+	// add a few): it must emulate, then hit its own cache entry.
+	if _, err := c.Vectorize(ex, emulator.LightweightEmulator, events); err != nil {
+		t.Fatal(err)
+	}
+	mid := emulator.RunCount()
+	if got := mid - afterUsage; got < int64(c.Len()) {
+		t.Fatalf("new-profile pass ran %d emulations, want >= %d", got, c.Len())
+	}
+	if _, err := c.Vectorize(ex, emulator.LightweightEmulator, events); err != nil {
+		t.Fatal(err)
+	}
+	if got := emulator.RunCount() - mid; got != 0 {
+		t.Fatalf("repeated same-profile vectorization ran %d emulations, want 0", got)
+	}
+}
+
+// TestRunCacheInvalidatedByEvolve: an SDK evolution must invalidate cached
+// passes via the epoch key, and InvalidateRuns must drop them eagerly.
+func TestRunCacheInvalidatedByEvolve(t *testing.T) {
+	const events = 1000
+	u := framework.MustGenerate(framework.TestConfig(2000))
+	cfg := DefaultConfig()
+	cfg.NumApps = 40
+	c := MustGenerate(u, cfg)
+
+	if _, _, err := c.FullRuns(emulator.GoogleEmulator, events); err != nil {
+		t.Fatal(err)
+	}
+	before := emulator.RunCount()
+	u.Evolve(7)
+	if _, _, err := c.FullRuns(emulator.GoogleEmulator, events); err != nil {
+		t.Fatal(err)
+	}
+	if got := emulator.RunCount() - before; got != int64(c.Len()) {
+		t.Fatalf("post-evolve pass ran %d emulations, want %d (stale epoch served?)", got, c.Len())
+	}
+
+	before = emulator.RunCount()
+	c.InvalidateRuns()
+	if _, _, err := c.FullRuns(emulator.GoogleEmulator, events); err != nil {
+		t.Fatal(err)
+	}
+	if got := emulator.RunCount() - before; got != int64(c.Len()) {
+		t.Fatalf("post-invalidate pass ran %d emulations, want %d", got, c.Len())
+	}
+}

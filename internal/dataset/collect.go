@@ -2,8 +2,6 @@ package dataset
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"apichecker/internal/behavior"
@@ -13,6 +11,7 @@ import (
 	"apichecker/internal/hook"
 	"apichecker/internal/ml"
 	"apichecker/internal/monkey"
+	"apichecker/internal/parallel"
 )
 
 // AppRun captures the per-app observables of one corpus emulation pass.
@@ -38,8 +37,15 @@ func AllTrackableAPIs(u *framework.Universe) []framework.APIID {
 	return out
 }
 
+// newFullRegistry builds the track-everything registry of the measurement
+// pass.
+func newFullRegistry(u *framework.Universe) (*hook.Registry, error) {
+	return hook.NewRegistry(u, AllTrackableAPIs(u))
+}
+
 // runAll emulates every corpus app under the registry/profile and hands
-// each (index, result) to sink in app order.
+// each (index, result) to sink in app order. Per-app Monkey seeds derive
+// from the queue position, so results are independent of host scheduling.
 func (c *Corpus) runAll(reg *hook.Registry, prof emulator.Profile, events int,
 	sink func(i int, p *behavior.Program, res *emulator.Result) error) error {
 
@@ -51,30 +57,13 @@ func (c *Corpus) runAll(reg *hook.Registry, prof emulator.Profile, events int,
 	outs := make([]outcome, c.Len())
 	emu := emulator.New(prof, reg)
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > c.Len() {
-		workers = c.Len()
-	}
-	var wg sync.WaitGroup
-	idxCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				p := c.Program(i)
-				mk := monkey.ProductionConfig(int64(i) * 0x9e37)
-				mk.Events = events
-				res, err := emu.Run(p, mk)
-				outs[i] = outcome{p, res, err}
-			}
-		}()
-	}
-	for i := range c.Apps {
-		idxCh <- i
-	}
-	close(idxCh)
-	wg.Wait()
+	parallel.Run(c.Len(), 0, func(i int) {
+		p := c.Program(i)
+		mk := monkey.ProductionConfig(int64(i) * 0x9e37)
+		mk.Events = events
+		res, err := emu.Run(p, mk)
+		outs[i] = outcome{p, res, err}
+	})
 
 	for i := range outs {
 		if outs[i].err != nil {
@@ -89,31 +78,44 @@ func (c *Corpus) runAll(reg *hook.Registry, prof emulator.Profile, events int,
 
 // CollectUsage runs the full corpus on the hardened study engine tracking
 // every hookable API, producing the per-API usage statistics feature
-// selection consumes (§4.3's measurement pass) plus per-app run info.
+// selection consumes (§4.3's measurement pass) plus per-app run info. The
+// pass's raw results are retained in the corpus run cache, so a following
+// Vectorize over the same engine projects vectors from them instead of
+// re-emulating.
 func (c *Corpus) CollectUsage(events int) (*features.UsageStats, []AppRun, error) {
-	reg, err := hook.NewRegistry(c.u, AllTrackableAPIs(c.u))
+	results, _, err := c.FullRuns(emulator.GoogleEmulator, events)
 	if err != nil {
 		return nil, nil, err
 	}
 	usage := features.NewUsageStats(c.u.NumAPIs(), c.Len(), c.Positives())
+	// Pre-size every usage column so the fill below never reallocates.
+	perAPI := make([]int32, c.u.NumAPIs())
+	for _, res := range results {
+		for _, inv := range res.Log.Invocations() {
+			perAPI[inv.API]++
+		}
+	}
+	for id, n := range perAPI {
+		if n > 0 {
+			usage.Reserve(framework.APIID(id), int(n))
+		}
+	}
 	runs := make([]AppRun, c.Len())
-	err = c.runAll(reg, emulator.GoogleEmulator, events, func(i int, p *behavior.Program, res *emulator.Result) error {
+	for i, res := range results {
 		malicious := c.Apps[i].Label == behavior.Malicious
-		for _, id := range res.Log.InvokedAPIs() {
-			usage.Observe(id, float64(res.Log.Invocation(id).Count), malicious)
+		for _, inv := range res.Log.Invocations() {
+			usage.Observe(inv.API, float64(inv.Count), malicious)
 		}
 		runs[i] = appRun(res)
-		return nil
-	})
-	if err != nil {
-		return nil, nil, err
 	}
 	return usage, runs, nil
 }
 
 // RunTimes emulates the corpus under an arbitrary tracked set and profile,
 // returning per-app run info (the timing experiments of Figs. 3, 6, 9, 11,
-// 16).
+// 16). Timing depends on the tracked set — every interception costs hook
+// overhead — so this never uses the full-tracking run cache: projection
+// would preserve the log contents but inflate the virtual clock.
 func (c *Corpus) RunTimes(tracked []framework.APIID, prof emulator.Profile, events int) ([]AppRun, error) {
 	reg, err := hook.NewRegistry(c.u, tracked)
 	if err != nil {
@@ -142,9 +144,57 @@ func appRun(res *emulator.Result) AppRun {
 	}
 }
 
-// Vectorize emulates the corpus under the extractor's tracked set and
-// builds the labelled ML dataset (the One-Hot encoding pass of §4.2).
+// Vectorize builds the labelled ML dataset for the extractor under a
+// profile (the One-Hot encoding pass of §4.2). With run caching on (the
+// default) it emulates the corpus at most once per (epoch, profile,
+// events) — tracking everything — and projects each vector from the
+// retained full log, which is bit-identical to a dedicated key-API
+// emulation because the emulation itself is registry-independent. With
+// caching off it re-emulates under the extractor's own tracked set, the
+// original two-pass behaviour.
 func (c *Corpus) Vectorize(ex *features.Extractor, prof emulator.Profile, events int) (*ml.Dataset, error) {
+	// An empty tracked set on an unhardened engine behaves differently
+	// from any tracked run (no hook artifacts for detection probes to
+	// find), so projection from a full-tracking log would be unfaithful.
+	projectable := len(ex.TrackedAPIs()) > 0 || prof.Hardened
+	if c.cacheOff || !projectable {
+		return c.vectorizeEmulated(ex, prof, events)
+	}
+	results, manifests, err := c.FullRuns(prof, events)
+	if err != nil {
+		return nil, err
+	}
+	d := ml.NewDataset(ex.NumFeatures())
+	if len(results) > 0 {
+		// All results of one pass share a registry: validate the
+		// projection once, not per app.
+		if err := ex.CanProjectFrom(results[0].Log.Registry()); err != nil {
+			return nil, err
+		}
+	}
+	for i, res := range results {
+		v, err := ex.Vector(res.Log, manifests[i])
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Add(v, c.Apps[i].Label == behavior.Malicious); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// VectorizeMeasured projects the labelled dataset straight from the §4.3
+// measurement pass (hardened Google engine), emulating it only if
+// CollectUsage has not already paid for it. This is the single-pass
+// training path: measurement + feature extraction share one emulation.
+func (c *Corpus) VectorizeMeasured(ex *features.Extractor, events int) (*ml.Dataset, error) {
+	return c.Vectorize(ex, emulator.GoogleEmulator, events)
+}
+
+// vectorizeEmulated is the legacy vectorization pass: emulate the corpus
+// under the extractor's own tracked set.
+func (c *Corpus) vectorizeEmulated(ex *features.Extractor, prof emulator.Profile, events int) (*ml.Dataset, error) {
 	reg, err := hook.NewRegistry(c.u, ex.TrackedAPIs())
 	if err != nil {
 		return nil, err

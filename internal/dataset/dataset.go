@@ -67,6 +67,11 @@ type Corpus struct {
 	gen *behavior.Generator
 
 	Apps []App
+
+	// cache retains full-tracking emulation passes so usage measurement
+	// and vectorization share one pass; see FullRuns.
+	cache    runCache
+	cacheOff bool
 }
 
 // Generate builds a corpus deterministically.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"apichecker/internal/behavior"
@@ -21,6 +22,12 @@ const incompatibleThreshold = 0.0195
 type Emulator struct {
 	profile Profile
 	reg     *hook.Registry
+
+	// fallback is the pre-built engine incompatible apps re-run on.
+	// Building it once at construction keeps Run free of registry
+	// mutation (hardening installs callbacks), so emulations can fan out
+	// over parallel lanes safely.
+	fallback *Emulator
 }
 
 // New builds an emulator. When the profile is hardened, anti-detection
@@ -28,6 +35,9 @@ type Emulator struct {
 // registry happens to track (§4.2's fourth improvement).
 func New(profile Profile, reg *hook.Registry) *Emulator {
 	e := &Emulator{profile: profile, reg: reg}
+	if profile.CompatRisk && profile.Fallback != nil {
+		e.fallback = New(*profile.Fallback, reg)
+	}
 	if profile.Hardened {
 		u := reg.Universe()
 		for _, name := range []string{
@@ -89,10 +99,20 @@ type Result struct {
 	Profile string
 }
 
+// runCount totals emulations process-wide; see RunCount.
+var runCount atomic.Int64
+
+// RunCount returns the process-wide number of emulations performed so
+// far. A fallback re-run counts as a second emulation (it costs one).
+// Tests and benchmarks diff this counter to assert how many corpus passes
+// a pipeline really paid for.
+func RunCount() int64 { return runCount.Load() }
+
 // Run emulates the program: install, exercise with the Monkey, record the
 // hook log, uninstall. The virtual clock advances per event and per
 // intercepted invocation.
 func (e *Emulator) Run(p *behavior.Program, mk monkey.Config) (*Result, error) {
+	runCount.Add(1)
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("emulator: %w", err)
 	}
@@ -101,9 +121,8 @@ func (e *Emulator) Run(p *behavior.Program, mk monkey.Config) (*Result, error) {
 	}
 
 	// Incompatible apps abort early and re-run on the fallback engine.
-	if e.profile.CompatRisk && p.CrashBias > incompatibleThreshold && e.profile.Fallback != nil {
-		fb := New(*e.profile.Fallback, e.reg)
-		res, err := fb.Run(p, mk)
+	if e.fallback != nil && p.CrashBias > incompatibleThreshold {
+		res, err := e.fallback.Run(p, mk)
 		if err != nil {
 			return nil, err
 		}
@@ -225,6 +244,7 @@ func (e *Emulator) Run(p *behavior.Program, mk monkey.Config) (*Result, error) {
 	base := float64(e.profile.PerEvent) * events * speed
 	hookCost := float64(e.profile.PerHook) * float64(log.Intercepted)
 	res.VirtualTime = time.Duration(base*(1+retryCost) + hookCost)
+	log.Seal()
 	return res, nil
 }
 

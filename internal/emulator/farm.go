@@ -2,12 +2,11 @@ package emulator
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"apichecker/internal/behavior"
 	"apichecker/internal/monkey"
+	"apichecker/internal/parallel"
 )
 
 // Farm models the production deployment unit (§4.2, §5.1): one commodity
@@ -56,31 +55,11 @@ func (f *Farm) RunAll(programs []*behavior.Program, mkBase monkey.Config) (*Farm
 	results := make([]*Result, len(programs))
 	errs := make([]error, len(programs))
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(programs) {
-		workers = len(programs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	idxCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				mk := mkBase
-				mk.Seed = mkBase.Seed + int64(i)*0x9e37
-				results[i], errs[i] = f.emu.Run(programs[i], mk)
-			}
-		}()
-	}
-	for i := range programs {
-		idxCh <- i
-	}
-	close(idxCh)
-	wg.Wait()
+	parallel.Run(len(programs), 0, func(i int) {
+		mk := mkBase
+		mk.Seed = mkBase.Seed + int64(i)*0x9e37
+		results[i], errs[i] = f.emu.Run(programs[i], mk)
+	})
 
 	for i, err := range errs {
 		if err != nil {

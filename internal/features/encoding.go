@@ -69,23 +69,29 @@ func (e *Extractor) Encoding() Encoding { return e.encoding }
 
 // apiBits fills the API-feature region of v for one log.
 func (e *Extractor) apiBits(log *hook.Log, v ml.Vector) {
+	invs := log.Invocations()
 	if e.encoding == EncodingOneHot {
-		for _, id := range log.InvokedAPIs() {
-			if idx, ok := e.apiIndex[id]; ok {
-				v.Set(idx)
+		for i := range invs {
+			if int(invs[i].API) >= len(e.apiSlot) {
+				continue // API newer than the extractor's universe
+			}
+			if slot := e.apiSlot[invs[i].API]; slot != 0 {
+				v.Set(int(slot - 1))
 			}
 		}
 		return
 	}
-	for _, id := range log.InvokedAPIs() {
-		idx, ok := e.apiIndex[id]
-		if !ok {
+	for i := range invs {
+		if int(invs[i].API) >= len(e.apiSlot) {
 			continue
 		}
-		count := log.Invocation(id).Count
-		base := idx * HistogramBits
+		slot := e.apiSlot[invs[i].API]
+		if slot == 0 {
+			continue
+		}
+		base := int(slot-1) * HistogramBits
 		for k, threshold := range histogramThresholds {
-			if count >= threshold {
+			if invs[i].Count >= threshold {
 				v.Set(base + k)
 			}
 		}

@@ -14,6 +14,7 @@ import (
 	"apichecker/internal/hook"
 	"apichecker/internal/manifest"
 	"apichecker/internal/ml"
+	"apichecker/internal/parallel"
 	"apichecker/internal/stats"
 )
 
@@ -42,6 +43,19 @@ func NewUsageStats(numAPIs, numApps, positives int) *UsageStats {
 	return &UsageStats{NumApps: numApps, Positives: positives, PerAPI: make([]APIUsage, numAPIs)}
 }
 
+// Reserve pre-sizes an API's usage column for n observations, so a bulk
+// fill appends without growth copies.
+func (u *UsageStats) Reserve(id framework.APIID, n int) {
+	au := &u.PerAPI[id]
+	if cap(au.Counts) < n {
+		counts := make([]float32, len(au.Counts), n)
+		copy(counts, au.Counts)
+		labels := make([]bool, len(au.Labels), n)
+		copy(labels, au.Labels)
+		au.Counts, au.Labels = counts, labels
+	}
+}
+
 // Observe records one app's total count for one API.
 func (u *UsageStats) Observe(id framework.APIID, count float64, malicious bool) {
 	au := &u.PerAPI[id]
@@ -59,11 +73,8 @@ func (u *UsageStats) SRC(id framework.APIID) float64 {
 	if len(au.Counts) == 0 {
 		return 0
 	}
-	vals := make([]float64, len(au.Counts))
-	for i := range au.Counts {
-		vals[i] = 1
-	}
-	return stats.SpearmanSparse(vals, au.Labels, u.NumApps, u.Positives)
+	// Rank by presence/absence: the indicator form skips the rank sort.
+	return stats.SpearmanSparseIndicator(au.Labels, u.NumApps, u.Positives)
 }
 
 // UsageFraction returns the fraction of apps invoking the API.
@@ -140,19 +151,28 @@ func SelectKeyAPIs(u *framework.Universe, usage *UsageStats, cfg SelectionConfig
 
 	// Step 1 — Set-C: non-trivial |SRC|, excluding seldom-invoked APIs
 	// (rare features invite over-fitting; §4.3). Hidden APIs cannot be
-	// hooked and are never candidates.
-	for i := 0; i < u.NumAPIs(); i++ {
+	// hooked and are never candidates. The per-API sweep is embarrassingly
+	// parallel (each rank correlation reads one usage column and writes
+	// one slot); membership is collected serially afterwards so Set-C
+	// order never depends on scheduling.
+	inC := make([]bool, u.NumAPIs())
+	parallel.Run(u.NumAPIs(), 0, func(i int) {
 		id := framework.APIID(i)
 		if u.API(id).Hidden {
-			continue
+			return
 		}
 		src := usage.SRC(id)
 		sel.SRC[i] = src
 		if usage.UsageFraction(id) < cfg.SeldomFraction {
-			continue
+			return
 		}
 		if src >= cfg.SRCThreshold || src <= -cfg.SRCThreshold {
-			sel.SetC = append(sel.SetC, id)
+			inC[i] = true
+		}
+	})
+	for i := range inC {
+		if inC[i] {
+			sel.SetC = append(sel.SetC, framework.APIID(i))
 		}
 	}
 
@@ -262,8 +282,11 @@ type Extractor struct {
 	mode     Mode
 	encoding Encoding
 
-	tracked  []framework.APIID
-	apiIndex map[framework.APIID]int
+	tracked []framework.APIID
+	// apiSlot maps APIID to feature index+1 (0 = untracked), dense so the
+	// projection path pays an array read per logged invocation, not a map
+	// lookup.
+	apiSlot []int32
 
 	permBase   int
 	intentBase int
@@ -275,15 +298,18 @@ func NewExtractor(u *framework.Universe, tracked []framework.APIID, mode Mode) (
 	if mode&ModeAPI == 0 {
 		return nil, fmt.Errorf("features: mode %v selects no feature family", mode)
 	}
-	e := &Extractor{u: u, mode: mode, apiIndex: make(map[framework.APIID]int)}
+	e := &Extractor{u: u, mode: mode, apiSlot: make([]int32, u.NumAPIs())}
 	if mode&ModeA != 0 {
 		e.tracked = append([]framework.APIID(nil), tracked...)
 		sort.Slice(e.tracked, func(i, j int) bool { return e.tracked[i] < e.tracked[j] })
 		for i, id := range e.tracked {
-			if _, dup := e.apiIndex[id]; dup {
+			if id < 0 || int(id) >= u.NumAPIs() {
+				return nil, fmt.Errorf("features: tracked API %d out of range", id)
+			}
+			if e.apiSlot[id] != 0 {
 				return nil, fmt.Errorf("features: duplicate tracked API %d", id)
 			}
-			e.apiIndex[id] = i
+			e.apiSlot[id] = int32(i + 1)
 		}
 	}
 	e.permBase = len(e.tracked)
@@ -316,6 +342,45 @@ func (e *Extractor) Vector(log *hook.Log, man *manifest.Manifest) (ml.Vector, er
 	if log == nil || man == nil {
 		return nil, fmt.Errorf("features: nil log or manifest")
 	}
+	return e.fill(log, man), nil
+}
+
+// VectorFromFullLog projects the feature vector from a log recorded under
+// a *wider* tracked set than the extractor's — typically the §4.3
+// measurement pass, which tracks every hookable API. Because the emulation
+// itself is registry-independent (the registry only filters what the hook
+// layer records), a full-tracking log is an exact superset of any key-API
+// log under the same profile and Monkey seed, so projecting it yields the
+// same vector a dedicated re-emulation would — without paying for one.
+//
+// The log's registry must track every API the extractor tracks; otherwise
+// API bits could be silently missing and an error is returned.
+func (e *Extractor) VectorFromFullLog(log *hook.Log, man *manifest.Manifest) (ml.Vector, error) {
+	if log == nil || man == nil {
+		return nil, fmt.Errorf("features: nil log or manifest")
+	}
+	if err := e.CanProjectFrom(log.Registry()); err != nil {
+		return nil, err
+	}
+	return e.fill(log, man), nil
+}
+
+// CanProjectFrom reports whether logs recorded under reg cover every API
+// this extractor tracks, i.e. VectorFromFullLog projection is exact. Corpus
+// passes share one registry across all apps, so callers validating up front
+// can project each log with plain Vector.
+func (e *Extractor) CanProjectFrom(reg *hook.Registry) error {
+	for _, id := range e.tracked {
+		if !reg.Tracks(id) {
+			return fmt.Errorf("features: log registry does not track API %d; cannot project", id)
+		}
+	}
+	return nil
+}
+
+// fill is the shared vector construction; apiBits ignores logged APIs
+// outside the tracked set, so it projects wider logs correctly.
+func (e *Extractor) fill(log *hook.Log, man *manifest.Manifest) ml.Vector {
 	v := ml.NewVector(e.total)
 	if e.mode&ModeA != 0 {
 		e.apiBits(log, v)
@@ -337,7 +402,7 @@ func (e *Extractor) Vector(log *hook.Log, man *manifest.Manifest) (ml.Vector, er
 			v.Set(e.intentBase + int(id))
 		}
 	}
-	return v, nil
+	return v
 }
 
 // FeatureName labels feature index i for reporting (Fig. 13 uses

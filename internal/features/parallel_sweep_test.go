@@ -1,0 +1,57 @@
+package features
+
+import (
+	"testing"
+
+	"apichecker/internal/framework"
+)
+
+// serialSetC recomputes step 1 of the selection strategy with a plain
+// serial loop — the reference the parallel sweep inside SelectKeyAPIs must
+// reproduce exactly, SRC slot for SRC slot and member for member.
+func serialSetC(u *framework.Universe, usage *UsageStats, cfg SelectionConfig) ([]framework.APIID, []float64) {
+	var setC []framework.APIID
+	src := make([]float64, u.NumAPIs())
+	for i := 0; i < u.NumAPIs(); i++ {
+		id := framework.APIID(i)
+		if u.API(id).Hidden {
+			continue
+		}
+		s := usage.SRC(id)
+		src[i] = s
+		if usage.UsageFraction(id) < cfg.SeldomFraction {
+			continue
+		}
+		if s >= cfg.SRCThreshold || s <= -cfg.SRCThreshold {
+			setC = append(setC, id)
+		}
+	}
+	return setC, src
+}
+
+// TestParallelSweepMatchesSerial: parallelizing the per-API Spearman sweep
+// must not change the selection — same Set-C in the same (APIID) order,
+// same recorded SRC values bit for bit.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	ids := visible(8)
+	usage := fabricatedUsage(2000, 180, ids[:4], ids[4:])
+	cfg := DefaultSelectionConfig()
+
+	wantC, wantSRC := serialSetC(testU, usage, cfg)
+	for trial := 0; trial < 5; trial++ { // rerun to shake out scheduling luck
+		sel := SelectKeyAPIs(testU, usage, cfg)
+		if len(sel.SetC) != len(wantC) {
+			t.Fatalf("trial %d: Set-C size %d, serial reference %d", trial, len(sel.SetC), len(wantC))
+		}
+		for i := range wantC {
+			if sel.SetC[i] != wantC[i] {
+				t.Fatalf("trial %d: Set-C[%d] = %d, serial reference %d", trial, i, sel.SetC[i], wantC[i])
+			}
+		}
+		for i := range wantSRC {
+			if sel.SRC[i] != wantSRC[i] {
+				t.Fatalf("trial %d: SRC[%d] = %v, serial reference %v", trial, i, sel.SRC[i], wantSRC[i])
+			}
+		}
+	}
+}

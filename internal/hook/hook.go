@@ -8,21 +8,40 @@
 // overhead, which is why the size and heat of the tracked set dominates
 // per-app analysis time (Figs. 3, 6, 9, 16). The engine therefore accounts
 // intercepted invocations separately from total invocations.
+//
+// Observe is the hottest call in the simulator — the §4.3 measurement pass
+// intercepts every invocation of every app in the corpus — so the tracked
+// set and callback presence are dense per-API bytes rather than map
+// lookups, and per-run records live in an append-only arena indexed by a
+// pooled dense table that Seal returns once the run is over.
 package hook
 
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 
 	"apichecker/internal/framework"
 )
 
+// Per-API state bits in Registry.state.
+const (
+	trackedBit  = 1 << 0
+	callbackBit = 1 << 1
+)
+
 // Registry is the set of APIs to intercept plus installed callbacks. Build
-// once per tracked-set configuration; safe for concurrent readers.
+// once per tracked-set configuration; safe for concurrent readers. OnInvoke
+// mutates the registry and must not race with running emulations — install
+// callbacks at construction time.
 type Registry struct {
 	universe *framework.Universe
-	tracked  map[framework.APIID]bool
 	list     []framework.APIID
+
+	// state is indexed by APIID: trackedBit marks interception,
+	// callbackBit marks an installed callback.
+	state []uint8
 
 	// callbacks run when a tracked API is invoked; used by the
 	// hardening layer to tamper with returns (e.g. hiding Xposed from
@@ -39,7 +58,7 @@ type Callback func(inv *Invocation)
 func NewRegistry(u *framework.Universe, apis []framework.APIID) (*Registry, error) {
 	r := &Registry{
 		universe:  u,
-		tracked:   make(map[framework.APIID]bool, len(apis)),
+		state:     make([]uint8, u.NumAPIs()),
 		callbacks: make(map[framework.APIID]Callback),
 	}
 	for _, id := range apis {
@@ -49,8 +68,8 @@ func NewRegistry(u *framework.Universe, apis []framework.APIID) (*Registry, erro
 		if u.API(id).Hidden {
 			return nil, fmt.Errorf("hook: cannot hook hidden API %s", u.API(id).Name)
 		}
-		if !r.tracked[id] {
-			r.tracked[id] = true
+		if r.state[id]&trackedBit == 0 {
+			r.state[id] |= trackedBit
 			r.list = append(r.list, id)
 		}
 	}
@@ -68,7 +87,9 @@ func MustNewRegistry(u *framework.Universe, apis []framework.APIID) *Registry {
 }
 
 // Tracks reports whether the registry intercepts the API.
-func (r *Registry) Tracks(id framework.APIID) bool { return r.tracked[id] }
+func (r *Registry) Tracks(id framework.APIID) bool {
+	return id >= 0 && int(id) < len(r.state) && r.state[id]&trackedBit != 0
+}
 
 // Size returns the number of tracked APIs.
 func (r *Registry) Size() int { return len(r.list) }
@@ -82,10 +103,11 @@ func (r *Registry) Universe() *framework.Universe { return r.universe }
 // OnInvoke installs a callback for a tracked API. Installing on an
 // untracked API is an error: Xposed only sees methods it hooked.
 func (r *Registry) OnInvoke(id framework.APIID, cb Callback) error {
-	if !r.tracked[id] {
+	if !r.Tracks(id) {
 		return fmt.Errorf("hook: OnInvoke on untracked API %d", id)
 	}
 	r.callbacks[id] = cb
+	r.state[id] |= callbackBit
 	return nil
 }
 
@@ -103,10 +125,27 @@ type Invocation struct {
 type Log struct {
 	registry *Registry
 
-	byAPI map[framework.APIID]*Invocation
-	order []framework.APIID
+	// invs is the invocation arena in first-observation order; index maps
+	// APIID to arena slot+1 while the run is live, lookup replaces it
+	// after Seal.
+	invs   []Invocation
+	index  []int32
+	lookup map[framework.APIID]int32
 
 	sentIntents map[framework.IntentID]uint64
+
+	// paramSlab hands out fixed 4-slot Params windows so a full-tracking
+	// run allocates one header chunk per ~128 recording invocations
+	// instead of one slice per invocation. Windows stay valid when the
+	// slab moves on to a fresh chunk: the old chunk lives on through the
+	// windows that reference it.
+	paramSlab []string
+
+	// Sealed logs trade the live intent map for sorted parallel slices:
+	// pointer-free, smaller, and cheap for the garbage collector to skip
+	// while the log sits in a corpus run cache.
+	intentIDs    []framework.IntentID
+	intentCounts []uint64
 
 	// TotalInvocations counts every framework API invocation the app
 	// performed, tracked or not (Fig. 2's statistic).
@@ -119,17 +158,156 @@ type Log struct {
 	ReachedActivities []string
 }
 
+// indexPool recycles the dense APIID→slot tables between runs. Sealed logs
+// return their table zeroed, so a pooled table is always all-zero.
+var indexPool sync.Pool
+
 // NewLog creates an empty log for the registry.
 func NewLog(r *Registry) *Log {
+	n := r.universe.NumAPIs()
+	var idx []int32
+	if v := indexPool.Get(); v != nil {
+		if s := v.([]int32); len(s) >= n {
+			idx = s
+		}
+	}
+	if idx == nil {
+		idx = make([]int32, n)
+	}
 	return &Log{
-		registry:    r,
-		byAPI:       make(map[framework.APIID]*Invocation),
-		sentIntents: make(map[framework.IntentID]uint64),
+		registry: r,
+		// Typical runs touch a few hundred distinct APIs; starting the
+		// arena at 128 slots avoids most growth copies on the
+		// full-tracking measurement pass.
+		invs:  make([]Invocation, 0, 128),
+		index: idx,
 	}
 }
 
 // Registry returns the registry the log was recorded under.
 func (l *Log) Registry() *Registry { return l.registry }
+
+// Seal releases the log's dense index back to the shared pool once the run
+// is over and compacts the log's pointer-bearing state. Logs are retained
+// by result caches for whole corpus passes, so holding a universe-sized
+// table per log would dwarf the data it indexes — and every individually
+// allocated string or map the log keeps is re-marked by each GC cycle for
+// as long as the pass stays cached. Observing a sealed log still works
+// (via a small map); reading never needed the table.
+func (l *Log) Seal() {
+	if l.index == nil {
+		return
+	}
+	for i := range l.invs {
+		l.index[l.invs[i].API] = 0
+	}
+	indexPool.Put(l.index)
+	l.index = nil
+	l.compactParams()
+	l.compactIntents()
+	l.compactActivities()
+}
+
+// compactParams rewrites every sampled param string in place as a slice
+// of one shared backing string, collapsing hundreds of tiny GC-tracked
+// string objects per log into one.
+func (l *Log) compactParams() {
+	total, count := 0, 0
+	for i := range l.invs {
+		for _, p := range l.invs[i].Params {
+			total += len(p)
+		}
+		count += len(l.invs[i].Params)
+	}
+	if count == 0 {
+		return
+	}
+	var sb strings.Builder
+	sb.Grow(total)
+	for i := range l.invs {
+		for _, p := range l.invs[i].Params {
+			sb.WriteString(p)
+		}
+	}
+	blob := sb.String()
+	off := 0
+	for i := range l.invs {
+		ps := l.invs[i].Params
+		for j, p := range ps {
+			ps[j] = blob[off : off+len(p)]
+			off += len(p)
+		}
+	}
+}
+
+// compactActivities rewrites the reached-activity names as slices of one
+// shared backing string; the originals usually borrow from the app's
+// program, which the log would otherwise keep alive string by string.
+func (l *Log) compactActivities() {
+	if len(l.ReachedActivities) == 0 {
+		return
+	}
+	total := 0
+	for _, a := range l.ReachedActivities {
+		total += len(a)
+	}
+	var sb strings.Builder
+	sb.Grow(total)
+	for _, a := range l.ReachedActivities {
+		sb.WriteString(a)
+	}
+	blob := sb.String()
+	off := 0
+	for i, a := range l.ReachedActivities {
+		l.ReachedActivities[i] = blob[off : off+len(a)]
+		off += len(a)
+	}
+}
+
+// compactIntents freezes the live intent map into sorted parallel slices.
+func (l *Log) compactIntents() {
+	if len(l.sentIntents) == 0 {
+		l.sentIntents = nil
+		return
+	}
+	ids := make([]framework.IntentID, 0, len(l.sentIntents))
+	for id := range l.sentIntents {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	counts := make([]uint64, len(ids))
+	for i, id := range ids {
+		counts[i] = l.sentIntents[id]
+	}
+	l.intentIDs, l.intentCounts = ids, counts
+	l.sentIntents = nil
+}
+
+// slot returns the arena slot for id, allocating one if needed.
+func (l *Log) slot(id framework.APIID) int32 {
+	if l.index != nil {
+		s := l.index[id]
+		if s == 0 {
+			l.invs = append(l.invs, Invocation{API: id})
+			s = int32(len(l.invs))
+			l.index[id] = s
+		}
+		return s
+	}
+	if l.lookup == nil {
+		l.lookup = make(map[framework.APIID]int32, len(l.invs))
+		for i := range l.invs {
+			l.lookup[l.invs[i].API] = int32(i + 1)
+		}
+	}
+	s := l.lookup[id]
+	if s == 0 {
+		l.invs = append(l.invs, Invocation{API: id})
+		s = int32(len(l.invs))
+		l.lookup[id] = s
+	}
+	return s
+}
 
 // Observe records count invocations of the API. Only tracked APIs are
 // intercepted and recorded; untracked ones still count toward
@@ -139,24 +317,43 @@ func (l *Log) Observe(id framework.APIID, count uint64, params ...string) {
 		return
 	}
 	l.TotalInvocations += count
-	if !l.registry.Tracks(id) {
+	state := l.registry.state
+	if id < 0 || int(id) >= len(state) || state[id]&trackedBit == 0 {
 		return
 	}
 	l.Intercepted += count
-	inv := l.byAPI[id]
-	if inv == nil {
-		inv = &Invocation{API: id}
-		l.byAPI[id] = inv
-		l.order = append(l.order, id)
+	var inv *Invocation
+	if idx := l.index; idx != nil {
+		// Live-run fast path: one dense-table load, no call overhead.
+		s := idx[id]
+		if s == 0 {
+			l.invs = append(l.invs, Invocation{API: id})
+			s = int32(len(l.invs))
+			idx[id] = s
+		}
+		inv = &l.invs[s-1]
+	} else {
+		inv = &l.invs[l.slot(id)-1]
 	}
 	inv.Count += count
 	for _, p := range params {
-		if len(inv.Params) < 8 {
+		// Cap retained samples: logs survive whole corpus passes in the
+		// run cache, and every retained string is GC-traced for as long
+		// as the pass stays cached.
+		if len(inv.Params) < 4 {
+			if inv.Params == nil {
+				if cap(l.paramSlab)-len(l.paramSlab) < 4 {
+					l.paramSlab = make([]string, 0, 512)
+				}
+				off := len(l.paramSlab)
+				l.paramSlab = l.paramSlab[: off+4 : cap(l.paramSlab)]
+				inv.Params = l.paramSlab[off : off : off+4]
+			}
 			inv.Params = append(inv.Params, p)
 		}
 	}
-	if cb := l.registry.callbacks[id]; cb != nil {
-		cb(inv)
+	if state[id]&callbackBit != 0 {
+		l.registry.callbacks[id](inv)
 	}
 }
 
@@ -164,9 +361,19 @@ func (l *Log) Observe(id framework.APIID, count uint64, params ...string) {
 // the instrumentation layer without per-API hook overhead (§4.5: auxiliary
 // features cost no extra dynamic-analysis time).
 func (l *Log) ObserveIntent(id framework.IntentID, count uint64) {
-	if count > 0 {
-		l.sentIntents[id] += count
+	if count == 0 {
+		return
 	}
+	if l.sentIntents == nil {
+		// Lazily (re)build the live map; a sealed log thaws its frozen
+		// slice form first.
+		l.sentIntents = make(map[framework.IntentID]uint64, len(l.intentIDs))
+		for i, iid := range l.intentIDs {
+			l.sentIntents[iid] = l.intentCounts[i]
+		}
+		l.intentIDs, l.intentCounts = nil, nil
+	}
+	l.sentIntents[id] += count
 }
 
 // ObserveActivity records that an activity came to the foreground.
@@ -174,22 +381,54 @@ func (l *Log) ObserveActivity(name string) {
 	l.ReachedActivities = append(l.ReachedActivities, name)
 }
 
+// Invocations returns the invocation records in first-observation order.
+// Callers must not modify or retain the slice; it is the log's own arena.
+func (l *Log) Invocations() []Invocation { return l.invs }
+
 // InvokedAPIs returns the tracked APIs observed at least once, in first-
 // observation order.
 func (l *Log) InvokedAPIs() []framework.APIID {
-	out := make([]framework.APIID, len(l.order))
-	copy(out, l.order)
+	out := make([]framework.APIID, len(l.invs))
+	for i := range l.invs {
+		out[i] = l.invs[i].API
+	}
 	return out
 }
 
 // Invocation returns the record for an API, or nil.
-func (l *Log) Invocation(id framework.APIID) *Invocation { return l.byAPI[id] }
+func (l *Log) Invocation(id framework.APIID) *Invocation {
+	if id < 0 || int(id) >= len(l.registry.state) {
+		return nil
+	}
+	var s int32
+	if l.index != nil {
+		s = l.index[id]
+	} else if l.lookup != nil {
+		s = l.lookup[id]
+	} else {
+		for i := range l.invs {
+			if l.invs[i].API == id {
+				return &l.invs[i]
+			}
+		}
+		return nil
+	}
+	if s == 0 {
+		return nil
+	}
+	return &l.invs[s-1]
+}
 
 // DistinctInvoked returns how many tracked APIs were observed.
-func (l *Log) DistinctInvoked() int { return len(l.order) }
+func (l *Log) DistinctInvoked() int { return len(l.invs) }
 
 // SentIntents returns the distinct intent actions sent, sorted by id.
 func (l *Log) SentIntents() []framework.IntentID {
+	if l.sentIntents == nil {
+		out := make([]framework.IntentID, len(l.intentIDs))
+		copy(out, l.intentIDs)
+		return out
+	}
 	out := make([]framework.IntentID, 0, len(l.sentIntents))
 	for id := range l.sentIntents {
 		out = append(out, id)
@@ -199,4 +438,13 @@ func (l *Log) SentIntents() []framework.IntentID {
 }
 
 // IntentCount returns how many times an intent action was sent.
-func (l *Log) IntentCount(id framework.IntentID) uint64 { return l.sentIntents[id] }
+func (l *Log) IntentCount(id framework.IntentID) uint64 {
+	if l.sentIntents == nil {
+		i := sort.Search(len(l.intentIDs), func(i int) bool { return l.intentIDs[i] >= id })
+		if i < len(l.intentIDs) && l.intentIDs[i] == id {
+			return l.intentCounts[i]
+		}
+		return 0
+	}
+	return l.sentIntents[id]
+}

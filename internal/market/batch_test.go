@@ -1,0 +1,121 @@
+package market
+
+import (
+	"reflect"
+	"testing"
+
+	"apichecker/internal/core"
+	"apichecker/internal/dataset"
+)
+
+// twinMarkets trains two independent but identical markets over the shared
+// test universe (training is deterministic), so one can review serially and
+// the other in parallel without sharing rng or vet-sequence state.
+func twinMarkets(t *testing.T, nTrain int, cfg Config) (*Market, *Market) {
+	t.Helper()
+	mk := func() *Market {
+		dcfg := dataset.DefaultConfig()
+		dcfg.NumApps = nTrain
+		corpus, err := dataset.Generate(testU, dcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck, _, err := core.TrainFromCorpus(corpus, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(ck, cfg)
+		m.SeedFingerprints(corpus)
+		return m
+	}
+	return mk(), mk()
+}
+
+func monthSubmissions(t *testing.T, n int) []dataset.App {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.Seed = 7919
+	cfg.NumApps = n
+	c, err := dataset.Generate(testU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Apps
+}
+
+// TestReviewBatchMatchesSerialReview is the determinism contract of the
+// parallel review pool: ReviewBatch must produce bit-identical submission
+// results, month stats and retraining labels to a serial Review loop over
+// the same queue.
+func TestReviewBatchMatchesSerialReview(t *testing.T) {
+	serial, batch := twinMarkets(t, 500, DefaultConfig())
+	apps := monthSubmissions(t, 250)
+
+	var serialStats, batchStats MonthStats
+	serialRes := make([]*SubmissionResult, len(apps))
+	for i, app := range apps {
+		res, err := serial.Review(app, &serialStats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialRes[i] = res
+	}
+	batchRes, err := batch.ReviewBatch(apps, &batchStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(batchRes) != len(serialRes) {
+		t.Fatalf("result count %d vs %d", len(batchRes), len(serialRes))
+	}
+	for i := range serialRes {
+		if *serialRes[i] != *batchRes[i] {
+			t.Fatalf("submission %d (%s): serial %+v vs batch %+v",
+				i, apps[i].Spec.PackageName, *serialRes[i], *batchRes[i])
+		}
+	}
+	if serialStats != batchStats {
+		t.Fatalf("month stats diverged:\nserial %+v\nbatch  %+v", serialStats, batchStats)
+	}
+	if !reflect.DeepEqual(serial.Labeled, batch.Labeled) {
+		t.Fatalf("retraining labels diverged: %d vs %d entries", len(serial.Labeled), len(batch.Labeled))
+	}
+	if serial.checker.VetCount() != batch.checker.VetCount() {
+		t.Fatalf("vet counts diverged: %d vs %d", serial.checker.VetCount(), batch.checker.VetCount())
+	}
+	// Both markets must agree on the published-package lineage pool too —
+	// it feeds next month's update targeting in RunYear.
+	if !reflect.DeepEqual(serial.PublishedPackages(), batch.PublishedPackages()) {
+		t.Fatal("published package pools diverged")
+	}
+}
+
+// TestReviewBatchLaneInvariant: the worker-pool width is a throughput knob,
+// never a semantics knob.
+func TestReviewBatchLaneInvariant(t *testing.T) {
+	one := DefaultConfig()
+	one.Lanes = 1
+	wide := DefaultConfig()
+	wide.Lanes = 8
+	mOne, mWide := twinMarkets(t, 500, one)
+	mWide.cfg = wide
+	apps := monthSubmissions(t, 200)
+
+	var sOne, sWide MonthStats
+	rOne, err := mOne.ReviewBatch(apps, &sOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rWide, err := mWide.ReviewBatch(apps, &sWide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rOne {
+		if *rOne[i] != *rWide[i] {
+			t.Fatalf("submission %d: lanes=1 %+v vs lanes=8 %+v", i, *rOne[i], *rWide[i])
+		}
+	}
+	if sOne != sWide {
+		t.Fatalf("stats depend on lane count:\nlanes=1 %+v\nlanes=8 %+v", sOne, sWide)
+	}
+}

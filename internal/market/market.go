@@ -16,6 +16,8 @@ import (
 	"apichecker/internal/behavior"
 	"apichecker/internal/core"
 	"apichecker/internal/dataset"
+	"apichecker/internal/emulator"
+	"apichecker/internal/parallel"
 )
 
 // Config tunes the market simulation.
@@ -43,6 +45,11 @@ type Config struct {
 	// update against its previous version (§1: ~90% of flagged apps).
 	ManualMinutesFull float64
 	ManualMinutesFast float64
+
+	// Lanes bounds the parallel ML scans of ReviewBatch, mirroring the
+	// production server's emulator lanes (§5.1: 16 per server). <= 0
+	// defaults to emulator.ProductionLanes; 1 reviews serially.
+	Lanes int
 }
 
 // DefaultConfig matches the paper's description.
@@ -55,6 +62,7 @@ func DefaultConfig() Config {
 		UserReportRate:       0.6,
 		ManualMinutesFull:    2 * 24 * 60,
 		ManualMinutesFast:    15,
+		Lanes:                emulator.ProductionLanes,
 	}
 }
 
@@ -229,32 +237,113 @@ func (m *Market) avConsensus(app dataset.App) bool {
 // Review processes one submission end to end and records the labelled
 // outcome for retraining. stats may be nil.
 func (m *Market) Review(app dataset.App, stats *MonthStats) (*SubmissionResult, error) {
-	res := &SubmissionResult{Package: app.Spec.PackageName}
-	truth := app.Label == behavior.Malicious
-	rec := m.records[app.Spec.PackageName]
-	if rec == nil {
-		rec = &pastRecord{}
-		m.records[app.Spec.PackageName] = rec
-	}
 	if stats != nil {
 		stats.Submissions++
 	}
-
 	// Stage 1: fingerprint consensus.
 	if m.avConsensus(app) {
-		res.Outcome = RejectedFingerprint
-		if stats != nil {
-			stats.RejectedKnown++
-		}
-		m.label(app, behavior.Malicious)
-		return res, nil
+		return m.finishRejectedKnown(app, stats), nil
 	}
-
 	// Stage 2: APICHECKER.
 	verdict, err := m.checker.VetProgram(m.programOf(app))
 	if err != nil {
 		return nil, fmt.Errorf("market: review %s: %w", app.Spec.PackageName, err)
 	}
+	return m.finishVetted(app, verdict, stats), nil
+}
+
+// ReviewBatch reviews a queue of submissions with the expensive ML scans
+// fanned out over Config.Lanes parallel workers. The result is
+// bit-identical to reviewing the queue serially with Review:
+//
+//   - stage 1 (fingerprint consensus) runs serially up front, consuming
+//     the consensus rng in submission order;
+//   - stage 2 reserves one vet sequence number per ML-bound app in
+//     submission order (exactly what a serial review would assign), so
+//     per-app Monkey seeds do not depend on scheduling;
+//   - stages 3-4 (manual confirmation, lineage records, user reports,
+//     labelling) merge serially in submission order, consuming the market
+//     rng in submission order.
+//
+// The one observable divergence: a sample fingerprinted *during* the batch
+// (confirmed malware shares its fingerprint with the vendors) cannot
+// reject a same-seed resubmission later in the same batch at stage 1.
+// Generated corpora have unique seeds within a month, so the deployment
+// simulation never hits this.
+func (m *Market) ReviewBatch(apps []dataset.App, stats *MonthStats) ([]*SubmissionResult, error) {
+	rejected := make([]bool, len(apps))
+	queue := make([]int, 0, len(apps))
+	for i := range apps {
+		if stats != nil {
+			stats.Submissions++
+		}
+		if m.avConsensus(apps[i]) {
+			rejected[i] = true
+		} else {
+			queue = append(queue, i)
+		}
+	}
+
+	verdicts := make([]*core.Verdict, len(apps))
+	errs := make([]error, len(queue))
+	base := m.checker.ReserveVetSeqs(len(queue))
+	gen := m.generator() // resolve before the fan-out; Generate is pure
+	parallel.Run(len(queue), m.lanes(), func(k int) {
+		i := queue[k]
+		verdicts[i], errs[k] = m.checker.VetProgramSeq(gen.Generate(apps[i].Spec), base+int64(k))
+	})
+	for k, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("market: review %s: %w", apps[queue[k]].Spec.PackageName, err)
+		}
+	}
+
+	out := make([]*SubmissionResult, len(apps))
+	for i := range apps {
+		if rejected[i] {
+			out[i] = m.finishRejectedKnown(apps[i], stats)
+		} else {
+			out[i] = m.finishVetted(apps[i], verdicts[i], stats)
+		}
+	}
+	return out, nil
+}
+
+// lanes resolves the effective ML worker bound.
+func (m *Market) lanes() int {
+	if m.cfg.Lanes > 0 {
+		return m.cfg.Lanes
+	}
+	return emulator.ProductionLanes
+}
+
+// record returns the lineage record for a package, creating it on first
+// sight.
+func (m *Market) record(pkg string) *pastRecord {
+	rec := m.records[pkg]
+	if rec == nil {
+		rec = &pastRecord{}
+		m.records[pkg] = rec
+	}
+	return rec
+}
+
+// finishRejectedKnown books a stage-1 fingerprint rejection.
+func (m *Market) finishRejectedKnown(app dataset.App, stats *MonthStats) *SubmissionResult {
+	m.record(app.Spec.PackageName)
+	res := &SubmissionResult{Package: app.Spec.PackageName, Outcome: RejectedFingerprint}
+	if stats != nil {
+		stats.RejectedKnown++
+	}
+	m.label(app, behavior.Malicious)
+	return res
+}
+
+// finishVetted books stages 3-4 for a submission the ML stage scanned.
+func (m *Market) finishVetted(app dataset.App, verdict *core.Verdict, stats *MonthStats) *SubmissionResult {
+	res := &SubmissionResult{Package: app.Spec.PackageName}
+	truth := app.Label == behavior.Malicious
+	rec := m.record(app.Spec.PackageName)
 	res.MLRan = true
 	res.MLMalicious = verdict.Malicious
 	if stats != nil {
@@ -304,7 +393,7 @@ func (m *Market) Review(app dataset.App, stats *MonthStats) (*SubmissionResult, 
 			m.label(app, behavior.Benign)
 		}
 		rec.lastVersion = app.Spec.Version
-		return res, nil
+		return res
 	}
 
 	// Stage 4: published. Malicious apps that slipped through may be
@@ -322,13 +411,13 @@ func (m *Market) Review(app dataset.App, stats *MonthStats) (*SubmissionResult, 
 		}
 		m.av.LearnAll(app.Spec.Seed)
 		m.label(app, behavior.Malicious)
-		return res, nil
+		return res
 	}
 	res.Outcome = Published
 	// Unreported malware stays labelled benign in the retraining set —
 	// the market does not know better yet.
 	m.label(app, behavior.Benign)
-	return res, nil
+	return res
 }
 
 func (m *Market) label(app dataset.App, label behavior.Label) {
@@ -340,12 +429,20 @@ func (m *Market) label(app dataset.App, label behavior.Label) {
 	m.Labeled = append(m.Labeled, dataset.App{Spec: spec, Label: label})
 }
 
+// generator resolves the behaviour generator, rebuilding it when the
+// checker's universe has evolved. Resolve it once before fanning out:
+// Generate itself derives everything from the spec and is safe to call
+// concurrently, but the lazy rebuild here is not.
+func (m *Market) generator() *behavior.Generator {
+	if m.gen == nil || m.gen.Universe() != m.checker.Universe() {
+		m.gen = behavior.NewGenerator(m.checker.Universe())
+	}
+	return m.gen
+}
+
 func (m *Market) programOf(app dataset.App) *behavior.Program {
 	// Programs are regenerated from the spec with a generator bound to
 	// the checker's current universe; the market itself only ever sees
 	// the APK-equivalent artifact.
-	if m.gen == nil || m.gen.Universe() != m.checker.Universe() {
-		m.gen = behavior.NewGenerator(m.checker.Universe())
-	}
-	return m.gen.Generate(app.Spec)
+	return m.generator().Generate(app.Spec)
 }

@@ -3,6 +3,7 @@ package ml
 import (
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // CARTConfig configures a single classification tree.
@@ -21,15 +22,20 @@ type CARTConfig struct {
 type CART struct {
 	cfg     CARTConfig
 	trained bool
-	root    *treeNode
+	// nodes is the tree in preorder (root at index 0), children linked by
+	// index. One pointer-free slice per tree keeps training allocation
+	// flat and gives the garbage collector nothing to trace in a trained
+	// forest — which matters once models and cached corpus runs are
+	// retained across a whole simulated year.
+	nodes []treeNode
 	// importance accumulates per-feature Gini importance (impurity
 	// decrease weighted by node size), populated during Train.
 	importance []float64
 }
 
 type treeNode struct {
-	feature     int // -1 for leaves
-	left, right *treeNode
+	feature     int32   // -1 for leaves
+	left, right int32   // node indexes; -1 for none
 	prob        float64 // P(malicious) at leaf
 }
 
@@ -55,15 +61,7 @@ func (t *CART) Train(d *Dataset) error {
 	if err := checkTrainable(d); err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(t.cfg.Seed))
-	idx := make([]int, d.Len())
-	for i := range idx {
-		idx[i] = i
-	}
-	t.importance = make([]float64, d.NumFeatures)
-	t.root = t.grow(d, idx, 0, rng)
-	t.trained = true
-	return nil
+	return t.train(d, transposeDataset(d), rand.New(rand.NewSource(t.cfg.Seed)), false)
 }
 
 // TrainBootstrap trains on a bootstrap sample drawn with rng (random
@@ -72,12 +70,62 @@ func (t *CART) TrainBootstrap(d *Dataset, rng *rand.Rand) error {
 	if err := checkTrainable(d); err != nil {
 		return err
 	}
-	idx := make([]int, d.Len())
-	for i := range idx {
-		idx[i] = rng.Intn(d.Len())
+	return t.train(d, transposeDataset(d), rng, true)
+}
+
+// trainCols is TrainBootstrap against a prebuilt column view; the forest
+// transposes the dataset once and shares it across all trees.
+func (t *CART) trainCols(d *Dataset, fc *featureColumns, rng *rand.Rand) error {
+	if err := checkTrainable(d); err != nil {
+		return err
+	}
+	return t.train(d, fc, rng, true)
+}
+
+func (t *CART) train(d *Dataset, fc *featureColumns, rng *rand.Rand, bootstrap bool) error {
+	g := growers.Get().(*grower)
+	g.reset(&t.cfg, fc, d.NumFeatures, d.Len())
+	// Examples are held as label-partitioned lists of DISTINCT indices
+	// plus a per-example multiplicity (the bootstrap draw count): split
+	// counting needs one column test per distinct element, and a 600-draw
+	// bootstrap has only ~63% distinct members. Weighted counts equal the
+	// duplicate-expanded counts exactly, and only counts feed the split
+	// math, so the grown tree is identical to one grown over the
+	// duplicate-expanded list.
+	posW := 0
+	if bootstrap {
+		for i := 0; i < d.Len(); i++ {
+			j := rng.Intn(d.Len())
+			p := colTest(fc.y, j)
+			if g.wgt[j] == 0 {
+				if p {
+					g.pos = append(g.pos, j)
+				} else {
+					g.neg = append(g.neg, j)
+				}
+			}
+			g.wgt[j]++
+			if p {
+				posW++
+			}
+		}
+	} else {
+		for i := 0; i < d.Len(); i++ {
+			g.wgt[i] = 1
+			if colTest(fc.y, i) {
+				g.pos = append(g.pos, i)
+				posW++
+			} else {
+				g.neg = append(g.neg, i)
+			}
+		}
 	}
 	t.importance = make([]float64, d.NumFeatures)
-	t.root = t.grow(d, idx, 0, rng)
+	g.importance = t.importance
+	g.grow(g.pos, g.neg, posW, d.Len(), 0, rng)
+	t.nodes = append([]treeNode(nil), g.nodes...)
+	g.cfg, g.fc, g.importance = nil, nil, nil
+	growers.Put(g)
 	t.trained = true
 	return nil
 }
@@ -90,36 +138,80 @@ func gini(pos, n int) float64 {
 	return 2 * p * (1 - p)
 }
 
-func (t *CART) grow(d *Dataset, idx []int, depth int, rng *rand.Rand) *treeNode {
-	pos := 0
-	for _, i := range idx {
-		if d.Examples[i].Y {
-			pos++
-		}
+// grower carries one tree's growth state: the shared column view, the
+// importance accumulator, and a scratch buffer so node partitions reuse
+// the parent's index storage instead of allocating per node.
+type grower struct {
+	cfg         *CARTConfig
+	fc          *featureColumns
+	importance  []float64
+	numFeatures int
+	pos, neg    []int   // distinct example indices, by label
+	wgt         []int32 // per-example bootstrap multiplicity
+	scratch     []int
+	identity    []int // all-features candidate list
+	draws       []int // MTry candidate buffer
+	nodes       []treeNode
+}
+
+// growers recycles per-tree growth state; a forest trains 120 trees in
+// parallel and the index/arena buffers dominate its allocations.
+var growers = sync.Pool{New: func() any { return new(grower) }}
+
+// reset prepares pooled state for one tree over n examples.
+func (g *grower) reset(cfg *CARTConfig, fc *featureColumns, numFeatures, n int) {
+	g.cfg, g.fc, g.numFeatures = cfg, fc, numFeatures
+	if cap(g.pos) < n {
+		g.pos = make([]int, 0, n)
+	} else {
+		g.pos = g.pos[:0]
 	}
-	n := len(idx)
-	leaf := func() *treeNode {
-		return &treeNode{feature: -1, prob: (float64(pos) + 0.5) / (float64(n) + 1)}
+	if cap(g.neg) < n {
+		g.neg = make([]int, 0, n)
+	} else {
+		g.neg = g.neg[:0]
 	}
-	if depth >= t.cfg.MaxDepth || n < 2*t.cfg.MinLeaf || pos == 0 || pos == n {
+	if cap(g.wgt) < n {
+		g.wgt = make([]int32, n)
+	} else {
+		g.wgt = g.wgt[:n]
+		clear(g.wgt)
+	}
+	if cap(g.scratch) < n {
+		g.scratch = make([]int, 0, n)
+	}
+	if cap(g.nodes) < 2*n {
+		g.nodes = make([]treeNode, 0, 2*n)
+	} else {
+		g.nodes = g.nodes[:0]
+	}
+}
+
+// grow appends the subtree over a node's examples — given as label-
+// partitioned lists of distinct indices (posIdx malicious, negIdx benign)
+// plus the node's duplicate-inclusive totals (pos malicious draws, n all
+// draws) — to the preorder node arena, returning its root index.
+func (g *grower) grow(posIdx, negIdx []int, pos, n, depth int, rng *rand.Rand) int32 {
+	self := int32(len(g.nodes))
+	g.nodes = append(g.nodes, treeNode{feature: -1, left: -1, right: -1})
+
+	leaf := func() int32 {
+		g.nodes[self].prob = (float64(pos) + 0.5) / (float64(n) + 1)
+		return self
+	}
+	if depth >= g.cfg.MaxDepth || n < 2*g.cfg.MinLeaf || pos == 0 || pos == n {
 		return leaf()
 	}
 
 	parentGini := gini(pos, n)
 	bestFeature, bestGain := -1, 1e-12
+	bestSetPos, bestSetN := 0, 0
 
-	candidates := t.candidateFeatures(d.NumFeatures, rng)
-	for _, f := range candidates {
-		setN, setPos := 0, 0
-		for _, i := range idx {
-			if d.Examples[i].X.Get(f) {
-				setN++
-				if d.Examples[i].Y {
-					setPos++
-				}
-			}
-		}
-		if setN < t.cfg.MinLeaf || n-setN < t.cfg.MinLeaf {
+	for _, f := range g.candidateFeatures(rng) {
+		col := g.fc.bits[f]
+		setPos := countSet(col, posIdx, g.wgt)
+		setN := setPos + countSet(col, negIdx, g.wgt)
+		if setN < g.cfg.MinLeaf || n-setN < g.cfg.MinLeaf {
 			continue
 		}
 		gain := parentGini -
@@ -127,42 +219,79 @@ func (t *CART) grow(d *Dataset, idx []int, depth int, rng *rand.Rand) *treeNode 
 			(float64(n-setN)/float64(n))*gini(pos-setPos, n-setN)
 		if gain > bestGain {
 			bestGain, bestFeature = gain, f
+			bestSetPos, bestSetN = setPos, setN
 		}
 	}
 	if bestFeature < 0 {
 		return leaf()
 	}
-	t.importance[bestFeature] += bestGain * float64(n)
+	g.importance[bestFeature] += bestGain * float64(n)
 
-	var leftIdx, rightIdx []int
-	for _, i := range idx {
-		if d.Examples[i].X.Get(bestFeature) {
-			rightIdx = append(rightIdx, i)
-		} else {
-			leftIdx = append(leftIdx, i)
-		}
-	}
-	return &treeNode{
-		feature: bestFeature,
-		left:    t.grow(d, leftIdx, depth+1, rng),
-		right:   t.grow(d, rightIdx, depth+1, rng),
-	}
+	col := g.fc.bits[bestFeature]
+	leftPos, rightPos := g.partition(col, posIdx)
+	leftNeg, rightNeg := g.partition(col, negIdx)
+	g.nodes[self].feature = int32(bestFeature)
+	left := g.grow(leftPos, leftNeg, pos-bestSetPos, n-bestSetN, depth+1, rng)
+	right := g.grow(rightPos, rightNeg, bestSetPos, bestSetN, depth+1, rng)
+	g.nodes[self].left = left
+	g.nodes[self].right = right
+	return self
 }
 
-// candidateFeatures returns the features to evaluate at one split.
-func (t *CART) candidateFeatures(numFeatures int, rng *rand.Rand) []int {
-	if t.cfg.MTry <= 0 || t.cfg.MTry >= numFeatures {
-		all := make([]int, numFeatures)
-		for i := range all {
-			all[i] = i
+// countSet sums the bootstrap weight of the example indices whose column
+// bit is set — exactly the count a duplicate-expanded index list would
+// produce.
+func countSet(col []uint64, idx []int, wgt []int32) int {
+	c := int32(0)
+	for _, i := range idx {
+		// Branchless: the bit-membership test on near-random example
+		// subsets is the least predictable branch in training.
+		bit := int32(col[i>>6]>>(uint(i)&63)) & 1
+		c += bit * wgt[i]
+	}
+	return int(c)
+}
+
+// partition stably splits idx in place by the column bit: clear bits are
+// compacted to the front, set bits staged in scratch and copied back after
+// the boundary. Children slice the parent's storage, so a whole tree
+// partitions with zero index allocations.
+func (g *grower) partition(col []uint64, idx []int) (clear, set []int) {
+	right := g.scratch[:0]
+	left := idx[:0]
+	for _, i := range idx {
+		if colTest(col, i) {
+			right = append(right, i)
+		} else {
+			left = append(left, i)
 		}
-		return all
 	}
-	out := make([]int, t.cfg.MTry)
-	for i := range out {
-		out[i] = rng.Intn(numFeatures)
+	rest := idx[len(left):]
+	copy(rest, right)
+	return left, rest
+}
+
+// candidateFeatures returns the features to evaluate at one split. The
+// returned slice is reused across nodes.
+func (g *grower) candidateFeatures(rng *rand.Rand) []int {
+	m := g.cfg.MTry
+	if m <= 0 || m >= g.numFeatures {
+		if len(g.identity) != g.numFeatures {
+			g.identity = make([]int, g.numFeatures)
+			for i := range g.identity {
+				g.identity[i] = i
+			}
+		}
+		return g.identity
 	}
-	return out
+	if cap(g.draws) < m {
+		g.draws = make([]int, m)
+	}
+	d := g.draws[:m]
+	for i := range d {
+		d[i] = rng.Intn(g.numFeatures)
+	}
+	return d
 }
 
 // Score implements Scorer: leaf probability shifted to a zero threshold.
@@ -170,12 +299,13 @@ func (t *CART) Score(x Vector) float64 { return t.prob(x) - 0.5 }
 
 // prob walks the tree.
 func (t *CART) prob(x Vector) float64 {
-	node := t.root
+	nodes := t.nodes
+	node := &nodes[0]
 	for node.feature >= 0 {
-		if x.Get(node.feature) {
-			node = node.right
+		if x.Get(int(node.feature)) {
+			node = &nodes[node.right]
 		} else {
-			node = node.left
+			node = &nodes[node.left]
 		}
 	}
 	return node.prob

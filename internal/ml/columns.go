@@ -1,0 +1,52 @@
+package ml
+
+import "math/bits"
+
+// featureColumns is a column-major view of a dataset's binary features:
+// one bitset over examples per feature, plus the label bitset. Tree
+// growth evaluates every candidate split by scanning a node's example
+// indices against a single column, so the whole working set for one
+// feature is ceil(n/64) words instead of one Vector load per example.
+// The counts are the same integers row-major evaluation produces, so
+// split decisions (and therefore trees) are unchanged.
+type featureColumns struct {
+	bits [][]uint64 // [feature] -> bitset over example indices
+	y    []uint64   // label bitset over example indices
+}
+
+// transposeDataset builds the column view. All columns share one backing
+// array (pointer-free, a single allocation).
+func transposeDataset(d *Dataset) *featureColumns {
+	n := len(d.Examples)
+	words := (n + 63) / 64
+	fc := &featureColumns{
+		bits: make([][]uint64, d.NumFeatures),
+		y:    make([]uint64, words),
+	}
+	backing := make([]uint64, d.NumFeatures*words)
+	for f := range fc.bits {
+		fc.bits[f] = backing[f*words : (f+1)*words]
+	}
+	for i := range d.Examples {
+		mask := uint64(1) << (uint(i) & 63)
+		if d.Examples[i].Y {
+			fc.y[i>>6] |= mask
+		}
+		for w, word := range d.Examples[i].X {
+			base := w * 64
+			for word != 0 {
+				f := base + bits.TrailingZeros64(word)
+				if f < d.NumFeatures {
+					fc.bits[f][i>>6] |= mask
+				}
+				word &= word - 1
+			}
+		}
+	}
+	return fc
+}
+
+// test reports whether example i has the bit set in column col.
+func colTest(col []uint64, i int) bool {
+	return col[i>>6]&(1<<(uint(i)&63)) != 0
+}

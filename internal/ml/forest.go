@@ -2,8 +2,8 @@ package ml
 
 import (
 	"math/rand"
-	"runtime"
-	"sync"
+
+	"apichecker/internal/parallel"
 )
 
 // ForestConfig configures a random forest.
@@ -57,35 +57,19 @@ func (rf *RandomForest) Train(d *Dataset) error {
 	}
 	rf.trees = make([]*CART, rf.cfg.Trees)
 	errs := make([]error, rf.cfg.Trees)
+	fc := transposeDataset(d)
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > rf.cfg.Trees {
-		workers = rf.cfg.Trees
-	}
-	var wg sync.WaitGroup
-	treeCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ti := range treeCh {
-				tree := NewCART(CARTConfig{
-					MaxDepth: rf.cfg.MaxDepth,
-					MinLeaf:  rf.cfg.MinLeaf,
-					MTry:     mtry,
-					Seed:     rf.cfg.Seed + int64(ti)*0x9e3779b9,
-				})
-				rng := rand.New(rand.NewSource(tree.cfg.Seed ^ 0x51ed))
-				errs[ti] = tree.TrainBootstrap(d, rng)
-				rf.trees[ti] = tree
-			}
-		}()
-	}
-	for ti := 0; ti < rf.cfg.Trees; ti++ {
-		treeCh <- ti
-	}
-	close(treeCh)
-	wg.Wait()
+	parallel.Run(rf.cfg.Trees, 0, func(ti int) {
+		tree := NewCART(CARTConfig{
+			MaxDepth: rf.cfg.MaxDepth,
+			MinLeaf:  rf.cfg.MinLeaf,
+			MTry:     mtry,
+			Seed:     rf.cfg.Seed + int64(ti)*0x9e3779b9,
+		})
+		rng := rand.New(newSplitMix(tree.cfg.Seed ^ 0x51ed))
+		errs[ti] = tree.trainCols(d, fc, rng)
+		rf.trees[ti] = tree
+	})
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -25,40 +25,32 @@ type forestWire struct {
 	Trees      []treeWire
 }
 
-func flatten(root *treeNode) treeWire {
-	var w treeWire
-	var walk func(n *treeNode) int32
-	walk = func(n *treeNode) int32 {
-		idx := int32(len(w.Nodes))
-		w.Nodes = append(w.Nodes, nodeWire{Feature: int32(n.feature), Left: -1, Right: -1, Prob: n.prob})
-		if n.feature >= 0 {
-			w.Nodes[idx].Left = walk(n.left)
-			w.Nodes[idx].Right = walk(n.right)
-		}
-		return idx
-	}
-	if root != nil {
-		walk(root)
+func flatten(t *CART) treeWire {
+	// The in-memory tree is already a preorder index-linked array; the
+	// wire form is a field-for-field copy.
+	w := treeWire{Nodes: make([]nodeWire, len(t.nodes))}
+	for i, n := range t.nodes {
+		w.Nodes[i] = nodeWire{Feature: n.feature, Left: n.left, Right: n.right, Prob: n.prob}
 	}
 	return w
 }
 
-func unflatten(w treeWire) (*treeNode, error) {
+func unflatten(w treeWire) ([]treeNode, error) {
 	if len(w.Nodes) == 0 {
 		return nil, fmt.Errorf("ml: decode forest: empty tree")
 	}
 	nodes := make([]treeNode, len(w.Nodes))
 	for i, nw := range w.Nodes {
-		nodes[i] = treeNode{feature: int(nw.Feature), prob: nw.Prob}
+		nodes[i] = treeNode{feature: nw.Feature, left: -1, right: -1, prob: nw.Prob}
 		if nw.Feature >= 0 {
 			if nw.Left < 0 || int(nw.Left) >= len(nodes) || nw.Right < 0 || int(nw.Right) >= len(nodes) {
 				return nil, fmt.Errorf("ml: decode forest: node %d has invalid children", i)
 			}
-			nodes[i].left = &nodes[nw.Left]
-			nodes[i].right = &nodes[nw.Right]
+			nodes[i].left = nw.Left
+			nodes[i].right = nw.Right
 		}
 	}
-	return &nodes[0], nil
+	return nodes, nil
 }
 
 // GobEncode implements gob.GobEncoder.
@@ -68,7 +60,7 @@ func (rf *RandomForest) GobEncode() ([]byte, error) {
 	}
 	w := forestWire{Cfg: rf.cfg, Importance: rf.importance}
 	for _, tree := range rf.trees {
-		w.Trees = append(w.Trees, flatten(tree.root))
+		w.Trees = append(w.Trees, flatten(tree))
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
@@ -90,11 +82,11 @@ func (rf *RandomForest) GobDecode(data []byte) error {
 	rf.importance = w.Importance
 	rf.trees = rf.trees[:0]
 	for _, tw := range w.Trees {
-		root, err := unflatten(tw)
+		nodes, err := unflatten(tw)
 		if err != nil {
 			return err
 		}
-		rf.trees = append(rf.trees, &CART{cfg: CARTConfig{}, trained: true, root: root})
+		rf.trees = append(rf.trees, &CART{cfg: CARTConfig{}, trained: true, nodes: nodes})
 	}
 	rf.trained = true
 	return nil

@@ -1,0 +1,21 @@
+package ml
+
+// splitmix64 is a tiny deterministic rand.Source64: a counter run through
+// the SplitMix64 finalizer. Seeding is O(1), where math/rand's default
+// source pays a 607-word warm-up per NewSource — a cost that dominates
+// forest training when every one of 120 trees seeds its own stream.
+type splitmix64 struct{ state uint64 }
+
+func newSplitMix(seed int64) *splitmix64 { return &splitmix64{state: uint64(seed)} }
+
+func (s *splitmix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }

@@ -1,0 +1,60 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]int32, n)
+		Run(n, workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunZeroAndNegativeN(t *testing.T) {
+	ran := false
+	Run(0, 4, func(int) { ran = true })
+	Run(-3, 4, func(int) { ran = true })
+	if ran {
+		t.Error("fn ran for n <= 0")
+	}
+}
+
+func TestRunBoundsWorkers(t *testing.T) {
+	var active, peak int32
+	Run(100, 3, func(int) {
+		a := atomic.AddInt32(&active, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if a <= p || atomic.CompareAndSwapInt32(&peak, p, a) {
+				break
+			}
+		}
+		atomic.AddInt32(&active, -1)
+	})
+	if p := atomic.LoadInt32(&peak); p > 3 {
+		t.Errorf("peak concurrency %d exceeds 3 workers", p)
+	}
+}
+
+func TestRunDeterministicOutputSlots(t *testing.T) {
+	const n = 500
+	ref := make([]int, n)
+	got := make([]int, n)
+	Run(n, 1, func(i int) { ref[i] = i * i })
+	Run(n, 16, func(i int) { got[i] = i * i })
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("slot %d: serial %d != parallel %d", i, ref[i], got[i])
+		}
+	}
+}

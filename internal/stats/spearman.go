@@ -138,3 +138,55 @@ func SpearmanSparse(nonzeroValues []float64, nonzeroLabels []bool, total, totalP
 	}
 	return cov / math.Sqrt(vx*vy)
 }
+
+// SpearmanSparseIndicator is SpearmanSparse for an indicator variable:
+// every non-zero value is 1, so all non-zeros tie at a single rank and no
+// sorting or rank vectors are needed. It performs the same floating-point
+// operations in the same order as SpearmanSparse over an all-ones value
+// vector, so results are bit-identical — only the sort and two slice
+// allocations per call disappear. This is the hot path of the §4.3
+// selection sweep, which ranks every API by presence/absence.
+func SpearmanSparseIndicator(nonzeroLabels []bool, total, totalPos int) float64 {
+	m := len(nonzeroLabels)
+	if m > total || total == 0 {
+		return 0
+	}
+	zeros := total - m
+	zeroRank := float64(zeros+1) / 2
+	// The single tie group spans positions 0..m-1 above the zeros.
+	avg := float64(zeros) + float64(m-1)/2 + 1
+
+	neg := total - totalPos
+	negRank := float64(neg+1) / 2
+	posRank := float64(neg) + float64(totalPos+1)/2
+	mean := float64(total+1) / 2
+
+	posNonzero := 0
+	var cov, vx float64
+	dx := avg - mean
+	for _, l := range nonzeroLabels {
+		var dy float64
+		if l {
+			dy = posRank - mean
+			posNonzero++
+		} else {
+			dy = negRank - mean
+		}
+		cov += dx * dy
+		vx += dx * dx
+	}
+	posZero := totalPos - posNonzero
+	negZero := zeros - posZero
+	if posZero < 0 || negZero < 0 {
+		return 0
+	}
+	dxz := zeroRank - mean
+	cov += dxz * (float64(posZero)*(posRank-mean) + float64(negZero)*(negRank-mean))
+	vx += float64(zeros) * dxz * dxz
+
+	vy := float64(totalPos)*(posRank-mean)*(posRank-mean) + float64(neg)*(negRank-mean)*(negRank-mean)
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

@@ -198,3 +198,26 @@ func TestCDF(t *testing.T) {
 		t.Error("empty CDF not nil")
 	}
 }
+
+func TestSpearmanSparseIndicatorBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		total := 20 + rng.Intn(300)
+		totalPos := rng.Intn(total + 1)
+		m := rng.Intn(total + 1)
+		labels := make([]bool, m)
+		ones := make([]float64, m)
+		for i := range labels {
+			labels[i] = rng.Float64() < 0.3
+			ones[i] = 1
+		}
+		general := SpearmanSparse(ones, labels, total, totalPos)
+		fast := SpearmanSparseIndicator(labels, total, totalPos)
+		// Bit-identical, not merely close: the indicator form performs
+		// the same floating-point operations in the same order.
+		return general == fast
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
