@@ -22,7 +22,15 @@
 //	u, _ := apichecker.NewUniverse(10000, 1)
 //	corpus, _ := apichecker.NewCorpus(u, 2000, 1)
 //	checker, report, _ := apichecker.Train(corpus, apichecker.DefaultConfig())
-//	verdict, _ := checker.VetAPK(apkBytes)
+//	verdict, _ := checker.Vet(ctx, apichecker.Submission{Raw: apkBytes})
+//
+// For always-on operation, wrap the checker in a vetting service with
+// bounded-queue backpressure, per-submission deadlines, and metrics:
+//
+//	svc := apichecker.NewVetService(checker, apichecker.DefaultVetServiceConfig())
+//	defer svc.Close()
+//	ticket, _ := svc.Submit(ctx, apichecker.Submission{Raw: apkBytes})
+//	verdict, _ := ticket.Wait(ctx)
 //
 // See the examples/ directory for runnable scenarios and DESIGN.md for the
 // system inventory.
@@ -40,6 +48,7 @@ import (
 	"apichecker/internal/framework"
 	"apichecker/internal/market"
 	"apichecker/internal/ml"
+	"apichecker/internal/vetsvc"
 )
 
 // Re-exported core types. The aliases form the supported API surface; the
@@ -72,6 +81,21 @@ type (
 	TrainReport = core.TrainReport
 	// Verdict is the outcome of vetting one submission.
 	Verdict = core.Verdict
+	// Submission is one vetting request for Checker.Vet; exactly one of
+	// Raw, Parsed, or Program must be set.
+	Submission = core.Submission
+
+	// VetService is the always-on submission-vetting service: a bounded
+	// queue feeding a deterministic worker pool.
+	VetService = vetsvc.Service
+	// VetServiceConfig tunes the service's lanes, queue, and deadlines.
+	VetServiceConfig = vetsvc.Config
+	// VetMetrics is a service observability snapshot.
+	VetMetrics = vetsvc.Metrics
+	// VetTicket tracks one async submission through the service.
+	VetTicket = vetsvc.Ticket
+	// VetEvent is one structured service event (see VetServiceConfig.OnEvent).
+	VetEvent = vetsvc.Event
 
 	// APK is a parsed package.
 	APK = apk.APK
@@ -152,6 +176,26 @@ var (
 	RealDevice          = emulator.RealDevice
 )
 
+// Typed sentinel errors of the vetting pipeline; match with errors.Is.
+var (
+	// ErrBadAPK: the submitted archive failed to parse.
+	ErrBadAPK = apk.ErrBadAPK
+	// ErrBadSubmission: the Submission payload is not exactly one of
+	// Raw/Parsed/Program.
+	ErrBadSubmission = core.ErrBadSubmission
+	// ErrUniverseMismatch: an imported model was trained over a different
+	// framework universe.
+	ErrUniverseMismatch = core.ErrUniverseMismatch
+	// ErrQueueFull: the vetting service's bounded queue rejected the
+	// submission (explicit backpressure).
+	ErrQueueFull = vetsvc.ErrQueueFull
+	// ErrServiceClosed: the vetting service has shut down.
+	ErrServiceClosed = vetsvc.ErrClosed
+	// ErrDeadlineExceeded: the per-submission vet deadline expired; wraps
+	// context.DeadlineExceeded.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+)
+
 // NewUniverse generates a framework universe with numAPIs APIs. Use
 // PaperUniverse for the full 50K-API surface.
 func NewUniverse(numAPIs int, seed int64) (*Universe, error) {
@@ -209,6 +253,19 @@ func RunYear(u *Universe, cfg YearConfig) (*YearReport, error) { return market.R
 
 // DefaultYearConfig returns a laptop-scale deployment year.
 func DefaultYearConfig() YearConfig { return market.DefaultYearConfig() }
+
+// NewVetService wraps a trained checker in the always-on vetting service:
+// bounded-queue admission with explicit backpressure, a worker pool running
+// vets under per-submission deadlines, and crash/fallback/latency metrics.
+// Verdicts are bit-identical to a serial Vet loop over the same admission
+// order. Close the service to drain and release its lanes.
+func NewVetService(ck *Checker, cfg VetServiceConfig) *VetService {
+	return vetsvc.New(ck, cfg)
+}
+
+// DefaultVetServiceConfig sizes the service for the production deployment:
+// one lane per emulator slot and a 4x-deep queue.
+func DefaultVetServiceConfig() VetServiceConfig { return vetsvc.DefaultConfig() }
 
 // ImportModel loads a model exported with Checker.Export into a Checker
 // bound to the (matching) universe — the §5.4 distribution path by which

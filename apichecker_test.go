@@ -2,6 +2,8 @@ package apichecker
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -126,5 +128,60 @@ func TestPaperUniverseSmoke(t *testing.T) {
 	}
 	if u.NumAPIs() != 50000 {
 		t.Errorf("NumAPIs = %d", u.NumAPIs())
+	}
+}
+
+// TestPublicVetService exercises the always-on service and the sentinel
+// errors through the facade only.
+func TestPublicVetService(t *testing.T) {
+	u, err := NewUniverse(3000, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := NewCorpus(u, 600, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, _, err := Train(corpus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ParseAPK([]byte("garbage")); !errors.Is(err, ErrBadAPK) {
+		t.Errorf("ParseAPK(garbage) = %v, want ErrBadAPK", err)
+	}
+	if _, err := checker.Vet(context.Background(), Submission{}); !errors.Is(err, ErrBadSubmission) {
+		t.Errorf("Vet(empty submission) = %v, want ErrBadSubmission", err)
+	}
+	if !errors.Is(ErrDeadlineExceeded, context.DeadlineExceeded) {
+		t.Error("ErrDeadlineExceeded must wrap context.DeadlineExceeded")
+	}
+
+	svc := NewVetService(checker, VetServiceConfig{Workers: 4, QueueSize: 8})
+	defer svc.Close()
+	var tickets []*VetTicket
+	for i := 0; i < 8; i++ {
+		tk, err := svc.SubmitWait(context.Background(), Submission{Program: corpus.Program(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for i, tk := range tickets {
+		v, err := tk.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Package != corpus.Program(i).PackageName {
+			t.Errorf("verdict %d package = %q", i, v.Package)
+		}
+	}
+	m := svc.Metrics()
+	if m.Accepted != 8 || m.Completed != 8 {
+		t.Errorf("metrics = %+v", m)
+	}
+	svc.Close()
+	if _, err := svc.SubmitWait(context.Background(), Submission{Program: corpus.Program(0)}); !errors.Is(err, ErrServiceClosed) {
+		t.Errorf("submit after close = %v, want ErrServiceClosed", err)
 	}
 }

@@ -10,6 +10,7 @@
 package apichecker
 
 import (
+	"context"
 	"io"
 	"os"
 	"sort"
@@ -26,6 +27,7 @@ import (
 	"apichecker/internal/market"
 	"apichecker/internal/ml"
 	"apichecker/internal/monkey"
+	"apichecker/internal/vetsvc"
 )
 
 var (
@@ -595,6 +597,39 @@ func BenchmarkAPKBuildParse(b *testing.B) {
 		if _, err := ParseAPK(data); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServiceThroughput measures batch vetting through the always-on
+// service: bounded-queue admission, worker-pool lanes, and the
+// deterministic ordered merge. Reports submissions vetted per wall-clock
+// second.
+func BenchmarkServiceThroughput(b *testing.B) {
+	e := env(b)
+	ck, _, err := core.TrainFromCorpus(e.Corpus, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := e.Corpus.Len()
+	if n > 200 {
+		n = 200
+	}
+	subs := make([]core.Submission, n)
+	for i := range subs {
+		subs[i] = core.Submission{Program: e.Corpus.Program(i)}
+	}
+	svc := vetsvc.New(ck, vetsvc.Config{Workers: 8, QueueSize: 32})
+	defer svc.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.VetBatch(context.Background(), subs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*n)/elapsed, "submissions/s")
 	}
 }
 

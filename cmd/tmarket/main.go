@@ -6,9 +6,14 @@
 // Usage:
 //
 //	tmarket -months 12 -universe-apis 12000 -initial 900 -monthly 250
+//
+// With -serve, tmarket instead runs one submission batch through the
+// always-on vetting service (bounded queue, worker-pool lanes, deadlines)
+// and reports the service metrics — the online deployment shape of §5.2.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,12 +30,23 @@ func main() {
 		initial = flag.Int("initial", 900, "initial ground-truth corpus size")
 		monthly = flag.Int("monthly", 250, "submissions per month")
 		sdk     = flag.Int("sdk-every", 4, "SDK release cadence in months (0 = never)")
+
+		serve    = flag.Bool("serve", false, "run one submission batch through the vetting service instead of the year simulation")
+		workers  = flag.Int("workers", 0, "service lanes (0 = one per emulator slot)")
+		queue    = flag.Int("queue", 0, "service queue depth (0 = 4x workers)")
+		deadline = flag.Duration("deadline", 0, "per-submission vet deadline (0 = none)")
 	)
 	flag.Parse()
 
 	u, err := apichecker.NewUniverse(*apis, *seed)
 	if err != nil {
 		fail(err)
+	}
+	if *serve {
+		if err := runService(u, *seed, *initial, *monthly, *workers, *queue, *deadline); err != nil {
+			fail(err)
+		}
+		return
 	}
 	cfg := apichecker.DefaultYearConfig()
 	cfg.Seed = *seed
@@ -64,6 +80,63 @@ func main() {
 	fmt.Printf("key-API set: %d initially, %d-%d over the run\n",
 		rep.InitialKeyAPIs, minKeys(rep), maxKeys(rep))
 	fmt.Printf("total manual-analysis effort: %.0f analyst-hours\n", manualTotal/60)
+}
+
+// runService is the -serve path: train once, then vet one batch of
+// submissions through the always-on service and print its metrics.
+func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, queue int, deadline time.Duration) error {
+	training, err := apichecker.NewCorpus(u, initial, seed)
+	if err != nil {
+		return err
+	}
+	checker, rep, err := apichecker.Train(training, apichecker.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d apps (%d key APIs); starting vetting service\n",
+		initial, rep.KeyAPIs)
+
+	svc := apichecker.NewVetService(checker, apichecker.VetServiceConfig{
+		Workers:   workers,
+		QueueSize: queue,
+		Deadline:  deadline,
+	})
+	defer svc.Close()
+
+	batch, err := apichecker.NewCorpus(u, monthly, seed+101)
+	if err != nil {
+		return err
+	}
+	subs := make([]apichecker.Submission, batch.Len())
+	for i := range subs {
+		subs[i] = apichecker.Submission{Program: batch.Program(i)}
+	}
+	start := time.Now()
+	verdicts, err := svc.VetBatch(context.Background(), subs)
+	if err != nil {
+		return err
+	}
+	flagged := 0
+	for _, v := range verdicts {
+		if v.Malicious {
+			flagged++
+		}
+	}
+
+	m := svc.Metrics()
+	cfg := svc.Config()
+	fmt.Printf("\nvetted %d submissions in %s (%d lanes, queue %d)\n",
+		m.Completed, time.Since(start).Round(time.Millisecond), cfg.Workers, cfg.QueueSize)
+	fmt.Printf("  flagged malicious: %d\n", flagged)
+	fmt.Printf("  timeouts %d, canceled %d, failed %d\n", m.Timeouts, m.Canceled, m.Failed)
+	fmt.Printf("  reliability: %d crashes across %d submissions, %d fallback re-runs\n",
+		m.Crashes, m.CrashedSubmissions, m.Fallbacks)
+	for engine, n := range m.EngineRuns {
+		fmt.Printf("  engine %-22s %4d final runs\n", engine, n)
+	}
+	fmt.Printf("  scan latency (virtual): mean %.1fs  p50 %.1fs  p95 %.1fs  p99 %.1fs\n",
+		m.ScanMean, m.ScanP50, m.ScanP95, m.ScanP99)
+	return nil
 }
 
 func minKeys(rep *apichecker.YearReport) int {

@@ -12,6 +12,7 @@
 package adb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -141,6 +142,14 @@ func (d *Device) installParsed(parsed *apk.APK) error {
 // RunMonkey exercises an installed package and records the run into the
 // logcat buffer (activity starts, crash reports, fallback notices).
 func (d *Device) RunMonkey(pkg string, mk monkey.Config) (*emulator.Result, error) {
+	return d.RunMonkeyContext(context.Background(), pkg, mk)
+}
+
+// RunMonkeyContext is RunMonkey under a context: a cancelled or expired
+// context aborts the emulation at the next crash-restart or event-batch
+// boundary. The device is left dirty (exactly as a real aborted run would),
+// so the session cleanup path still applies.
+func (d *Device) RunMonkeyContext(ctx context.Context, pkg string, mk monkey.Config) (*emulator.Result, error) {
 	parsed, ok := d.installed[pkg]
 	if !ok {
 		return nil, fmt.Errorf("adb: %s: monkey: package %s not installed", d.serial, pkg)
@@ -151,7 +160,7 @@ func (d *Device) RunMonkey(pkg string, mk monkey.Config) (*emulator.Result, erro
 	d.state = StateBusy
 	defer func() { d.state = StateDirty }()
 
-	res, err := d.emu.Run(parsed.Program, mk)
+	res, err := d.emu.RunContext(ctx, parsed.Program, mk)
 	if err != nil {
 		return nil, fmt.Errorf("adb: %s: monkey %s: %w", d.serial, pkg, err)
 	}
@@ -223,11 +232,18 @@ type VetResult struct {
 // run result and the session's logcat. The device is guaranteed idle and
 // clean afterwards, whatever happened in between.
 func (s *Session) Vet(data []byte, mk monkey.Config) (*VetResult, error) {
+	return s.VetContext(context.Background(), data, mk)
+}
+
+// VetContext is Vet under a context. A context that expires mid-run aborts
+// the emulation; the cleanup sequence (uninstall, clear residual data)
+// still runs, so the device comes back idle and clean either way.
+func (s *Session) VetContext(ctx context.Context, data []byte, mk monkey.Config) (*VetResult, error) {
 	parsed, err := s.dev.Install(data)
 	if err != nil {
 		return nil, err
 	}
-	return s.finish(parsed, mk)
+	return s.finish(ctx, parsed, mk)
 }
 
 // VetParsed is Vet for an already-parsed APK.
@@ -235,10 +251,10 @@ func (s *Session) VetParsed(parsed *apk.APK, mk monkey.Config) (*VetResult, erro
 	if err := s.dev.InstallParsed(parsed); err != nil {
 		return nil, err
 	}
-	return s.finish(parsed, mk)
+	return s.finish(context.Background(), parsed, mk)
 }
 
-func (s *Session) finish(parsed *apk.APK, mk monkey.Config) (*VetResult, error) {
+func (s *Session) finish(ctx context.Context, parsed *apk.APK, mk monkey.Config) (*VetResult, error) {
 	pkg := parsed.PackageName()
 	defer func() {
 		// Cleanup must run even on failure paths.
@@ -247,7 +263,7 @@ func (s *Session) finish(parsed *apk.APK, mk monkey.Config) (*VetResult, error) 
 		}
 		s.dev.ClearData(pkg)
 	}()
-	res, err := s.dev.RunMonkey(pkg, mk)
+	res, err := s.dev.RunMonkeyContext(ctx, pkg, mk)
 	if err != nil {
 		return nil, err
 	}

@@ -21,6 +21,7 @@ import (
 	"bytes"
 	"crypto/md5"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -30,6 +31,13 @@ import (
 	"apichecker/internal/framework"
 	"apichecker/internal/manifest"
 )
+
+// ErrBadAPK marks a submission that is not a well-formed APK archive:
+// not a zip, missing load-bearing entries, undecodable manifest/dex/
+// behaviour blobs, or inconsistent package identity. Every Parse failure
+// wraps it, so callers branch with errors.Is(err, ErrBadAPK) instead of
+// string matching.
+var ErrBadAPK = errors.New("bad APK")
 
 // APK is a parsed package.
 type APK struct {
@@ -143,8 +151,17 @@ func signatureFor(entries map[string][]byte) []byte {
 	return buf.Bytes()
 }
 
-// Parse opens an APK archive and decodes its load-bearing entries.
+// Parse opens an APK archive and decodes its load-bearing entries. Any
+// malformed archive fails with an error wrapping ErrBadAPK.
 func Parse(data []byte) (*APK, error) {
+	out, err := parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadAPK, err)
+	}
+	return out, nil
+}
+
+func parse(data []byte) (*APK, error) {
 	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
 	if err != nil {
 		return nil, fmt.Errorf("apk: parse: not a zip archive: %w", err)

@@ -12,7 +12,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -69,8 +71,11 @@ type Checker struct {
 	model     *ml.RandomForest
 
 	// session is the adb control plane used for real APK submissions
-	// (install → Monkey → logs → uninstall → clear, §4.2).
-	session *adb.Session
+	// (install → Monkey → logs → uninstall → clear, §4.2). It drives one
+	// device, so concurrent raw-archive vets serialize on sessionMu;
+	// program/parsed vets bypass the device and fan out freely.
+	session   *adb.Session
+	sessionMu sync.Mutex
 
 	vetCount int64
 }
@@ -203,6 +208,13 @@ type Verdict struct {
 	// engine and re-ran on the stock engine.
 	FellBack bool
 
+	// Crashes counts transient emulator crashes detected (and restarted
+	// through) during this vet; Engine names the profile that produced
+	// the final log. Together with FellBack these surface the §5.1
+	// reliability accounting per submission.
+	Crashes int
+	Engine  string
+
 	// InvokedKeyAPIs counts distinct key APIs observed; "barely uses
 	// key APIs" (§5.2's false-negative analysis) shows up here.
 	InvokedKeyAPIs int
@@ -213,12 +225,152 @@ type Verdict struct {
 // 1.4 min analysis at production load).
 const fixedOverhead = 31 * time.Second
 
+// Submission is one vetting request for the canonical Vet entrypoint. It
+// carries exactly one payload:
+//
+//   - Raw: a serialized APK archive, vetted through the full adb device
+//     sequence (install → Monkey → logs → uninstall → clear, §4.2);
+//   - Parsed: an already-parsed APK (skips re-parsing the archive);
+//   - Program: behaviour semantics directly (the market-simulation path,
+//     where building megabytes of zip per app would only slow things down).
+//
+// Seq optionally pins the vet sequence number (reserved up front via
+// ReserveVetSeqs); 0 assigns the next one. The sequence number determines
+// the per-submission Monkey seed, which is what makes parallel service
+// vetting bit-identical to a serial loop over the same queue.
+type Submission struct {
+	Raw     []byte
+	Parsed  *apk.APK
+	Program *behavior.Program
+	Seq     int64
+}
+
+// Validate checks the exactly-one-payload invariant; violations wrap
+// ErrBadSubmission.
+func (s Submission) Validate() error {
+	n := 0
+	if s.Raw != nil {
+		n++
+	}
+	if s.Parsed != nil {
+		n++
+	}
+	if s.Program != nil {
+		n++
+	}
+	if n != 1 {
+		return fmt.Errorf("core: %w (got %d)", ErrBadSubmission, n)
+	}
+	return nil
+}
+
+// PackageName names the submission for logs and error messages, best
+// effort (a raw archive is unnamed until parsed).
+func (s Submission) PackageName() string {
+	switch {
+	case s.Parsed != nil:
+		return s.Parsed.PackageName()
+	case s.Program != nil:
+		return s.Program.PackageName
+	default:
+		return "(raw archive)"
+	}
+}
+
+// Vet is the single canonical vetting entrypoint: every other Vet* method
+// is a thin wrapper over it. The context bounds the emulation — a deadline
+// or cancellation aborts the run at the next crash-restart or event-batch
+// boundary, surfacing as an error wrapping ErrDeadlineExceeded (and
+// context.DeadlineExceeded) or context.Canceled. Safe for concurrent use:
+// the emulator, extractor and model are read-only at vet time, and raw
+// archive submissions serialize on the checker's single adb session.
+func (ck *Checker) Vet(ctx context.Context, sub Submission) (*Verdict, error) {
+	v, _, err := ck.VetRun(ctx, sub)
+	return v, err
+}
+
+// VetRun is Vet, additionally returning the raw emulation result (the
+// input to analysis-log export and to service-level crash/fallback
+// accounting).
+func (ck *Checker) VetRun(ctx context.Context, sub Submission) (*Verdict, *emulator.Result, error) {
+	if err := sub.Validate(); err != nil {
+		return nil, nil, err
+	}
+	seq := sub.Seq
+	if seq == 0 {
+		seq = ck.nextVetSeq()
+	}
+	mk := ck.vetMonkey(seq)
+	if sub.Raw != nil {
+		return ck.vetRaw(ctx, sub.Raw, mk)
+	}
+
+	p := sub.Program
+	var man *manifest.Manifest
+	var md5 string
+	if sub.Parsed != nil {
+		p = sub.Parsed.Program
+		man = sub.Parsed.Manifest
+		md5 = sub.Parsed.MD5
+	}
+	res, err := ck.emu.RunContext(ctx, p, mk)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: vet %s: %w", p.PackageName, vetFailure(err))
+	}
+	if man == nil {
+		m, err := p.Manifest(ck.u)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: vet %s: %w", p.PackageName, err)
+		}
+		man = m
+	}
+	x, err := ck.extractor.Vector(res.Log, man)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: vet %s: %w", p.PackageName, err)
+	}
+	return ck.verdict(p.PackageName, p.Version, md5, res, x), res, nil
+}
+
+// vetRaw runs a serialized archive through the full device sequence.
+func (ck *Checker) vetRaw(ctx context.Context, data []byte, mk monkey.Config) (*Verdict, *emulator.Result, error) {
+	ck.sessionMu.Lock()
+	vr, err := ck.session.VetContext(ctx, data, mk)
+	ck.sessionMu.Unlock()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: vet: %w", vetFailure(err))
+	}
+	x, err := ck.extractor.Vector(vr.Run.Log, vr.APK.Manifest)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: vet %s: %w", vr.APK.PackageName(), err)
+	}
+	return ck.verdict(vr.APK.PackageName(), vr.APK.VersionCode(), vr.APK.MD5, vr.Run, x), vr.Run, nil
+}
+
+// verdict scores a feature vector and books the emulation accounting.
+func (ck *Checker) verdict(pkg string, version int, md5 string, res *emulator.Result, x ml.Vector) *Verdict {
+	score := ck.model.Score(x)
+	return &Verdict{
+		Package:        pkg,
+		VersionCode:    version,
+		MD5:            md5,
+		Malicious:      score > 0,
+		Score:          score,
+		ScanTime:       res.VirtualTime,
+		OverallTime:    res.VirtualTime + fixedOverhead,
+		FellBack:       res.FellBack,
+		Crashes:        res.Crashed,
+		Engine:         res.Profile,
+		InvokedKeyAPIs: res.Log.DistinctInvoked(),
+	}
+}
+
 // VetAPK vets a serialized APK archive through the full device sequence:
 // install on an idle emulator, exercise, record, uninstall, clear
 // residual data (§4.2). The device is guaranteed clean afterwards.
+//
+// Deprecated: use Vet with a Submission carrying Raw.
 func (ck *Checker) VetAPK(data []byte) (*Verdict, error) {
-	v, _, err := ck.VetAPKWithRun(data)
-	return v, err
+	return ck.Vet(context.Background(), Submission{Raw: data})
 }
 
 // VetCount returns how many submissions the checker has vetted (or has
@@ -246,83 +398,35 @@ func (ck *Checker) vetMonkey(seq int64) monkey.Config {
 
 // VetAPKWithRun is VetAPK, additionally returning the raw emulation result
 // (the input to analysis-log export).
+//
+// Deprecated: use VetRun with a Submission carrying Raw.
 func (ck *Checker) VetAPKWithRun(data []byte) (*Verdict, *emulator.Result, error) {
-	mk := ck.vetMonkey(ck.nextVetSeq())
-	vr, err := ck.session.Vet(data, mk)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: vet: %w", err)
-	}
-	x, err := ck.extractor.Vector(vr.Run.Log, vr.APK.Manifest)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: vet %s: %w", vr.APK.PackageName(), err)
-	}
-	score := ck.model.Score(x)
-	return &Verdict{
-		Package:        vr.APK.PackageName(),
-		VersionCode:    vr.APK.VersionCode(),
-		MD5:            vr.APK.MD5,
-		Malicious:      score > 0,
-		Score:          score,
-		ScanTime:       vr.Run.VirtualTime,
-		OverallTime:    vr.Run.VirtualTime + fixedOverhead,
-		FellBack:       vr.Run.FellBack,
-		InvokedKeyAPIs: vr.Run.Log.DistinctInvoked(),
-	}, vr.Run, nil
+	return ck.VetRun(context.Background(), Submission{Raw: data})
 }
 
 // VetProgram vets an app given its behaviour program directly (the market
 // simulation path, where building megabytes of zip per app would only slow
 // experiments down).
+//
+// Deprecated: use Vet with a Submission carrying Program.
 func (ck *Checker) VetProgram(p *behavior.Program) (*Verdict, error) {
-	return ck.VetParsed(p, nil)
+	return ck.Vet(context.Background(), Submission{Program: p})
 }
 
 // VetProgramSeq vets a behaviour program under an explicit vet sequence
-// number (previously reserved via ReserveVetSeqs). Safe for concurrent
-// use: the emulator, extractor and model are all read-only at vet time.
+// number (previously reserved via ReserveVetSeqs).
+//
+// Deprecated: use Vet with a Submission carrying Program and Seq.
 func (ck *Checker) VetProgramSeq(p *behavior.Program, seq int64) (*Verdict, error) {
-	return ck.vetParsedSeq(p, nil, seq)
+	return ck.Vet(context.Background(), Submission{Program: p, Seq: seq})
 }
 
-// VetParsed is the shared vetting core.
+// VetParsed vets a parsed APK (or, with parsed == nil, a bare program).
+//
+// Deprecated: use Vet with a Submission carrying Parsed or Program.
 func (ck *Checker) VetParsed(p *behavior.Program, parsed *apk.APK) (*Verdict, error) {
-	return ck.vetParsedSeq(p, parsed, ck.nextVetSeq())
-}
-
-func (ck *Checker) vetParsedSeq(p *behavior.Program, parsed *apk.APK, seq int64) (*Verdict, error) {
-	mk := ck.vetMonkey(seq)
-	res, err := ck.emu.Run(p, mk)
-	if err != nil {
-		return nil, fmt.Errorf("core: vet %s: %w", p.PackageName, err)
+	if parsed != nil {
+		return ck.Vet(context.Background(), Submission{Parsed: parsed})
 	}
-	man := parsedManifest(parsed)
-	if man == nil {
-		m, err := p.Manifest(ck.u)
-		if err != nil {
-			return nil, fmt.Errorf("core: vet %s: %w", p.PackageName, err)
-		}
-		man = m
-	}
-	x, err := ck.extractor.Vector(res.Log, man)
-	if err != nil {
-		return nil, fmt.Errorf("core: vet %s: %w", p.PackageName, err)
-	}
-	score := ck.model.Score(x)
-	return &Verdict{
-		Package:        p.PackageName,
-		VersionCode:    p.Version,
-		Malicious:      score > 0,
-		Score:          score,
-		ScanTime:       res.VirtualTime,
-		OverallTime:    res.VirtualTime + fixedOverhead,
-		FellBack:       res.FellBack,
-		InvokedKeyAPIs: res.Log.DistinctInvoked(),
-	}, nil
-}
-
-func parsedManifest(parsed *apk.APK) *manifest.Manifest {
-	if parsed == nil {
-		return nil
-	}
-	return parsed.Manifest
+	return ck.Vet(context.Background(), Submission{Program: p})
 }

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Typed failure modes of the vetting and model-import paths. The public
+// facade re-exports these, so downstream callers branch with errors.Is
+// instead of matching error strings.
+var (
+	// ErrBadSubmission marks a Submission that does not carry exactly one
+	// payload (raw bytes, parsed APK, or behaviour program).
+	ErrBadSubmission = errors.New("submission must carry exactly one of raw bytes, parsed APK, or program")
+
+	// ErrUniverseMismatch marks a model import against a framework
+	// universe that differs from the exporter's. API ids are
+	// universe-relative; importing across universes would silently
+	// mis-map every feature.
+	ErrUniverseMismatch = errors.New("model universe mismatch")
+
+	// ErrDeadlineExceeded marks a vet abandoned because its per-submission
+	// deadline expired. It wraps context.DeadlineExceeded, so both
+	// errors.Is(err, ErrDeadlineExceeded) and
+	// errors.Is(err, context.DeadlineExceeded) hold on a timed-out vet.
+	ErrDeadlineExceeded = fmt.Errorf("vet deadline exceeded: %w", context.DeadlineExceeded)
+)
+
+// vetFailure normalizes an error off the vetting hot path: deadline expiry
+// (wherever the emulator noticed it) surfaces as ErrDeadlineExceeded; other
+// errors pass through for the caller to wrap.
+func vetFailure(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrDeadlineExceeded) {
+		return fmt.Errorf("%w (%v)", ErrDeadlineExceeded, err)
+	}
+	return err
+}

@@ -85,11 +85,12 @@ func Import(r io.Reader, u *framework.Universe) (*Checker, error) {
 		return nil, fmt.Errorf("core: import: format version %d, want %d", wire.FormatVersion, modelFormatVersion)
 	}
 	if wire.UniverseCfg != u.Config() {
-		return nil, fmt.Errorf("core: import: model was trained on a different universe config")
+		return nil, fmt.Errorf("core: import: %w: model was trained on a different universe config",
+			ErrUniverseMismatch)
 	}
 	if wire.UniverseLvl != u.Level() {
-		return nil, fmt.Errorf("core: import: model expects SDK level %d, universe is at %d",
-			wire.UniverseLvl, u.Level())
+		return nil, fmt.Errorf("core: import: %w: model expects SDK level %d, universe is at %d",
+			ErrUniverseMismatch, wire.UniverseLvl, u.Level())
 	}
 	if wire.Forest == nil {
 		return nil, fmt.Errorf("core: import: payload has no forest")

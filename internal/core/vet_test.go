@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"apichecker/internal/apk"
+)
+
+func TestSubmissionValidate(t *testing.T) {
+	_, corpus := trainedChecker(t, 120)
+	p := corpus.Program(0)
+	raw, parsed, err := apk.BuildAndParse(p, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	good := []Submission{
+		{Raw: raw},
+		{Parsed: parsed},
+		{Program: p},
+		{Program: p, Seq: 7},
+	}
+	for i, sub := range good {
+		if err := sub.Validate(); err != nil {
+			t.Errorf("good[%d]: Validate() = %v", i, err)
+		}
+	}
+
+	bad := []Submission{
+		{},
+		{Raw: raw, Program: p},
+		{Raw: raw, Parsed: parsed},
+		{Parsed: parsed, Program: p},
+		{Raw: raw, Parsed: parsed, Program: p},
+	}
+	for i, sub := range bad {
+		if err := sub.Validate(); !errors.Is(err, ErrBadSubmission) {
+			t.Errorf("bad[%d]: Validate() = %v, want ErrBadSubmission", i, err)
+		}
+	}
+	// Vet surfaces validation failures without consuming a sequence
+	// number.
+	ck, _ := trainedChecker(t, 120)
+	before := ck.VetCount()
+	if _, err := ck.Vet(context.Background(), Submission{}); !errors.Is(err, ErrBadSubmission) {
+		t.Fatalf("Vet(empty) = %v, want ErrBadSubmission", err)
+	}
+	if ck.VetCount() != before {
+		t.Error("invalid submission consumed a vet sequence number")
+	}
+}
+
+// TestDeprecatedWrappersMatchVet pins the compatibility contract: every
+// legacy vet method is a thin wrapper over the canonical Vet and yields
+// bit-identical verdicts for the same sequence number.
+func TestDeprecatedWrappersMatchVet(t *testing.T) {
+	ckA, corpus := trainedChecker(t, 120)
+	ckB, _ := trainedChecker(t, 120)
+	p := corpus.Program(3)
+
+	va, err := ckA.Vet(context.Background(), Submission{Program: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := ckB.VetProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(va, vb) {
+		t.Errorf("VetProgram diverged from Vet:\n%+v\n%+v", va, vb)
+	}
+
+	vs, err := ckA.VetProgramSeq(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vq, err := ckB.Vet(context.Background(), Submission{Program: p, Seq: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vs, vq) {
+		t.Errorf("VetProgramSeq diverged from Vet with pinned Seq")
+	}
+
+	raw, parsed, err := apk.BuildAndParse(p, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := ckA.Vet(context.Background(), Submission{Raw: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := ckB.VetAPK(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vr, vp) {
+		t.Errorf("VetAPK diverged from Vet with Raw payload")
+	}
+	// A parsed submission carries the archive metadata (MD5, version)
+	// without paying the unpack again.
+	vd, err := ckA.Vet(context.Background(), Submission{Parsed: parsed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vd.MD5 != vr.MD5 || vd.Package != vr.Package {
+		t.Errorf("parsed vet identity = %q/%q, want %q/%q",
+			vd.Package, vd.MD5, vr.Package, vr.MD5)
+	}
+}
+
+func TestVetDeadlineExceeded(t *testing.T) {
+	ck, corpus := trainedChecker(t, 120)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+
+	_, err := ck.Vet(ctx, Submission{Program: corpus.Program(0)})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("Vet(expired ctx) = %v, want ErrDeadlineExceeded", err)
+	}
+	// The sentinel chains down to the stdlib cause so callers can match
+	// either.
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v does not wrap context.DeadlineExceeded", err)
+	}
+
+	canceled, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if _, err := ck.Vet(canceled, Submission{Program: corpus.Program(0)}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Vet(canceled ctx) = %v, want context.Canceled", err)
+	}
+}
+
+func TestVetBadAPK(t *testing.T) {
+	ck, _ := trainedChecker(t, 120)
+	_, err := ck.Vet(context.Background(), Submission{Raw: []byte("not an apk")})
+	if !errors.Is(err, apk.ErrBadAPK) {
+		t.Fatalf("Vet(garbage) = %v, want ErrBadAPK", err)
+	}
+	if _, err := ck.VetAPK([]byte{0x50, 0x4b}); !errors.Is(err, apk.ErrBadAPK) {
+		t.Fatalf("VetAPK(truncated) = %v, want ErrBadAPK", err)
+	}
+}

@@ -1,0 +1,83 @@
+package emulator
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"apichecker/internal/behavior"
+)
+
+// TestRunContextCompletesIdenticalToRun: the cancellation checks consume
+// no randomness, so a run that completes under a live context is
+// bit-identical to the context-free path.
+func TestRunContextCompletesIdenticalToRun(t *testing.T) {
+	for _, prof := range []Profile{GoogleEmulator, LightweightEmulator} {
+		e := New(prof, registryAll(t))
+		p := prog(11, behavior.Malicious, behavior.FamilyRansomware)
+		plain, err := e.Run(p, mk(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctxed, err := e.RunContext(context.Background(), p, mk(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, ctxed) {
+			t.Errorf("%s: RunContext diverged from Run", prof.Name)
+		}
+	}
+}
+
+func TestRunContextExpiredDeadline(t *testing.T) {
+	e := New(GoogleEmulator, registryAll(t))
+	p := prog(12, behavior.Benign, behavior.FamilyNone)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunContext(ctx, p, mk(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext(canceled) = %v, want context.Canceled", err)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	<-dctx.Done()
+	if _, err := e.RunContext(dctx, p, mk(1)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext(expired) = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextFallbackAborts: incompatible apps re-run on the fallback
+// engine, and the re-run honors the same context.
+func TestRunContextFallbackAborts(t *testing.T) {
+	e := New(LightweightEmulator, registryAll(t))
+	// A crash-prone program that trips the incompatibility threshold.
+	var p *behavior.Program
+	for seed := int64(0); seed < 4000; seed++ {
+		cand := prog(seed, behavior.Benign, behavior.FamilyNone)
+		if cand.CrashBias > incompatibleThreshold {
+			p = cand
+			break
+		}
+	}
+	if p == nil {
+		t.Skip("no incompatible program found in seed range")
+	}
+
+	res, err := e.RunContext(context.Background(), p, mk(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FellBack || res.Profile != GoogleEmulator.Name {
+		t.Fatalf("fallback run = {FellBack: %v, Profile: %q}, want stock re-run",
+			res.FellBack, res.Profile)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunContext(ctx, p, mk(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled fallback = %v, want context.Canceled", err)
+	}
+}

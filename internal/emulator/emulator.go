@@ -1,6 +1,7 @@
 package emulator
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -112,6 +113,18 @@ func RunCount() int64 { return runCount.Load() }
 // hook log, uninstall. The virtual clock advances per event and per
 // intercepted invocation.
 func (e *Emulator) Run(p *behavior.Program, mk monkey.Config) (*Result, error) {
+	return e.RunContext(context.Background(), p, mk)
+}
+
+// RunContext is Run under a context: cancellation is checked where the real
+// control plane can actually abandon a run — before install, before a
+// fallback re-run, at each crash-restart, and at every activity's
+// event-batch boundary inside the Monkey loop — so a deadline stops an
+// emulation mid-run instead of after it. The returned error wraps
+// ctx.Err(), so errors.Is(err, context.DeadlineExceeded) identifies
+// timeouts. A run that completes is bit-identical to Run: the checks
+// consume no randomness.
+func (e *Emulator) RunContext(ctx context.Context, p *behavior.Program, mk monkey.Config) (*Result, error) {
 	runCount.Add(1)
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("emulator: %w", err)
@@ -119,10 +132,13 @@ func (e *Emulator) Run(p *behavior.Program, mk monkey.Config) (*Result, error) {
 	if err := mk.Validate(); err != nil {
 		return nil, fmt.Errorf("emulator: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, e.aborted(p, err)
+	}
 
 	// Incompatible apps abort early and re-run on the fallback engine.
 	if e.fallback != nil && p.CrashBias > incompatibleThreshold {
-		res, err := e.fallback.Run(p, mk)
+		res, err := e.fallback.RunContext(ctx, p, mk)
 		if err != nil {
 			return nil, err
 		}
@@ -138,12 +154,16 @@ func (e *Emulator) Run(p *behavior.Program, mk monkey.Config) (*Result, error) {
 	res := &Result{Log: log, Events: mk.Events, Profile: e.profile.Name}
 
 	// Transient crashes on risky engines: detect, restart, continue
-	// (crash detection + restart is what keeps the engine reliable).
+	// (crash detection + restart is what keeps the engine reliable). Each
+	// restart is a natural abandonment point.
 	retryCost := 0.0
 	if e.profile.CompatRisk {
 		for rng.Float64() < p.CrashBias {
 			res.Crashed++
 			retryCost += 0.4
+			if err := ctx.Err(); err != nil {
+				return nil, e.aborted(p, err)
+			}
 			if res.Crashed >= 3 {
 				break
 			}
@@ -209,9 +229,13 @@ func (e *Emulator) Run(p *behavior.Program, mk monkey.Config) (*Result, error) {
 	}
 
 	// Execute: each active activity emits its behaviour over its active
-	// window.
+	// window. One activity's emission is one batch of Monkey events, so
+	// the boundary between activities is where an aborted run stops.
 	u := e.reg.Universe()
 	for _, ac := range actives {
+		if err := ctx.Err(); err != nil {
+			return nil, e.aborted(p, err)
+		}
 		ab := ac.ab
 		if res.Suppressed && ab.MaliciousPayload {
 			continue
@@ -246,6 +270,11 @@ func (e *Emulator) Run(p *behavior.Program, mk monkey.Config) (*Result, error) {
 	res.VirtualTime = time.Duration(base*(1+retryCost) + hookCost)
 	log.Seal()
 	return res, nil
+}
+
+// aborted wraps a context error for an abandoned run.
+func (e *Emulator) aborted(p *behavior.Program, err error) error {
+	return fmt.Errorf("emulator: %s: run aborted: %w", p.PackageName, err)
 }
 
 // failedProbes returns the probe bitmask this environment fails (i.e. the

@@ -8,6 +8,7 @@
 package market
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -17,7 +18,7 @@ import (
 	"apichecker/internal/core"
 	"apichecker/internal/dataset"
 	"apichecker/internal/emulator"
-	"apichecker/internal/parallel"
+	"apichecker/internal/vetsvc"
 )
 
 // Config tunes the market simulation.
@@ -179,6 +180,11 @@ type Market struct {
 	// gen regenerates programs from specs; rebuilt when the checker's
 	// universe evolves.
 	gen *behavior.Generator
+
+	// svc is the market's vetting service — the always-on serving layer
+	// ReviewBatch drains ML scans through (queue + emulator lanes). Built
+	// lazily, rebuilt if the checker is ever swapped out.
+	svc *vetsvc.Service
 }
 
 // New creates a market around a trained checker.
@@ -253,8 +259,9 @@ func (m *Market) Review(app dataset.App, stats *MonthStats) (*SubmissionResult, 
 }
 
 // ReviewBatch reviews a queue of submissions with the expensive ML scans
-// fanned out over Config.Lanes parallel workers. The result is
-// bit-identical to reviewing the queue serially with Review:
+// drained through the market's vetting service (internal/vetsvc): a
+// bounded submission queue feeding Config.Lanes emulator lanes. The result
+// is bit-identical to reviewing the queue serially with Review:
 //
 //   - stage 1 (fingerprint consensus) runs serially up front, consuming
 //     the consensus rng in submission order;
@@ -284,18 +291,18 @@ func (m *Market) ReviewBatch(apps []dataset.App, stats *MonthStats) ([]*Submissi
 		}
 	}
 
-	verdicts := make([]*core.Verdict, len(apps))
-	errs := make([]error, len(queue))
-	base := m.checker.ReserveVetSeqs(len(queue))
 	gen := m.generator() // resolve before the fan-out; Generate is pure
-	parallel.Run(len(queue), m.lanes(), func(k int) {
-		i := queue[k]
-		verdicts[i], errs[k] = m.checker.VetProgramSeq(gen.Generate(apps[i].Spec), base+int64(k))
-	})
-	for k, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("market: review %s: %w", apps[queue[k]].Spec.PackageName, err)
-		}
+	subs := make([]core.Submission, len(queue))
+	for k, i := range queue {
+		subs[k] = core.Submission{Program: gen.Generate(apps[i].Spec)}
+	}
+	vetted, err := m.service().VetBatch(context.Background(), subs)
+	if err != nil {
+		return nil, fmt.Errorf("market: review batch: %w", err)
+	}
+	verdicts := make([]*core.Verdict, len(apps))
+	for k, i := range queue {
+		verdicts[i] = vetted[k]
 	}
 
 	out := make([]*SubmissionResult, len(apps))
@@ -315,6 +322,41 @@ func (m *Market) lanes() int {
 		return m.cfg.Lanes
 	}
 	return emulator.ProductionLanes
+}
+
+// service resolves the market's vetting service, starting it on first use
+// and restarting it if the checker instance was ever replaced. The queue
+// is sized to keep every lane fed while VetBatch streams a month of
+// submissions through under backpressure.
+func (m *Market) service() *vetsvc.Service {
+	if m.svc == nil || m.svc.Checker() != m.checker {
+		if m.svc != nil {
+			m.svc.Close()
+		}
+		m.svc = vetsvc.New(m.checker, vetsvc.Config{
+			Workers:   m.lanes(),
+			QueueSize: 2 * m.lanes(),
+		})
+	}
+	return m.svc
+}
+
+// VetMetrics snapshots the vetting service's counters and scan-latency
+// quantiles (zero Metrics before the first ReviewBatch).
+func (m *Market) VetMetrics() vetsvc.Metrics {
+	if m.svc == nil {
+		return vetsvc.Metrics{}
+	}
+	return m.svc.Metrics()
+}
+
+// Close shuts the market's vetting service down, draining in-flight work.
+// The market remains usable — the next ReviewBatch starts a fresh service.
+func (m *Market) Close() {
+	if m.svc != nil {
+		m.svc.Close()
+		m.svc = nil
+	}
 }
 
 // record returns the lineage record for a package, creating it on first

@@ -100,6 +100,7 @@ func RunYear(u *framework.Universe, cfg YearConfig) (*YearReport, error) {
 		return nil, err
 	}
 	m := New(checker, cfg.Market)
+	defer m.Close()
 	m.SeedFingerprints(initial)
 
 	report := &YearReport{InitialKeyAPIs: rep.KeyAPIs}

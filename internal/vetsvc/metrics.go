@@ -1,0 +1,153 @@
+package vetsvc
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+
+	"apichecker/internal/core"
+)
+
+// Metrics is an immutable snapshot of service activity since start. Scan
+// latencies are in virtual-clock seconds (the calibrated emulation clock
+// the paper reports per-app scan cost in), so quantiles are deterministic
+// and host-speed independent.
+type Metrics struct {
+	// Admission counters.
+	Accepted uint64
+	Rejected uint64 // queue-full rejections (ErrQueueFull)
+
+	// Completion counters. Completed + Timeouts + Canceled + Failed ==
+	// the number of settled submissions.
+	Completed uint64
+	Timeouts  uint64 // deadline expiries (ErrDeadlineExceeded)
+	Canceled  uint64 // caller-canceled contexts
+	Failed    uint64 // any other vet error
+
+	// Reliability accounting, aggregated from each verdict (§5.1).
+	Crashes            uint64 // total transient emulator crashes restarted through
+	CrashedSubmissions uint64 // submissions with at least one crash
+	Fallbacks          uint64 // submissions re-run on the fallback engine
+
+	// EngineRuns counts completed submissions by the engine that produced
+	// the final log (lightweight vs the stock Google engine).
+	EngineRuns map[string]uint64
+
+	// Scan-latency distribution over completed submissions, virtual
+	// seconds.
+	ScanMean float64
+	ScanP50  float64
+	ScanP95  float64
+	ScanP99  float64
+
+	// Instantaneous gauges at snapshot time.
+	QueueDepth int // submissions waiting for a lane
+	InFlight   int // submissions being vetted right now
+}
+
+// counters is the service-internal mutable state behind Metrics.
+type counters struct {
+	mu sync.Mutex
+
+	accepted, rejected                  uint64
+	completed, timeouts, cancel, failed uint64
+	crashes, crashedSubs, fallbacks     uint64
+	engines                             map[string]uint64
+	scans                               []float64 // virtual seconds, completion order
+	inFlight                            int
+}
+
+func (c *counters) bump(field *uint64) {
+	c.mu.Lock()
+	*field++
+	c.mu.Unlock()
+}
+
+func (c *counters) startJob() {
+	c.mu.Lock()
+	c.inFlight++
+	c.mu.Unlock()
+}
+
+// finishJob books one settled submission.
+func (c *counters) finishJob(v *core.Verdict, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inFlight--
+	switch {
+	case err == nil:
+		c.completed++
+		c.scans = append(c.scans, v.ScanTime.Seconds())
+		c.crashes += uint64(v.Crashes)
+		if v.Crashes > 0 {
+			c.crashedSubs++
+		}
+		if v.FellBack {
+			c.fallbacks++
+		}
+		if v.Engine != "" {
+			c.engines[v.Engine]++
+		}
+	case errors.Is(err, core.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
+		c.timeouts++
+	case errors.Is(err, context.Canceled):
+		c.cancel++
+	default:
+		c.failed++
+	}
+}
+
+// Metrics returns a consistent snapshot; quantiles are computed over a
+// sorted copy of the completed-scan samples (nearest-rank).
+func (s *Service) Metrics() Metrics {
+	c := &s.m
+	c.mu.Lock()
+	m := Metrics{
+		Accepted:           c.accepted,
+		Rejected:           c.rejected,
+		Completed:          c.completed,
+		Timeouts:           c.timeouts,
+		Canceled:           c.cancel,
+		Failed:             c.failed,
+		Crashes:            c.crashes,
+		CrashedSubmissions: c.crashedSubs,
+		Fallbacks:          c.fallbacks,
+		EngineRuns:         make(map[string]uint64, len(c.engines)),
+		InFlight:           c.inFlight,
+	}
+	for k, v := range c.engines {
+		m.EngineRuns[k] = v
+	}
+	scans := append([]float64(nil), c.scans...)
+	c.mu.Unlock()
+	m.QueueDepth = len(s.queue)
+
+	if len(scans) > 0 {
+		var sum float64
+		for _, v := range scans {
+			sum += v
+		}
+		m.ScanMean = sum / float64(len(scans))
+		sort.Float64s(scans)
+		m.ScanP50 = quantile(scans, 0.50)
+		m.ScanP95 = quantile(scans, 0.95)
+		m.ScanP99 = quantile(scans, 0.99)
+	}
+	return m
+}
+
+// quantile is the nearest-rank quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,352 @@
+// Package vetsvc is the always-on submission-vetting service: the serving
+// layer that turns the blocking, one-shot Checker.Vet call into what the
+// paper actually deploys at T-Market (§5.1-§5.2) — a farm of emulator
+// lanes fed by a bounded submission queue, with per-submission deadlines,
+// crash/fallback accounting, and runtime metrics.
+//
+// The service owns four concerns:
+//
+//   - admission: a bounded FIFO queue with explicit backpressure. Submit
+//     rejects with ErrQueueFull when the queue is at capacity (the market
+//     front-end sheds load); SubmitWait blocks for space instead (batch
+//     pipelines drain at the service's pace).
+//   - execution: a worker pool (one goroutine per emulator lane, run via
+//     internal/parallel) vets submissions under a per-submission
+//     context.Context deadline that aborts an emulation mid-run.
+//   - determinism: vet sequence numbers are reserved at admission in FIFO
+//     order (or pinned by the caller), so per-submission Monkey seeds —
+//     and therefore verdicts — are bit-identical to a serial Vet loop
+//     over the same queue, whatever the worker scheduling.
+//   - observability: Metrics snapshots (accepted/rejected/timeout/crash/
+//     fallback counters, scan-latency quantiles in virtual-clock seconds)
+//     plus an optional structured event hook.
+package vetsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"apichecker/internal/core"
+	"apichecker/internal/emulator"
+	"apichecker/internal/parallel"
+)
+
+// Typed admission failures; the public facade re-exports them.
+var (
+	// ErrQueueFull: the bounded submission queue is at capacity. Callers
+	// shed load or retry later; nothing was enqueued and no vet sequence
+	// number was consumed.
+	ErrQueueFull = errors.New("vetsvc: submission queue full")
+
+	// ErrClosed: the service is shut down and accepts no new submissions.
+	ErrClosed = errors.New("vetsvc: service closed")
+)
+
+// Config tunes one service instance.
+type Config struct {
+	// Workers is the emulator-lane count (paper: 16 per server); <= 0
+	// selects emulator.ProductionLanes.
+	Workers int
+
+	// QueueSize bounds the submissions waiting for a lane (in-flight
+	// submissions ride on top); <= 0 selects 4×Workers.
+	QueueSize int
+
+	// Deadline, when positive, bounds each submission's wall-clock
+	// residence (queue wait + emulation) from admission; an expired
+	// deadline aborts the emulation at its next crash-restart or
+	// event-batch boundary and counts as a timeout.
+	Deadline time.Duration
+
+	// OnEvent, when set, receives a structured event per admission
+	// decision and completion. Called synchronously from service
+	// goroutines: keep it fast and do not call back into the service.
+	OnEvent func(Event)
+}
+
+// DefaultConfig is the production-shaped serving configuration.
+func DefaultConfig() Config {
+	return Config{Workers: emulator.ProductionLanes}
+}
+
+// EventType classifies service events.
+type EventType uint8
+
+const (
+	// EventAccepted: a submission entered the queue.
+	EventAccepted EventType = iota
+	// EventRejected: the queue was full; nothing was enqueued.
+	EventRejected
+	// EventStarted: a worker began vetting the submission.
+	EventStarted
+	// EventDone: vetting finished (Err reports how).
+	EventDone
+)
+
+func (t EventType) String() string {
+	names := [...]string{"accepted", "rejected", "started", "done"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("EventType(%d)", uint8(t))
+}
+
+// Event is one structured service-log record.
+type Event struct {
+	Type    EventType
+	Seq     int64  // vet sequence number (0 for rejections)
+	Package string // submission package, best effort
+	Scan    time.Duration
+	Err     error
+}
+
+// Ticket tracks one accepted submission to completion.
+type Ticket struct {
+	seq     int64
+	pkg     string
+	done    chan struct{}
+	verdict *core.Verdict
+	err     error
+}
+
+// Seq returns the vet sequence number reserved for this submission.
+func (t *Ticket) Seq() int64 { return t.seq }
+
+// Done is closed when the submission has been vetted (or failed).
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks for the verdict. The context bounds the wait only — the
+// submission itself keeps running under its own deadline.
+func (t *Ticket) Wait(ctx context.Context) (*core.Verdict, error) {
+	select {
+	case <-t.done:
+		return t.verdict, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// job is one queued submission.
+type job struct {
+	sub    core.Submission
+	ctx    context.Context
+	cancel context.CancelFunc
+	t      *Ticket
+}
+
+// Service is a running vetting service over one trained Checker.
+type Service struct {
+	cfg Config
+	ck  *core.Checker
+
+	// queue is the bounded FIFO submission queue; slots carries one token
+	// per free queue position (tokens are taken at admission and returned
+	// when a worker dequeues), so admission can reject without reserving
+	// a vet sequence number.
+	queue chan *job
+	slots chan struct{}
+
+	// mu serializes admissions: the sequence reservation and the enqueue
+	// happen atomically, so FIFO queue order equals seq order — the
+	// determinism contract.
+	mu     sync.Mutex
+	closed bool
+
+	workersDone chan struct{}
+
+	m counters
+}
+
+// New starts a service over a trained checker. Out-of-range config values
+// are clamped to their defaults; the service runs until Close.
+func New(ck *core.Checker, cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = emulator.ProductionLanes
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 4 * cfg.Workers
+	}
+	s := &Service{
+		cfg:         cfg,
+		ck:          ck,
+		queue:       make(chan *job, cfg.QueueSize),
+		slots:       make(chan struct{}, cfg.QueueSize),
+		workersDone: make(chan struct{}),
+	}
+	for i := 0; i < cfg.QueueSize; i++ {
+		s.slots <- struct{}{}
+	}
+	s.m.engines = make(map[string]uint64)
+	go func() {
+		// The worker pool is internal/parallel's bounded primitive: one
+		// index per lane, each looping over the shared queue until close.
+		parallel.Run(cfg.Workers, cfg.Workers, func(int) { s.work() })
+		close(s.workersDone)
+	}()
+	return s
+}
+
+// Checker returns the checker the service vets with.
+func (s *Service) Checker() *core.Checker { return s.ck }
+
+// Config returns the effective (clamped) configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Submit offers a submission without blocking: if the queue is at
+// capacity it fails with ErrQueueFull and consumes nothing. The context
+// becomes the parent of the submission's own deadline-bearing context.
+func (s *Service) Submit(ctx context.Context, sub core.Submission) (*Ticket, error) {
+	select {
+	case <-s.slots:
+	default:
+		s.m.bump(&s.m.rejected)
+		s.emit(Event{Type: EventRejected, Package: pkgOf(sub), Err: ErrQueueFull})
+		return nil, fmt.Errorf("vet %s: %w", pkgOf(sub), ErrQueueFull)
+	}
+	return s.admit(ctx, sub)
+}
+
+// SubmitWait is Submit with backpressure instead of rejection: it blocks
+// until queue space frees up, the context ends, or the service closes.
+func (s *Service) SubmitWait(ctx context.Context, sub core.Submission) (*Ticket, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-s.slots:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return s.admit(ctx, sub)
+}
+
+// admit enqueues a submission; the caller holds one queue slot token,
+// which is passed to the queue entry or returned on failure.
+func (s *Service) admit(ctx context.Context, sub core.Submission) (*Ticket, error) {
+	if err := sub.Validate(); err != nil {
+		s.slots <- struct{}{}
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.slots <- struct{}{}
+		return nil, ErrClosed
+	}
+	if sub.Seq == 0 {
+		sub.Seq = s.ck.ReserveVetSeqs(1)
+	}
+	var jctx context.Context
+	var cancel context.CancelFunc
+	if s.cfg.Deadline > 0 {
+		jctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+	} else {
+		jctx, cancel = context.WithCancel(ctx)
+	}
+	t := &Ticket{seq: sub.Seq, pkg: pkgOf(sub), done: make(chan struct{})}
+	s.queue <- &job{sub: sub, ctx: jctx, cancel: cancel, t: t}
+	s.mu.Unlock()
+
+	s.m.bump(&s.m.accepted)
+	s.emit(Event{Type: EventAccepted, Seq: t.seq, Package: t.pkg})
+	return t, nil
+}
+
+// work is one lane: dequeue, free the queue slot, vet, account, deliver.
+func (s *Service) work() {
+	for j := range s.queue {
+		s.slots <- struct{}{}
+		s.m.startJob()
+		s.emit(Event{Type: EventStarted, Seq: j.t.seq, Package: j.t.pkg})
+		v, err := s.ck.Vet(j.ctx, j.sub)
+		j.cancel()
+		s.m.finishJob(v, err)
+		j.t.verdict, j.t.err = v, err
+		close(j.t.done)
+		ev := Event{Type: EventDone, Seq: j.t.seq, Package: j.t.pkg, Err: err}
+		if v != nil {
+			ev.Scan = v.ScanTime
+		}
+		s.emit(ev)
+	}
+}
+
+// VetBatch drives an ordered batch through the service with backpressure
+// and returns verdicts in submission order. For submissions without a
+// pinned Seq it reserves one contiguous sequence block up front — exactly
+// the numbers a serial Vet loop over the same slice would consume — so the
+// returned verdicts are bit-identical to serial vetting. The first
+// submission error is returned after the whole batch has settled.
+func (s *Service) VetBatch(ctx context.Context, subs []core.Submission) ([]*core.Verdict, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cp := make([]core.Submission, len(subs))
+	copy(cp, subs)
+	unpinned := 0
+	for i := range cp {
+		if cp[i].Seq == 0 {
+			unpinned++
+		}
+	}
+	if unpinned > 0 {
+		next := s.ck.ReserveVetSeqs(unpinned)
+		for i := range cp {
+			if cp[i].Seq == 0 {
+				cp[i].Seq = next
+				next++
+			}
+		}
+	}
+
+	tickets := make([]*Ticket, 0, len(cp))
+	var submitErr error
+	for i := range cp {
+		t, err := s.SubmitWait(ctx, cp[i])
+		if err != nil {
+			submitErr = fmt.Errorf("vetsvc: batch submit %s: %w", pkgOf(cp[i]), err)
+			break
+		}
+		tickets = append(tickets, t)
+	}
+	out := make([]*core.Verdict, len(cp))
+	firstErr := submitErr
+	for i, t := range tickets {
+		<-t.done
+		out[i] = t.verdict
+		if t.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("vetsvc: %s: %w", t.pkg, t.err)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Close stops admissions, drains the queue, and waits for all in-flight
+// vets to finish. Every accepted submission's ticket completes: nothing is
+// lost, nothing runs twice. Close is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	<-s.workersDone
+}
+
+func (s *Service) emit(ev Event) {
+	if s.cfg.OnEvent != nil {
+		s.cfg.OnEvent(ev)
+	}
+}
+
+func pkgOf(sub core.Submission) string { return sub.PackageName() }

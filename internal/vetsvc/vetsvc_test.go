@@ -1,0 +1,388 @@
+package vetsvc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"apichecker/internal/behavior"
+	"apichecker/internal/core"
+	"apichecker/internal/dataset"
+	"apichecker/internal/framework"
+)
+
+var testU = framework.MustGenerate(framework.TestConfig(3000))
+
+// trainedChecker builds an independent trained checker; training is
+// deterministic, so two calls yield behaviourally identical checkers with
+// independent vet-sequence counters.
+func trainedChecker(t *testing.T) (*core.Checker, *dataset.Corpus) {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumApps = 500
+	corpus, err := dataset.Generate(testU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, _, err := core.TrainFromCorpus(corpus, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck, corpus
+}
+
+func programs(c *dataset.Corpus, n int) []*behavior.Program {
+	out := make([]*behavior.Program, n)
+	for i := range out {
+		out[i] = c.Program(i % c.Len())
+	}
+	return out
+}
+
+// TestServiceMatchesSerialVet is the determinism contract: verdicts out of
+// the concurrent service are bit-identical to a serial Vet loop over the
+// same submission order, through both the batch and the ticket paths.
+func TestServiceMatchesSerialVet(t *testing.T) {
+	ckSerial, corpus := trainedChecker(t)
+	ckBatch, _ := trainedChecker(t)
+	ckTickets, _ := trainedChecker(t)
+	apps := programs(corpus, 60)
+
+	serial := make([]*core.Verdict, len(apps))
+	for i, p := range apps {
+		v, err := ckSerial.Vet(context.Background(), core.Submission{Program: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = v
+	}
+
+	// Batch path: small queue, so VetBatch exercises backpressure waits.
+	svc := New(ckBatch, Config{Workers: 8, QueueSize: 4})
+	defer svc.Close()
+	subs := make([]core.Submission, len(apps))
+	for i, p := range apps {
+		subs[i] = core.Submission{Program: p}
+	}
+	batch, err := svc.VetBatch(context.Background(), subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if *batch[i] != *serial[i] {
+			t.Fatalf("batch submission %d (%s): service %+v vs serial %+v",
+				i, apps[i].PackageName, *batch[i], *serial[i])
+		}
+	}
+
+	// Ticket path: sequences are reserved at admission in Submit order.
+	svc2 := New(ckTickets, Config{Workers: 8, QueueSize: len(apps)})
+	defer svc2.Close()
+	tickets := make([]*Ticket, len(apps))
+	for i, p := range apps {
+		tk, err := svc2.Submit(context.Background(), core.Submission{Program: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = tk
+	}
+	for i, tk := range tickets {
+		v, err := tk.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *v != *serial[i] {
+			t.Fatalf("ticket submission %d: service %+v vs serial %+v", i, *v, *serial[i])
+		}
+	}
+
+	if got := svc.Metrics(); got.Completed != uint64(len(apps)) {
+		t.Fatalf("batch service completed %d, want %d", got.Completed, len(apps))
+	}
+}
+
+// TestBackpressureQueueFull fills the bounded queue behind a stalled
+// worker, observes ErrQueueFull, then confirms the queue drains and
+// accepts again.
+func TestBackpressureQueueFull(t *testing.T) {
+	ck, corpus := trainedChecker(t)
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	releaseGate := func() { gateOnce.Do(func() { close(gate) }) }
+	svc := New(ck, Config{
+		Workers:   1,
+		QueueSize: 2,
+		// The hook runs synchronously in the worker: blocking it stalls
+		// the lane with the queue intact.
+		OnEvent: func(ev Event) {
+			if ev.Type == EventStarted {
+				<-gate
+			}
+		},
+	})
+	// Unwind order matters: the gate must open before Close waits for the
+	// stalled lane.
+	defer svc.Close()
+	defer releaseGate()
+
+	sub := func(i int) core.Submission {
+		return core.Submission{Program: corpus.Program(i)}
+	}
+	// Head submission is dequeued by the lane, which stalls in the hook.
+	var tickets []*Ticket
+	tk0, err := svc.Submit(context.Background(), sub(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickets = append(tickets, tk0)
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Metrics().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the head submission")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Queue is now empty and the only lane is stalled: the next two fill
+	// the queue deterministically.
+	for i := 1; i < 3; i++ {
+		tk, err := svc.Submit(context.Background(), sub(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+
+	if _, err := svc.Submit(context.Background(), sub(3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit into full queue: err = %v, want ErrQueueFull", err)
+	}
+
+	releaseGate() // release the lane; the queue drains
+	for _, tk := range tickets {
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tk, err := svc.Submit(context.Background(), sub(4))
+	if err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	if _, err := tk.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	m := svc.Metrics()
+	if m.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", m.Rejected)
+	}
+	if m.Accepted != 4 || m.Completed != 4 {
+		t.Fatalf("accepted/completed = %d/%d, want 4/4", m.Accepted, m.Completed)
+	}
+}
+
+// TestDeadlineTimeout: an unmeetable per-submission deadline aborts the
+// emulation, surfaces as ErrDeadlineExceeded (wrapping
+// context.DeadlineExceeded), and is counted in the metrics.
+func TestDeadlineTimeout(t *testing.T) {
+	ck, corpus := trainedChecker(t)
+	svc := New(ck, Config{Workers: 2, QueueSize: 8, Deadline: time.Nanosecond})
+	defer svc.Close()
+
+	const n = 6
+	subs := make([]core.Submission, n)
+	for i := range subs {
+		subs[i] = core.Submission{Program: corpus.Program(i)}
+	}
+	if _, err := svc.VetBatch(context.Background(), subs); err == nil {
+		t.Fatal("batch under 1ns deadline succeeded")
+	} else {
+		if !errors.Is(err, core.ErrDeadlineExceeded) {
+			t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded underneath", err)
+		}
+	}
+
+	m := svc.Metrics()
+	if m.Timeouts != n {
+		t.Fatalf("timeouts = %d, want %d", m.Timeouts, n)
+	}
+	if m.Completed != 0 {
+		t.Fatalf("completed = %d, want 0", m.Completed)
+	}
+}
+
+// TestGracefulShutdown: Close drains the queue — every accepted submission
+// completes exactly once, and nothing is accepted afterwards.
+func TestGracefulShutdown(t *testing.T) {
+	ck, corpus := trainedChecker(t)
+	svc := New(ck, Config{Workers: 4, QueueSize: 8})
+
+	const n = 30
+	tickets := make([]*Ticket, n)
+	for i := range tickets {
+		tk, err := svc.SubmitWait(context.Background(), core.Submission{Program: corpus.Program(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = tk
+	}
+	svc.Close()
+
+	seen := make(map[int64]bool)
+	for i, tk := range tickets {
+		v, err := tk.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("submission %d lost in shutdown: %v", i, err)
+		}
+		if v == nil {
+			t.Fatalf("submission %d: nil verdict", i)
+		}
+		if seen[tk.Seq()] {
+			t.Fatalf("sequence %d delivered twice", tk.Seq())
+		}
+		seen[tk.Seq()] = true
+	}
+
+	if _, err := svc.Submit(context.Background(), core.Submission{Program: corpus.Program(0)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: err = %v, want ErrClosed", err)
+	}
+	if _, err := svc.SubmitWait(context.Background(), core.Submission{Program: corpus.Program(0)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit-wait after close: err = %v, want ErrClosed", err)
+	}
+
+	m := svc.Metrics()
+	if m.Accepted != n || m.Completed != n {
+		t.Fatalf("accepted/completed = %d/%d, want %d/%d", m.Accepted, m.Completed, n, n)
+	}
+	if m.QueueDepth != 0 || m.InFlight != 0 {
+		t.Fatalf("queue/in-flight = %d/%d after close, want 0/0", m.QueueDepth, m.InFlight)
+	}
+	// Close is idempotent.
+	svc.Close()
+}
+
+// TestMetricsAccounting checks the reliability counters and latency
+// quantiles over a real batch.
+func TestMetricsAccounting(t *testing.T) {
+	ck, corpus := trainedChecker(t)
+	svc := New(ck, Config{Workers: 8, QueueSize: 16})
+	defer svc.Close()
+
+	const n = 120
+	subs := make([]core.Submission, n)
+	for i := range subs {
+		subs[i] = core.Submission{Program: corpus.Program(i % corpus.Len())}
+	}
+	verdicts, err := svc.VetBatch(context.Background(), subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var crashes, crashedSubs, fallbacks uint64
+	for _, v := range verdicts {
+		crashes += uint64(v.Crashes)
+		if v.Crashes > 0 {
+			crashedSubs++
+		}
+		if v.FellBack {
+			fallbacks++
+		}
+	}
+
+	m := svc.Metrics()
+	if m.Completed != n {
+		t.Fatalf("completed = %d, want %d", m.Completed, n)
+	}
+	if m.Crashes != crashes || m.CrashedSubmissions != crashedSubs || m.Fallbacks != fallbacks {
+		t.Fatalf("crash accounting = %d/%d/%d, want %d/%d/%d",
+			m.Crashes, m.CrashedSubmissions, m.Fallbacks, crashes, crashedSubs, fallbacks)
+	}
+	var engineTotal uint64
+	for _, c := range m.EngineRuns {
+		engineTotal += c
+	}
+	if engineTotal != n {
+		t.Fatalf("engine runs total %d, want %d", engineTotal, n)
+	}
+	if m.ScanMean <= 0 || m.ScanP50 <= 0 {
+		t.Fatalf("latency stats empty: %+v", m)
+	}
+	if m.ScanP50 > m.ScanP95 || m.ScanP95 > m.ScanP99 {
+		t.Fatalf("quantiles not monotone: p50=%f p95=%f p99=%f", m.ScanP50, m.ScanP95, m.ScanP99)
+	}
+}
+
+// TestEventLogOrdering: the structured hook sees accepted → started → done
+// for every submission, with matching sequence numbers.
+func TestEventLogOrdering(t *testing.T) {
+	ck, corpus := trainedChecker(t)
+	var mu sync.Mutex
+	state := make(map[int64]EventType)
+	bad := false
+	svc := New(ck, Config{
+		Workers:   4,
+		QueueSize: 8,
+		OnEvent: func(ev Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			prev, ok := state[ev.Seq]
+			switch ev.Type {
+			case EventAccepted:
+				if ok {
+					bad = true
+				}
+			case EventStarted:
+				if !ok || prev != EventAccepted {
+					bad = true
+				}
+			case EventDone:
+				if !ok || prev != EventStarted {
+					bad = true
+				}
+			}
+			state[ev.Seq] = ev.Type
+		},
+	})
+	const n = 25
+	subs := make([]core.Submission, n)
+	for i := range subs {
+		subs[i] = core.Submission{Program: corpus.Program(i)}
+	}
+	if _, err := svc.VetBatch(context.Background(), subs); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if bad {
+		t.Fatal("event ordering violated")
+	}
+	if len(state) != n {
+		t.Fatalf("saw %d submission lifecycles, want %d", len(state), n)
+	}
+	for seq, last := range state {
+		if last != EventDone {
+			t.Fatalf("seq %d ended in state %v", seq, last)
+		}
+	}
+}
+
+// TestQuantileNearestRank pins the quantile helper.
+func TestQuantileNearestRank(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.5, 5}, {0.95, 10}, {0.99, 10}, {0, 1}, {1, 10}} {
+		if got := quantile(s, tc.q); got != tc.want {
+			t.Errorf("quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("quantile(nil) = %v, want 0", got)
+	}
+}
