@@ -48,6 +48,7 @@ import (
 	"apichecker/internal/framework"
 	"apichecker/internal/market"
 	"apichecker/internal/ml"
+	"apichecker/internal/vcache"
 	"apichecker/internal/vetsvc"
 )
 
@@ -99,6 +100,14 @@ type (
 
 	// APK is a parsed package.
 	APK = apk.APK
+
+	// VerdictCacheStats snapshots the checker's digest-keyed verdict
+	// cache (Checker.CacheStats).
+	VerdictCacheStats = vcache.Stats
+	// VetOutcome reports how a submission was answered: emulated
+	// (VetMiss/VetBypass) or served from the verdict cache
+	// (VetHit/VetCoalesced). Returned by Checker.VetOutcome.
+	VetOutcome = vcache.Outcome
 
 	// Market simulates T-Market's review process.
 	Market = market.Market
@@ -158,6 +167,21 @@ const (
 	ModeAI  = features.ModeAI
 	ModePI  = features.ModePI
 	ModeAPI = features.ModeAPI
+)
+
+// Vet outcomes (see Checker.VetOutcome): how a submission was answered.
+const (
+	// VetBypass: the verdict cache was disabled or the payload carried no
+	// digest; the submission paid a full emulation.
+	VetBypass = vcache.OutcomeBypass
+	// VetMiss: first sighting of these bytes this model generation; the
+	// submission paid a full emulation and primed the cache.
+	VetMiss = vcache.OutcomeMiss
+	// VetHit: answered from the digest-keyed verdict cache.
+	VetHit = vcache.OutcomeHit
+	// VetCoalesced: deduplicated onto a concurrent identical submission's
+	// in-flight emulation (singleflight).
+	VetCoalesced = vcache.OutcomeCoalesced
 )
 
 // Review outcomes of the market simulation.

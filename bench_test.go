@@ -511,12 +511,17 @@ func serialSelectKeyAPIs(e *experiments.Env, usage *features.UsageStats, cfg fea
 }
 
 // benchMonth prepares a trained market plus one month of submissions for
-// the review benchmarks.
+// the review benchmarks. The verdict cache is disabled: the benchmark loop
+// re-reviews the same month b.N times, and with memoization on, every
+// iteration after the first would be answered from the cache — these
+// benchmarks measure the emulation path.
 func benchMonth(b *testing.B, lanes int) (*market.Market, []dataset.App) {
 	b.Helper()
 	e := env(b)
 	sub := dataset.FromApps(e.U, 13, e.Corpus.Apps[:min(600, e.Corpus.Len())])
-	ck, _, err := core.TrainFromCorpus(sub, core.DefaultConfig())
+	ccfg := core.DefaultConfig()
+	ccfg.VerdictCache = -1
+	ck, _, err := core.TrainFromCorpus(sub, ccfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -603,10 +608,14 @@ func BenchmarkAPKBuildParse(b *testing.B) {
 // BenchmarkServiceThroughput measures batch vetting through the always-on
 // service: bounded-queue admission, worker-pool lanes, and the
 // deterministic ordered merge. Reports submissions vetted per wall-clock
-// second.
+// second. The verdict cache is disabled — the loop re-vets the same batch
+// b.N times, and this benchmark measures the emulation path; see the
+// Duplicates variants for the cache.
 func BenchmarkServiceThroughput(b *testing.B) {
 	e := env(b)
-	ck, _, err := core.TrainFromCorpus(e.Corpus, core.DefaultConfig())
+	ccfg := core.DefaultConfig()
+	ccfg.VerdictCache = -1
+	ck, _, err := core.TrainFromCorpus(e.Corpus, ccfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -631,6 +640,121 @@ func BenchmarkServiceThroughput(b *testing.B) {
 	if elapsed > 0 {
 		b.ReportMetric(float64(b.N*n)/elapsed, "submissions/s")
 	}
+}
+
+// benchDuplicateService wires the duplicate-heavy serving workload: 200
+// submissions drawn round-robin from 10 unique programs, vetted through an
+// 8-lane service over a checker with the given verdict-cache capacity.
+func benchDuplicateService(b *testing.B, verdictCache int) {
+	b.Helper()
+	e := env(b)
+	ccfg := core.DefaultConfig()
+	ccfg.VerdictCache = verdictCache
+	ck, _, err := core.TrainFromCorpus(e.Corpus, ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const uniques, total = 10, 200
+	subs := make([]core.Submission, total)
+	for i := range subs {
+		subs[i] = core.Submission{Program: e.Corpus.Program(i % uniques)}
+	}
+	svc := vetsvc.New(ck, vetsvc.Config{Workers: 8, QueueSize: 32})
+	defer svc.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.VetBatch(context.Background(), subs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*total)/elapsed, "submissions/s")
+	}
+	m := svc.Metrics()
+	b.ReportMetric(float64(m.CacheHits+m.CacheCoalesced), "cache-served")
+	b.ReportMetric(float64(m.CacheMisses+m.CacheBypass), "emulated")
+}
+
+// BenchmarkServiceThroughputDuplicates is the serving path the verdict
+// cache exists for: a duplicate-heavy batch (20x resubmission rate) where
+// singleflight and digest memoization answer all but the first sighting of
+// each archive. Compare with the NoCache variant for the dedupe speedup.
+func BenchmarkServiceThroughputDuplicates(b *testing.B) {
+	benchDuplicateService(b, 0) // default cache capacity
+}
+
+// BenchmarkServiceThroughputDuplicatesNoCache pays a full emulation for
+// every duplicate — the pre-cache serving baseline on the same workload.
+func BenchmarkServiceThroughputDuplicatesNoCache(b *testing.B) {
+	benchDuplicateService(b, -1)
+}
+
+// benchForestBlock trains a forest and synthesizes a 512-row inference
+// block (clearly past the batch chunk size) for the inference benchmarks.
+func benchForestBlock(b *testing.B) (*ml.RandomForest, []ml.Vector) {
+	b.Helper()
+	const rows, feats = 512, 160
+	rng := newBenchRNG(17)
+	d := ml.NewDataset(feats)
+	for i := 0; i < rows; i++ {
+		v := ml.NewVector(feats)
+		for f := 0; f < feats; f++ {
+			if rng.next()%100 < 12 {
+				v.Set(f)
+			}
+		}
+		d.Add(v, rng.next()%100 < 30)
+	}
+	rf := ml.NewRandomForest(ml.ForestConfig{Trees: 80, MaxDepth: 16, MinLeaf: 2, Seed: 5})
+	if err := rf.Train(d); err != nil {
+		b.Fatal(err)
+	}
+	xs := make([]ml.Vector, len(d.Examples))
+	for i := range d.Examples {
+		xs[i] = d.Examples[i].X
+	}
+	return rf, xs
+}
+
+// benchRNG is a tiny deterministic generator so the inference benchmarks
+// need no corpus emulation to set up.
+type benchRNG struct{ s uint64 }
+
+func newBenchRNG(seed uint64) *benchRNG { return &benchRNG{s: seed} }
+
+func (r *benchRNG) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// BenchmarkPredictBatch measures tree-major batch inference over a
+// 512-row block (the ReviewBatch/Evaluate serving shape). Compare with
+// BenchmarkPredictPerRow.
+func BenchmarkPredictBatch(b *testing.B) {
+	rf, xs := benchForestBlock(b)
+	out := make([]float64, len(xs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf.ScoreBatch(xs, out)
+	}
+	b.ReportMetric(float64(len(xs)), "rows/op")
+}
+
+// BenchmarkPredictPerRow is the row-major baseline: one root-to-leaf walk
+// per (row, tree) pair through the per-row Score path.
+func BenchmarkPredictPerRow(b *testing.B) {
+	rf, xs := benchForestBlock(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range xs {
+			rf.Score(x)
+		}
+	}
+	b.ReportMetric(float64(len(xs)), "rows/op")
 }
 
 // silence unused-import complaints if metrics change shape later

@@ -16,6 +16,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof registers the profiling handlers
 	"os"
 	"time"
 
@@ -35,15 +37,29 @@ func main() {
 		workers  = flag.Int("workers", 0, "service lanes (0 = one per emulator slot)")
 		queue    = flag.Int("queue", 0, "service queue depth (0 = 4x workers)")
 		deadline = flag.Duration("deadline", 0, "per-submission vet deadline (0 = none)")
+		vcap     = flag.Int("vcache", 0, "verdict-cache capacity on the -serve path (0 = default, negative = disabled)")
+		dup      = flag.Int("dup", 1, "submit each -serve app this many times (duplicate-heavy workloads exercise the verdict cache)")
+
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank import.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "tmarket: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	u, err := apichecker.NewUniverse(*apis, *seed)
 	if err != nil {
 		fail(err)
 	}
 	if *serve {
-		if err := runService(u, *seed, *initial, *monthly, *workers, *queue, *deadline); err != nil {
+		if err := runService(u, *seed, *initial, *monthly, *workers, *queue, *vcap, *dup, *deadline); err != nil {
 			fail(err)
 		}
 		return
@@ -84,12 +100,14 @@ func main() {
 
 // runService is the -serve path: train once, then vet one batch of
 // submissions through the always-on service and print its metrics.
-func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, queue int, deadline time.Duration) error {
+func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, queue, vcap, dup int, deadline time.Duration) error {
 	training, err := apichecker.NewCorpus(u, initial, seed)
 	if err != nil {
 		return err
 	}
-	checker, rep, err := apichecker.Train(training, apichecker.DefaultConfig())
+	ccfg := apichecker.DefaultConfig()
+	ccfg.VerdictCache = vcap
+	checker, rep, err := apichecker.Train(training, ccfg)
 	if err != nil {
 		return err
 	}
@@ -107,9 +125,14 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 	if err != nil {
 		return err
 	}
-	subs := make([]apichecker.Submission, batch.Len())
-	for i := range subs {
-		subs[i] = apichecker.Submission{Program: batch.Program(i)}
+	if dup < 1 {
+		dup = 1
+	}
+	subs := make([]apichecker.Submission, 0, batch.Len()*dup)
+	for r := 0; r < dup; r++ {
+		for i := 0; i < batch.Len(); i++ {
+			subs = append(subs, apichecker.Submission{Program: batch.Program(i)})
+		}
 	}
 	start := time.Now()
 	verdicts, err := svc.VetBatch(context.Background(), subs)
@@ -133,6 +156,16 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 		m.Crashes, m.CrashedSubmissions, m.Fallbacks)
 	for engine, n := range m.EngineRuns {
 		fmt.Printf("  engine %-22s %4d final runs\n", engine, n)
+	}
+	fmt.Printf("  verdict cache: %d hits, %d misses, %d coalesced, %d bypassed\n",
+		m.CacheHits, m.CacheMisses, m.CacheCoalesced, m.CacheBypass)
+	if m.MissScan.Count > 0 {
+		fmt.Printf("  emulated scans   (n=%4d): mean %.1fs  p50 %.1fs  p95 %.1fs  p99 %.1fs\n",
+			m.MissScan.Count, m.MissScan.Mean, m.MissScan.P50, m.MissScan.P95, m.MissScan.P99)
+	}
+	if m.HitScan.Count > 0 {
+		fmt.Printf("  cache-served     (n=%4d): mean %.1fs  p50 %.1fs  p95 %.1fs  p99 %.1fs (virtual cost, served instantly)\n",
+			m.HitScan.Count, m.HitScan.Mean, m.HitScan.P50, m.HitScan.P95, m.HitScan.P99)
 	}
 	fmt.Printf("  scan latency (virtual): mean %.1fs  p50 %.1fs  p95 %.1fs  p99 %.1fs\n",
 		m.ScanMean, m.ScanP50, m.ScanP95, m.ScanP99)

@@ -20,6 +20,7 @@ import (
 	"archive/zip"
 	"bytes"
 	"crypto/md5"
+	"crypto/sha256"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -49,8 +50,20 @@ type APK struct {
 	// identity key in the market database.
 	MD5 string
 
+	// SHA256 is the content digest of the serialized archive — the
+	// verdict-cache key on the serving path. Computed once at parse time;
+	// empty for an APK assembled by hand rather than parsed from bytes.
+	SHA256 string
+
 	// Size is the archive size in bytes.
 	Size int64
+}
+
+// Digest returns the content digest of raw archive bytes: hex-encoded
+// sha256, the key byte-identical resubmissions are deduplicated under.
+func Digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
 }
 
 // PackageName returns the manifest package name.
@@ -208,6 +221,7 @@ func parse(data []byte) (*APK, error) {
 	}
 	sum := md5.Sum(data)
 	out.MD5 = hex.EncodeToString(sum[:])
+	out.SHA256 = Digest(data)
 	return out, nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"apichecker/internal/manifest"
 	"apichecker/internal/ml"
 	"apichecker/internal/monkey"
+	"apichecker/internal/vcache"
 )
 
 // Config holds the deployment configuration.
@@ -45,6 +46,14 @@ type Config struct {
 	Forest ml.ForestConfig
 	// Seed drives everything stochastic.
 	Seed int64
+
+	// VerdictCache bounds the digest-keyed verdict-memoization layer on
+	// the serving path (entries, across all shards). 0 selects
+	// vcache.DefaultCapacity; negative disables memoization entirely, so
+	// every Vet pays a fresh emulation. Cached verdicts are bit-identical
+	// to uncached ones (Monkey seeds derive from the content digest), so
+	// the cache is semantically invisible either way.
+	VerdictCache int
 }
 
 // DefaultConfig is the production configuration from the paper.
@@ -77,7 +86,26 @@ type Checker struct {
 	session   *adb.Session
 	sessionMu sync.Mutex
 
+	// cache memoizes complete verdicts (plus their feature vectors) by
+	// content digest, with singleflight dedupe of concurrent identical
+	// submissions; nil when cfg.VerdictCache < 0. Retrain advances its
+	// epoch so no verdict from a previous model generation is ever served.
+	cache *vcache.Cache[cachedVerdict]
+
+	// scores coalesces concurrent classify steps into blocks for the
+	// forest's tree-major batch inference.
+	scores scoreBatcher
+
 	vetCount int64
+}
+
+// cachedVerdict is one memoized vet: the full verdict plus the feature
+// vector it was scored on, so a cached answer carries everything an
+// emulated one does. The Verdict lives here by value — Vet hands each
+// caller its own copy.
+type cachedVerdict struct {
+	verdict Verdict
+	vector  ml.Vector
 }
 
 // TrainReport summarizes a training (or retraining) round.
@@ -160,7 +188,7 @@ func New(u *framework.Universe, sel *features.Selection, ex *features.Extractor,
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Checker{
+	ck := &Checker{
 		cfg:       cfg,
 		u:         u,
 		selection: sel,
@@ -169,7 +197,11 @@ func New(u *framework.Universe, sel *features.Selection, ex *features.Extractor,
 		emu:       emulator.New(cfg.Profile, reg),
 		session:   adb.NewSession(adb.NewDevice("emulator-5554", cfg.Profile, reg)),
 		model:     model,
-	}, nil
+	}
+	if cfg.VerdictCache >= 0 {
+		ck.cache = vcache.New[cachedVerdict](cfg.VerdictCache)
+	}
+	return ck, nil
 }
 
 // Universe returns the framework universe.
@@ -235,14 +267,22 @@ const fixedOverhead = 31 * time.Second
 //     where building megabytes of zip per app would only slow things down).
 //
 // Seq optionally pins the vet sequence number (reserved up front via
-// ReserveVetSeqs); 0 assigns the next one. The sequence number determines
-// the per-submission Monkey seed, which is what makes parallel service
-// vetting bit-identical to a serial loop over the same queue.
+// ReserveVetSeqs); 0 assigns the next one. Sequence numbers identify
+// submissions in service logs and metrics; verdicts do not depend on them
+// — the per-submission Monkey seed derives from the content digest, so a
+// given archive exercises identically however often, in whatever order,
+// and on whatever lane it is submitted. That content-determinism is what
+// makes parallel service vetting bit-identical to a serial loop, and
+// cached verdicts bit-identical to emulated ones.
+//
+// Digest optionally pins the content digest (hex sha256 of the canonical
+// payload bytes); leave it empty and ContentDigest derives it.
 type Submission struct {
 	Raw     []byte
 	Parsed  *apk.APK
 	Program *behavior.Program
 	Seq     int64
+	Digest  string
 }
 
 // Validate checks the exactly-one-payload invariant; violations wrap
@@ -262,6 +302,29 @@ func (s Submission) Validate() error {
 		return fmt.Errorf("core: %w (got %d)", ErrBadSubmission, n)
 	}
 	return nil
+}
+
+// ContentDigest returns the submission's content digest — the verdict-
+// cache key and Monkey-seed source: hex sha256 of the raw archive bytes
+// (Raw), the digest computed at parse time (Parsed), or the canonical
+// encoding of the behaviour program (Program). The result is memoized in
+// Digest. Empty when the payload cannot be digested; such submissions
+// bypass the verdict cache.
+func (s *Submission) ContentDigest() string {
+	if s.Digest != "" {
+		return s.Digest
+	}
+	switch {
+	case s.Raw != nil:
+		s.Digest = apk.Digest(s.Raw)
+	case s.Parsed != nil:
+		s.Digest = s.Parsed.SHA256
+	case s.Program != nil:
+		if data, err := s.Program.Encode(); err == nil {
+			s.Digest = apk.Digest(data)
+		}
+	}
+	return s.Digest
 }
 
 // PackageName names the submission for logs and error messages, best
@@ -284,23 +347,71 @@ func (s Submission) PackageName() string {
 // context.DeadlineExceeded) or context.Canceled. Safe for concurrent use:
 // the emulator, extractor and model are read-only at vet time, and raw
 // archive submissions serialize on the checker's single adb session.
+//
+// Vet consults the digest-keyed verdict cache first: a byte-identical
+// resubmission is answered without re-emulating, and N concurrent
+// submissions of the same digest trigger exactly one emulation (the rest
+// block on the leader's result). Cached verdicts are bit-identical to
+// emulated ones because the Monkey seed derives from the content digest.
 func (ck *Checker) Vet(ctx context.Context, sub Submission) (*Verdict, error) {
-	v, _, err := ck.VetRun(ctx, sub)
+	v, _, err := ck.VetOutcome(ctx, sub)
 	return v, err
 }
 
+// VetOutcome is Vet, additionally reporting how the verdict was served:
+// OutcomeMiss (this call paid the emulation), OutcomeHit (answered from
+// the cache), OutcomeCoalesced (deduplicated onto a concurrent identical
+// submission), or OutcomeBypass (cache disabled or payload undigestable).
+func (ck *Checker) VetOutcome(ctx context.Context, sub Submission) (*Verdict, vcache.Outcome, error) {
+	if err := sub.Validate(); err != nil {
+		return nil, vcache.OutcomeBypass, err
+	}
+	dig := sub.ContentDigest()
+	if ck.cache == nil || dig == "" {
+		v, _, _, err := ck.vetFull(ctx, sub, dig)
+		return v, vcache.OutcomeBypass, err
+	}
+	e, out, err := ck.cache.Do(ctx, dig, func() (cachedVerdict, error) {
+		v, x, _, err := ck.vetFull(ctx, sub, dig)
+		if err != nil {
+			return cachedVerdict{}, err
+		}
+		return cachedVerdict{verdict: *v, vector: x}, nil
+	})
+	if err != nil {
+		return nil, out, err
+	}
+	v := e.verdict
+	return &v, out, nil
+}
+
 // VetRun is Vet, additionally returning the raw emulation result (the
-// input to analysis-log export and to service-level crash/fallback
-// accounting).
+// input to analysis-log export). It always emulates — the result is the
+// point — but writes the verdict through to the cache so subsequent Vets
+// of the same content are served without re-running.
 func (ck *Checker) VetRun(ctx context.Context, sub Submission) (*Verdict, *emulator.Result, error) {
 	if err := sub.Validate(); err != nil {
 		return nil, nil, err
 	}
+	dig := sub.ContentDigest()
+	v, x, res, err := ck.vetFull(ctx, sub, dig)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ck.cache != nil && dig != "" {
+		ck.cache.Put(dig, cachedVerdict{verdict: *v, vector: x})
+	}
+	return v, res, nil
+}
+
+// vetFull is the uncached vet: emulate, extract, classify. The caller has
+// validated the submission and resolved its content digest.
+func (ck *Checker) vetFull(ctx context.Context, sub Submission, dig string) (*Verdict, ml.Vector, *emulator.Result, error) {
 	seq := sub.Seq
 	if seq == 0 {
 		seq = ck.nextVetSeq()
 	}
-	mk := ck.vetMonkey(seq)
+	mk := ck.vetMonkey(dig, seq)
 	if sub.Raw != nil {
 		return ck.vetRaw(ctx, sub.Raw, mk)
 	}
@@ -315,40 +426,42 @@ func (ck *Checker) VetRun(ctx context.Context, sub Submission) (*Verdict, *emula
 	}
 	res, err := ck.emu.RunContext(ctx, p, mk)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: vet %s: %w", p.PackageName, vetFailure(err))
+		return nil, nil, nil, fmt.Errorf("core: vet %s: %w", p.PackageName, vetFailure(err))
 	}
 	if man == nil {
 		m, err := p.Manifest(ck.u)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: vet %s: %w", p.PackageName, err)
+			return nil, nil, nil, fmt.Errorf("core: vet %s: %w", p.PackageName, err)
 		}
 		man = m
 	}
 	x, err := ck.extractor.Vector(res.Log, man)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: vet %s: %w", p.PackageName, err)
+		return nil, nil, nil, fmt.Errorf("core: vet %s: %w", p.PackageName, err)
 	}
-	return ck.verdict(p.PackageName, p.Version, md5, res, x), res, nil
+	return ck.verdict(p.PackageName, p.Version, md5, res, x), x, res, nil
 }
 
 // vetRaw runs a serialized archive through the full device sequence.
-func (ck *Checker) vetRaw(ctx context.Context, data []byte, mk monkey.Config) (*Verdict, *emulator.Result, error) {
+func (ck *Checker) vetRaw(ctx context.Context, data []byte, mk monkey.Config) (*Verdict, ml.Vector, *emulator.Result, error) {
 	ck.sessionMu.Lock()
 	vr, err := ck.session.VetContext(ctx, data, mk)
 	ck.sessionMu.Unlock()
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: vet: %w", vetFailure(err))
+		return nil, nil, nil, fmt.Errorf("core: vet: %w", vetFailure(err))
 	}
 	x, err := ck.extractor.Vector(vr.Run.Log, vr.APK.Manifest)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: vet %s: %w", vr.APK.PackageName(), err)
+		return nil, nil, nil, fmt.Errorf("core: vet %s: %w", vr.APK.PackageName(), err)
 	}
-	return ck.verdict(vr.APK.PackageName(), vr.APK.VersionCode(), vr.APK.MD5, vr.Run, x), vr.Run, nil
+	return ck.verdict(vr.APK.PackageName(), vr.APK.VersionCode(), vr.APK.MD5, vr.Run, x), x, vr.Run, nil
 }
 
 // verdict scores a feature vector and books the emulation accounting.
+// Scoring goes through the coalescing batcher: classify steps arriving
+// concurrently are folded into one tree-major ScoreBatch block.
 func (ck *Checker) verdict(pkg string, version int, md5 string, res *emulator.Result, x ml.Vector) *Verdict {
-	score := ck.model.Score(x)
+	score := ck.score(x)
 	return &Verdict{
 		Package:        pkg,
 		VersionCode:    version,
@@ -379,9 +492,9 @@ func (ck *Checker) VetCount() int64 { return atomic.LoadInt64(&ck.vetCount) }
 
 // ReserveVetSeqs atomically reserves n consecutive vet sequence numbers
 // and returns the first. Parallel review pools reserve up front and assign
-// sequences by queue position, so per-app Monkey seeds — and therefore
-// verdicts — are independent of scheduling order and bit-identical to a
-// serial review of the same queue.
+// sequences by queue position, so service logs and metrics identify
+// submissions the way a serial review would have numbered them. (Verdicts
+// themselves no longer depend on sequence numbers — see vetMonkey.)
 func (ck *Checker) ReserveVetSeqs(n int) int64 {
 	return atomic.AddInt64(&ck.vetCount, int64(n)) - int64(n) + 1
 }
@@ -389,11 +502,48 @@ func (ck *Checker) ReserveVetSeqs(n int) int64 {
 // nextVetSeq reserves the next single sequence number.
 func (ck *Checker) nextVetSeq() int64 { return atomic.AddInt64(&ck.vetCount, 1) }
 
-// vetMonkey derives the Monkey configuration for one vet sequence number.
-func (ck *Checker) vetMonkey(seq int64) monkey.Config {
-	mk := monkey.ProductionConfig(ck.cfg.Seed ^ seq<<7)
+// vetMonkey derives the Monkey configuration for one submission. The seed
+// mixes the deployment seed with the content digest, so a given archive
+// is exercised identically however often — and in whatever order — it is
+// submitted. That content-determinism is what makes a cached verdict
+// bit-identical to the emulation it memoizes, and parallel service lanes
+// bit-identical to a serial vet loop. A submission with no digest (an
+// undigestable payload) falls back to the sequence-derived seed.
+func (ck *Checker) vetMonkey(dig string, seq int64) monkey.Config {
+	seed := ck.cfg.Seed ^ seq<<7
+	if dig != "" {
+		seed = ck.cfg.Seed ^ int64(digestSeed(dig))
+	}
+	mk := monkey.ProductionConfig(seed)
 	mk.Events = ck.cfg.Events
 	return mk
+}
+
+// digestSeed folds a hex content digest into 64 bits (FNV-1a).
+func digestSeed(dig string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(dig); i++ {
+		h = (h ^ uint64(dig[i])) * 1099511628211
+	}
+	return h
+}
+
+// InvalidateVerdicts drops every memoized verdict by advancing the
+// cache's model-generation epoch; Retrain calls it when the model swaps.
+// In-flight emulations complete but their verdicts are not stored.
+func (ck *Checker) InvalidateVerdicts() {
+	if ck.cache != nil {
+		ck.cache.BumpEpoch()
+	}
+}
+
+// CacheStats snapshots the verdict-cache counters; the zero Stats when
+// the cache is disabled.
+func (ck *Checker) CacheStats() vcache.Stats {
+	if ck.cache == nil {
+		return vcache.Stats{}
+	}
+	return ck.cache.Stats()
 }
 
 // VetAPKWithRun is VetAPK, additionally returning the raw emulation result

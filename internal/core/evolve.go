@@ -23,5 +23,9 @@ func (ck *Checker) Retrain(c *dataset.Corpus) (*TrainReport, error) {
 	ck.registry = next.registry
 	ck.emu = next.emu
 	ck.model = next.model
+	// Every memoized verdict was produced by the previous model (and
+	// possibly a previous key-API set); advance the cache epoch so none of
+	// them is ever served again.
+	ck.InvalidateVerdicts()
 	return rep, nil
 }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sync"
+
+	"apichecker/internal/ml"
+)
+
+// scoreBatcher coalesces concurrent classify steps into blocks scored by
+// the forest's tree-major batch inference (ml.RandomForest.ScoreBatch).
+// Vetting lanes finishing emulations around the same time share one walk
+// over the forest instead of each paying per-row pointer chasing; an
+// isolated request degenerates to a one-row block. Safe because
+// ScoreBatch is bit-identical to Score row by row — batch composition
+// cannot change any verdict.
+//
+// The protocol is leaderless-queue style: requests append to pending
+// under the mutex; the first arrival while no leader is active becomes
+// the leader and drains pending in blocks (dropping the lock around each
+// ScoreBatch call) until the queue is empty, completing followers as
+// their rows are scored.
+type scoreBatcher struct {
+	mu      sync.Mutex
+	leading bool
+	pending []*scoreReq
+
+	blocks uint64 // ScoreBatch calls issued
+	rows   uint64 // vectors scored through them
+}
+
+type scoreReq struct {
+	x     ml.Vector
+	score float64
+	done  chan struct{}
+}
+
+// score classifies one vector through the batcher.
+func (ck *Checker) score(x ml.Vector) float64 {
+	b := &ck.scores
+	req := &scoreReq{x: x, done: make(chan struct{})}
+	b.mu.Lock()
+	b.pending = append(b.pending, req)
+	if b.leading {
+		b.mu.Unlock()
+		<-req.done
+		return req.score
+	}
+	b.leading = true
+	model := ck.model // one model for the whole drain
+	for {
+		batch := b.pending
+		b.pending = nil
+		b.mu.Unlock()
+
+		xs := make([]ml.Vector, len(batch))
+		for i, r := range batch {
+			xs[i] = r.x
+		}
+		scores := model.ScoreBatch(xs, nil)
+		for i, r := range batch {
+			r.score = scores[i]
+			close(r.done)
+		}
+
+		b.mu.Lock()
+		b.blocks++
+		b.rows += uint64(len(batch))
+		if len(b.pending) == 0 {
+			b.leading = false
+			b.mu.Unlock()
+			// The leader's own request was in the first block it drained.
+			return req.score
+		}
+	}
+}
+
+// ScoreBlocks reports how many forest-inference blocks the checker has
+// issued and the total vectors scored through them; rows > blocks means
+// concurrent classify steps were coalesced into multi-row blocks.
+func (ck *Checker) ScoreBlocks() (blocks, rows uint64) {
+	ck.scores.mu.Lock()
+	defer ck.scores.mu.Unlock()
+	return ck.scores.blocks, ck.scores.rows
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"apichecker/internal/apk"
+	"apichecker/internal/dataset"
+	"apichecker/internal/emulator"
+	"apichecker/internal/vcache"
+)
+
+// TestVetCacheDedupes: a byte-identical resubmission is answered from the
+// cache — one emulation, bit-identical verdict.
+func TestVetCacheDedupes(t *testing.T) {
+	ck, corpus := trainedChecker(t, 300)
+	p := corpus.Program(0)
+
+	runs0 := emulator.RunCount()
+	v1, out1, err := ck.VetOutcome(context.Background(), Submission{Program: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != vcache.OutcomeMiss {
+		t.Fatalf("first vet outcome = %v, want miss", out1)
+	}
+	v2, out2, err := ck.VetOutcome(context.Background(), Submission{Program: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 != vcache.OutcomeHit {
+		t.Fatalf("second vet outcome = %v, want hit", out2)
+	}
+	if *v1 != *v2 {
+		t.Fatalf("cached verdict differs:\n  emulated %+v\n  cached   %+v", *v1, *v2)
+	}
+	if v1 == v2 {
+		t.Fatal("cache must hand each caller its own Verdict copy")
+	}
+	if runs := emulator.RunCount() - runs0; runs != 1 {
+		t.Fatalf("emulation runs = %d, want 1", runs)
+	}
+	st := ck.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("cache stats = %+v", st)
+	}
+}
+
+// TestVetCacheDisabled: VerdictCache < 0 turns memoization off entirely —
+// every vet emulates, and verdicts still match byte for byte because the
+// Monkey seed derives from content, not from the cache.
+func TestVetCacheDisabled(t *testing.T) {
+	corpus := trainedCorpus(t, 300)
+	cfg := DefaultConfig()
+	cfg.VerdictCache = -1
+	ck, _, err := TrainFromCorpus(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := corpus.Program(0)
+
+	runs0 := emulator.RunCount()
+	v1, out1, err := ck.VetOutcome(context.Background(), Submission{Program: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, out2, err := ck.VetOutcome(context.Background(), Submission{Program: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != vcache.OutcomeBypass || out2 != vcache.OutcomeBypass {
+		t.Fatalf("outcomes = %v, %v, want bypass, bypass", out1, out2)
+	}
+	if runs := emulator.RunCount() - runs0; runs != 2 {
+		t.Fatalf("emulation runs = %d, want 2 with the cache disabled", runs)
+	}
+	if *v1 != *v2 {
+		t.Fatalf("content-determinism broken: %+v vs %+v", *v1, *v2)
+	}
+	if st := ck.CacheStats(); st != (vcache.Stats{}) {
+		t.Fatalf("disabled cache has stats %+v", st)
+	}
+}
+
+// trainedCorpus generates the corpus trainedChecker trains on.
+func trainedCorpus(t *testing.T, n int) *dataset.Corpus {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumApps = n
+	corpus, err := dataset.Generate(testU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus
+}
+
+// TestCachedEqualsUncached is the bit-identity contract across cache
+// configurations: the same submission vetted by a cache-enabled checker
+// (twice — miss then hit) and by a cache-disabled twin produces the same
+// Verdict value in all three cases.
+func TestCachedEqualsUncached(t *testing.T) {
+	corpus := trainedCorpus(t, 300)
+	cached, _, err := TrainFromCorpus(corpus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.VerdictCache = -1
+	uncached, _, err := TrainFromCorpus(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p := corpus.Program(i)
+		miss, err := cached.Vet(context.Background(), Submission{Program: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit, err := cached.Vet(context.Background(), Submission{Program: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := uncached.Vet(context.Background(), Submission{Program: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *miss != *hit || *miss != *plain {
+			t.Fatalf("app %d: miss %+v / hit %+v / uncached %+v differ", i, *miss, *hit, *plain)
+		}
+	}
+}
+
+// TestRetrainInvalidatesCache: verdicts memoized under the previous model
+// generation are never served after Retrain.
+func TestRetrainInvalidatesCache(t *testing.T) {
+	ck, corpus := trainedChecker(t, 300)
+	p := corpus.Program(1)
+
+	if _, out, err := ck.VetOutcome(context.Background(), Submission{Program: p}); err != nil || out != vcache.OutcomeMiss {
+		t.Fatalf("prime vet: out=%v err=%v", out, err)
+	}
+	if _, out, err := ck.VetOutcome(context.Background(), Submission{Program: p}); err != nil || out != vcache.OutcomeHit {
+		t.Fatalf("warm vet: out=%v err=%v", out, err)
+	}
+	if _, err := ck.Retrain(corpus); err != nil {
+		t.Fatal(err)
+	}
+	st := ck.CacheStats()
+	if st.Epoch != 1 || st.Entries != 0 || st.Invalidations == 0 {
+		t.Fatalf("post-retrain cache stats = %+v, want epoch 1 and no entries", st)
+	}
+
+	runs0 := emulator.RunCount()
+	_, out, err := ck.VetOutcome(context.Background(), Submission{Program: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != vcache.OutcomeMiss {
+		t.Fatalf("post-retrain vet outcome = %v, want miss (stale entry served!)", out)
+	}
+	if runs := emulator.RunCount() - runs0; runs != 1 {
+		t.Fatalf("post-retrain emulation runs = %d, want 1", runs)
+	}
+}
+
+// TestVetRunFeedsCache: the write-through path — VetRun (and therefore the
+// deprecated VetAPKWithRun) always emulates but stores its verdict, so a
+// later Vet of the same bytes is a hit.
+func TestVetRunFeedsCache(t *testing.T) {
+	ck, corpus := trainedChecker(t, 300)
+	data, err := apk.Build(corpus.Program(2), ck.Universe())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runs0 := emulator.RunCount()
+	v1, _, err := ck.VetAPKWithRun(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, out, err := ck.VetOutcome(context.Background(), Submission{Raw: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != vcache.OutcomeHit {
+		t.Fatalf("vet after VetAPKWithRun outcome = %v, want hit", out)
+	}
+	if *v1 != *v2 {
+		t.Fatalf("write-through verdict differs: %+v vs %+v", *v1, *v2)
+	}
+	if runs := emulator.RunCount() - runs0; runs != 1 {
+		t.Fatalf("emulation runs = %d, want 1", runs)
+	}
+}
+
+// TestDigestAgreesAcrossPayloadForms: one app's Raw, Parsed and Program
+// submissions share a digest exactly when their canonical bytes agree —
+// Raw and Parsed key on the archive, so they collide with each other.
+func TestDigestAgreesAcrossPayloadForms(t *testing.T) {
+	ck, corpus := trainedChecker(t, 300)
+	p := corpus.Program(3)
+	data, parsed, err := apk.BuildAndParse(p, ck.Universe())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw := Submission{Raw: data}
+	par := Submission{Parsed: parsed}
+	if raw.ContentDigest() == "" || raw.ContentDigest() != par.ContentDigest() {
+		t.Fatalf("raw digest %q != parsed digest %q", raw.ContentDigest(), par.ContentDigest())
+	}
+	prog := Submission{Program: p}
+	if prog.ContentDigest() == "" {
+		t.Fatal("program submission has no digest")
+	}
+	if prog.ContentDigest() == raw.ContentDigest() {
+		t.Fatal("program digest (behaviour encoding) should differ from archive digest")
+	}
+
+	// A Parsed submission of the same archive is a cache hit after Raw.
+	runs0 := emulator.RunCount()
+	v1, _, err := ck.VetOutcome(context.Background(), raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, out, err := ck.VetOutcome(context.Background(), par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != vcache.OutcomeHit {
+		t.Fatalf("parsed-after-raw outcome = %v, want hit", out)
+	}
+	if *v1 != *v2 {
+		t.Fatalf("verdicts differ across payload forms: %+v vs %+v", *v1, *v2)
+	}
+	if runs := emulator.RunCount() - runs0; runs != 1 {
+		t.Fatalf("emulation runs = %d, want 1", runs)
+	}
+}
+
+// TestConcurrentDuplicateVets: N goroutines vetting the same program pay
+// for exactly one emulation between them (singleflight), all receiving
+// the same verdict.
+func TestConcurrentDuplicateVets(t *testing.T) {
+	ck, corpus := trainedChecker(t, 300)
+	p := corpus.Program(4)
+	const n = 16
+
+	runs0 := emulator.RunCount()
+	verdicts := make([]*Verdict, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := ck.Vet(context.Background(), Submission{Program: p})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			verdicts[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if runs := emulator.RunCount() - runs0; runs != 1 {
+		t.Fatalf("emulation runs = %d, want 1 for %d concurrent duplicates", runs, n)
+	}
+	for i := 1; i < n; i++ {
+		if *verdicts[i] != *verdicts[0] {
+			t.Fatalf("verdict %d differs: %+v vs %+v", i, *verdicts[i], *verdicts[0])
+		}
+	}
+	st := ck.CacheStats()
+	if st.Misses != 1 || st.Hits+st.Coalesced != n-1 {
+		t.Fatalf("cache stats = %+v, want 1 miss and %d hits+coalesced", st, n-1)
+	}
+}

@@ -1,0 +1,153 @@
+package market
+
+import (
+	"reflect"
+	"testing"
+
+	"apichecker/internal/behavior"
+	"apichecker/internal/core"
+	"apichecker/internal/dataset"
+	"apichecker/internal/emulator"
+	"apichecker/internal/vcache"
+)
+
+// cacheMarket trains one market whose checker runs with the given verdict
+// cache capacity (negative disables memoization entirely). Training is
+// deterministic, so markets built with the same nTrain are twins apart
+// from the cache setting.
+func cacheMarket(t *testing.T, nTrain, verdictCache int, mcfg Config) *Market {
+	t.Helper()
+	dcfg := dataset.DefaultConfig()
+	dcfg.NumApps = nTrain
+	corpus, err := dataset.Generate(testU, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := core.DefaultConfig()
+	ccfg.VerdictCache = verdictCache
+	ck, _, err := core.TrainFromCorpus(corpus, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(ck, mcfg)
+	m.SeedFingerprints(corpus)
+	return m
+}
+
+// TestDuplicateHeavyCacheMatchesSerialUncached locks the PR's acceptance
+// bar: a duplicate-heavy queue reviewed through the cache-enabled batch
+// pipeline is bit-identical to a cache-disabled serial Review loop over
+// the same queue. Duplicates are benign resubmissions — confirmed malware
+// shares fingerprints with the vendors mid-review, which makes serial and
+// batch stage-1 diverge on malicious duplicates independent of the cache
+// (the documented ReviewBatch caveat).
+func TestDuplicateHeavyCacheMatchesSerialUncached(t *testing.T) {
+	base := monthSubmissions(t, 120)
+	queue := append([]dataset.App{}, base...)
+	for _, app := range base {
+		if app.Label == behavior.Benign {
+			queue = append(queue, app)
+		}
+	}
+	if len(queue) < len(base)+30 {
+		t.Fatalf("workload not duplicate-heavy: %d apps, %d duplicates", len(base), len(queue)-len(base))
+	}
+
+	serial := cacheMarket(t, 400, -1, DefaultConfig())
+	cached := cacheMarket(t, 400, vcache.DefaultCapacity, DefaultConfig())
+	defer serial.Close()
+	defer cached.Close()
+
+	var serialStats, cachedStats MonthStats
+	serialRuns0 := emulator.RunCount()
+	serialRes := make([]*SubmissionResult, len(queue))
+	for i, app := range queue {
+		res, err := serial.Review(app, &serialStats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialRes[i] = res
+	}
+	serialRuns := emulator.RunCount() - serialRuns0
+
+	cachedRuns0 := emulator.RunCount()
+	cachedRes, err := cached.ReviewBatch(queue, &cachedStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedRuns := emulator.RunCount() - cachedRuns0
+
+	for i := range serialRes {
+		if *serialRes[i] != *cachedRes[i] {
+			t.Fatalf("submission %d (%s): serial-uncached %+v vs batch-cached %+v",
+				i, queue[i].Spec.PackageName, *serialRes[i], *cachedRes[i])
+		}
+	}
+	if serialStats != cachedStats {
+		t.Fatalf("month stats diverged:\nserial-uncached %+v\nbatch-cached    %+v", serialStats, cachedStats)
+	}
+	if !reflect.DeepEqual(serial.Labeled, cached.Labeled) {
+		t.Fatalf("retraining labels diverged: %d vs %d entries", len(serial.Labeled), len(cached.Labeled))
+	}
+	if !reflect.DeepEqual(serial.PublishedPackages(), cached.PublishedPackages()) {
+		t.Fatal("published package pools diverged")
+	}
+
+	// The cache must have actually carried the duplicate load: every
+	// benign resubmission that reached the ML stage is answered without a
+	// second emulation.
+	st := cached.Checker().CacheStats()
+	if st.Hits+st.Coalesced == 0 {
+		t.Fatal("duplicate-heavy review never hit the verdict cache")
+	}
+	if cachedRuns >= serialRuns {
+		t.Fatalf("cached batch ran %d emulations, uncached serial %d — no dedupe", cachedRuns, serialRuns)
+	}
+}
+
+// TestFullDuplicateBatchCacheTransparent compares the batch pipeline
+// against itself with the cache switched off, over a queue where every
+// app (malicious included) is submitted twice. Same code path on both
+// sides, so this isolates the cache as the only variable.
+func TestFullDuplicateBatchCacheTransparent(t *testing.T) {
+	base := monthSubmissions(t, 100)
+	queue := append(append([]dataset.App{}, base...), base...)
+
+	uncached := cacheMarket(t, 400, -1, DefaultConfig())
+	cached := cacheMarket(t, 400, vcache.DefaultCapacity, DefaultConfig())
+	defer uncached.Close()
+	defer cached.Close()
+
+	var uStats, cStats MonthStats
+	uRuns0 := emulator.RunCount()
+	uRes, err := uncached.ReviewBatch(queue, &uStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uRuns := emulator.RunCount() - uRuns0
+	cRuns0 := emulator.RunCount()
+	cRes, err := cached.ReviewBatch(queue, &cStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRuns := emulator.RunCount() - cRuns0
+
+	for i := range uRes {
+		if *uRes[i] != *cRes[i] {
+			t.Fatalf("submission %d (%s): uncached %+v vs cached %+v",
+				i, queue[i].Spec.PackageName, *uRes[i], *cRes[i])
+		}
+	}
+	if uStats != cStats {
+		t.Fatalf("month stats diverged:\nuncached %+v\ncached   %+v", uStats, cStats)
+	}
+	if !reflect.DeepEqual(uncached.Labeled, cached.Labeled) {
+		t.Fatal("retraining labels diverged")
+	}
+	if cRuns >= uRuns {
+		t.Fatalf("cached batch ran %d emulations, uncached %d — no dedupe", cRuns, uRuns)
+	}
+	if st := uncached.Checker().CacheStats(); st != (vcache.Stats{}) {
+		t.Fatalf("cache-disabled market reports cache stats %+v", st)
+	}
+}

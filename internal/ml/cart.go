@@ -28,6 +28,10 @@ type CART struct {
 	// forest — which matters once models and cached corpus runs are
 	// retained across a whole simulated year.
 	nodes []treeNode
+	// bnodes is the derived batch-inference layout over the same indices
+	// (see buildBatch); depth is the longest root-to-leaf edge count.
+	bnodes []batchNode
+	depth  int
 	// importance accumulates per-feature Gini importance (impurity
 	// decrease weighted by node size), populated during Train.
 	importance []float64
@@ -37,6 +41,19 @@ type treeNode struct {
 	feature     int32   // -1 for leaves
 	left, right int32   // node indexes; -1 for none
 	prob        float64 // P(malicious) at leaf
+}
+
+// batchNode mirrors treeNode for the lockstep batch walk: leaves self-loop
+// (left == right == own index) and test word 0 against an empty mask, so
+// one step is a plain masked load plus a conditional index select — no
+// leaf branch, which lets the compiler keep the walk branch-free and
+// several rows in flight. The feature bit position is pre-split into the
+// vector word index and bit mask so the walk does no shifts.
+type batchNode struct {
+	word        int32 // feature / 64
+	left, right int32
+	mask        uint64 // 1 << (feature % 64); 0 for leaves
+	prob        float64
 }
 
 // NewCART returns an untrained tree.
@@ -126,8 +143,39 @@ func (t *CART) train(d *Dataset, fc *featureColumns, rng *rand.Rand, bootstrap b
 	t.nodes = append([]treeNode(nil), g.nodes...)
 	g.cfg, g.fc, g.importance = nil, nil, nil
 	growers.Put(g)
+	t.buildBatch()
 	t.trained = true
 	return nil
+}
+
+// buildBatch derives the batch-inference layout from the canonical
+// preorder nodes: identical indices and probabilities, but leaves
+// self-loop on feature 0 so a lockstep walk needs no termination test.
+// It also records the tree depth — the step count after which every row
+// is guaranteed to sit on its leaf.
+func (t *CART) buildBatch() {
+	t.bnodes = make([]batchNode, len(t.nodes))
+	for i, n := range t.nodes {
+		if n.feature < 0 {
+			t.bnodes[i] = batchNode{word: 0, mask: 0, left: int32(i), right: int32(i), prob: n.prob}
+		} else {
+			t.bnodes[i] = batchNode{
+				word: n.feature / 64,
+				mask: 1 << (uint(n.feature) % 64),
+				left: n.left, right: n.right, prob: n.prob,
+			}
+		}
+	}
+	t.depth = nodeDepth(t.nodes, 0)
+}
+
+// nodeDepth is the edge count of the deepest leaf under node i.
+func nodeDepth(nodes []treeNode, i int32) int {
+	n := nodes[i]
+	if n.feature < 0 {
+		return 0
+	}
+	return 1 + max(nodeDepth(nodes, n.left), nodeDepth(nodes, n.right))
 }
 
 func gini(pos, n int) float64 {
@@ -309,6 +357,37 @@ func (t *CART) prob(x Vector) float64 {
 		}
 	}
 	return node.prob
+}
+
+// probBatch4 walks four rows through the tree in lockstep over the batch
+// layout. The four index chains are data-independent, so their dependent
+// node/feature loads overlap in the pipeline instead of serializing the
+// way four prob calls would; self-looping leaves make every step uniform
+// (finished rows idle on their leaf until the deepest row lands). Each row
+// reaches exactly the leaf prob would reach.
+func (t *CART) probBatch4(x0, x1, x2, x3 Vector) (p0, p1, p2, p3 float64) {
+	nodes := t.bnodes
+	var i0, i1, i2, i3 int32
+	for s := 0; s < t.depth; s++ {
+		n0, n1, n2, n3 := nodes[i0], nodes[i1], nodes[i2], nodes[i3]
+		i0 = n0.left
+		if x0[n0.word]&n0.mask != 0 {
+			i0 = n0.right
+		}
+		i1 = n1.left
+		if x1[n1.word]&n1.mask != 0 {
+			i1 = n1.right
+		}
+		i2 = n2.left
+		if x2[n2.word]&n2.mask != 0 {
+			i2 = n2.right
+		}
+		i3 = n3.left
+		if x3[n3.word]&n3.mask != 0 {
+			i3 = n3.right
+		}
+	}
+	return nodes[i0].prob, nodes[i1].prob, nodes[i2].prob, nodes[i3].prob
 }
 
 // Predict implements Classifier.

@@ -20,6 +20,22 @@ type Scorer interface {
 	Score(x Vector) float64
 }
 
+// BatchScorer is implemented by scorers with a block-inference fast path.
+// ScoreBatch must produce, row for row, exactly the value Score would —
+// batching is an execution strategy, never a semantic change. out, when
+// non-nil, must have len(xs) elements and is returned filled.
+type BatchScorer interface {
+	Scorer
+	ScoreBatch(xs []Vector, out []float64) []float64
+}
+
+// BatchClassifier is implemented by classifiers with a block-prediction
+// fast path; elementwise identical to Predict.
+type BatchClassifier interface {
+	Classifier
+	PredictBatch(xs []Vector) []bool
+}
+
 // ModelKind enumerates the nine Table-2 classifiers.
 type ModelKind int
 

@@ -103,6 +103,74 @@ func (rf *RandomForest) Predict(x Vector) bool {
 	return rf.Score(x) > 0
 }
 
+// scoreBatchChunk is the row-block size of batch inference: large enough
+// that each tree's flat node slice is walked over many rows while hot in
+// cache, small enough that chunks parallelize across cores.
+const scoreBatchChunk = 256
+
+// ScoreBatch implements BatchScorer: it scores a block of vectors into
+// out (allocated when nil) and returns it. The walk is tree-major — outer
+// loop over trees, inner loop over the block's rows — so each tree's flat
+// preorder node slice stays cache-hot across the whole block instead of
+// being re-fetched per row. Blocks beyond scoreBatchChunk rows are
+// chunked and scored in parallel.
+//
+// Every output is bit-identical to Score on the same row: per-row sums
+// accumulate in tree-index order and the final division matches Score's,
+// so batch composition can never change a verdict.
+func (rf *RandomForest) ScoreBatch(xs []Vector, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, len(xs))
+	}
+	if len(xs) == 0 {
+		return out
+	}
+	nchunks := (len(xs) + scoreBatchChunk - 1) / scoreBatchChunk
+	parallel.Run(nchunks, 0, func(ci int) {
+		lo := ci * scoreBatchChunk
+		hi := min(lo+scoreBatchChunk, len(xs))
+		rows := xs[lo:hi]
+		sums := out[lo:hi]
+		for i := range sums {
+			sums[i] = 0
+		}
+		for _, tree := range rf.trees {
+			// Four rows walk each tree in lockstep (see probBatch4); the
+			// remainder takes the scalar walk. Per-row sums still
+			// accumulate in tree order, so totals match Score exactly.
+			i := 0
+			for ; i+4 <= len(rows); i += 4 {
+				p0, p1, p2, p3 := tree.probBatch4(rows[i], rows[i+1], rows[i+2], rows[i+3])
+				sums[i] += p0
+				sums[i+1] += p1
+				sums[i+2] += p2
+				sums[i+3] += p3
+			}
+			for ; i < len(rows); i++ {
+				sums[i] += tree.prob(rows[i])
+			}
+		}
+		for i := range sums {
+			sums[i] = sums[i]/float64(len(rf.trees)) - 0.5
+		}
+	})
+	return out
+}
+
+// PredictBatch implements BatchClassifier; each element is bit-identical
+// to Predict on the same row.
+func (rf *RandomForest) PredictBatch(xs []Vector) []bool {
+	out := make([]bool, len(xs))
+	if !rf.trained {
+		return out
+	}
+	scores := rf.ScoreBatch(xs, nil)
+	for i, s := range scores {
+		out[i] = s > 0
+	}
+	return out
+}
+
 // Importance returns normalized Gini importance per feature (sums to 1
 // when any split happened). This is Fig. 13's ranking statistic.
 func (rf *RandomForest) Importance() []float64 {

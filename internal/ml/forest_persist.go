@@ -86,7 +86,9 @@ func (rf *RandomForest) GobDecode(data []byte) error {
 		if err != nil {
 			return err
 		}
-		rf.trees = append(rf.trees, &CART{cfg: CARTConfig{}, trained: true, nodes: nodes})
+		t := &CART{cfg: CARTConfig{}, trained: true, nodes: nodes}
+		t.buildBatch()
+		rf.trees = append(rf.trees, t)
 	}
 	rf.trained = true
 	return nil

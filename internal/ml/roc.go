@@ -5,6 +5,19 @@ import (
 	"sort"
 )
 
+// scoresOf scores every dataset row, through the batch fast path when the
+// scorer has one (row-identical to per-row Score by contract).
+func scoresOf(s Scorer, d *Dataset) []float64 {
+	if bs, ok := s.(BatchScorer); ok {
+		return bs.ScoreBatch(datasetVectors(d), nil)
+	}
+	out := make([]float64, len(d.Examples))
+	for i := range d.Examples {
+		out[i] = s.Score(d.Examples[i].X)
+	}
+	return out
+}
+
 // ROCPoint is one operating point of a scored classifier.
 type ROCPoint struct {
 	Threshold float64
@@ -20,9 +33,10 @@ func ROC(s Scorer, d *Dataset) []ROCPoint {
 		y     bool
 	}
 	items := make([]scored, d.Len())
+	scores := scoresOf(s, d)
 	pos, neg := 0, 0
 	for i := range d.Examples {
-		items[i] = scored{s.Score(d.Examples[i].X), d.Examples[i].Y}
+		items[i] = scored{scores[i], d.Examples[i].Y}
 		if d.Examples[i].Y {
 			pos++
 		} else {
@@ -83,8 +97,9 @@ func ThresholdForPrecision(s Scorer, d *Dataset, target float64) (float64, error
 		y     bool
 	}
 	items := make([]scored, d.Len())
+	scores := scoresOf(s, d)
 	for i := range d.Examples {
-		items[i] = scored{s.Score(d.Examples[i].X), d.Examples[i].Y}
+		items[i] = scored{scores[i], d.Examples[i].Y}
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i].score > items[j].score })
 
@@ -117,8 +132,9 @@ func ThresholdForPrecision(s Scorer, d *Dataset, target float64) (float64, error
 // (score >= threshold ⇒ malicious).
 func EvaluateAt(s Scorer, d *Dataset, threshold float64) Confusion {
 	var m Confusion
+	scores := scoresOf(s, d)
 	for i := range d.Examples {
-		m.Observe(s.Score(d.Examples[i].X) >= threshold, d.Examples[i].Y)
+		m.Observe(scores[i] >= threshold, d.Examples[i].Y)
 	}
 	return m
 }

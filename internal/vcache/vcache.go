@@ -1,0 +1,323 @@
+// Package vcache is the verdict-memoization layer of the serving path: a
+// sharded LRU keyed by APK content digest, with a singleflight group so N
+// concurrent submissions of the same digest pay for exactly one
+// computation, and a model-generation epoch so retraining invalidates
+// every verdict produced by the previous model.
+//
+// The cache is generic over the stored value and knows nothing about
+// verdicts; core.Checker decides what to key, what to store, and when to
+// bump the epoch. Policy lives here:
+//
+//   - capacity: least-recently-used entries are evicted per shard once the
+//     shard is full; sharding keeps lock hold times short under the
+//     many-lane serving load.
+//   - singleflight: the first Do for an absent key becomes the leader and
+//     runs the computation; concurrent Dos for the same key block on the
+//     leader's result instead of recomputing (OutcomeCoalesced). A blocked
+//     follower honours its own context.
+//   - epochs: BumpEpoch atomically advances the generation and drops every
+//     entry. A computation that straddles a bump is returned to its caller
+//     but never stored — its inputs (the model) are already stale.
+//   - errors are never cached: a failed computation leaves no entry, so
+//     transient failures (deadlines, cancellations) do not poison a digest.
+package vcache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Outcome classifies how one Do call was served.
+type Outcome uint8
+
+const (
+	// OutcomeBypass: the cache was not consulted (disabled, or the key was
+	// empty because the payload is not digestable).
+	OutcomeBypass Outcome = iota
+	// OutcomeMiss: no usable entry; this call ran the computation.
+	OutcomeMiss
+	// OutcomeHit: served from a stored entry, no computation.
+	OutcomeHit
+	// OutcomeCoalesced: blocked on a concurrent leader computing the same
+	// key and shared its result.
+	OutcomeCoalesced
+)
+
+func (o Outcome) String() string {
+	names := [...]string{"bypass", "miss", "hit", "coalesced"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("Outcome(%d)", uint8(o))
+}
+
+// Served reports whether the call was answered without running its own
+// computation (a hit or a coalesced follow).
+func (o Outcome) Served() bool { return o == OutcomeHit || o == OutcomeCoalesced }
+
+// DefaultCapacity is the entry bound used when New is given a
+// non-positive capacity.
+const DefaultCapacity = 4096
+
+// entry is one stored value; epoch records the generation it was computed
+// under.
+type entry[V any] struct {
+	key   string
+	val   V
+	epoch uint64
+}
+
+// call is one in-flight leader computation followers block on.
+type call[V any] struct {
+	done  chan struct{}
+	val   V
+	err   error
+	epoch uint64
+}
+
+type shard[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List               // front = most recently used
+	items    map[string]*list.Element // key -> element holding *entry[V]
+	inflight map[string]*call[V]
+}
+
+// Cache is a sharded, epoch-aware LRU with singleflight computation.
+// The zero value is not usable; construct with New.
+type Cache[V any] struct {
+	shards []shard[V]
+	epoch  atomic.Uint64
+
+	hits, misses, coalesced  atomic.Uint64
+	evictions, invalidations atomic.Uint64
+}
+
+// New builds a cache bounded to roughly capacity entries (the bound is
+// enforced per shard). capacity <= 0 selects DefaultCapacity.
+func New[V any](capacity int) *Cache[V] {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	n := shardCount(capacity)
+	c := &Cache[V]{shards: make([]shard[V], n)}
+	per := (capacity + n - 1) / n
+	for i := range c.shards {
+		c.shards[i] = shard[V]{
+			capacity: per,
+			lru:      list.New(),
+			items:    make(map[string]*list.Element),
+			inflight: make(map[string]*call[V]),
+		}
+	}
+	return c
+}
+
+// shardCount keeps small caches in one shard (exact LRU) and spreads
+// large ones over up to 16 locks.
+func shardCount(capacity int) int {
+	n := 1
+	for n < 16 && capacity >= 128*n*2 {
+		n *= 2
+	}
+	return n
+}
+
+func (c *Cache[V]) shard(key string) *shard[V] {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
+	}
+	return &c.shards[fnv64(key)%uint64(len(c.shards))]
+}
+
+// fnv64 is FNV-1a over the key (digests are uniformly distributed hex, so
+// any cheap hash shards evenly).
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// Do returns the cached value for key, or runs compute exactly once per
+// concurrent wave of identical keys and caches its result. An empty key
+// bypasses the cache entirely. Followers blocked on a leader honour ctx;
+// the leader's computation runs under whatever context compute captured.
+// Errors are returned but never cached.
+func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)) (V, Outcome, error) {
+	if key == "" {
+		v, err := compute()
+		return v, OutcomeBypass, err
+	}
+	sh := c.shard(key)
+	epoch := c.epoch.Load()
+
+	sh.mu.Lock()
+	if el, ok := sh.items[key]; ok {
+		e := el.Value.(*entry[V])
+		if e.epoch == epoch {
+			sh.lru.MoveToFront(el)
+			v := e.val
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			return v, OutcomeHit, nil
+		}
+		// Stale generation: drop it and fall through to recompute.
+		sh.lru.Remove(el)
+		delete(sh.items, key)
+		c.invalidations.Add(1)
+	}
+	if cl, ok := sh.inflight[key]; ok && cl.epoch == epoch {
+		sh.mu.Unlock()
+		var zero V
+		select {
+		case <-cl.done:
+			c.coalesced.Add(1)
+			return cl.val, OutcomeCoalesced, cl.err
+		case <-ctx.Done():
+			c.coalesced.Add(1)
+			return zero, OutcomeCoalesced, ctx.Err()
+		}
+	}
+	cl := &call[V]{done: make(chan struct{}), epoch: epoch}
+	sh.inflight[key] = cl
+	sh.mu.Unlock()
+
+	cl.val, cl.err = compute()
+	close(cl.done)
+
+	sh.mu.Lock()
+	// A BumpEpoch or a same-key successor (after an epoch change) may have
+	// replaced the registration; only clear our own.
+	if sh.inflight[key] == cl {
+		delete(sh.inflight, key)
+	}
+	if cl.err == nil && c.epoch.Load() == epoch {
+		c.store(sh, key, cl.val, epoch)
+	}
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	return cl.val, OutcomeMiss, cl.err
+}
+
+// Get looks the key up without counting a hit or a miss (observability
+// and tests; the serving path uses Do).
+func (c *Cache[V]) Get(key string) (V, bool) {
+	var zero V
+	if key == "" {
+		return zero, false
+	}
+	sh := c.shard(key)
+	epoch := c.epoch.Load()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[key]
+	if !ok {
+		return zero, false
+	}
+	e := el.Value.(*entry[V])
+	if e.epoch != epoch {
+		return zero, false
+	}
+	sh.lru.MoveToFront(el)
+	return e.val, true
+}
+
+// Put stores a value computed outside Do (the write-through path: callers
+// that must always run the computation can still feed the cache).
+func (c *Cache[V]) Put(key string, v V) {
+	if key == "" {
+		return
+	}
+	sh := c.shard(key)
+	epoch := c.epoch.Load()
+	sh.mu.Lock()
+	c.store(sh, key, v, epoch)
+	sh.mu.Unlock()
+}
+
+// store upserts under the shard lock, evicting the LRU entry if full.
+func (c *Cache[V]) store(sh *shard[V], key string, v V, epoch uint64) {
+	if el, ok := sh.items[key]; ok {
+		e := el.Value.(*entry[V])
+		e.val, e.epoch = v, epoch
+		sh.lru.MoveToFront(el)
+		return
+	}
+	if sh.lru.Len() >= sh.capacity {
+		back := sh.lru.Back()
+		if back != nil {
+			sh.lru.Remove(back)
+			delete(sh.items, back.Value.(*entry[V]).key)
+			c.evictions.Add(1)
+		}
+	}
+	sh.items[key] = sh.lru.PushFront(&entry[V]{key: key, val: v, epoch: epoch})
+}
+
+// BumpEpoch advances the model generation and drops every stored entry.
+// In-flight leader computations finish but are not stored, and new Dos
+// for the same keys recompute rather than coalescing onto them.
+func (c *Cache[V]) BumpEpoch() {
+	c.epoch.Add(1)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n := sh.lru.Len()
+		sh.lru.Init()
+		clear(sh.items)
+		sh.mu.Unlock()
+		c.invalidations.Add(uint64(n))
+	}
+}
+
+// Epoch returns the current model generation.
+func (c *Cache[V]) Epoch() uint64 { return c.epoch.Load() }
+
+// Len returns the stored entry count across shards.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits      uint64 // Dos served from a stored entry
+	Misses    uint64 // Dos that ran the computation
+	Coalesced uint64 // Dos that blocked on a concurrent leader
+
+	Evictions     uint64 // entries dropped by the LRU bound
+	Invalidations uint64 // entries dropped by epoch bumps
+
+	Entries  int    // stored entries right now
+	Capacity int    // configured entry bound
+	Epoch    uint64 // current model generation
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache[V]) Stats() Stats {
+	cap := 0
+	for i := range c.shards {
+		cap += c.shards[i].capacity
+	}
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Coalesced:     c.coalesced.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       c.Len(),
+		Capacity:      cap,
+		Epoch:         c.epoch.Load(),
+	}
+}

@@ -1,0 +1,134 @@
+package vetsvc
+
+import (
+	"context"
+	"testing"
+
+	"apichecker/internal/core"
+	"apichecker/internal/emulator"
+)
+
+// TestDuplicateSubmissionsCoalesce is the serving-path dedupe contract:
+// a batch of byte-identical submissions racing through concurrent lanes
+// pays for exactly one emulation, every verdict is identical, and the
+// metrics book one miss plus hits/coalesced for the rest. Run under
+// -race in CI.
+func TestDuplicateSubmissionsCoalesce(t *testing.T) {
+	ck, corpus := trainedChecker(t)
+	p := corpus.Program(0)
+	const n = 12
+
+	svc := New(ck, Config{Workers: 8, QueueSize: 16})
+	defer svc.Close()
+
+	subs := make([]core.Submission, n)
+	for i := range subs {
+		subs[i] = core.Submission{Program: p}
+	}
+	runs0 := emulator.RunCount()
+	verdicts, err := svc.VetBatch(context.Background(), subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := emulator.RunCount() - runs0; runs != 1 {
+		t.Fatalf("emulation runs = %d, want 1 for %d identical submissions", runs, n)
+	}
+	for i := 1; i < n; i++ {
+		if *verdicts[i] != *verdicts[0] {
+			t.Fatalf("verdict %d differs: %+v vs %+v", i, *verdicts[i], *verdicts[0])
+		}
+	}
+
+	m := svc.Metrics()
+	if m.Completed != n {
+		t.Fatalf("completed = %d, want %d", m.Completed, n)
+	}
+	if m.CacheMisses != 1 {
+		t.Fatalf("cache misses = %d, want 1", m.CacheMisses)
+	}
+	if m.CacheHits+m.CacheCoalesced != n-1 {
+		t.Fatalf("hits %d + coalesced %d != %d", m.CacheHits, m.CacheCoalesced, n-1)
+	}
+	if m.CacheBypass != 0 {
+		t.Fatalf("bypass = %d, want 0", m.CacheBypass)
+	}
+	// Reliability accounting counts the one real emulation, not phantom
+	// re-runs of the cached verdict.
+	var engineRuns uint64
+	for _, v := range m.EngineRuns {
+		engineRuns += v
+	}
+	if engineRuns != 1 {
+		t.Fatalf("engine runs = %d, want 1", engineRuns)
+	}
+	if m.Crashes != uint64(verdicts[0].Crashes) {
+		t.Fatalf("crashes = %d, want the leader's %d", m.Crashes, verdicts[0].Crashes)
+	}
+}
+
+// TestMetricsSplitHitMiss: the latency distributions separate the
+// emulation path from cache-served completions, so cheap hits cannot mask
+// a slow engine.
+func TestMetricsSplitHitMiss(t *testing.T) {
+	ck, corpus := trainedChecker(t)
+	const uniques = 6
+
+	svc := New(ck, Config{Workers: 4, QueueSize: 8})
+	defer svc.Close()
+
+	// Prime the cache outside the service so hit/miss counts are exact
+	// (no coalescing races): the service waves below are all hits.
+	var subs []core.Submission
+	for i := 0; i < uniques; i++ {
+		if _, err := ck.Vet(context.Background(), core.Submission{Program: corpus.Program(i)}); err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, core.Submission{Program: corpus.Program(i)})
+	}
+	// Now drive two waves through the service: all cache hits.
+	for round := 0; round < 2; round++ {
+		if _, err := svc.VetBatch(context.Background(), subs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := svc.Metrics()
+	if m.Completed != 2*uniques {
+		t.Fatalf("completed = %d, want %d", m.Completed, 2*uniques)
+	}
+	if m.CacheHits != 2*uniques || m.CacheMisses != 0 {
+		t.Fatalf("hits = %d misses = %d, want %d and 0 (primed outside the service)",
+			m.CacheHits, m.CacheMisses, 2*uniques)
+	}
+	if m.HitScan.Count != 2*uniques || m.MissScan.Count != 0 {
+		t.Fatalf("scan split = hit %d / miss %d, want %d / 0", m.HitScan.Count, m.MissScan.Count, 2*uniques)
+	}
+	if m.HitScan.Mean <= 0 || m.ScanMean <= 0 {
+		t.Fatalf("scan means = hit %.2f overall %.2f, want > 0", m.HitScan.Mean, m.ScanMean)
+	}
+	if m.HitScan.P50 > m.HitScan.P95 || m.HitScan.P95 > m.HitScan.P99 {
+		t.Fatalf("hit quantiles not monotone: %+v", m.HitScan)
+	}
+
+	// A fresh service over a cache-disabled checker books the same work
+	// as misses... but with the cache on and unique programs, the split
+	// is all misses. Exercise that side too.
+	ck2, corpus2 := trainedChecker(t)
+	svc2 := New(ck2, Config{Workers: 4, QueueSize: 8})
+	defer svc2.Close()
+	var uniq []core.Submission
+	for i := 0; i < uniques; i++ {
+		uniq = append(uniq, core.Submission{Program: corpus2.Program(i)})
+	}
+	if _, err := svc2.VetBatch(context.Background(), uniq); err != nil {
+		t.Fatal(err)
+	}
+	m2 := svc2.Metrics()
+	if m2.CacheMisses != uniques || m2.MissScan.Count != uniques || m2.HitScan.Count != 0 {
+		t.Fatalf("unique workload split = %d misses, missScan %d, hitScan %d; want %d/%d/0",
+			m2.CacheMisses, m2.MissScan.Count, m2.HitScan.Count, uniques, uniques)
+	}
+	if m2.MissScan.Mean <= 0 || m2.MissScan.P50 > m2.MissScan.P95 || m2.MissScan.P95 > m2.MissScan.P99 {
+		t.Fatalf("miss distribution malformed: %+v", m2.MissScan)
+	}
+}

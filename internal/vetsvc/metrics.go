@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"apichecker/internal/core"
+	"apichecker/internal/vcache"
 )
 
 // Metrics is an immutable snapshot of service activity since start. Scan
@@ -25,25 +26,57 @@ type Metrics struct {
 	Canceled  uint64 // caller-canceled contexts
 	Failed    uint64 // any other vet error
 
-	// Reliability accounting, aggregated from each verdict (§5.1).
+	// Verdict-cache accounting over completed submissions. A miss paid a
+	// full emulation; a hit was answered from the digest-keyed cache; a
+	// coalesced completion blocked on a concurrent identical submission's
+	// emulation; a bypass means the cache was disabled or the payload had
+	// no digest (and therefore also paid a full emulation).
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheCoalesced uint64
+	CacheBypass    uint64
+
+	// Reliability accounting (§5.1), aggregated from emulated completions
+	// only — a cache-served verdict repeats the leader's crash/fallback
+	// fields, so counting it again would invent emulator activity that
+	// never happened.
 	Crashes            uint64 // total transient emulator crashes restarted through
 	CrashedSubmissions uint64 // submissions with at least one crash
 	Fallbacks          uint64 // submissions re-run on the fallback engine
 
-	// EngineRuns counts completed submissions by the engine that produced
+	// EngineRuns counts emulated completions by the engine that produced
 	// the final log (lightweight vs the stock Google engine).
 	EngineRuns map[string]uint64
 
-	// Scan-latency distribution over completed submissions, virtual
-	// seconds.
+	// Scan-latency distribution over all completed submissions, virtual
+	// seconds. Kept for continuity; under cache traffic prefer the split
+	// distributions below, since cheap cache-served completions would
+	// otherwise mask emulation-path regressions.
 	ScanMean float64
 	ScanP50  float64
 	ScanP95  float64
 	ScanP99  float64
 
+	// MissScan is the emulation-path distribution (cache misses and
+	// bypasses) — the one to watch for engine regressions. HitScan covers
+	// cache-served completions (hits and coalesced); it reports the
+	// verdicts' recorded virtual scan time, identical to what the same
+	// submissions would have cost uncached.
+	MissScan ScanStats
+	HitScan  ScanStats
+
 	// Instantaneous gauges at snapshot time.
 	QueueDepth int // submissions waiting for a lane
 	InFlight   int // submissions being vetted right now
+}
+
+// ScanStats is one scan-latency distribution in virtual-clock seconds.
+type ScanStats struct {
+	Count uint64
+	Mean  float64
+	P50   float64
+	P95   float64
+	P99   float64
 }
 
 // counters is the service-internal mutable state behind Metrics.
@@ -52,9 +85,12 @@ type counters struct {
 
 	accepted, rejected                  uint64
 	completed, timeouts, cancel, failed uint64
+	hits, misses, coalesced, bypass     uint64
 	crashes, crashedSubs, fallbacks     uint64
 	engines                             map[string]uint64
-	scans                               []float64 // virtual seconds, completion order
+	scans                               []float64 // all completions, virtual seconds
+	missScans                           []float64 // emulated completions only
+	hitScans                            []float64 // cache-served completions only
 	inFlight                            int
 }
 
@@ -71,14 +107,30 @@ func (c *counters) startJob() {
 }
 
 // finishJob books one settled submission.
-func (c *counters) finishJob(v *core.Verdict, err error) {
+func (c *counters) finishJob(v *core.Verdict, err error, out vcache.Outcome) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.inFlight--
 	switch {
 	case err == nil:
 		c.completed++
-		c.scans = append(c.scans, v.ScanTime.Seconds())
+		sec := v.ScanTime.Seconds()
+		c.scans = append(c.scans, sec)
+		switch out {
+		case vcache.OutcomeHit:
+			c.hits++
+		case vcache.OutcomeCoalesced:
+			c.coalesced++
+		case vcache.OutcomeMiss:
+			c.misses++
+		default:
+			c.bypass++
+		}
+		if out.Served() {
+			c.hitScans = append(c.hitScans, sec)
+			return // no emulation happened; reliability already booked by the leader
+		}
+		c.missScans = append(c.missScans, sec)
 		c.crashes += uint64(v.Crashes)
 		if v.Crashes > 0 {
 			c.crashedSubs++
@@ -110,6 +162,10 @@ func (s *Service) Metrics() Metrics {
 		Timeouts:           c.timeouts,
 		Canceled:           c.cancel,
 		Failed:             c.failed,
+		CacheHits:          c.hits,
+		CacheMisses:        c.misses,
+		CacheCoalesced:     c.coalesced,
+		CacheBypass:        c.bypass,
 		Crashes:            c.crashes,
 		CrashedSubmissions: c.crashedSubs,
 		Fallbacks:          c.fallbacks,
@@ -120,21 +176,38 @@ func (s *Service) Metrics() Metrics {
 		m.EngineRuns[k] = v
 	}
 	scans := append([]float64(nil), c.scans...)
+	missScans := append([]float64(nil), c.missScans...)
+	hitScans := append([]float64(nil), c.hitScans...)
 	c.mu.Unlock()
 	m.QueueDepth = len(s.queue)
 
+	m.MissScan = newScanStats(missScans)
+	m.HitScan = newScanStats(hitScans)
 	if len(scans) > 0 {
-		var sum float64
-		for _, v := range scans {
-			sum += v
-		}
-		m.ScanMean = sum / float64(len(scans))
-		sort.Float64s(scans)
-		m.ScanP50 = quantile(scans, 0.50)
-		m.ScanP95 = quantile(scans, 0.95)
-		m.ScanP99 = quantile(scans, 0.99)
+		all := newScanStats(scans)
+		m.ScanMean, m.ScanP50, m.ScanP95, m.ScanP99 = all.Mean, all.P50, all.P95, all.P99
 	}
 	return m
+}
+
+// newScanStats summarizes one latency sample set; samples are sorted in
+// place.
+func newScanStats(samples []float64) ScanStats {
+	if len(samples) == 0 {
+		return ScanStats{}
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	sort.Float64s(samples)
+	return ScanStats{
+		Count: uint64(len(samples)),
+		Mean:  sum / float64(len(samples)),
+		P50:   quantile(samples, 0.50),
+		P95:   quantile(samples, 0.95),
+		P99:   quantile(samples, 0.99),
+	}
 }
 
 // quantile is the nearest-rank quantile of a sorted sample.

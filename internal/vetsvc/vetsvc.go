@@ -13,13 +13,19 @@
 //   - execution: a worker pool (one goroutine per emulator lane, run via
 //     internal/parallel) vets submissions under a per-submission
 //     context.Context deadline that aborts an emulation mid-run.
-//   - determinism: vet sequence numbers are reserved at admission in FIFO
-//     order (or pinned by the caller), so per-submission Monkey seeds —
-//     and therefore verdicts — are bit-identical to a serial Vet loop
-//     over the same queue, whatever the worker scheduling.
+//   - determinism: verdicts derive from submission content alone (Monkey
+//     seeds come from the content digest), so service vetting is
+//     bit-identical to a serial Vet loop over the same queue, whatever
+//     the worker scheduling — and the checker's digest-keyed verdict
+//     cache (core.Config.VerdictCache) can answer byte-identical
+//     resubmissions, or coalesce concurrent ones onto one emulation,
+//     without changing a single verdict. Vet sequence numbers are still
+//     reserved at admission in FIFO order to identify submissions in
+//     logs and metrics.
 //   - observability: Metrics snapshots (accepted/rejected/timeout/crash/
-//     fallback counters, scan-latency quantiles in virtual-clock seconds)
-//     plus an optional structured event hook.
+//     fallback counters, cache hit/miss/coalesced counters, scan-latency
+//     quantiles in virtual-clock seconds split by emulated vs
+//     cache-served path) plus an optional structured event hook.
 package vetsvc
 
 import (
@@ -259,14 +265,16 @@ func (s *Service) admit(ctx context.Context, sub core.Submission) (*Ticket, erro
 }
 
 // work is one lane: dequeue, free the queue slot, vet, account, deliver.
+// Vetting goes through VetOutcome so the metrics can tell emulated
+// completions from cache-served ones.
 func (s *Service) work() {
 	for j := range s.queue {
 		s.slots <- struct{}{}
 		s.m.startJob()
 		s.emit(Event{Type: EventStarted, Seq: j.t.seq, Package: j.t.pkg})
-		v, err := s.ck.Vet(j.ctx, j.sub)
+		v, out, err := s.ck.VetOutcome(j.ctx, j.sub)
 		j.cancel()
-		s.m.finishJob(v, err)
+		s.m.finishJob(v, err, out)
 		j.t.verdict, j.t.err = v, err
 		close(j.t.done)
 		ev := Event{Type: EventDone, Seq: j.t.seq, Package: j.t.pkg, Err: err}
