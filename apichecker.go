@@ -48,6 +48,8 @@ import (
 	"apichecker/internal/framework"
 	"apichecker/internal/market"
 	"apichecker/internal/ml"
+	"apichecker/internal/obs"
+	"apichecker/internal/pipeline"
 	"apichecker/internal/vcache"
 	"apichecker/internal/vetsvc"
 )
@@ -104,6 +106,26 @@ type (
 	// VerdictCacheStats snapshots the checker's digest-keyed verdict
 	// cache (Checker.CacheStats).
 	VerdictCacheStats = vcache.Stats
+
+	// StageStats is one vet-pipeline stage's aggregate span view: count,
+	// errors, and virtual-latency quantiles (Checker.StageStats).
+	StageStats = obs.StageStats
+	// LatencySummary is a deterministic latency digest — mean plus
+	// nearest-rank p50/p95/p99 over the virtual clock.
+	LatencySummary = obs.Summary
+	// ObsCollector is one observability namespace: per-stage span
+	// aggregates, named counters and distributions, and a sink fan-out
+	// (Checker.Obs, VetService.Obs).
+	ObsCollector = obs.Collector
+	// ObsEvent is one structured observability record: a pipeline stage
+	// span or a service lifecycle event.
+	ObsEvent = obs.Event
+	// ObsKind classifies observability events (ObsSpan, ObsService).
+	ObsKind = obs.Kind
+	// ObsSink receives every event emitted through a collector.
+	ObsSink = obs.Sink
+	// ObsSinkFunc adapts a function to ObsSink.
+	ObsSinkFunc = obs.SinkFunc
 	// VetOutcome reports how a submission was answered: emulated
 	// (VetMiss/VetBypass) or served from the verdict cache
 	// (VetHit/VetCoalesced). Returned by Checker.VetOutcome.
@@ -183,6 +205,31 @@ const (
 	// in-flight emulation (singleflight).
 	VetCoalesced = vcache.OutcomeCoalesced
 )
+
+// Observability event kinds.
+const (
+	// ObsSpan: one pipeline stage finished for one submission.
+	ObsSpan = obs.KindSpan
+	// ObsService: a serving-layer lifecycle event.
+	ObsService = obs.KindService
+)
+
+// Vet-pipeline stage names, in chain order. StageStats entries and
+// FailedVetStage report these.
+const (
+	StageAdmit       = pipeline.StageAdmit
+	StageCacheLookup = pipeline.StageCacheLookup
+	StageDecode      = pipeline.StageDecode
+	StageEmulate     = pipeline.StageEmulate
+	StageExtract     = pipeline.StageExtract
+	StageInfer       = pipeline.StageInfer
+	StageCacheStore  = pipeline.StageCacheStore
+)
+
+// FailedVetStage reports which pipeline stage a vet error died in (e.g.
+// StageEmulate for a deadline that expired mid-emulation), if the error
+// came out of the vet pipeline.
+func FailedVetStage(err error) (string, bool) { return pipeline.FailedStage(err) }
 
 // Review outcomes of the market simulation.
 const (

@@ -691,6 +691,42 @@ func BenchmarkServiceThroughputDuplicatesNoCache(b *testing.B) {
 	benchDuplicateService(b, -1)
 }
 
+// BenchmarkPipelineStages vets a mixed batch through the staged pipeline
+// and reports each stage's virtual-latency profile from the checker's
+// observability spine: <stage>-p50-vs / <stage>-p95-vs (virtual seconds)
+// plus <stage>-runs. This is the per-stage record behind the service-level
+// scan quantiles; CI folds it into BENCH_serving.json.
+func BenchmarkPipelineStages(b *testing.B) {
+	e := env(b)
+	ck, _, err := core.TrainFromCorpus(e.Corpus, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const uniques, total = 20, 120
+	subs := make([]core.Submission, total)
+	for i := range subs {
+		subs[i] = core.Submission{Program: e.Corpus.Program(i % uniques)}
+	}
+	svc := vetsvc.New(ck, vetsvc.Config{Workers: 8, QueueSize: 32})
+	defer svc.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.VetBatch(context.Background(), subs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*total)/elapsed, "submissions/s")
+	}
+	for _, st := range ck.StageStats() {
+		b.ReportMetric(st.Dur.P50, st.Stage+"-p50-vs")
+		b.ReportMetric(st.Dur.P95, st.Stage+"-p95-vs")
+		b.ReportMetric(float64(st.Count), st.Stage+"-runs")
+	}
+}
+
 // benchForestBlock trains a forest and synthesizes a 512-row inference
 // block (clearly past the batch chunk size) for the inference benchmarks.
 func benchForestBlock(b *testing.B) (*ml.RandomForest, []ml.Vector) {

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // -pprof registers the profiling handlers
 	"os"
+	"sync"
 	"time"
 
 	"apichecker"
@@ -39,6 +40,7 @@ func main() {
 		deadline = flag.Duration("deadline", 0, "per-submission vet deadline (0 = none)")
 		vcap     = flag.Int("vcache", 0, "verdict-cache capacity on the -serve path (0 = default, negative = disabled)")
 		dup      = flag.Int("dup", 1, "submit each -serve app this many times (duplicate-heavy workloads exercise the verdict cache)")
+		trace    = flag.Bool("trace", false, "stream per-submission pipeline spans and print the per-stage latency table (-serve only)")
 
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
@@ -59,10 +61,13 @@ func main() {
 		fail(err)
 	}
 	if *serve {
-		if err := runService(u, *seed, *initial, *monthly, *workers, *queue, *vcap, *dup, *deadline); err != nil {
+		if err := runService(u, *seed, *initial, *monthly, *workers, *queue, *vcap, *dup, *deadline, *trace); err != nil {
 			fail(err)
 		}
 		return
+	}
+	if *trace {
+		fmt.Fprintln(os.Stderr, "tmarket: -trace only applies with -serve")
 	}
 	cfg := apichecker.DefaultYearConfig()
 	cfg.Seed = *seed
@@ -99,8 +104,10 @@ func main() {
 }
 
 // runService is the -serve path: train once, then vet one batch of
-// submissions through the always-on service and print its metrics.
-func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, queue, vcap, dup int, deadline time.Duration) error {
+// submissions through the always-on service and print its metrics. With
+// trace, the checker's obs spine streams one line per completed pipeline
+// stage and the per-stage latency table follows the metrics.
+func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, queue, vcap, dup int, deadline time.Duration, trace bool) error {
 	training, err := apichecker.NewCorpus(u, initial, seed)
 	if err != nil {
 		return err
@@ -113,6 +120,24 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 	}
 	fmt.Printf("trained on %d apps (%d key APIs); starting vetting service\n",
 		initial, rep.KeyAPIs)
+	if trace {
+		var mu sync.Mutex
+		checker.Obs().AddSink(apichecker.ObsSinkFunc(func(ev apichecker.ObsEvent) {
+			if ev.Kind != apichecker.ObsSpan {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Printf("trace seq=%-5d stage=%-12s pkg=%-24s dur=%8.1fs", ev.Trace, ev.Name, ev.Package, ev.Dur.Seconds())
+			if ev.Note != "" {
+				fmt.Printf(" note=%s", ev.Note)
+			}
+			if ev.Err != nil {
+				fmt.Printf(" err=%q", ev.Err)
+			}
+			fmt.Println()
+		}))
+	}
 
 	svc := apichecker.NewVetService(checker, apichecker.VetServiceConfig{
 		Workers:   workers,
@@ -169,6 +194,15 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 	}
 	fmt.Printf("  scan latency (virtual): mean %.1fs  p50 %.1fs  p95 %.1fs  p99 %.1fs\n",
 		m.ScanMean, m.ScanP50, m.ScanP95, m.ScanP99)
+	if trace {
+		fmt.Printf("\n  pipeline stages (virtual seconds):\n")
+		fmt.Printf("  %-14s %6s %6s %9s %9s %9s %9s\n",
+			"stage", "count", "errors", "mean", "p50", "p95", "p99")
+		for _, st := range checker.StageStats() {
+			fmt.Printf("  %-14s %6d %6d %9.3f %9.3f %9.3f %9.3f\n",
+				st.Stage, st.Count, st.Errors, st.Dur.Mean, st.Dur.P50, st.Dur.P95, st.Dur.P99)
+		}
+	}
 	return nil
 }
 

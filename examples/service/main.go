@@ -91,6 +91,14 @@ func main() {
 	}
 	fmt.Printf("  scan latency (virtual): mean %.1fs  p50 %.1fs  p95 %.1fs  p99 %.1fs\n",
 		m.ScanMean, m.ScanP50, m.ScanP95, m.ScanP99)
+
+	// The checker's observability spine breaks the same latency down by
+	// pipeline stage — the per-stage view behind the service quantiles.
+	fmt.Println("  pipeline stages (virtual seconds):")
+	for _, st := range checker.StageStats() {
+		fmt.Printf("    %-14s n=%-4d p50 %8.3f  p95 %8.3f  p99 %8.3f\n",
+			st.Stage, st.Count, st.Dur.P50, st.Dur.P95, st.Dur.P99)
+	}
 	if retries != int(m.Rejected) {
 		log.Fatalf("retry accounting mismatch: %d retries vs %d rejections", retries, m.Rejected)
 	}

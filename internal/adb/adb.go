@@ -248,10 +248,18 @@ func (s *Session) VetContext(ctx context.Context, data []byte, mk monkey.Config)
 
 // VetParsed is Vet for an already-parsed APK.
 func (s *Session) VetParsed(parsed *apk.APK, mk monkey.Config) (*VetResult, error) {
+	return s.VetParsedContext(context.Background(), parsed, mk)
+}
+
+// VetParsedContext is VetParsed under a context: the pipeline's decode
+// stage has already unpacked the archive, so the device sequence starts
+// at install. Run results are bit-identical to VetContext over the same
+// serialized bytes.
+func (s *Session) VetParsedContext(ctx context.Context, parsed *apk.APK, mk monkey.Config) (*VetResult, error) {
 	if err := s.dev.InstallParsed(parsed); err != nil {
 		return nil, err
 	}
-	return s.finish(context.Background(), parsed, mk)
+	return s.finish(ctx, parsed, mk)
 }
 
 func (s *Session) finish(ctx context.Context, parsed *apk.APK, mk monkey.Config) (*VetResult, error) {

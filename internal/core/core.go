@@ -5,6 +5,13 @@
 // install → Monkey exercise → hooked dynamic analysis → feature
 // extraction → classification.
 //
+// Since the pipeline refactor the vet path itself lives in
+// internal/pipeline as an explicit chain of typed stages (Admit →
+// CacheLookup → Decode → Emulate → ExtractFeatures → Infer); the Checker
+// is the assembly that wires those stages to its trained parts, and
+// Vet/VetOutcome/VetRun are drivers over the assembled chains. Per-stage
+// spans and counters land on the checker's obs.Collector.
+//
 // TrainFromCorpus reproduces the offline study pipeline (§4): measure API
 // usage over the labelled corpus tracking everything, select the key APIs
 // (Set-C ∪ Set-P ∪ Set-S), build A+P+I vectors, and train the classifier.
@@ -13,23 +20,32 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"apichecker/internal/adb"
-	"apichecker/internal/apk"
-	"apichecker/internal/behavior"
 	"apichecker/internal/dataset"
 	"apichecker/internal/emulator"
 	"apichecker/internal/features"
 	"apichecker/internal/framework"
 	"apichecker/internal/hook"
-	"apichecker/internal/manifest"
 	"apichecker/internal/ml"
-	"apichecker/internal/monkey"
+	"apichecker/internal/obs"
+	"apichecker/internal/pipeline"
 	"apichecker/internal/vcache"
+)
+
+// Submission, Verdict and the cached-verdict record are defined by the
+// pipeline package (the stages operate on them directly); core aliases
+// them so the public surface is unchanged by the refactor.
+type (
+	// Submission is one vetting request for the canonical Vet entrypoint.
+	Submission = pipeline.Submission
+	// Verdict is the outcome of vetting one submission.
+	Verdict = pipeline.Verdict
 )
 
 // Config holds the deployment configuration.
@@ -54,6 +70,10 @@ type Config struct {
 	// to uncached ones (Monkey seeds derive from the content digest), so
 	// the cache is semantically invisible either way.
 	VerdictCache int
+
+	// Lanes bounds concurrent program/parsed emulations (the per-server
+	// emulator-farm gate). 0 selects emulator.ProductionLanes.
+	Lanes int
 }
 
 // DefaultConfig is the production configuration from the paper.
@@ -79,10 +99,14 @@ type Checker struct {
 	emu       *emulator.Emulator
 	model     *ml.RandomForest
 
+	// farm gates program/parsed emulations behind the server's lane
+	// slots; a cancelled vet returns its lane (never leaks an emulator).
+	farm *emulator.Farm
+
 	// session is the adb control plane used for real APK submissions
 	// (install → Monkey → logs → uninstall → clear, §4.2). It drives one
 	// device, so concurrent raw-archive vets serialize on sessionMu;
-	// program/parsed vets bypass the device and fan out freely.
+	// program/parsed vets bypass the device and fan out over farm lanes.
 	session   *adb.Session
 	sessionMu sync.Mutex
 
@@ -90,22 +114,21 @@ type Checker struct {
 	// content digest, with singleflight dedupe of concurrent identical
 	// submissions; nil when cfg.VerdictCache < 0. Retrain advances its
 	// epoch so no verdict from a previous model generation is ever served.
-	cache *vcache.Cache[cachedVerdict]
+	cache *vcache.Cache[pipeline.CachedVerdict]
+
+	// obs is the checker's observability spine: one span per completed
+	// pipeline stage, plus the emulator-reliability and verdict-cache
+	// counters. vetPipe is the canonical serving chain; runPipe the
+	// always-emulate chain VetRun drives.
+	obs     *obs.Collector
+	vetPipe *pipeline.Pipeline
+	runPipe *pipeline.Pipeline
 
 	// scores coalesces concurrent classify steps into blocks for the
 	// forest's tree-major batch inference.
 	scores scoreBatcher
 
 	vetCount int64
-}
-
-// cachedVerdict is one memoized vet: the full verdict plus the feature
-// vector it was scored on, so a cached answer carries everything an
-// emulated one does. The Verdict lives here by value — Vet hands each
-// caller its own copy.
-type cachedVerdict struct {
-	verdict Verdict
-	vector  ml.Vector
 }
 
 // TrainReport summarizes a training (or retraining) round.
@@ -181,10 +204,22 @@ func TrainFromCorpus(c *dataset.Corpus, cfg Config) (*Checker, *TrainReport, err
 }
 
 // New assembles a Checker from trained parts (used by TrainFromCorpus and
-// by markets loading a distributed model, §5.4).
+// by markets loading a distributed model, §5.4): it builds the hook
+// registry, the emulation engine and its lane farm, the adb session, the
+// verdict cache, the obs collector, and wires them into the vet and run
+// stage chains.
 func New(u *framework.Universe, sel *features.Selection, ex *features.Extractor,
 	model *ml.RandomForest, cfg Config) (*Checker, error) {
 	reg, err := hook.NewRegistry(u, sel.Keys)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	emu := emulator.New(cfg.Profile, reg)
+	lanes := cfg.Lanes
+	if lanes <= 0 {
+		lanes = emulator.ProductionLanes
+	}
+	farm, err := emulator.NewFarm(emu, lanes)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -194,14 +229,52 @@ func New(u *framework.Universe, sel *features.Selection, ex *features.Extractor,
 		selection: sel,
 		extractor: ex,
 		registry:  reg,
-		emu:       emulator.New(cfg.Profile, reg),
+		emu:       emu,
+		farm:      farm,
 		session:   adb.NewSession(adb.NewDevice("emulator-5554", cfg.Profile, reg)),
 		model:     model,
+		obs:       obs.NewCollector(),
 	}
 	if cfg.VerdictCache >= 0 {
-		ck.cache = vcache.New[cachedVerdict](cfg.VerdictCache)
+		ck.cache = vcache.NewObserved[pipeline.CachedVerdict](cfg.VerdictCache, ck.obs)
 	}
+	ck.buildPipelines()
 	return ck, nil
+}
+
+// buildPipelines assembles the vet and run stage chains over the checker's
+// obs collector. Deps read the checker's fields through accessors, so a
+// Retrain that swaps the engine, extractor, or model in place is picked up
+// by the next submission without rebuilding the chains.
+func (ck *Checker) buildPipelines() {
+	trees := ck.cfg.Forest.Trees
+	if trees <= 0 {
+		trees = ml.DefaultForestConfig(ck.cfg.Seed).Trees
+	}
+	d := &pipeline.Deps{
+		Universe:  func() *framework.Universe { return ck.u },
+		Extractor: func() *features.Extractor { return ck.extractor },
+		Farm:      func() *emulator.Farm { return ck.farm },
+		RunRaw:    ck.runRaw,
+		Score:     ck.score,
+		Cache:     func() *vcache.Cache[pipeline.CachedVerdict] { return ck.cache },
+		NextSeq:   ck.nextVetSeq,
+		Obs:       ck.obs,
+		Events:    ck.cfg.Events,
+		Seed:      ck.cfg.Seed,
+		Trees:     trees,
+	}
+	ck.vetPipe = pipeline.VetChain(ck.obs, d)
+	ck.runPipe = pipeline.RunChain(ck.obs, d)
+}
+
+// runRaw drives a decoded raw archive through the adb device sequence
+// (install → Monkey → logs → uninstall → clear). The checker owns one
+// device, so raw submissions serialize here.
+func (ck *Checker) runRaw(vc *pipeline.VetContext) (*adb.VetResult, error) {
+	ck.sessionMu.Lock()
+	defer ck.sessionMu.Unlock()
+	return ck.session.VetParsedContext(vc.Ctx, vc.Parsed, vc.Monkey)
 }
 
 // Universe returns the framework universe.
@@ -219,134 +292,27 @@ func (ck *Checker) Model() *ml.RandomForest { return ck.model }
 // Config returns the deployment config.
 func (ck *Checker) Config() Config { return ck.cfg }
 
-// Verdict is the outcome of vetting one submission.
-type Verdict struct {
-	Package     string
-	VersionCode int
-	MD5         string
+// Obs returns the checker's observability collector: per-stage spans and
+// latency distributions, verdict-cache counters, and emulator-reliability
+// counters. Attach a sink to stream per-submission span events.
+func (ck *Checker) Obs() *obs.Collector { return ck.obs }
 
-	Malicious bool
-	// Score is the model margin (> 0 ⇒ malicious); magnitude is
-	// confidence.
-	Score float64
+// StageStats summarizes per-stage span accounting (count, errors, and
+// virtual-latency quantiles) in first-seen stage order.
+func (ck *Checker) StageStats() []obs.StageStats { return ck.obs.StageStats() }
 
-	// ScanTime is the virtual dynamic-analysis time; OverallTime adds
-	// the fixed install/queue overhead (§5.2 reports 1.92 min overall,
-	// 1.4 min analysis).
-	ScanTime    time.Duration
-	OverallTime time.Duration
-
-	// FellBack reports the app was incompatible with the lightweight
-	// engine and re-ran on the stock engine.
-	FellBack bool
-
-	// Crashes counts transient emulator crashes detected (and restarted
-	// through) during this vet; Engine names the profile that produced
-	// the final log. Together with FellBack these surface the §5.1
-	// reliability accounting per submission.
-	Crashes int
-	Engine  string
-
-	// InvokedKeyAPIs counts distinct key APIs observed; "barely uses
-	// key APIs" (§5.2's false-negative analysis) shows up here.
-	InvokedKeyAPIs int
-}
-
-// fixedOverhead is the non-analysis cost per submission: download,
-// install, emulator recycle, result logging (§5.2: 1.92 min overall vs
-// 1.4 min analysis at production load).
-const fixedOverhead = 31 * time.Second
-
-// Submission is one vetting request for the canonical Vet entrypoint. It
-// carries exactly one payload:
-//
-//   - Raw: a serialized APK archive, vetted through the full adb device
-//     sequence (install → Monkey → logs → uninstall → clear, §4.2);
-//   - Parsed: an already-parsed APK (skips re-parsing the archive);
-//   - Program: behaviour semantics directly (the market-simulation path,
-//     where building megabytes of zip per app would only slow things down).
-//
-// Seq optionally pins the vet sequence number (reserved up front via
-// ReserveVetSeqs); 0 assigns the next one. Sequence numbers identify
-// submissions in service logs and metrics; verdicts do not depend on them
-// — the per-submission Monkey seed derives from the content digest, so a
-// given archive exercises identically however often, in whatever order,
-// and on whatever lane it is submitted. That content-determinism is what
-// makes parallel service vetting bit-identical to a serial loop, and
-// cached verdicts bit-identical to emulated ones.
-//
-// Digest optionally pins the content digest (hex sha256 of the canonical
-// payload bytes); leave it empty and ContentDigest derives it.
-type Submission struct {
-	Raw     []byte
-	Parsed  *apk.APK
-	Program *behavior.Program
-	Seq     int64
-	Digest  string
-}
-
-// Validate checks the exactly-one-payload invariant; violations wrap
-// ErrBadSubmission.
-func (s Submission) Validate() error {
-	n := 0
-	if s.Raw != nil {
-		n++
-	}
-	if s.Parsed != nil {
-		n++
-	}
-	if s.Program != nil {
-		n++
-	}
-	if n != 1 {
-		return fmt.Errorf("core: %w (got %d)", ErrBadSubmission, n)
-	}
-	return nil
-}
-
-// ContentDigest returns the submission's content digest — the verdict-
-// cache key and Monkey-seed source: hex sha256 of the raw archive bytes
-// (Raw), the digest computed at parse time (Parsed), or the canonical
-// encoding of the behaviour program (Program). The result is memoized in
-// Digest. Empty when the payload cannot be digested; such submissions
-// bypass the verdict cache.
-func (s *Submission) ContentDigest() string {
-	if s.Digest != "" {
-		return s.Digest
-	}
-	switch {
-	case s.Raw != nil:
-		s.Digest = apk.Digest(s.Raw)
-	case s.Parsed != nil:
-		s.Digest = s.Parsed.SHA256
-	case s.Program != nil:
-		if data, err := s.Program.Encode(); err == nil {
-			s.Digest = apk.Digest(data)
-		}
-	}
-	return s.Digest
-}
-
-// PackageName names the submission for logs and error messages, best
-// effort (a raw archive is unnamed until parsed).
-func (s Submission) PackageName() string {
-	switch {
-	case s.Parsed != nil:
-		return s.Parsed.PackageName()
-	case s.Program != nil:
-		return s.Program.PackageName
-	default:
-		return "(raw archive)"
-	}
-}
+// PipelineStages returns the canonical vet chain's stage names in order.
+func (ck *Checker) PipelineStages() []string { return ck.vetPipe.Stages() }
 
 // Vet is the single canonical vetting entrypoint: every other Vet* method
 // is a thin wrapper over it. The context bounds the emulation — a deadline
 // or cancellation aborts the run at the next crash-restart or event-batch
 // boundary, surfacing as an error wrapping ErrDeadlineExceeded (and
-// context.DeadlineExceeded) or context.Canceled. Safe for concurrent use:
-// the emulator, extractor and model are read-only at vet time, and raw
-// archive submissions serialize on the checker's single adb session.
+// context.DeadlineExceeded) or context.Canceled; pipeline.FailedStage
+// reports which stage the vet died in. Safe for concurrent use: the
+// emulator, extractor and model are read-only at vet time, program/parsed
+// submissions fan out over farm lanes, and raw archive submissions
+// serialize on the checker's single adb session.
 //
 // Vet consults the digest-keyed verdict cache first: a byte-identical
 // resubmission is answered without re-emulating, and N concurrent
@@ -363,26 +329,22 @@ func (ck *Checker) Vet(ctx context.Context, sub Submission) (*Verdict, error) {
 // the cache), OutcomeCoalesced (deduplicated onto a concurrent identical
 // submission), or OutcomeBypass (cache disabled or payload undigestable).
 func (ck *Checker) VetOutcome(ctx context.Context, sub Submission) (*Verdict, vcache.Outcome, error) {
-	if err := sub.Validate(); err != nil {
-		return nil, vcache.OutcomeBypass, err
+	vc := &pipeline.VetContext{Ctx: ctx, Sub: &sub}
+	if err := ck.vetPipe.Run(vc); err != nil {
+		return nil, vc.Outcome, ck.vetError(vc, err)
 	}
-	dig := sub.ContentDigest()
-	if ck.cache == nil || dig == "" {
-		v, _, _, err := ck.vetFull(ctx, sub, dig)
-		return v, vcache.OutcomeBypass, err
+	return vc.Verdict, vc.Outcome, nil
+}
+
+// VetTrace is VetOutcome, additionally returning the per-stage span log
+// for this submission (one obs event per completed stage, in execution
+// order) — the cmd/tmarket -trace feed.
+func (ck *Checker) VetTrace(ctx context.Context, sub Submission) (*Verdict, vcache.Outcome, []obs.Event, error) {
+	vc := &pipeline.VetContext{Ctx: ctx, Sub: &sub}
+	if err := ck.vetPipe.Run(vc); err != nil {
+		return nil, vc.Outcome, vc.Spans, ck.vetError(vc, err)
 	}
-	e, out, err := ck.cache.Do(ctx, dig, func() (cachedVerdict, error) {
-		v, x, _, err := ck.vetFull(ctx, sub, dig)
-		if err != nil {
-			return cachedVerdict{}, err
-		}
-		return cachedVerdict{verdict: *v, vector: x}, nil
-	})
-	if err != nil {
-		return nil, out, err
-	}
-	v := e.verdict
-	return &v, out, nil
+	return vc.Verdict, vc.Outcome, vc.Spans, nil
 }
 
 // VetRun is Vet, additionally returning the raw emulation result (the
@@ -390,100 +352,23 @@ func (ck *Checker) VetOutcome(ctx context.Context, sub Submission) (*Verdict, vc
 // point — but writes the verdict through to the cache so subsequent Vets
 // of the same content are served without re-running.
 func (ck *Checker) VetRun(ctx context.Context, sub Submission) (*Verdict, *emulator.Result, error) {
-	if err := sub.Validate(); err != nil {
-		return nil, nil, err
+	vc := &pipeline.VetContext{Ctx: ctx, Sub: &sub}
+	if err := ck.runPipe.Run(vc); err != nil {
+		return nil, nil, ck.vetError(vc, err)
 	}
-	dig := sub.ContentDigest()
-	v, x, res, err := ck.vetFull(ctx, sub, dig)
-	if err != nil {
-		return nil, nil, err
-	}
-	if ck.cache != nil && dig != "" {
-		ck.cache.Put(dig, cachedVerdict{verdict: *v, vector: x})
-	}
-	return v, res, nil
+	return vc.Verdict, vc.Run, nil
 }
 
-// vetFull is the uncached vet: emulate, extract, classify. The caller has
-// validated the submission and resolved its content digest.
-func (ck *Checker) vetFull(ctx context.Context, sub Submission, dig string) (*Verdict, ml.Vector, *emulator.Result, error) {
-	seq := sub.Seq
-	if seq == 0 {
-		seq = ck.nextVetSeq()
+// vetError shapes a pipeline failure for the public surface: admission
+// failures (ErrBadSubmission) pass through exactly as Validate raised
+// them; everything else is wrapped with the vet prefix and the submission
+// label. The stage attribution survives — pipeline.FailedStage still
+// reports the dying stage through the wrap.
+func (ck *Checker) vetError(vc *pipeline.VetContext, err error) error {
+	if errors.Is(err, ErrBadSubmission) {
+		return err
 	}
-	mk := ck.vetMonkey(dig, seq)
-	if sub.Raw != nil {
-		return ck.vetRaw(ctx, sub.Raw, mk)
-	}
-
-	p := sub.Program
-	var man *manifest.Manifest
-	var md5 string
-	if sub.Parsed != nil {
-		p = sub.Parsed.Program
-		man = sub.Parsed.Manifest
-		md5 = sub.Parsed.MD5
-	}
-	res, err := ck.emu.RunContext(ctx, p, mk)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("core: vet %s: %w", p.PackageName, vetFailure(err))
-	}
-	if man == nil {
-		m, err := p.Manifest(ck.u)
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("core: vet %s: %w", p.PackageName, err)
-		}
-		man = m
-	}
-	x, err := ck.extractor.Vector(res.Log, man)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("core: vet %s: %w", p.PackageName, err)
-	}
-	return ck.verdict(p.PackageName, p.Version, md5, res, x), x, res, nil
-}
-
-// vetRaw runs a serialized archive through the full device sequence.
-func (ck *Checker) vetRaw(ctx context.Context, data []byte, mk monkey.Config) (*Verdict, ml.Vector, *emulator.Result, error) {
-	ck.sessionMu.Lock()
-	vr, err := ck.session.VetContext(ctx, data, mk)
-	ck.sessionMu.Unlock()
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("core: vet: %w", vetFailure(err))
-	}
-	x, err := ck.extractor.Vector(vr.Run.Log, vr.APK.Manifest)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("core: vet %s: %w", vr.APK.PackageName(), err)
-	}
-	return ck.verdict(vr.APK.PackageName(), vr.APK.VersionCode(), vr.APK.MD5, vr.Run, x), x, vr.Run, nil
-}
-
-// verdict scores a feature vector and books the emulation accounting.
-// Scoring goes through the coalescing batcher: classify steps arriving
-// concurrently are folded into one tree-major ScoreBatch block.
-func (ck *Checker) verdict(pkg string, version int, md5 string, res *emulator.Result, x ml.Vector) *Verdict {
-	score := ck.score(x)
-	return &Verdict{
-		Package:        pkg,
-		VersionCode:    version,
-		MD5:            md5,
-		Malicious:      score > 0,
-		Score:          score,
-		ScanTime:       res.VirtualTime,
-		OverallTime:    res.VirtualTime + fixedOverhead,
-		FellBack:       res.FellBack,
-		Crashes:        res.Crashed,
-		Engine:         res.Profile,
-		InvokedKeyAPIs: res.Log.DistinctInvoked(),
-	}
-}
-
-// VetAPK vets a serialized APK archive through the full device sequence:
-// install on an idle emulator, exercise, record, uninstall, clear
-// residual data (§4.2). The device is guaranteed clean afterwards.
-//
-// Deprecated: use Vet with a Submission carrying Raw.
-func (ck *Checker) VetAPK(data []byte) (*Verdict, error) {
-	return ck.Vet(context.Background(), Submission{Raw: data})
+	return fmt.Errorf("core: vet %s: %w", vc.PackageLabel(), err)
 }
 
 // VetCount returns how many submissions the checker has vetted (or has
@@ -494,39 +379,14 @@ func (ck *Checker) VetCount() int64 { return atomic.LoadInt64(&ck.vetCount) }
 // and returns the first. Parallel review pools reserve up front and assign
 // sequences by queue position, so service logs and metrics identify
 // submissions the way a serial review would have numbered them. (Verdicts
-// themselves no longer depend on sequence numbers — see vetMonkey.)
+// themselves no longer depend on sequence numbers — the Monkey seed
+// derives from the content digest; see pipeline.Deps.MonkeyFor.)
 func (ck *Checker) ReserveVetSeqs(n int) int64 {
 	return atomic.AddInt64(&ck.vetCount, int64(n)) - int64(n) + 1
 }
 
 // nextVetSeq reserves the next single sequence number.
 func (ck *Checker) nextVetSeq() int64 { return atomic.AddInt64(&ck.vetCount, 1) }
-
-// vetMonkey derives the Monkey configuration for one submission. The seed
-// mixes the deployment seed with the content digest, so a given archive
-// is exercised identically however often — and in whatever order — it is
-// submitted. That content-determinism is what makes a cached verdict
-// bit-identical to the emulation it memoizes, and parallel service lanes
-// bit-identical to a serial vet loop. A submission with no digest (an
-// undigestable payload) falls back to the sequence-derived seed.
-func (ck *Checker) vetMonkey(dig string, seq int64) monkey.Config {
-	seed := ck.cfg.Seed ^ seq<<7
-	if dig != "" {
-		seed = ck.cfg.Seed ^ int64(digestSeed(dig))
-	}
-	mk := monkey.ProductionConfig(seed)
-	mk.Events = ck.cfg.Events
-	return mk
-}
-
-// digestSeed folds a hex content digest into 64 bits (FNV-1a).
-func digestSeed(dig string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(dig); i++ {
-		h = (h ^ uint64(dig[i])) * 1099511628211
-	}
-	return h
-}
 
 // InvalidateVerdicts drops every memoized verdict by advancing the
 // cache's model-generation epoch; Retrain calls it when the model swaps.
@@ -544,39 +404,4 @@ func (ck *Checker) CacheStats() vcache.Stats {
 		return vcache.Stats{}
 	}
 	return ck.cache.Stats()
-}
-
-// VetAPKWithRun is VetAPK, additionally returning the raw emulation result
-// (the input to analysis-log export).
-//
-// Deprecated: use VetRun with a Submission carrying Raw.
-func (ck *Checker) VetAPKWithRun(data []byte) (*Verdict, *emulator.Result, error) {
-	return ck.VetRun(context.Background(), Submission{Raw: data})
-}
-
-// VetProgram vets an app given its behaviour program directly (the market
-// simulation path, where building megabytes of zip per app would only slow
-// experiments down).
-//
-// Deprecated: use Vet with a Submission carrying Program.
-func (ck *Checker) VetProgram(p *behavior.Program) (*Verdict, error) {
-	return ck.Vet(context.Background(), Submission{Program: p})
-}
-
-// VetProgramSeq vets a behaviour program under an explicit vet sequence
-// number (previously reserved via ReserveVetSeqs).
-//
-// Deprecated: use Vet with a Submission carrying Program and Seq.
-func (ck *Checker) VetProgramSeq(p *behavior.Program, seq int64) (*Verdict, error) {
-	return ck.Vet(context.Background(), Submission{Program: p, Seq: seq})
-}
-
-// VetParsed vets a parsed APK (or, with parsed == nil, a bare program).
-//
-// Deprecated: use Vet with a Submission carrying Parsed or Program.
-func (ck *Checker) VetParsed(p *behavior.Program, parsed *apk.APK) (*Verdict, error) {
-	if parsed != nil {
-		return ck.Vet(context.Background(), Submission{Parsed: parsed})
-	}
-	return ck.Vet(context.Background(), Submission{Program: p})
 }

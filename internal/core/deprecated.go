@@ -1,0 +1,57 @@
+package core
+
+import (
+	"context"
+
+	"apichecker/internal/apk"
+	"apichecker/internal/behavior"
+	"apichecker/internal/emulator"
+)
+
+// The pre-Submission vetting entrypoints, kept for callers that predate
+// the canonical Vet(ctx, Submission) surface. Each is a thin shim; none
+// add behaviour.
+
+// VetAPK vets a serialized APK archive through the full device sequence:
+// install on an idle emulator, exercise, record, uninstall, clear
+// residual data (§4.2). The device is guaranteed clean afterwards.
+//
+// Deprecated: use Vet with a Submission carrying Raw.
+func (ck *Checker) VetAPK(data []byte) (*Verdict, error) {
+	return ck.Vet(context.Background(), Submission{Raw: data})
+}
+
+// VetAPKWithRun is VetAPK, additionally returning the raw emulation result
+// (the input to analysis-log export).
+//
+// Deprecated: use VetRun with a Submission carrying Raw.
+func (ck *Checker) VetAPKWithRun(data []byte) (*Verdict, *emulator.Result, error) {
+	return ck.VetRun(context.Background(), Submission{Raw: data})
+}
+
+// VetProgram vets an app given its behaviour program directly (the market
+// simulation path, where building megabytes of zip per app would only slow
+// experiments down).
+//
+// Deprecated: use Vet with a Submission carrying Program.
+func (ck *Checker) VetProgram(p *behavior.Program) (*Verdict, error) {
+	return ck.Vet(context.Background(), Submission{Program: p})
+}
+
+// VetProgramSeq vets a behaviour program under an explicit vet sequence
+// number (previously reserved via ReserveVetSeqs).
+//
+// Deprecated: use Vet with a Submission carrying Program and Seq.
+func (ck *Checker) VetProgramSeq(p *behavior.Program, seq int64) (*Verdict, error) {
+	return ck.Vet(context.Background(), Submission{Program: p, Seq: seq})
+}
+
+// VetParsed vets a parsed APK (or, with parsed == nil, a bare program).
+//
+// Deprecated: use Vet with a Submission carrying Parsed or Program.
+func (ck *Checker) VetParsed(p *behavior.Program, parsed *apk.APK) (*Verdict, error) {
+	if parsed != nil {
+		return ck.Vet(context.Background(), Submission{Parsed: parsed})
+	}
+	return ck.Vet(context.Background(), Submission{Program: p})
+}

@@ -1,18 +1,19 @@
 package core
 
 import (
-	"context"
 	"errors"
-	"fmt"
+
+	"apichecker/internal/pipeline"
 )
 
-// Typed failure modes of the vetting and model-import paths. The public
-// facade re-exports these, so downstream callers branch with errors.Is
-// instead of matching error strings.
+// Typed failure modes of the vetting and model-import paths. The vet-path
+// sentinels are defined by internal/pipeline (the stages raise them) and
+// aliased here; the public facade re-exports all of them, so downstream
+// callers branch with errors.Is instead of matching error strings.
 var (
 	// ErrBadSubmission marks a Submission that does not carry exactly one
 	// payload (raw bytes, parsed APK, or behaviour program).
-	ErrBadSubmission = errors.New("submission must carry exactly one of raw bytes, parsed APK, or program")
+	ErrBadSubmission = pipeline.ErrBadSubmission
 
 	// ErrUniverseMismatch marks a model import against a framework
 	// universe that differs from the exporter's. API ids are
@@ -24,15 +25,5 @@ var (
 	// deadline expired. It wraps context.DeadlineExceeded, so both
 	// errors.Is(err, ErrDeadlineExceeded) and
 	// errors.Is(err, context.DeadlineExceeded) hold on a timed-out vet.
-	ErrDeadlineExceeded = fmt.Errorf("vet deadline exceeded: %w", context.DeadlineExceeded)
+	ErrDeadlineExceeded = pipeline.ErrDeadlineExceeded
 )
-
-// vetFailure normalizes an error off the vetting hot path: deadline expiry
-// (wherever the emulator noticed it) surfaces as ErrDeadlineExceeded; other
-// errors pass through for the caller to wrap.
-func vetFailure(err error) error {
-	if errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrDeadlineExceeded) {
-		return fmt.Errorf("%w (%v)", ErrDeadlineExceeded, err)
-	}
-	return err
-}

@@ -22,6 +22,7 @@ func (ck *Checker) Retrain(c *dataset.Corpus) (*TrainReport, error) {
 	ck.extractor = next.extractor
 	ck.registry = next.registry
 	ck.emu = next.emu
+	ck.farm = next.farm
 	ck.model = next.model
 	// Every memoized verdict was produced by the previous model (and
 	// possibly a previous key-API set); advance the cache epoch so none of

@@ -1,0 +1,116 @@
+package emulator
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"apichecker/internal/behavior"
+)
+
+// TestFarmRunContextMatchesEmulator: the lane gate consumes no randomness,
+// so a gated run is bit-identical to the bare engine.
+func TestFarmRunContextMatchesEmulator(t *testing.T) {
+	e := New(GoogleEmulator, registryAll(t))
+	f, err := NewFarm(e, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prog(21, behavior.Malicious, behavior.FamilySpyware)
+
+	plain, err := e.Run(p, mk(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := f.RunContext(context.Background(), p, mk(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, gated) {
+		t.Error("farm-gated run diverged from bare engine run")
+	}
+	if f.FreeLanes() != f.Lanes() {
+		t.Errorf("FreeLanes() = %d after completion, want %d", f.FreeLanes(), f.Lanes())
+	}
+}
+
+// TestFarmSlotReturnedOnAbort: a run aborted by its context — before or
+// after taking a lane — must return the slot. A leaked slot would
+// eventually wedge every serving lane behind cancelled submissions.
+func TestFarmSlotReturnedOnAbort(t *testing.T) {
+	e := New(GoogleEmulator, registryAll(t))
+	f, err := NewFarm(e, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prog(22, behavior.Benign, behavior.FamilyNone)
+
+	// Pre-expired context with a free lane: the slot is taken anyway, so
+	// the surfaced error is the engine's own abort (identical to the
+	// ungated path), and the slot comes back.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.RunContext(ctx, p, mk(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext(canceled, free lane) = %v, want context.Canceled", err)
+	}
+	if f.FreeLanes() != 1 {
+		t.Fatalf("FreeLanes() = %d after canceled run, want 1", f.FreeLanes())
+	}
+
+	// All lanes busy: a canceled waiter aborts the lane wait without
+	// consuming the slot the busy run will return.
+	<-f.slots
+	if _, err := f.RunContext(ctx, p, mk(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext(canceled, no lane) = %v, want context.Canceled", err)
+	}
+	if f.FreeLanes() != 0 {
+		t.Fatalf("aborted lane wait consumed a slot: FreeLanes() = %d", f.FreeLanes())
+	}
+	f.slots <- struct{}{}
+	if f.FreeLanes() != 1 {
+		t.Fatalf("FreeLanes() = %d, want 1", f.FreeLanes())
+	}
+}
+
+// TestFarmConcurrentCancellationNoLeak hammers a small farm with a mix of
+// live and cancelled contexts; every slot must be back afterwards and a
+// fresh run must still succeed. Run under -race in CI.
+func TestFarmConcurrentCancellationNoLeak(t *testing.T) {
+	e := New(GoogleEmulator, registryAll(t))
+	f, err := NewFarm(e, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 48; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i%2 == 0 {
+				ctx = canceled
+			}
+			p := prog(int64(100+i), behavior.Benign, behavior.FamilyNone)
+			_, err := f.RunContext(ctx, p, mk(int64(i)))
+			if i%2 == 0 && err == nil {
+				t.Errorf("run %d: canceled context succeeded", i)
+			}
+			if i%2 == 1 && err != nil {
+				t.Errorf("run %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if f.FreeLanes() != f.Lanes() {
+		t.Fatalf("FreeLanes() = %d after churn, want %d", f.FreeLanes(), f.Lanes())
+	}
+	if _, err := f.RunContext(context.Background(), prog(23, behavior.Benign, behavior.FamilyNone), mk(4)); err != nil {
+		t.Fatalf("fresh run after churn: %v", err)
+	}
+}

@@ -1,0 +1,335 @@
+package pipeline
+
+import (
+	"time"
+
+	"apichecker/internal/adb"
+	"apichecker/internal/apk"
+	"apichecker/internal/emulator"
+	"apichecker/internal/features"
+	"apichecker/internal/framework"
+	"apichecker/internal/ml"
+	"apichecker/internal/monkey"
+	"apichecker/internal/obs"
+	"apichecker/internal/vcache"
+)
+
+// Stage names, in chain order. The -trace stage table and the
+// stage-attributed errors use these.
+const (
+	StageAdmit       = "admit"
+	StageCacheLookup = "cache.lookup"
+	StageDecode      = "decode"
+	StageEmulate     = "emulate"
+	StageExtract     = "extract"
+	StageInfer       = "infer"
+	StageCacheStore  = "cache.store"
+)
+
+// Deterministic virtual-clock costs for the bookkeeping stages. The
+// emulate stage reports the run's calibrated VirtualTime; these cover the
+// cheap CPU-bound stages so the -trace table shows where the non-analysis
+// overhead sits. They feed spans only — Verdict times are computed exactly
+// as before (ScanTime = emulation VirtualTime, OverallTime adds
+// FixedOverhead).
+const (
+	// decodeBase/decodePerKiB model unpacking + static parse of a raw
+	// archive.
+	decodeBase   = 250 * time.Millisecond
+	decodePerKiB = time.Millisecond
+	// manifestCost models deriving the manifest view of a behaviour
+	// program that arrived without one.
+	manifestCost = 50 * time.Millisecond
+	// extractPerFeature models building one A+P+I vector column.
+	extractPerFeature = 2 * time.Microsecond
+	// inferPerTree models one tree walk of the forest.
+	inferPerTree = 20 * time.Microsecond
+)
+
+// Deps wires the stages to the checker that assembled them. Accessors are
+// funcs so a Retrain that swaps the checker's engine, extractor, or model
+// in place is picked up by the next submission without rebuilding the
+// chain.
+type Deps struct {
+	Universe  func() *framework.Universe
+	Extractor func() *features.Extractor
+
+	// Farm gates program/parsed emulations behind the server's emulator
+	// lanes; a cancelled VetContext returns its lane to the farm.
+	Farm func() *emulator.Farm
+
+	// RunRaw drives a raw archive through the adb device sequence
+	// (install → Monkey → logs → uninstall → clear). The closure owns the
+	// device serialization.
+	RunRaw func(vc *VetContext) (*adb.VetResult, error)
+
+	// Score classifies one feature vector (the checker's coalescing
+	// batch scorer).
+	Score func(ml.Vector) float64
+
+	// Cache is the digest-keyed verdict cache; nil disables memoization.
+	Cache func() *vcache.Cache[CachedVerdict]
+
+	// NextSeq reserves the next vet sequence number.
+	NextSeq func() int64
+
+	// Obs books emulator reliability counters (emu.runs, emu.crashes,
+	// emu.fallbacks) per emulated completion.
+	Obs *obs.Collector
+
+	// Events and Seed shape the per-submission Monkey configuration.
+	Events int
+	Seed   int64
+
+	// Trees sizes the infer span's virtual cost.
+	Trees int
+}
+
+// MonkeyFor derives the Monkey configuration for one submission. The seed
+// mixes the deployment seed with the content digest, so a given archive
+// is exercised identically however often — and in whatever order — it is
+// submitted. That content-determinism is what makes a cached verdict
+// bit-identical to the emulation it memoizes, and parallel service lanes
+// bit-identical to a serial vet loop. A submission with no digest (an
+// undigestable payload) falls back to the sequence-derived seed.
+func (d *Deps) MonkeyFor(dig string, seq int64) monkey.Config {
+	seed := d.Seed ^ seq<<7
+	if dig != "" {
+		seed = d.Seed ^ int64(DigestSeed(dig))
+	}
+	mk := monkey.ProductionConfig(seed)
+	mk.Events = d.Events
+	return mk
+}
+
+// Admit validates the exactly-one-payload invariant and resolves the
+// content digest. It consumes no vet sequence number, so an invalid
+// submission leaves no trace in the accounting.
+type Admit struct{ D *Deps }
+
+func (Admit) Name() string { return StageAdmit }
+
+func (s Admit) Run(vc *VetContext) error {
+	if err := vc.Sub.Validate(); err != nil {
+		return err
+	}
+	vc.Digest = vc.Sub.ContentDigest()
+	vc.Seq = vc.Sub.Seq
+	return nil
+}
+
+// CacheLookup brackets the expensive stages with the digest-keyed verdict
+// cache: a hit answers without running them, a concurrent identical
+// submission coalesces onto the in-flight leader (singleflight), a miss
+// runs the rest of the chain and stores its result. With the cache
+// disabled or the payload undigestable the chain runs uncached
+// (OutcomeBypass).
+type CacheLookup struct{ D *Deps }
+
+func (CacheLookup) Name() string { return StageCacheLookup }
+
+func (s CacheLookup) Wrap(vc *VetContext, next func() error) error {
+	cache := s.D.Cache()
+	if cache == nil || vc.Digest == "" {
+		vc.Outcome = vcache.OutcomeBypass
+		if err := next(); err != nil {
+			vc.Span(0, vc.Outcome.String())
+			return err
+		}
+		vc.Span(0, vc.Outcome.String())
+		return nil
+	}
+	e, out, err := cache.Do(vc.Ctx, vc.Digest, func() (CachedVerdict, error) {
+		if err := next(); err != nil {
+			return CachedVerdict{}, err
+		}
+		return CachedVerdict{Verdict: *vc.Verdict, Vector: vc.Vector}, nil
+	})
+	vc.Outcome = out
+	vc.Span(0, out.String())
+	if err != nil {
+		return err
+	}
+	// Every caller gets its own Verdict copy — leaders included — so no
+	// two submissions ever share a result pointer.
+	v := e.Verdict
+	vc.Verdict = &v
+	vc.Vector = e.Vector
+	return nil
+}
+
+// Decode is the static half of the vet: it reserves the vet sequence
+// number, derives the content-seeded Monkey configuration, parses a raw
+// archive, and resolves the manifest view the feature extractor will
+// join the hook log against. Runs only when the cache did not answer.
+type Decode struct{ D *Deps }
+
+func (Decode) Name() string { return StageDecode }
+
+func (s Decode) Run(vc *VetContext) error {
+	if vc.Seq == 0 {
+		vc.Seq = s.D.NextSeq()
+	}
+	vc.Monkey = s.D.MonkeyFor(vc.Digest, vc.Seq)
+
+	sub := vc.Sub
+	switch {
+	case sub.Raw != nil:
+		parsed, err := apk.Parse(sub.Raw)
+		if err != nil {
+			return err
+		}
+		vc.Parsed = parsed
+		vc.Program = parsed.Program
+		vc.Manifest = parsed.Manifest
+		vc.MD5 = parsed.MD5
+		vc.Span(decodeBase+time.Duration(len(sub.Raw)/1024)*decodePerKiB, "raw")
+	case sub.Parsed != nil:
+		vc.Parsed = sub.Parsed
+		vc.Program = sub.Parsed.Program
+		vc.Manifest = sub.Parsed.Manifest
+		vc.MD5 = sub.Parsed.MD5
+		vc.Span(0, "parsed")
+	default:
+		vc.Program = sub.Program
+		m, err := sub.Program.Manifest(s.D.Universe())
+		if err != nil {
+			return err
+		}
+		vc.Manifest = m
+		vc.Span(manifestCost, "program")
+	}
+	return nil
+}
+
+// Emulate exercises the app and collects the hook log: raw archives run
+// the full adb device sequence on the checker's device; parsed/program
+// submissions run on a farm lane (and return it, even when the context
+// is cancelled mid-run). The span duration is the run's calibrated
+// virtual analysis time.
+type Emulate struct{ D *Deps }
+
+func (Emulate) Name() string { return StageEmulate }
+
+func (s Emulate) Run(vc *VetContext) error {
+	if vc.Sub.Raw != nil {
+		vr, err := s.D.RunRaw(vc)
+		if err != nil {
+			return err
+		}
+		vc.Run = vr.Run
+	} else {
+		res, err := s.D.Farm().RunContext(vc.Ctx, vc.Program, vc.Monkey)
+		if err != nil {
+			return err
+		}
+		vc.Run = res
+	}
+	s.book(vc.Run)
+	vc.Span(vc.Run.VirtualTime, vc.Run.Profile)
+	return nil
+}
+
+// book absorbs the emulator reliability accounting (§5.1) into obs:
+// crash-restarts, fallback re-runs, and completed emulations by engine.
+func (s Emulate) book(res *emulator.Result) {
+	if s.D.Obs == nil {
+		return
+	}
+	s.D.Obs.Counter("emu.runs").Inc()
+	s.D.Obs.Counter("emu.engine." + res.Profile).Inc()
+	if res.Crashed > 0 {
+		s.D.Obs.Counter("emu.crashes").Add(uint64(res.Crashed))
+		s.D.Obs.Counter("emu.crashed_submissions").Inc()
+	}
+	if res.FellBack {
+		s.D.Obs.Counter("emu.fallbacks").Inc()
+	}
+}
+
+// ExtractFeatures joins the hook log against the manifest into one A+P+I
+// feature vector.
+type ExtractFeatures struct{ D *Deps }
+
+func (ExtractFeatures) Name() string { return StageExtract }
+
+func (s ExtractFeatures) Run(vc *VetContext) error {
+	x, err := s.D.Extractor().Vector(vc.Run.Log, vc.Manifest)
+	if err != nil {
+		return err
+	}
+	vc.Vector = x
+	vc.Span(time.Duration(len(x))*extractPerFeature, "")
+	return nil
+}
+
+// Infer classifies the feature vector through the forest's coalescing
+// batch scorer and assembles the Verdict. It honours the submission
+// context: a deadline that survived emulation but expired before
+// classification surfaces here, attributed to this stage.
+type Infer struct{ D *Deps }
+
+func (Infer) Name() string { return StageInfer }
+
+func (s Infer) Run(vc *VetContext) error {
+	if err := vc.Ctx.Err(); err != nil {
+		return err
+	}
+	score := s.D.Score(vc.Vector)
+	p, res := vc.Program, vc.Run
+	pkg, version := p.PackageName, p.Version
+	if vc.Sub.Raw != nil && vc.Parsed != nil {
+		// Raw archives are identified by their parsed manifest, exactly as
+		// the device sequence reported them before the pipeline split
+		// decode from emulation.
+		pkg, version = vc.Parsed.PackageName(), vc.Parsed.VersionCode()
+	}
+	vc.Verdict = &Verdict{
+		Package:        pkg,
+		VersionCode:    version,
+		MD5:            vc.MD5,
+		Malicious:      score > 0,
+		Score:          score,
+		ScanTime:       res.VirtualTime,
+		OverallTime:    res.VirtualTime + FixedOverhead,
+		FellBack:       res.FellBack,
+		Crashes:        res.Crashed,
+		Engine:         res.Profile,
+		InvokedKeyAPIs: res.Log.DistinctInvoked(),
+	}
+	vc.Span(time.Duration(s.D.Trees)*inferPerTree, "")
+	return nil
+}
+
+// CacheStore writes a verdict computed outside the cache-lookup bracket
+// through to the cache (the VetRun path, which always emulates because
+// the raw run result is the point).
+type CacheStore struct{ D *Deps }
+
+func (CacheStore) Name() string { return StageCacheStore }
+
+func (s CacheStore) Run(vc *VetContext) error {
+	cache := s.D.Cache()
+	if cache == nil || vc.Digest == "" {
+		vc.Span(0, "skipped")
+		return nil
+	}
+	cache.Put(vc.Digest, CachedVerdict{Verdict: *vc.Verdict, Vector: vc.Vector})
+	vc.Span(0, "stored")
+	return nil
+}
+
+// VetChain assembles the canonical serving chain: Admit → CacheLookup →
+// Decode → Emulate → ExtractFeatures → Infer, with the three expensive
+// stages bracketed by the cache singleflight.
+func VetChain(col *obs.Collector, d *Deps) *Pipeline {
+	return New(col, Admit{d}, CacheLookup{d}, Decode{d}, Emulate{d}, ExtractFeatures{d}, Infer{d})
+}
+
+// RunChain assembles the always-emulate chain VetRun drives: no cache
+// lookup (the emulation result is the point), but the verdict still
+// writes through so subsequent Vets of the same content are served
+// without re-running.
+func RunChain(col *obs.Collector, d *Deps) *Pipeline {
+	return New(col, Admit{d}, Decode{d}, Emulate{d}, ExtractFeatures{d}, Infer{d}, CacheStore{d})
+}

@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"apichecker/internal/obs"
 )
 
 // Outcome classifies how one Do call was served.
@@ -88,22 +90,46 @@ type shard[V any] struct {
 
 // Cache is a sharded, epoch-aware LRU with singleflight computation.
 // The zero value is not usable; construct with New.
+//
+// The cache books its accounting as obs counters (vcache.hits,
+// vcache.misses, vcache.coalesced, vcache.evictions,
+// vcache.invalidations): Stats is a thin view over those handles, and a
+// cache built with NewObserved shares them with the rest of the vetting
+// system's observability spine.
 type Cache[V any] struct {
 	shards []shard[V]
 	epoch  atomic.Uint64
 
-	hits, misses, coalesced  atomic.Uint64
-	evictions, invalidations atomic.Uint64
+	hits, misses, coalesced  *obs.Counter
+	evictions, invalidations *obs.Counter
 }
 
 // New builds a cache bounded to roughly capacity entries (the bound is
 // enforced per shard). capacity <= 0 selects DefaultCapacity.
 func New[V any](capacity int) *Cache[V] {
+	return NewObserved[V](capacity, nil)
+}
+
+// NewObserved is New with the cache's counters registered on a shared
+// obs collector (nil keeps them private). The counters are authoritative
+// — Stats reads them back — so observers and the legacy snapshot can
+// never disagree.
+func NewObserved[V any](capacity int, col *obs.Collector) *Cache[V] {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
+	if col == nil {
+		col = obs.NewCollector()
+	}
 	n := shardCount(capacity)
-	c := &Cache[V]{shards: make([]shard[V], n)}
+	c := &Cache[V]{
+		shards:        make([]shard[V], n),
+		hits:          col.Counter("vcache.hits"),
+		misses:        col.Counter("vcache.misses"),
+		coalesced:     col.Counter("vcache.coalesced"),
+		evictions:     col.Counter("vcache.evictions"),
+		invalidations: col.Counter("vcache.invalidations"),
+	}
 	per := (capacity + n - 1) / n
 	for i := range c.shards {
 		c.shards[i] = shard[V]{

@@ -3,10 +3,11 @@ package vetsvc
 import (
 	"context"
 	"errors"
-	"sort"
-	"sync"
+	"strings"
+	"sync/atomic"
 
 	"apichecker/internal/core"
+	"apichecker/internal/obs"
 	"apichecker/internal/vcache"
 )
 
@@ -14,6 +15,12 @@ import (
 // latencies are in virtual-clock seconds (the calibrated emulation clock
 // the paper reports per-app scan cost in), so quantiles are deterministic
 // and host-speed independent.
+//
+// The snapshot is a thin view over the service's obs.Collector: every
+// counter below is an obs counter (svc.accepted, svc.timeouts,
+// svc.engine.<name>, …) and every distribution an obs distribution
+// (svc.scan.all/miss/hit), so attaching a Sink or reading
+// Service.Obs().Counters() observes exactly the numbers reported here.
 type Metrics struct {
 	// Admission counters.
 	Accepted uint64
@@ -79,74 +86,94 @@ type ScanStats struct {
 	P99   float64
 }
 
-// counters is the service-internal mutable state behind Metrics.
+// enginePrefix namespaces per-engine completion counters on the service
+// collector.
+const enginePrefix = "svc.engine."
+
+// counters holds the service's obs handles: monotonic counters and scan
+// distributions live on the collector (shared with any attached sinks);
+// only the in-flight gauge stays local (it decrements, which a monotonic
+// obs counter cannot).
 type counters struct {
-	mu sync.Mutex
+	col *obs.Collector
 
-	accepted, rejected                  uint64
-	completed, timeouts, cancel, failed uint64
-	hits, misses, coalesced, bypass     uint64
-	crashes, crashedSubs, fallbacks     uint64
-	engines                             map[string]uint64
-	scans                               []float64 // all completions, virtual seconds
-	missScans                           []float64 // emulated completions only
-	hitScans                            []float64 // cache-served completions only
-	inFlight                            int
+	accepted, rejected                  *obs.Counter
+	completed, timeouts, cancel, failed *obs.Counter
+	hits, misses, coalesced, bypass     *obs.Counter
+	crashes, crashedSubs, fallbacks     *obs.Counter
+
+	scans     *obs.Distribution // all completions, virtual seconds
+	missScans *obs.Distribution // emulated completions only
+	hitScans  *obs.Distribution // cache-served completions only
+
+	inFlight atomic.Int64
 }
 
-func (c *counters) bump(field *uint64) {
-	c.mu.Lock()
-	*field++
-	c.mu.Unlock()
+// newCounters resolves the service's counter and distribution handles on
+// its collector.
+func newCounters(col *obs.Collector) counters {
+	return counters{
+		col:         col,
+		accepted:    col.Counter("svc.accepted"),
+		rejected:    col.Counter("svc.rejected"),
+		completed:   col.Counter("svc.completed"),
+		timeouts:    col.Counter("svc.timeouts"),
+		cancel:      col.Counter("svc.canceled"),
+		failed:      col.Counter("svc.failed"),
+		hits:        col.Counter("svc.cache.hits"),
+		misses:      col.Counter("svc.cache.misses"),
+		coalesced:   col.Counter("svc.cache.coalesced"),
+		bypass:      col.Counter("svc.cache.bypass"),
+		crashes:     col.Counter("svc.crashes"),
+		crashedSubs: col.Counter("svc.crashed_submissions"),
+		fallbacks:   col.Counter("svc.fallbacks"),
+		scans:       col.Distribution("svc.scan.all"),
+		missScans:   col.Distribution("svc.scan.miss"),
+		hitScans:    col.Distribution("svc.scan.hit"),
+	}
 }
 
-func (c *counters) startJob() {
-	c.mu.Lock()
-	c.inFlight++
-	c.mu.Unlock()
-}
+func (c *counters) startJob() { c.inFlight.Add(1) }
 
 // finishJob books one settled submission.
 func (c *counters) finishJob(v *core.Verdict, err error, out vcache.Outcome) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.inFlight--
+	c.inFlight.Add(-1)
 	switch {
 	case err == nil:
-		c.completed++
+		c.completed.Inc()
 		sec := v.ScanTime.Seconds()
-		c.scans = append(c.scans, sec)
+		c.scans.Observe(sec)
 		switch out {
 		case vcache.OutcomeHit:
-			c.hits++
+			c.hits.Inc()
 		case vcache.OutcomeCoalesced:
-			c.coalesced++
+			c.coalesced.Inc()
 		case vcache.OutcomeMiss:
-			c.misses++
+			c.misses.Inc()
 		default:
-			c.bypass++
+			c.bypass.Inc()
 		}
 		if out.Served() {
-			c.hitScans = append(c.hitScans, sec)
+			c.hitScans.Observe(sec)
 			return // no emulation happened; reliability already booked by the leader
 		}
-		c.missScans = append(c.missScans, sec)
-		c.crashes += uint64(v.Crashes)
+		c.missScans.Observe(sec)
 		if v.Crashes > 0 {
-			c.crashedSubs++
+			c.crashes.Add(uint64(v.Crashes))
+			c.crashedSubs.Inc()
 		}
 		if v.FellBack {
-			c.fallbacks++
+			c.fallbacks.Inc()
 		}
 		if v.Engine != "" {
-			c.engines[v.Engine]++
+			c.col.Counter(enginePrefix + v.Engine).Inc()
 		}
 	case errors.Is(err, core.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
-		c.timeouts++
+		c.timeouts.Inc()
 	case errors.Is(err, context.Canceled):
-		c.cancel++
+		c.cancel.Inc()
 	default:
-		c.failed++
+		c.failed.Inc()
 	}
 }
 
@@ -154,36 +181,33 @@ func (c *counters) finishJob(v *core.Verdict, err error, out vcache.Outcome) {
 // sorted copy of the completed-scan samples (nearest-rank).
 func (s *Service) Metrics() Metrics {
 	c := &s.m
-	c.mu.Lock()
 	m := Metrics{
-		Accepted:           c.accepted,
-		Rejected:           c.rejected,
-		Completed:          c.completed,
-		Timeouts:           c.timeouts,
-		Canceled:           c.cancel,
-		Failed:             c.failed,
-		CacheHits:          c.hits,
-		CacheMisses:        c.misses,
-		CacheCoalesced:     c.coalesced,
-		CacheBypass:        c.bypass,
-		Crashes:            c.crashes,
-		CrashedSubmissions: c.crashedSubs,
-		Fallbacks:          c.fallbacks,
-		EngineRuns:         make(map[string]uint64, len(c.engines)),
-		InFlight:           c.inFlight,
+		Accepted:           c.accepted.Load(),
+		Rejected:           c.rejected.Load(),
+		Completed:          c.completed.Load(),
+		Timeouts:           c.timeouts.Load(),
+		Canceled:           c.cancel.Load(),
+		Failed:             c.failed.Load(),
+		CacheHits:          c.hits.Load(),
+		CacheMisses:        c.misses.Load(),
+		CacheCoalesced:     c.coalesced.Load(),
+		CacheBypass:        c.bypass.Load(),
+		Crashes:            c.crashes.Load(),
+		CrashedSubmissions: c.crashedSubs.Load(),
+		Fallbacks:          c.fallbacks.Load(),
+		EngineRuns:         make(map[string]uint64),
+		InFlight:           int(c.inFlight.Load()),
 	}
-	for k, v := range c.engines {
-		m.EngineRuns[k] = v
+	for name, n := range c.col.Counters() {
+		if eng, ok := strings.CutPrefix(name, enginePrefix); ok {
+			m.EngineRuns[eng] = n
+		}
 	}
-	scans := append([]float64(nil), c.scans...)
-	missScans := append([]float64(nil), c.missScans...)
-	hitScans := append([]float64(nil), c.hitScans...)
-	c.mu.Unlock()
 	m.QueueDepth = len(s.queue)
 
-	m.MissScan = newScanStats(missScans)
-	m.HitScan = newScanStats(hitScans)
-	if len(scans) > 0 {
+	m.MissScan = newScanStats(c.missScans.Snapshot())
+	m.HitScan = newScanStats(c.hitScans.Snapshot())
+	if scans := c.scans.Snapshot(); len(scans) > 0 {
 		all := newScanStats(scans)
 		m.ScanMean, m.ScanP50, m.ScanP95, m.ScanP99 = all.Mean, all.P50, all.P95, all.P99
 	}
@@ -193,34 +217,9 @@ func (s *Service) Metrics() Metrics {
 // newScanStats summarizes one latency sample set; samples are sorted in
 // place.
 func newScanStats(samples []float64) ScanStats {
-	if len(samples) == 0 {
-		return ScanStats{}
-	}
-	var sum float64
-	for _, v := range samples {
-		sum += v
-	}
-	sort.Float64s(samples)
-	return ScanStats{
-		Count: uint64(len(samples)),
-		Mean:  sum / float64(len(samples)),
-		P50:   quantile(samples, 0.50),
-		P95:   quantile(samples, 0.95),
-		P99:   quantile(samples, 0.99),
-	}
+	d := obs.Summarize(samples)
+	return ScanStats{Count: d.Count, Mean: d.Mean, P50: d.P50, P95: d.P95, P99: d.P99}
 }
 
 // quantile is the nearest-rank quantile of a sorted sample.
-func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	rank := int(q*float64(len(sorted))+0.5) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
-	}
-	return sorted[rank]
-}
+func quantile(sorted []float64, q float64) float64 { return obs.Quantile(sorted, q) }

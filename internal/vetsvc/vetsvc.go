@@ -37,6 +37,7 @@ import (
 
 	"apichecker/internal/core"
 	"apichecker/internal/emulator"
+	"apichecker/internal/obs"
 	"apichecker/internal/parallel"
 )
 
@@ -70,6 +71,9 @@ type Config struct {
 	// OnEvent, when set, receives a structured event per admission
 	// decision and completion. Called synchronously from service
 	// goroutines: keep it fast and do not call back into the service.
+	// It rides the service's obs spine: the callback is registered as a
+	// Sink on the service collector, so it sees exactly the events any
+	// other attached sink does.
 	OnEvent func(Event)
 }
 
@@ -181,11 +185,14 @@ func New(ck *core.Checker, cfg Config) *Service {
 		queue:       make(chan *job, cfg.QueueSize),
 		slots:       make(chan struct{}, cfg.QueueSize),
 		workersDone: make(chan struct{}),
+		m:           newCounters(obs.NewCollector()),
 	}
 	for i := 0; i < cfg.QueueSize; i++ {
 		s.slots <- struct{}{}
 	}
-	s.m.engines = make(map[string]uint64)
+	if cfg.OnEvent != nil {
+		s.m.col.AddSink(eventSink(cfg.OnEvent))
+	}
 	go func() {
 		// The worker pool is internal/parallel's bounded primitive: one
 		// index per lane, each looping over the shared queue until close.
@@ -198,6 +205,13 @@ func New(ck *core.Checker, cfg Config) *Service {
 // Checker returns the checker the service vets with.
 func (s *Service) Checker() *core.Checker { return s.ck }
 
+// Obs returns the service's observability collector: admission/completion
+// counters (svc.*), scan-latency distributions, and the service-event
+// stream. Each service owns its collector — a rebuilt service starts from
+// zero, exactly as its Metrics always have. Attach a Sink to stream
+// lifecycle events.
+func (s *Service) Obs() *obs.Collector { return s.m.col }
+
 // Config returns the effective (clamped) configuration.
 func (s *Service) Config() Config { return s.cfg }
 
@@ -208,7 +222,7 @@ func (s *Service) Submit(ctx context.Context, sub core.Submission) (*Ticket, err
 	select {
 	case <-s.slots:
 	default:
-		s.m.bump(&s.m.rejected)
+		s.m.rejected.Inc()
 		s.emit(Event{Type: EventRejected, Package: pkgOf(sub), Err: ErrQueueFull})
 		return nil, fmt.Errorf("vet %s: %w", pkgOf(sub), ErrQueueFull)
 	}
@@ -259,7 +273,7 @@ func (s *Service) admit(ctx context.Context, sub core.Submission) (*Ticket, erro
 	s.queue <- &job{sub: sub, ctx: jctx, cancel: cancel, t: t}
 	s.mu.Unlock()
 
-	s.m.bump(&s.m.accepted)
+	s.m.accepted.Inc()
 	s.emit(Event{Type: EventAccepted, Seq: t.seq, Package: t.pkg})
 	return t, nil
 }
@@ -351,10 +365,41 @@ func (s *Service) Close() {
 	<-s.workersDone
 }
 
+// emit routes one lifecycle event through the service's obs collector;
+// registered sinks (including the OnEvent adapter) receive it from there.
 func (s *Service) emit(ev Event) {
-	if s.cfg.OnEvent != nil {
-		s.cfg.OnEvent(ev)
-	}
+	s.m.col.Emit(obs.Event{
+		Kind:    obs.KindService,
+		Name:    ev.Type.String(),
+		Trace:   ev.Seq,
+		Package: ev.Package,
+		Dur:     ev.Scan,
+		Err:     ev.Err,
+	})
+}
+
+// eventSink adapts a legacy OnEvent callback to the obs Sink interface,
+// reconstructing the service Event from the structured record.
+func eventSink(fn func(Event)) obs.Sink {
+	return obs.SinkFunc(func(oe obs.Event) {
+		if oe.Kind != obs.KindService {
+			return
+		}
+		var t EventType
+		switch oe.Name {
+		case "accepted":
+			t = EventAccepted
+		case "rejected":
+			t = EventRejected
+		case "started":
+			t = EventStarted
+		case "done":
+			t = EventDone
+		default:
+			return
+		}
+		fn(Event{Type: t, Seq: oe.Trace, Package: oe.Package, Scan: oe.Dur, Err: oe.Err})
+	})
 }
 
 func pkgOf(sub core.Submission) string { return sub.PackageName() }
