@@ -32,6 +32,15 @@
 //	ticket, _ := svc.Submit(ctx, apichecker.Submission{Raw: apkBytes})
 //	verdict, _ := ticket.Wait(ctx)
 //
+// For the §5.3 model-evolution loop, persist trained models to a versioned
+// on-disk registry and retrain in the background with gated promotion:
+//
+//	reg, _ := apichecker.OpenModelRegistry(dir)
+//	mgr := apichecker.NewLifecycleManager(checker, reg, apichecker.DefaultGateConfig())
+//	mgr.Snapshot("initial")                  // persist the serving model
+//	checker, _, _ = apichecker.ColdStart(reg) // later: restart from disk
+//	res, _ := mgr.Evolve(ctx, refreshed)      // retrain, shadow-score, hot-swap
+//
 // See the examples/ directory for runnable scenarios and DESIGN.md for the
 // system inventory.
 package apichecker
@@ -46,8 +55,10 @@ import (
 	"apichecker/internal/emulator"
 	"apichecker/internal/features"
 	"apichecker/internal/framework"
+	"apichecker/internal/lifecycle"
 	"apichecker/internal/market"
 	"apichecker/internal/ml"
+	"apichecker/internal/modelstore"
 	"apichecker/internal/obs"
 	"apichecker/internal/pipeline"
 	"apichecker/internal/vcache"
@@ -130,6 +141,38 @@ type (
 	// (VetMiss/VetBypass) or served from the verdict cache
 	// (VetHit/VetCoalesced). Returned by Checker.VetOutcome.
 	VetOutcome = vcache.Outcome
+
+	// GenerationInfo identifies the model generation currently serving
+	// vets (Checker.Generation); Verdict.Generation attributes each
+	// verdict to the generation that produced it.
+	GenerationInfo = core.GenerationInfo
+
+	// ModelRegistry is the versioned on-disk store of model generations:
+	// content-addressed artifacts plus manifests plus a current pointer.
+	ModelRegistry = modelstore.Registry
+	// ModelArtifact is one deterministic, self-contained model encoding.
+	ModelArtifact = modelstore.Artifact
+	// ModelManifest is a registry entry's provenance record.
+	ModelManifest = modelstore.Manifest
+	// ModelQuality is the shadow-evaluation scorecard stored with a
+	// promoted generation.
+	ModelQuality = modelstore.Quality
+
+	// LifecycleManager drives snapshot, cold-start, gated evolution,
+	// hot-swap promotion, and rollback over one checker and registry.
+	LifecycleManager = lifecycle.Manager
+	// GateConfig sets the promotion quality gates.
+	GateConfig = lifecycle.GateConfig
+	// ShadowReport compares challenger vs champion on the held-out slice.
+	ShadowReport = lifecycle.ShadowReport
+	// EvolveResult is one evolution round's outcome.
+	EvolveResult = lifecycle.EvolveResult
+	// LifecycleState is a manager observability snapshot.
+	LifecycleState = lifecycle.State
+	// EvolveRunner retrains in the background, off the serving path.
+	EvolveRunner = lifecycle.Runner
+	// EvolveRunnerConfig shapes the background runner.
+	EvolveRunnerConfig = lifecycle.RunnerConfig
 
 	// Market simulates T-Market's review process.
 	Market = market.Market
@@ -265,6 +308,17 @@ var (
 	// ErrDeadlineExceeded: the per-submission vet deadline expired; wraps
 	// context.DeadlineExceeded.
 	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+
+	// ErrGateFailed: an evolution round's challenger failed the promotion
+	// quality gates; the champion keeps serving.
+	ErrGateFailed = lifecycle.ErrGateFailed
+	// ErrModelNotFound: the registry has no generation with that digest.
+	ErrModelNotFound = modelstore.ErrNotFound
+	// ErrNoCurrentModel: the registry has no current generation to
+	// cold-start from.
+	ErrNoCurrentModel = modelstore.ErrNoCurrent
+	// ErrCorruptModel: a stored artifact or manifest failed validation.
+	ErrCorruptModel = modelstore.ErrCorruptArtifact
 )
 
 // NewUniverse generates a framework universe with numAPIs APIs. Use
@@ -342,3 +396,31 @@ func DefaultVetServiceConfig() VetServiceConfig { return vetsvc.DefaultConfig() 
 // bound to the (matching) universe — the §5.4 distribution path by which
 // large markets share trained models with smaller ones.
 func ImportModel(r io.Reader, u *Universe) (*Checker, error) { return core.Import(r, u) }
+
+// OpenModelRegistry opens (or creates) a versioned model registry rooted
+// at dir.
+func OpenModelRegistry(dir string) (*ModelRegistry, error) { return modelstore.Open(dir) }
+
+// NewLifecycleManager binds a serving checker to a registry under the
+// given promotion gates.
+func NewLifecycleManager(ck *Checker, reg *ModelRegistry, gates GateConfig) *LifecycleManager {
+	return lifecycle.NewManager(ck, reg, gates)
+}
+
+// DefaultGateConfig is the conservative promotion policy: a challenger may
+// not drop F1 or AUC by more than 5 points against the champion on the
+// held-out slice.
+func DefaultGateConfig() GateConfig { return lifecycle.DefaultGateConfig() }
+
+// ColdStart builds a serving checker from the registry's current
+// generation — the restart path: no retraining, bit-identical verdicts to
+// the process that snapshotted the model.
+func ColdStart(reg *ModelRegistry) (*Checker, ModelManifest, error) {
+	return lifecycle.ColdStart(reg)
+}
+
+// StartEvolveRunner launches the background evolution runner: rounds train
+// off the serving path and promote via atomic hot-swap.
+func StartEvolveRunner(m *LifecycleManager, cfg EvolveRunnerConfig) *EvolveRunner {
+	return lifecycle.StartRunner(m, cfg)
+}

@@ -24,8 +24,10 @@ import (
 	"apichecker/internal/features"
 	"apichecker/internal/framework"
 	"apichecker/internal/hook"
+	"apichecker/internal/lifecycle"
 	"apichecker/internal/market"
 	"apichecker/internal/ml"
+	"apichecker/internal/modelstore"
 	"apichecker/internal/monkey"
 	"apichecker/internal/vetsvc"
 )
@@ -791,6 +793,42 @@ func BenchmarkPredictPerRow(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(xs)), "rows/op")
+}
+
+// BenchmarkLifecyclePromotion measures one full background-evolution
+// round against a live serving checker: train a challenger on the
+// refreshed corpus, shadow-score it against the champion on the held-out
+// slice, persist it to the on-disk registry, and hot-swap it in. The
+// promotion and generation counts land as custom metrics so CI folds the
+// lifecycle record into BENCH_serving.json.
+func BenchmarkLifecyclePromotion(b *testing.B) {
+	e := env(b)
+	ck, _, err := core.TrainFromCorpus(e.Corpus, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg, err := modelstore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := lifecycle.NewManager(ck, reg, lifecycle.GateConfig{
+		MaxF1Drop: 1, MaxAUCDrop: 1, MinHoldout: 10,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.Evolve(context.Background(), e.Corpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Promoted {
+			b.Fatalf("round %d not promoted: %s", i, res.Shadow.Reason)
+		}
+	}
+	b.StopTimer()
+	st := m.State()
+	b.ReportMetric(float64(st.Promotions), "promotions")
+	b.ReportMetric(float64(ck.Generation().ID), "generation")
+	b.ReportMetric(float64(st.LastShadow.Holdout), "holdout-apps")
 }
 
 // silence unused-import complaints if metrics change shape later

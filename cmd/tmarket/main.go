@@ -10,10 +10,20 @@
 // With -serve, tmarket instead runs one submission batch through the
 // always-on vetting service (bounded queue, worker-pool lanes, deadlines)
 // and reports the service metrics — the online deployment shape of §5.2.
+//
+// With -model-dir, the serving model lives in a versioned on-disk registry:
+// -snapshot trains and persists a generation, -serve cold-starts from the
+// registry's current generation (training one only when the registry is
+// empty), and -evolve retrains in the background mid-batch and hot-swaps
+// the challenger in when it passes the promotion gates (§5.3):
+//
+//	tmarket -model-dir ./models -snapshot
+//	tmarket -model-dir ./models -serve -evolve
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -42,6 +52,10 @@ func main() {
 		dup      = flag.Int("dup", 1, "submit each -serve app this many times (duplicate-heavy workloads exercise the verdict cache)")
 		trace    = flag.Bool("trace", false, "stream per-submission pipeline spans and print the per-stage latency table (-serve only)")
 
+		modelDir = flag.String("model-dir", "", "versioned model registry directory; -serve cold-starts from its current generation")
+		snapshot = flag.Bool("snapshot", false, "train a model, persist it to -model-dir, and exit")
+		evolve   = flag.Bool("evolve", false, "retrain in the background during the -serve batch and hot-swap on gated promotion (requires -model-dir)")
+
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -56,18 +70,30 @@ func main() {
 		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
+	if (*snapshot || *evolve) && *modelDir == "" {
+		fail(fmt.Errorf("-snapshot and -evolve require -model-dir"))
+	}
 	u, err := apichecker.NewUniverse(*apis, *seed)
 	if err != nil {
 		fail(err)
 	}
+	if *snapshot {
+		if err := runSnapshot(u, *seed, *initial, *modelDir); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *serve {
-		if err := runService(u, *seed, *initial, *monthly, *workers, *queue, *vcap, *dup, *deadline, *trace); err != nil {
+		if err := runService(u, *seed, *initial, *monthly, *workers, *queue, *vcap, *dup, *deadline, *trace, *modelDir, *evolve); err != nil {
 			fail(err)
 		}
 		return
 	}
 	if *trace {
 		fmt.Fprintln(os.Stderr, "tmarket: -trace only applies with -serve")
+	}
+	if *evolve {
+		fmt.Fprintln(os.Stderr, "tmarket: -evolve only applies with -serve")
 	}
 	cfg := apichecker.DefaultYearConfig()
 	cfg.Seed = *seed
@@ -103,23 +129,80 @@ func main() {
 	fmt.Printf("total manual-analysis effort: %.0f analyst-hours\n", manualTotal/60)
 }
 
-// runService is the -serve path: train once, then vet one batch of
-// submissions through the always-on service and print its metrics. With
-// trace, the checker's obs spine streams one line per completed pipeline
-// stage and the per-stage latency table follows the metrics.
-func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, queue, vcap, dup int, deadline time.Duration, trace bool) error {
+// runSnapshot is the -snapshot path: train once and persist the model to
+// the registry as the current generation.
+func runSnapshot(u *apichecker.Universe, seed int64, initial int, modelDir string) error {
 	training, err := apichecker.NewCorpus(u, initial, seed)
 	if err != nil {
 		return err
 	}
-	ccfg := apichecker.DefaultConfig()
-	ccfg.VerdictCache = vcap
-	checker, rep, err := apichecker.Train(training, ccfg)
+	checker, rep, err := apichecker.Train(training, apichecker.DefaultConfig())
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trained on %d apps (%d key APIs); starting vetting service\n",
-		initial, rep.KeyAPIs)
+	reg, err := apichecker.OpenModelRegistry(modelDir)
+	if err != nil {
+		return err
+	}
+	mgr := apichecker.NewLifecycleManager(checker, reg, apichecker.DefaultGateConfig())
+	dig, err := mgr.Snapshot("tmarket -snapshot")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d apps (%d key APIs)\n", initial, rep.KeyAPIs)
+	fmt.Printf("snapshotted generation %s to %s\n", shortDigest(dig), modelDir)
+	return nil
+}
+
+// runService is the -serve path: obtain a model (cold-started from the
+// registry when -model-dir has one, trained otherwise), then vet one batch
+// of submissions through the always-on service and print its metrics. With
+// trace, the checker's obs spine streams one line per completed pipeline
+// stage and the per-stage latency table follows the metrics. With evolve,
+// a background runner retrains mid-batch and hot-swaps on promotion.
+func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, queue, vcap, dup int, deadline time.Duration, trace bool, modelDir string, evolve bool) error {
+	var (
+		checker *apichecker.Checker
+		mgr     *apichecker.LifecycleManager
+	)
+	if modelDir != "" {
+		reg, err := apichecker.OpenModelRegistry(modelDir)
+		if err != nil {
+			return err
+		}
+		cold, man, err := apichecker.ColdStart(reg)
+		switch {
+		case err == nil:
+			checker = cold
+			fmt.Printf("cold-started generation %s from %s (created %s)\n",
+				shortDigest(man.Digest), modelDir, man.CreatedAt.Format(time.RFC3339))
+			mgr = apichecker.NewLifecycleManager(checker, reg, apichecker.DefaultGateConfig())
+		case errors.Is(err, apichecker.ErrNoCurrentModel):
+			// Empty registry: train a first generation and seed it.
+			ck, rep, err := trainChecker(u, seed, initial, vcap)
+			if err != nil {
+				return err
+			}
+			checker = ck
+			mgr = apichecker.NewLifecycleManager(checker, reg, apichecker.DefaultGateConfig())
+			dig, err := mgr.Snapshot("tmarket -serve initial")
+			if err != nil {
+				return err
+			}
+			fmt.Printf("trained on %d apps (%d key APIs); snapshotted generation %s to %s\n",
+				initial, rep.KeyAPIs, shortDigest(dig), modelDir)
+		default:
+			return err
+		}
+	} else {
+		ck, rep, err := trainChecker(u, seed, initial, vcap)
+		if err != nil {
+			return err
+		}
+		checker = ck
+		fmt.Printf("trained on %d apps (%d key APIs); starting vetting service\n",
+			initial, rep.KeyAPIs)
+	}
 	if trace {
 		var mu sync.Mutex
 		checker.Obs().AddSink(apichecker.ObsSinkFunc(func(ev apichecker.ObsEvent) {
@@ -146,7 +229,10 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 	})
 	defer svc.Close()
 
-	batch, err := apichecker.NewCorpus(u, monthly, seed+101)
+	// Corpora are generated over the serving checker's universe so a
+	// cold-started model vets programs from the framework it was trained
+	// against (the registry replays the universe bit-identically).
+	batch, err := apichecker.NewCorpus(checker.Universe(), monthly, seed+101)
 	if err != nil {
 		return err
 	}
@@ -159,10 +245,47 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 			subs = append(subs, apichecker.Submission{Program: batch.Program(i)})
 		}
 	}
+
+	// With evolve, retrain in the background while the batch is being
+	// vetted: promotion hot-swaps the serving model mid-stream.
+	var evolveDone chan *apichecker.EvolveResult
+	if evolve {
+		refreshed, err := apichecker.NewCorpus(checker.Universe(), initial+monthly, seed+202)
+		if err != nil {
+			return err
+		}
+		evolveDone = make(chan *apichecker.EvolveResult, 1)
+		runner := apichecker.StartEvolveRunner(mgr, apichecker.EvolveRunnerConfig{
+			Corpus: func(context.Context) (*apichecker.Corpus, error) { return refreshed, nil },
+			OnResult: func(res *apichecker.EvolveResult, err error) {
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "tmarket: evolution round:", err)
+				}
+				evolveDone <- res
+			},
+		})
+		defer runner.Stop()
+		runner.Trigger()
+		fmt.Printf("background evolution started on %d refreshed apps\n", refreshed.Len())
+	}
+
 	start := time.Now()
 	verdicts, err := svc.VetBatch(context.Background(), subs)
 	if err != nil {
 		return err
+	}
+
+	if evolveDone != nil {
+		res := <-evolveDone
+		if res != nil {
+			if res.Promoted {
+				fmt.Printf("evolution promoted generation %d (%s): challenger F1 %.3f vs champion %.3f on %d held-out apps\n",
+					res.Generation.ID, shortDigest(res.Digest),
+					res.Shadow.Challenger.F1, res.Shadow.Champion.F1, res.Shadow.Holdout)
+			} else {
+				fmt.Printf("evolution rejected the challenger: %s\n", res.Shadow.Reason)
+			}
+		}
 	}
 	flagged := 0
 	for _, v := range verdicts {
@@ -194,6 +317,21 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 	}
 	fmt.Printf("  scan latency (virtual): mean %.1fs  p50 %.1fs  p95 %.1fs  p99 %.1fs\n",
 		m.ScanMean, m.ScanP50, m.ScanP95, m.ScanP99)
+	fmt.Printf("  model: generation %d", m.ModelGeneration)
+	if m.ModelDigest != "" {
+		fmt.Printf(" (%s)", shortDigest(m.ModelDigest))
+	}
+	fmt.Printf(", %d hot-swaps\n", m.ModelSwaps)
+	if mgr != nil {
+		st := mgr.State()
+		if !st.LastPromotion.IsZero() {
+			fmt.Printf("  last promotion: %s\n", st.LastPromotion.Format(time.RFC3339))
+		}
+		if sh := st.LastShadow; sh != nil {
+			fmt.Printf("  last shadow eval: challenger F1 %.3f / AUC %.3f, champion F1 %.3f / AUC %.3f (n=%d)\n",
+				sh.Challenger.F1, sh.Challenger.AUC, sh.Champion.F1, sh.Champion.AUC, sh.Holdout)
+		}
+	}
 	if trace {
 		fmt.Printf("\n  pipeline stages (virtual seconds):\n")
 		fmt.Printf("  %-14s %6s %6s %9s %9s %9s %9s\n",
@@ -204,6 +342,25 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 		}
 	}
 	return nil
+}
+
+// trainChecker trains a fresh serving checker on an initial corpus.
+func trainChecker(u *apichecker.Universe, seed int64, initial, vcap int) (*apichecker.Checker, *apichecker.TrainReport, error) {
+	training, err := apichecker.NewCorpus(u, initial, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	ccfg := apichecker.DefaultConfig()
+	ccfg.VerdictCache = vcap
+	return apichecker.Train(training, ccfg)
+}
+
+// shortDigest abbreviates a registry digest for display.
+func shortDigest(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	return d
 }
 
 func minKeys(rep *apichecker.YearReport) int {

@@ -1,42 +1,160 @@
-// Evolution: run the month-by-month deployment loop of §5.3 — monthly
-// submissions, accumulated market labels, periodic SDK releases adding new
-// framework APIs, and monthly retraining with fresh key-API selection.
-// This is the workflow behind Figures 12 and 14.
+// Evolution: the model lifecycle behind §5.3's monthly retraining, run
+// end-to-end against the versioned on-disk registry — train, snapshot,
+// cold-start a fresh serving process from disk, serve under load, retrain
+// in the background with gated promotion and an atomic hot-swap, roll back
+// to the previous generation, and list the registry's lineage.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"apichecker"
 )
 
 func main() {
+	// 1. Train an initial model and persist it as the root generation.
 	u, err := apichecker.NewUniverse(6000, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := apichecker.DefaultYearConfig()
-	cfg.Months = 6
-	cfg.InitialApps = 900
-	cfg.MonthlyApps = 220
-	cfg.SDKEveryMonths = 3
-
-	fmt.Printf("simulating %d months of deployment (initial corpus %d apps, %d submissions/month)\n\n",
-		cfg.Months, cfg.InitialApps, cfg.MonthlyApps)
-	report, err := apichecker.RunYear(u, cfg)
+	corpus, err := apichecker.NewCorpus(u, 600, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer, report, err := apichecker.Train(corpus, apichecker.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%6s %10s %8s %9s %9s %8s\n", "Month", "Precision", "Recall", "Flagged", "KeyAPIs", "Manual")
-	for _, m := range report.Months {
-		fmt.Printf("%6d %9.1f%% %7.1f%% %9d %9d %7.0fm\n",
-			m.Month, 100*m.Precision(), 100*m.Recall(), m.Flagged, m.KeyAPIs, m.ManualMinutes)
+	dir, err := os.MkdirTemp("", "apichecker-registry-*")
+	if err != nil {
+		log.Fatal(err)
 	}
-	pMin, pMax, rMin, rMax := report.MinMaxPrecisionRecall()
-	fmt.Printf("\nprecision band %.1f%%-%.1f%%, recall band %.1f%%-%.1f%% (initial key set: %d APIs)\n",
-		100*pMin, 100*pMax, 100*rMin, 100*rMax, report.InitialKeyAPIs)
-	fmt.Println("the key-API count drifts a few entries per month while detection quality stays level —")
-	fmt.Println("the paper's Fig. 14 observes 425-432 keys over a year at 50K-API scale.")
+	defer os.RemoveAll(dir)
+	reg, err := apichecker.OpenModelRegistry(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, err := apichecker.NewLifecycleManager(trainer, reg, apichecker.DefaultGateConfig()).
+		Snapshot("initial model")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d apps (%d key APIs), snapshotted as %s\n",
+		corpus.Len(), report.KeyAPIs, root[:12])
+
+	// 2. Cold-start a serving process from nothing but the registry: the
+	// artifact replays the framework universe and model bit-identically.
+	checker, manifest, err := apichecker.ColdStart(reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold-started generation %d from digest %s\n",
+		checker.Generation().ID, manifest.Digest[:12])
+
+	svc := apichecker.NewVetService(checker, apichecker.VetServiceConfig{Workers: 4})
+	defer svc.Close()
+
+	batch, err := apichecker.NewCorpus(checker.Universe(), 120, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	subs := make([]apichecker.Submission, batch.Len())
+	for i := range subs {
+		subs[i] = apichecker.Submission{Program: batch.Program(i)}
+	}
+	verdicts, err := svc.VetBatch(context.Background(), subs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flagged := 0
+	for _, v := range verdicts {
+		if v.Malicious {
+			flagged++
+		}
+	}
+	fmt.Printf("served %d submissions on generation %d (%d flagged)\n\n",
+		len(verdicts), verdicts[0].Generation, flagged)
+
+	// 3. A month passes: retrain on the refreshed corpus in the
+	// background. The challenger shadow-scores against the champion on a
+	// held-out slice; promotion is an atomic hot-swap — in-flight vets
+	// finish on the generation they started on.
+	mgr := apichecker.NewLifecycleManager(checker, reg, apichecker.DefaultGateConfig())
+	refreshed, err := apichecker.NewCorpus(checker.Universe(), 700, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan *apichecker.EvolveResult, 1)
+	runner := apichecker.StartEvolveRunner(mgr, apichecker.EvolveRunnerConfig{
+		Corpus: func(context.Context) (*apichecker.Corpus, error) { return refreshed, nil },
+		OnResult: func(res *apichecker.EvolveResult, err error) {
+			if err != nil {
+				log.Fatal(err)
+			}
+			done <- res
+		},
+	})
+	runner.Trigger()
+
+	// The service keeps answering while the challenger trains.
+	if _, err := svc.VetBatch(context.Background(), subs); err != nil {
+		log.Fatal(err)
+	}
+	res := <-done
+	runner.Stop()
+	if !res.Promoted {
+		log.Fatalf("challenger rejected: %s", res.Shadow.Reason)
+	}
+	fmt.Printf("promoted generation %d (%s)\n", res.Generation.ID, res.Digest[:12])
+	fmt.Printf("  shadow eval on %d held-out apps: challenger F1 %.3f / AUC %.3f vs champion F1 %.3f / AUC %.3f\n",
+		res.Shadow.Holdout, res.Shadow.Challenger.F1, res.Shadow.Challenger.AUC,
+		res.Shadow.Champion.F1, res.Shadow.Champion.AUC)
+
+	after, err := svc.VetBatch(context.Background(), subs[:8])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service now answers on generation %d\n\n", after[0].Generation)
+
+	// 4. The new model misbehaves in production? Rollback is explicit:
+	// restore the prior generation from the registry (another hot-swap —
+	// the verdict cache epoch advances, nothing is retrained).
+	gen, err := mgr.Rollback(root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rolled, err := svc.VetBatch(context.Background(), subs[:8])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rolled back to %s; serving generation %d again\n\n", gen.Digest[:12], rolled[0].Generation)
+
+	// 5. The registry keeps the full lineage on disk.
+	entries, err := reg.List()
+	if err != nil {
+		log.Fatal(err)
+	}
+	current, err := reg.CurrentDigest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("registry lineage:")
+	for _, m := range entries {
+		marker := " "
+		if m.Digest == current {
+			marker = "*"
+		}
+		parent := "-"
+		if m.Parent != "" {
+			parent = m.Parent[:12]
+		}
+		fmt.Printf("  %s %s  parent %-12s  %s\n", marker, m.Digest[:12], parent, m.Note)
+	}
+	st := mgr.State()
+	fmt.Printf("\nlifecycle: %d trains, %d promotions, %d rejections, %d rollbacks\n",
+		st.Trains, st.Promotions, st.Rejections, st.Rollbacks)
 }

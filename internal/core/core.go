@@ -88,11 +88,52 @@ func DefaultConfig() Config {
 	}
 }
 
-// Checker is a trained vetting pipeline.
+// Checker is a trained vetting pipeline. Its trained parts — universe,
+// key-API selection, extractor, hook registry, emulation lanes, and forest
+// — live together in one immutable generation behind an atomic pointer;
+// SwapModel replaces the whole set in a single pointer flip, so in-flight
+// vets finish on the generation they pinned while new submissions pick up
+// the replacement.
 type Checker struct {
 	cfg Config
-	u   *framework.Universe
 
+	// gen is the serving model generation. Vets pin it once per
+	// submission (in the Decode stage, inside the cache singleflight) and
+	// never look back; SwapModel is the only writer, serialized on swapMu.
+	gen    atomic.Pointer[generation]
+	swapMu sync.Mutex
+
+	// cache memoizes complete verdicts (plus their feature vectors) by
+	// content digest, with singleflight dedupe of concurrent identical
+	// submissions; nil when cfg.VerdictCache < 0. SwapModel advances its
+	// epoch so no verdict from a previous model generation is ever served.
+	cache *vcache.Cache[pipeline.CachedVerdict]
+
+	// obs is the checker's observability spine: one span per completed
+	// pipeline stage, plus the emulator-reliability and verdict-cache
+	// counters and the model.generation gauge. vetPipe is the canonical
+	// serving chain; runPipe the always-emulate chain VetRun drives.
+	obs     *obs.Collector
+	vetPipe *pipeline.Pipeline
+	runPipe *pipeline.Pipeline
+
+	// Cumulative forest-inference block accounting across generations
+	// (each generation's batcher books into these).
+	scoreBlocks atomic.Uint64
+	scoreRows   atomic.Uint64
+
+	vetCount int64
+}
+
+// generation is one immutable trained assembly: everything a vet touches
+// after pinning. Nothing here is mutated once the generation is published;
+// the only internal state is the session mutex and the score batcher's
+// queue, both owned by this generation alone.
+type generation struct {
+	id     uint64
+	digest string
+
+	u         *framework.Universe
 	selection *features.Selection
 	extractor *features.Extractor
 	registry  *hook.Registry
@@ -110,25 +151,52 @@ type Checker struct {
 	session   *adb.Session
 	sessionMu sync.Mutex
 
-	// cache memoizes complete verdicts (plus their feature vectors) by
-	// content digest, with singleflight dedupe of concurrent identical
-	// submissions; nil when cfg.VerdictCache < 0. Retrain advances its
-	// epoch so no verdict from a previous model generation is ever served.
-	cache *vcache.Cache[pipeline.CachedVerdict]
-
-	// obs is the checker's observability spine: one span per completed
-	// pipeline stage, plus the emulator-reliability and verdict-cache
-	// counters. vetPipe is the canonical serving chain; runPipe the
-	// always-emulate chain VetRun drives.
-	obs     *obs.Collector
-	vetPipe *pipeline.Pipeline
-	runPipe *pipeline.Pipeline
-
-	// scores coalesces concurrent classify steps into blocks for the
-	// forest's tree-major batch inference.
+	// scores coalesces concurrent classify steps into blocks for this
+	// generation's forest (batch composition cannot change any verdict, so
+	// the batcher must never mix models).
 	scores scoreBatcher
 
-	vetCount int64
+	// mg is the stage-facing view the pipeline pins.
+	mg *pipeline.ModelGen
+
+	swappedAt time.Time
+}
+
+// info summarizes the generation for the public surface.
+func (g *generation) info() GenerationInfo {
+	return GenerationInfo{
+		ID:        g.id,
+		Digest:    g.digest,
+		SwappedAt: g.swappedAt,
+		KeyAPIs:   len(g.selection.Keys),
+	}
+}
+
+// GenerationInfo identifies the serving model generation.
+type GenerationInfo struct {
+	// ID is the swap counter: 1 for a freshly assembled checker,
+	// incremented by every SwapModel. Verdicts carry the ID of the
+	// generation that produced them.
+	ID uint64
+	// Digest is the content digest of the generation's persisted artifact
+	// (empty when the generation was never snapshotted or loaded).
+	Digest string
+	// SwappedAt is when this generation started serving.
+	SwappedAt time.Time
+	// KeyAPIs is the size of the generation's key-API selection.
+	KeyAPIs int
+}
+
+// ModelParts is a complete set of trained parts for SwapModel (and the
+// constructors): the universe the ids refer to, the key-API selection, the
+// extractor built over it, and the trained forest. Digest optionally
+// records the artifact digest the parts were loaded from.
+type ModelParts struct {
+	Universe  *framework.Universe
+	Selection *features.Selection
+	Extractor *features.Extractor
+	Model     *ml.RandomForest
+	Digest    string
 }
 
 // TrainReport summarizes a training (or retraining) round.
@@ -158,8 +226,24 @@ type TrainReport struct {
 // the paper's offline study; cfg.Profile selects the engine submissions
 // are vetted on.
 func TrainFromCorpus(c *dataset.Corpus, cfg Config) (*Checker, *TrainReport, error) {
+	parts, rep, err := trainParts(c, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ck, err := New(parts.Universe, parts.Selection, parts.Extractor, parts.Model, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ck, rep, nil
+}
+
+// trainParts runs the full §4 study pipeline over a labelled corpus and
+// returns the trained parts without assembling a checker — the shared body
+// of TrainFromCorpus (fresh checker) and Retrain (hot-swap into a serving
+// one).
+func trainParts(c *dataset.Corpus, cfg Config) (ModelParts, *TrainReport, error) {
 	if cfg.Events <= 0 {
-		return nil, nil, fmt.Errorf("core: events must be positive")
+		return ModelParts{}, nil, fmt.Errorf("core: events must be positive")
 	}
 	rep := &TrainReport{CorpusSize: c.Len()}
 	runs0 := emulator.RunCount()
@@ -167,7 +251,7 @@ func TrainFromCorpus(c *dataset.Corpus, cfg Config) (*Checker, *TrainReport, err
 	start := time.Now()
 	usage, _, err := c.CollectUsage(cfg.Events)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: usage collection: %w", err)
+		return ModelParts{}, nil, fmt.Errorf("core: usage collection: %w", err)
 	}
 	rep.UsageTime = time.Since(start)
 
@@ -177,13 +261,13 @@ func TrainFromCorpus(c *dataset.Corpus, cfg Config) (*Checker, *TrainReport, err
 
 	ex, err := features.NewExtractor(c.Universe(), sel.Keys, cfg.Mode)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: %w", err)
+		return ModelParts{}, nil, fmt.Errorf("core: %w", err)
 	}
 	rep.Features = ex.NumFeatures()
 
 	d, err := c.VectorizeMeasured(ex, cfg.Events)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: vectorize: %w", err)
+		return ModelParts{}, nil, fmt.Errorf("core: vectorize: %w", err)
 	}
 	rep.EmulationRuns = emulator.RunCount() - runs0
 
@@ -192,15 +276,11 @@ func TrainFromCorpus(c *dataset.Corpus, cfg Config) (*Checker, *TrainReport, err
 	model := ml.NewRandomForest(fc)
 	start = time.Now()
 	if err := model.Train(d); err != nil {
-		return nil, nil, fmt.Errorf("core: train: %w", err)
+		return ModelParts{}, nil, fmt.Errorf("core: train: %w", err)
 	}
 	rep.TrainTime = time.Since(start)
 
-	ck, err := New(c.Universe(), sel, ex, model, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	return ck, rep, nil
+	return ModelParts{Universe: c.Universe(), Selection: sel, Extractor: ex, Model: model}, rep, nil
 }
 
 // New assembles a Checker from trained parts (used by TrainFromCorpus and
@@ -210,12 +290,44 @@ func TrainFromCorpus(c *dataset.Corpus, cfg Config) (*Checker, *TrainReport, err
 // stage chains.
 func New(u *framework.Universe, sel *features.Selection, ex *features.Extractor,
 	model *ml.RandomForest, cfg Config) (*Checker, error) {
-	reg, err := hook.NewRegistry(u, sel.Keys)
+	return NewWithDigest(u, sel, ex, model, cfg, "")
+}
+
+// NewWithDigest is New additionally recording the artifact digest the
+// parts were loaded from (the modelstore cold-start path), so the serving
+// generation is attributable to its on-disk artifact.
+func NewWithDigest(u *framework.Universe, sel *features.Selection, ex *features.Extractor,
+	model *ml.RandomForest, cfg Config, digest string) (*Checker, error) {
+	ck := &Checker{cfg: cfg, obs: obs.NewCollector()}
+	if cfg.VerdictCache >= 0 {
+		ck.cache = vcache.NewObserved[pipeline.CachedVerdict](cfg.VerdictCache, ck.obs)
+	}
+	parts := ModelParts{Universe: u, Selection: sel, Extractor: ex, Model: model, Digest: digest}
+	g, err := ck.newGeneration(parts, 1, ck.cacheEpoch())
+	if err != nil {
+		return nil, err
+	}
+	ck.gen.Store(g)
+	ck.obs.Gauge("model.generation").Set(1)
+	ck.buildPipelines()
+	return ck, nil
+}
+
+// newGeneration assembles an immutable generation from trained parts: hook
+// registry over the selected keys, emulation engine, lane farm, adb
+// session, batch scorer, and the stage-facing ModelGen view. epoch is the
+// verdict-cache epoch the generation will serve under (for a swap, the
+// epoch after the pending bump).
+func (ck *Checker) newGeneration(parts ModelParts, id, epoch uint64) (*generation, error) {
+	if parts.Universe == nil || parts.Selection == nil || parts.Extractor == nil || parts.Model == nil {
+		return nil, fmt.Errorf("core: incomplete model parts")
+	}
+	reg, err := hook.NewRegistry(parts.Universe, parts.Selection.Keys)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	emu := emulator.New(cfg.Profile, reg)
-	lanes := cfg.Lanes
+	emu := emulator.New(ck.cfg.Profile, reg)
+	lanes := ck.cfg.Lanes
 	if lanes <= 0 {
 		lanes = emulator.ProductionLanes
 	}
@@ -223,71 +335,136 @@ func New(u *framework.Universe, sel *features.Selection, ex *features.Extractor,
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	ck := &Checker{
-		cfg:       cfg,
-		u:         u,
-		selection: sel,
-		extractor: ex,
+	g := &generation{
+		id:        id,
+		digest:    parts.Digest,
+		u:         parts.Universe,
+		selection: parts.Selection,
+		extractor: parts.Extractor,
 		registry:  reg,
 		emu:       emu,
+		model:     parts.Model,
 		farm:      farm,
-		session:   adb.NewSession(adb.NewDevice("emulator-5554", cfg.Profile, reg)),
-		model:     model,
-		obs:       obs.NewCollector(),
+		session:   adb.NewSession(adb.NewDevice("emulator-5554", ck.cfg.Profile, reg)),
+		swappedAt: time.Now(),
 	}
-	if cfg.VerdictCache >= 0 {
-		ck.cache = vcache.NewObserved[pipeline.CachedVerdict](cfg.VerdictCache, ck.obs)
-	}
-	ck.buildPipelines()
-	return ck, nil
-}
-
-// buildPipelines assembles the vet and run stage chains over the checker's
-// obs collector. Deps read the checker's fields through accessors, so a
-// Retrain that swaps the engine, extractor, or model in place is picked up
-// by the next submission without rebuilding the chains.
-func (ck *Checker) buildPipelines() {
+	g.scores = scoreBatcher{model: parts.Model, blocks: &ck.scoreBlocks, rows: &ck.scoreRows}
 	trees := ck.cfg.Forest.Trees
 	if trees <= 0 {
 		trees = ml.DefaultForestConfig(ck.cfg.Seed).Trees
 	}
-	d := &pipeline.Deps{
-		Universe:  func() *framework.Universe { return ck.u },
-		Extractor: func() *features.Extractor { return ck.extractor },
-		Farm:      func() *emulator.Farm { return ck.farm },
-		RunRaw:    ck.runRaw,
-		Score:     ck.score,
-		Cache:     func() *vcache.Cache[pipeline.CachedVerdict] { return ck.cache },
-		NextSeq:   ck.nextVetSeq,
-		Obs:       ck.obs,
-		Events:    ck.cfg.Events,
-		Seed:      ck.cfg.Seed,
+	g.mg = &pipeline.ModelGen{
+		ID:        id,
+		Digest:    parts.Digest,
+		Universe:  parts.Universe,
+		Extractor: parts.Extractor,
+		Farm:      farm,
+		RunRaw:    g.runRaw,
+		Score:     g.scores.score,
 		Trees:     trees,
+		Epoch:     epoch,
+	}
+	return g, nil
+}
+
+// cacheEpoch is the verdict cache's current epoch (0 with the cache
+// disabled).
+func (ck *Checker) cacheEpoch() uint64 {
+	if ck.cache == nil {
+		return 0
+	}
+	return ck.cache.Epoch()
+}
+
+// SwapModel atomically replaces the serving generation with freshly
+// trained parts — the zero-downtime promotion primitive. The swap is a
+// single generation-pointer flip: in-flight vets finish wholly on the
+// generation they pinned, new submissions pin the replacement, and no vet
+// ever mixes feature extraction and scoring across generations. The
+// verdict-cache epoch advances exactly once per swap, after the pointer
+// flip, so the cache can never serve a previous generation's verdict.
+// Swaps serialize on an internal mutex; the serving path never blocks on
+// one. Returns the new generation's identity.
+func (ck *Checker) SwapModel(parts ModelParts) (GenerationInfo, error) {
+	ck.swapMu.Lock()
+	defer ck.swapMu.Unlock()
+	old := ck.gen.Load()
+	// The new generation serves under the post-bump epoch. Publishing the
+	// generation before bumping means a vet that pins it pre-bump computes
+	// correctly but fails its conditional store — never the reverse, where
+	// a stale generation's verdict lands in a fresh epoch.
+	epoch := ck.cacheEpoch()
+	if ck.cache != nil {
+		epoch++
+	}
+	g, err := ck.newGeneration(parts, old.id+1, epoch)
+	if err != nil {
+		return GenerationInfo{}, err
+	}
+	ck.gen.Store(g)
+	ck.InvalidateVerdicts()
+	ck.obs.Gauge("model.generation").Set(int64(g.id))
+	ck.obs.Counter("model.swaps").Inc()
+	return g.info(), nil
+}
+
+// Generation identifies the serving model generation: its swap counter
+// (matching Verdict.Generation), artifact digest if known, promotion time,
+// and key-API count.
+func (ck *Checker) Generation() GenerationInfo { return ck.gen.Load().info() }
+
+// Parts returns the serving generation's trained parts as one consistent
+// snapshot — a concurrent swap cannot tear it the way separate
+// Universe()/Selection()/Model() calls could. This is what model
+// snapshotting serializes.
+func (ck *Checker) Parts() ModelParts {
+	g := ck.gen.Load()
+	return ModelParts{
+		Universe:  g.u,
+		Selection: g.selection,
+		Extractor: g.extractor,
+		Model:     g.model,
+		Digest:    g.digest,
+	}
+}
+
+// buildPipelines assembles the vet and run stage chains over the checker's
+// obs collector. Deps resolve the generation through the atomic pointer,
+// so a SwapModel is picked up by the next submission without rebuilding
+// the chains.
+func (ck *Checker) buildPipelines() {
+	d := &pipeline.Deps{
+		Gen:     func() *pipeline.ModelGen { return ck.gen.Load().mg },
+		Cache:   func() *vcache.Cache[pipeline.CachedVerdict] { return ck.cache },
+		NextSeq: ck.nextVetSeq,
+		Obs:     ck.obs,
+		Events:  ck.cfg.Events,
+		Seed:    ck.cfg.Seed,
 	}
 	ck.vetPipe = pipeline.VetChain(ck.obs, d)
 	ck.runPipe = pipeline.RunChain(ck.obs, d)
 }
 
 // runRaw drives a decoded raw archive through the adb device sequence
-// (install → Monkey → logs → uninstall → clear). The checker owns one
-// device, so raw submissions serialize here.
-func (ck *Checker) runRaw(vc *pipeline.VetContext) (*adb.VetResult, error) {
-	ck.sessionMu.Lock()
-	defer ck.sessionMu.Unlock()
-	return ck.session.VetParsedContext(vc.Ctx, vc.Parsed, vc.Monkey)
+// (install → Monkey → logs → uninstall → clear). Each generation owns one
+// device, so raw submissions pinned to it serialize here.
+func (g *generation) runRaw(vc *pipeline.VetContext) (*adb.VetResult, error) {
+	g.sessionMu.Lock()
+	defer g.sessionMu.Unlock()
+	return g.session.VetParsedContext(vc.Ctx, vc.Parsed, vc.Monkey)
 }
 
-// Universe returns the framework universe.
-func (ck *Checker) Universe() *framework.Universe { return ck.u }
+// Universe returns the serving generation's framework universe.
+func (ck *Checker) Universe() *framework.Universe { return ck.gen.Load().u }
 
-// Selection returns the current key-API selection.
-func (ck *Checker) Selection() *features.Selection { return ck.selection }
+// Selection returns the serving generation's key-API selection.
+func (ck *Checker) Selection() *features.Selection { return ck.gen.Load().selection }
 
-// Extractor returns the feature extractor.
-func (ck *Checker) Extractor() *features.Extractor { return ck.extractor }
+// Extractor returns the serving generation's feature extractor.
+func (ck *Checker) Extractor() *features.Extractor { return ck.gen.Load().extractor }
 
-// Model returns the trained forest.
-func (ck *Checker) Model() *ml.RandomForest { return ck.model }
+// Model returns the serving generation's trained forest.
+func (ck *Checker) Model() *ml.RandomForest { return ck.gen.Load().model }
 
 // Config returns the deployment config.
 func (ck *Checker) Config() Config { return ck.cfg }
@@ -389,7 +566,7 @@ func (ck *Checker) ReserveVetSeqs(n int) int64 {
 func (ck *Checker) nextVetSeq() int64 { return atomic.AddInt64(&ck.vetCount, 1) }
 
 // InvalidateVerdicts drops every memoized verdict by advancing the
-// cache's model-generation epoch; Retrain calls it when the model swaps.
+// cache's model-generation epoch; SwapModel calls it when the model swaps.
 // In-flight emulations complete but their verdicts are not stored.
 func (ck *Checker) InvalidateVerdicts() {
 	if ck.cache != nil {

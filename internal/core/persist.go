@@ -38,17 +38,19 @@ const modelFormatVersion = 1
 
 // Export writes the trained model (gob, gzip-compressed).
 func (ck *Checker) Export(w io.Writer) error {
-	if ck.model == nil {
+	// Snapshot one generation so a concurrent swap cannot tear the export.
+	g := ck.gen.Load()
+	if g == nil || g.model == nil {
 		return fmt.Errorf("core: export: checker has no trained model")
 	}
 	zw := gzip.NewWriter(w)
 	wire := modelWire{
 		FormatVersion: modelFormatVersion,
-		UniverseCfg:   ck.u.Config(),
-		UniverseLvl:   ck.u.Level(),
+		UniverseCfg:   g.u.Config(),
+		UniverseLvl:   g.u.Level(),
 		Cfg:           ck.cfg,
-		Selection:     *ck.selection,
-		Forest:        ck.model,
+		Selection:     *g.selection,
+		Forest:        g.model,
 	}
 	if err := gob.NewEncoder(zw).Encode(&wire); err != nil {
 		return fmt.Errorf("core: export: %w", err)

@@ -100,6 +100,7 @@ func legacyVerdict(ck *Checker, pkg string, version int, md5 string, res *emulat
 		Package:        pkg,
 		VersionCode:    version,
 		MD5:            md5,
+		Generation:     ck.Generation().ID,
 		Malicious:      score > 0,
 		Score:          score,
 		ScanTime:       res.VirtualTime,
@@ -236,7 +237,8 @@ func TestCancelledVetsReturnFarmLanes(t *testing.T) {
 	}
 	wg.Wait()
 
-	if free, lanes := ck.farm.FreeLanes(), ck.farm.Lanes(); free != lanes {
+	farm := ck.gen.Load().farm
+	if free, lanes := farm.FreeLanes(), farm.Lanes(); free != lanes {
 		t.Fatalf("farm has %d/%d free lanes after cancellation churn — slot leak", free, lanes)
 	}
 	if _, err := ck.Vet(context.Background(), Submission{Program: corpus.Program(1)}); err != nil {

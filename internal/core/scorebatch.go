@@ -2,17 +2,24 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"apichecker/internal/ml"
 )
 
 // scoreBatcher coalesces concurrent classify steps into blocks scored by
-// the forest's tree-major batch inference (ml.RandomForest.ScoreBatch).
+// one forest's tree-major batch inference (ml.RandomForest.ScoreBatch).
 // Vetting lanes finishing emulations around the same time share one walk
 // over the forest instead of each paying per-row pointer chasing; an
 // isolated request degenerates to a one-row block. Safe because
 // ScoreBatch is bit-identical to Score row by row — batch composition
 // cannot change any verdict.
+//
+// Each model generation owns its batcher, bound to that generation's
+// forest: vets pin a generation before classifying, so a hot-swap can
+// never cause a follower's vector to be scored by a different model than
+// the one its vet pinned. The block/row totals are checker-level
+// cumulative counters shared across generations.
 //
 // The protocol is leaderless-queue style: requests append to pending
 // under the mutex; the first arrival while no leader is active becomes
@@ -24,8 +31,10 @@ type scoreBatcher struct {
 	leading bool
 	pending []*scoreReq
 
-	blocks uint64 // ScoreBatch calls issued
-	rows   uint64 // vectors scored through them
+	model *ml.RandomForest
+
+	blocks *atomic.Uint64 // ScoreBatch calls issued (checker-cumulative)
+	rows   *atomic.Uint64 // vectors scored through them
 }
 
 type scoreReq struct {
@@ -35,8 +44,7 @@ type scoreReq struct {
 }
 
 // score classifies one vector through the batcher.
-func (ck *Checker) score(x ml.Vector) float64 {
-	b := &ck.scores
+func (b *scoreBatcher) score(x ml.Vector) float64 {
 	req := &scoreReq{x: x, done: make(chan struct{})}
 	b.mu.Lock()
 	b.pending = append(b.pending, req)
@@ -46,7 +54,6 @@ func (ck *Checker) score(x ml.Vector) float64 {
 		return req.score
 	}
 	b.leading = true
-	model := ck.model // one model for the whole drain
 	for {
 		batch := b.pending
 		b.pending = nil
@@ -56,15 +63,15 @@ func (ck *Checker) score(x ml.Vector) float64 {
 		for i, r := range batch {
 			xs[i] = r.x
 		}
-		scores := model.ScoreBatch(xs, nil)
+		scores := b.model.ScoreBatch(xs, nil)
 		for i, r := range batch {
 			r.score = scores[i]
 			close(r.done)
 		}
+		b.blocks.Add(1)
+		b.rows.Add(uint64(len(batch)))
 
 		b.mu.Lock()
-		b.blocks++
-		b.rows += uint64(len(batch))
 		if len(b.pending) == 0 {
 			b.leading = false
 			b.mu.Unlock()
@@ -75,10 +82,9 @@ func (ck *Checker) score(x ml.Vector) float64 {
 }
 
 // ScoreBlocks reports how many forest-inference blocks the checker has
-// issued and the total vectors scored through them; rows > blocks means
-// concurrent classify steps were coalesced into multi-row blocks.
+// issued and the total vectors scored through them, cumulative across
+// model generations; rows > blocks means concurrent classify steps were
+// coalesced into multi-row blocks.
 func (ck *Checker) ScoreBlocks() (blocks, rows uint64) {
-	ck.scores.mu.Lock()
-	defer ck.scores.mu.Unlock()
-	return ck.scores.blocks, ck.scores.rows
+	return ck.scoreBlocks.Load(), ck.scoreRows.Load()
 }

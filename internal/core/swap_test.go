@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"apichecker/internal/behavior"
+	"apichecker/internal/dataset"
+)
+
+// TestSwapDuringConcurrentVets is the hot-swap atomicity test: vets run
+// continuously while Retrain replaces the serving generation, and every
+// observed verdict must be attributable to exactly one generation — bit-
+// identical to what that generation produces in isolation, with its
+// Generation field naming which one. A verdict mixing the old key-API set
+// with the new model (or vice versa) would match neither expectation.
+// Run with -race: the old Retrain swapped six fields non-atomically under
+// concurrent readers, which this test was written to catch.
+func TestSwapDuringConcurrentVets(t *testing.T) {
+	ck, corpus := trainedChecker(t, 300)
+
+	// A refreshed corpus over the same universe, different enough that the
+	// retrained generation genuinely differs (new selection and model).
+	cfg2 := dataset.DefaultConfig()
+	cfg2.NumApps = 360
+	corpus2, err := dataset.Generate(testU, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	progs := make([]*behavior.Program, 8)
+	for i := range progs {
+		progs[i] = corpus.Program(i)
+	}
+
+	// Expected generation-1 verdicts: content-determinism makes any gen-1
+	// vet of the same program bit-identical to these.
+	ctx := context.Background()
+	e1 := make([]*Verdict, len(progs))
+	for i, p := range progs {
+		if e1[i], err = ck.Vet(ctx, Submission{Program: p}); err != nil {
+			t.Fatal(err)
+		}
+		if e1[i].Generation != 1 {
+			t.Fatalf("pre-swap verdict generation = %d, want 1", e1[i].Generation)
+		}
+	}
+
+	epoch0 := ck.CacheStats().Epoch
+
+	// Hammer the checker from many goroutines while the retrain swaps the
+	// generation underneath them.
+	var (
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		observed []struct {
+			prog int
+			v    *Verdict
+		}
+	)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; !stop.Load(); n++ {
+				i := (w + n) % len(progs)
+				v, err := ck.Vet(ctx, Submission{Program: progs[i]})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				observed = append(observed, struct {
+					prog int
+					v    *Verdict
+				}{i, v})
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	if _, err := ck.Retrain(corpus2); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if g := ck.Generation(); g.ID != 2 {
+		t.Fatalf("serving generation = %d after one retrain, want 2", g.ID)
+	}
+	if epoch1 := ck.CacheStats().Epoch; epoch1 != epoch0+1 {
+		t.Fatalf("cache epoch advanced %d times across one swap, want exactly 1", epoch1-epoch0)
+	}
+
+	// Expected generation-2 verdicts, from the now-swapped checker.
+	e2 := make([]*Verdict, len(progs))
+	for i, p := range progs {
+		if e2[i], err = ck.Vet(ctx, Submission{Program: p}); err != nil {
+			t.Fatal(err)
+		}
+		if e2[i].Generation != 2 {
+			t.Fatalf("post-swap verdict generation = %d, want 2", e2[i].Generation)
+		}
+	}
+
+	// Every verdict observed during the churn came wholly from one
+	// generation.
+	saw := [3]int{}
+	for _, o := range observed {
+		switch o.v.Generation {
+		case 1:
+			if !reflect.DeepEqual(o.v, e1[o.prog]) {
+				t.Fatalf("prog %d: gen-1 verdict diverges from gen-1 expectation:\n got %+v\nwant %+v",
+					o.prog, o.v, e1[o.prog])
+			}
+		case 2:
+			if !reflect.DeepEqual(o.v, e2[o.prog]) {
+				t.Fatalf("prog %d: gen-2 verdict diverges from gen-2 expectation:\n got %+v\nwant %+v",
+					o.prog, o.v, e2[o.prog])
+			}
+		default:
+			t.Fatalf("verdict carries generation %d; only 1 and 2 ever served", o.v.Generation)
+		}
+		saw[o.v.Generation]++
+	}
+	if saw[1] == 0 {
+		t.Error("churn observed no generation-1 verdicts — workers never overlapped the retrain")
+	}
+	t.Logf("churn observed %d gen-1 and %d gen-2 verdicts", saw[1], saw[2])
+}

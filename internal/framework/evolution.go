@@ -20,6 +20,7 @@ type EvolutionReport struct {
 // Existing APIIDs remain valid; new APIs get fresh ids at the tail.
 func (u *Universe) Evolve(seed int64) EvolutionReport {
 	rng := rand.New(rand.NewSource(seed ^ int64(u.level)*0x9e3779b9))
+	u.history = append(u.history, seed)
 	u.level++
 	rep := EvolutionReport{Level: u.level}
 

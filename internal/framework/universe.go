@@ -138,6 +138,13 @@ type Universe struct {
 	implementedVia map[APIID][]APIID
 
 	level int // current (latest) SDK level
+
+	// history records the seed of every Evolve applied since generation,
+	// in order. Generation plus evolution are both deterministic, so
+	// (cfg, history) fully identifies the universe — Rebuild replays them
+	// to reconstruct it bit-identically (the model-artifact cold-start
+	// path relies on this).
+	history []int64
 }
 
 // Generate builds a universe deterministically from cfg.
@@ -158,6 +165,23 @@ func Generate(cfg Config) (*Universe, error) {
 	u.genIntents(rng)
 	u.genAPIs(rng)
 	u.genDependencies(rng)
+	return u, nil
+}
+
+// Rebuild reconstructs a universe from its generation config and Evolve
+// seed history: Generate(cfg), then replay each recorded SDK release in
+// order. Both steps are deterministic, so the result is bit-identical to
+// the universe that recorded the history — API ids, names, rates, levels,
+// and dependency edges all match. This is how a model artifact cold-starts
+// without the original process.
+func Rebuild(cfg Config, history []int64) (*Universe, error) {
+	u, err := Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, seed := range history {
+		u.Evolve(seed)
+	}
 	return u, nil
 }
 
@@ -529,6 +553,13 @@ func (u *Universe) Intent(id IntentID) *Intent { return &u.intents[id] }
 
 // Level returns the latest SDK level present in the universe.
 func (u *Universe) Level() int { return u.level }
+
+// EvolveHistory returns the seeds of every SDK release applied via Evolve
+// since generation, in order (a copy). Together with Config it fully
+// identifies the universe; see Rebuild.
+func (u *Universe) EvolveHistory() []int64 {
+	return append([]int64(nil), u.history...)
+}
 
 // LookupAPI resolves a fully-qualified API name.
 func (u *Universe) LookupAPI(name string) (APIID, bool) {

@@ -1,0 +1,113 @@
+package lifecycle
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"apichecker/internal/dataset"
+)
+
+// RunnerConfig shapes the background evolution runner.
+type RunnerConfig struct {
+	// Corpus produces the refreshed labelled corpus for a retraining
+	// round (the original dataset plus newly labelled submissions).
+	// Required.
+	Corpus func(ctx context.Context) (*dataset.Corpus, error)
+
+	// Interval triggers a round on a timer (§5.3's monthly cadence);
+	// 0 retrains only on explicit Trigger calls.
+	Interval time.Duration
+
+	// OnResult observes each round's outcome (may be nil). Called from
+	// the runner goroutine; err is non-nil when the round itself failed
+	// (a gated rejection is a result, not an error).
+	OnResult func(res *EvolveResult, err error)
+}
+
+// Runner retrains in the background, off the serving path: rounds run in
+// one dedicated goroutine, promotion is the manager's atomic hot-swap, and
+// the serving checker never blocks on any of it. Trigger requests coalesce
+// — a trigger during a running round schedules at most one follow-up.
+type Runner struct {
+	m   *Manager
+	cfg RunnerConfig
+
+	trigger chan struct{}
+	stop    chan struct{}
+	done    sync.WaitGroup
+}
+
+// StartRunner launches the background runner over a manager.
+func StartRunner(m *Manager, cfg RunnerConfig) *Runner {
+	r := &Runner{
+		m:       m,
+		cfg:     cfg,
+		trigger: make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+	r.done.Add(1)
+	go r.loop()
+	return r
+}
+
+// Trigger requests an evolution round; it never blocks. Multiple triggers
+// while a round runs coalesce into one follow-up round.
+func (r *Runner) Trigger() {
+	select {
+	case r.trigger <- struct{}{}:
+	default:
+	}
+}
+
+// Stop shuts the runner down and waits for any in-flight round to finish.
+// The serving checker is unaffected.
+func (r *Runner) Stop() {
+	close(r.stop)
+	r.done.Wait()
+}
+
+func (r *Runner) loop() {
+	defer r.done.Done()
+	var tick <-chan time.Time
+	if r.cfg.Interval > 0 {
+		t := time.NewTicker(r.cfg.Interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.trigger:
+		case <-tick:
+		}
+		r.round()
+	}
+}
+
+// round runs one evolution, bounded by a context that Stop cancels so
+// shutdown does not wait out a long training.
+func (r *Runner) round() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-r.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	c, err := r.cfg.Corpus(ctx)
+	if err != nil {
+		if r.cfg.OnResult != nil {
+			r.cfg.OnResult(nil, err)
+		}
+		return
+	}
+	res, err := r.m.Evolve(ctx, c)
+	if r.cfg.OnResult != nil {
+		r.cfg.OnResult(res, err)
+	}
+}

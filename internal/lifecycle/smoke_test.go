@@ -1,0 +1,188 @@
+package lifecycle
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"apichecker/internal/core"
+	"apichecker/internal/dataset"
+	"apichecker/internal/modelstore"
+	"apichecker/internal/vetsvc"
+)
+
+// TestLifecycleSmoke is the full lifecycle path CI exercises by name:
+// train → snapshot → cold-load from disk → serve through the vetting
+// service → background retrain → hot-swap → verdicts stay consistent.
+func TestLifecycleSmoke(t *testing.T) {
+	// Train an initial champion and snapshot it to a registry directory.
+	ck, corpus := trainedChecker(t, 260)
+	dir := t.TempDir()
+	reg, err := modelstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := NewManager(ck, reg, DefaultGateConfig())
+	dig, err := seed.Snapshot("initial")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold-start a fresh serving process from nothing but the directory.
+	cold, man, err := ColdStart(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Digest != dig || cold.Generation().Digest != dig {
+		t.Fatalf("cold start loaded %q, want %q", cold.Generation().Digest, dig)
+	}
+
+	// Serve through the vetting service; verdicts must match the original
+	// trainer bit-for-bit.
+	svc := vetsvc.New(cold, vetsvc.Config{Workers: 4})
+	defer svc.Close()
+
+	coldCorpus := refreshedCorpus(t, cold.Universe(), corpus.Len(), corpus.Config().Seed)
+	subs := make([]core.Submission, 16)
+	for i := range subs {
+		subs[i] = core.Submission{Program: coldCorpus.Program(i)}
+	}
+	served, err := svc.VetBatch(context.Background(), subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := vetAll(t, ck, corpus, len(subs))
+	for i := range served {
+		if !reflect.DeepEqual(served[i], direct[i]) {
+			t.Fatalf("served verdict %d diverges from the training process", i)
+		}
+	}
+
+	// Background retrain on a refreshed corpus while the service keeps
+	// serving; the runner hot-swaps the promoted challenger in.
+	m := NewManager(cold, reg, GateConfig{MaxF1Drop: 1, MaxAUCDrop: 1, MinHoldout: 20})
+	results := make(chan *EvolveResult, 1)
+	r := StartRunner(m, RunnerConfig{
+		Corpus: func(context.Context) (*dataset.Corpus, error) {
+			return refreshedCorpus(t, cold.Universe(), 300, 2), nil
+		},
+		OnResult: func(res *EvolveResult, err error) {
+			if err != nil {
+				t.Errorf("background round failed: %v", err)
+			}
+			results <- res
+		},
+	})
+	defer r.Stop()
+
+	// Keep vetting through the swap window.
+	stopServe := make(chan struct{})
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		for i := 0; ; i = (i + 1) % coldCorpus.Len() {
+			select {
+			case <-stopServe:
+				return
+			default:
+			}
+			tk, err := svc.SubmitWait(context.Background(), core.Submission{Program: coldCorpus.Program(i)})
+			if err != nil {
+				t.Errorf("submit during swap: %v", err)
+				return
+			}
+			if _, err := tk.Wait(context.Background()); err != nil {
+				t.Errorf("vet during swap: %v", err)
+				return
+			}
+		}
+	}()
+
+	r.Trigger()
+	var res *EvolveResult
+	select {
+	case res = <-results:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("background evolution did not complete")
+	}
+	close(stopServe)
+	<-serveDone
+	if res == nil || !res.Promoted {
+		t.Fatalf("background round did not promote: %+v", res)
+	}
+
+	// The service now serves generation 2; verdicts are deterministic and
+	// attributed to the promoted generation.
+	if g := cold.Generation(); g.ID != 2 || g.Digest != res.Digest {
+		t.Fatalf("serving generation after swap: %+v", g)
+	}
+	v1, err := svc.VetBatch(context.Background(), subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := svc.VetBatch(context.Background(), subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v1 {
+		if v1[i].Generation != 2 {
+			t.Fatalf("post-swap verdict %d pinned to generation %d", i, v1[i].Generation)
+		}
+		if !reflect.DeepEqual(v1[i], v2[i]) {
+			t.Fatalf("post-swap verdict %d not deterministic", i)
+		}
+	}
+
+	// The registry now cold-starts straight into the promoted generation.
+	cold2, man2, err := ColdStart(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.Digest != res.Digest || man2.Parent != dig {
+		t.Fatalf("registry lineage after promotion: %+v", man2)
+	}
+	c2 := refreshedCorpus(t, cold2.Universe(), coldCorpus.Len(), coldCorpus.Config().Seed)
+	for i := 0; i < 8; i++ {
+		v, err := cold2.Vet(context.Background(), core.Submission{Program: c2.Program(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := *v1[i]
+		got := *v
+		// The restarted process numbers its generations from 1.
+		got.Generation, w.Generation = 0, 0
+		if !reflect.DeepEqual(got, w) {
+			t.Fatalf("restart after promotion diverges on verdict %d", i)
+		}
+	}
+
+	if st := m.State(); st.Promotions != 1 || st.Generation.ID != 2 {
+		t.Fatalf("lifecycle state after smoke: %+v", st)
+	}
+}
+
+// TestRunnerCoalescesAndStops: triggers during a round coalesce, a failing
+// corpus source surfaces through OnResult, and Stop cancels promptly.
+func TestRunnerStopWithoutRounds(t *testing.T) {
+	ck, _ := trainedChecker(t, 260)
+	reg, err := modelstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(ck, reg, DefaultGateConfig())
+	r := StartRunner(m, RunnerConfig{
+		Corpus: func(context.Context) (*dataset.Corpus, error) {
+			t.Error("idle runner ran a round")
+			return nil, nil
+		},
+	})
+	// No trigger, no interval: Stop must return without running a round.
+	done := make(chan struct{})
+	go func() { r.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("runner did not stop")
+	}
+}

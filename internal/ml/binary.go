@@ -1,0 +1,167 @@
+package ml
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Deterministic binary serialization for trained forests — the model-
+// artifact path (monthly evolution persists every promoted generation,
+// content-addressed by digest, so the encoding must be byte-stable for
+// identical models). Unlike the gob form used for peer-market
+// distribution, this format is hand-laid-out little-endian with no type
+// descriptors: encoding the same forest twice yields identical bytes, and
+// decode→encode round-trips to the same bytes.
+//
+// Layout (all integers little-endian):
+//
+//	u32  tree count
+//	cfg: i64 Trees, MaxDepth, MinLeaf, MTry, Seed
+//	u32  importance length, then that many f64 bit patterns
+//	per tree: u32 node count, then per node i32 feature, i32 left,
+//	          i32 right, f64 prob bits
+//
+// Decoding is strictly bounds-checked: corrupt or truncated payloads
+// return an error wrapping ErrCorruptForest — never a panic — and child
+// indexes are validated exactly as the gob path validates them.
+
+// ErrCorruptForest marks a binary forest payload that fails structural
+// validation (truncation, impossible counts, invalid child links).
+var ErrCorruptForest = errors.New("ml: corrupt forest encoding")
+
+// maxReasonableCount bounds decoded element counts so a corrupt length
+// prefix cannot trigger a huge allocation before the bounds check fails.
+const maxReasonableCount = 1 << 26
+
+// AppendBinary appends the forest's deterministic binary encoding to buf
+// and returns the extended slice.
+func (rf *RandomForest) AppendBinary(buf []byte) ([]byte, error) {
+	if !rf.trained {
+		return nil, fmt.Errorf("ml: cannot encode untrained forest")
+	}
+	buf = appendU32(buf, uint32(len(rf.trees)))
+	for _, v := range []int64{int64(rf.cfg.Trees), int64(rf.cfg.MaxDepth),
+		int64(rf.cfg.MinLeaf), int64(rf.cfg.MTry), rf.cfg.Seed} {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	buf = appendU32(buf, uint32(len(rf.importance)))
+	for _, v := range rf.importance {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, t := range rf.trees {
+		buf = appendU32(buf, uint32(len(t.nodes)))
+		for _, n := range t.nodes {
+			buf = appendU32(buf, uint32(n.feature))
+			buf = appendU32(buf, uint32(n.left))
+			buf = appendU32(buf, uint32(n.right))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(n.prob))
+		}
+	}
+	return buf, nil
+}
+
+// DecodeForestBinary decodes a forest encoded by AppendBinary from the
+// front of data, returning the forest and the number of bytes consumed.
+// Failures wrap ErrCorruptForest and never panic.
+func DecodeForestBinary(data []byte) (*RandomForest, int, error) {
+	r := binReader{data: data}
+	nTrees, err := r.u32()
+	if err != nil {
+		return nil, 0, err
+	}
+	if nTrees == 0 || nTrees > maxReasonableCount {
+		return nil, 0, fmt.Errorf("%w: %d trees", ErrCorruptForest, nTrees)
+	}
+	rf := &RandomForest{}
+	var cfg [5]int64
+	for i := range cfg {
+		v, err := r.u64()
+		if err != nil {
+			return nil, 0, err
+		}
+		cfg[i] = int64(v)
+	}
+	rf.cfg = ForestConfig{Trees: int(cfg[0]), MaxDepth: int(cfg[1]),
+		MinLeaf: int(cfg[2]), MTry: int(cfg[3]), Seed: cfg[4]}
+	nImp, err := r.u32()
+	if err != nil {
+		return nil, 0, err
+	}
+	if nImp > maxReasonableCount {
+		return nil, 0, fmt.Errorf("%w: %d importance entries", ErrCorruptForest, nImp)
+	}
+	rf.importance = make([]float64, nImp)
+	for i := range rf.importance {
+		bits, err := r.u64()
+		if err != nil {
+			return nil, 0, err
+		}
+		rf.importance[i] = math.Float64frombits(bits)
+	}
+	rf.trees = make([]*CART, 0, nTrees)
+	for ti := uint32(0); ti < nTrees; ti++ {
+		nNodes, err := r.u32()
+		if err != nil {
+			return nil, 0, err
+		}
+		if nNodes == 0 || nNodes > maxReasonableCount {
+			return nil, 0, fmt.Errorf("%w: tree %d has %d nodes", ErrCorruptForest, ti, nNodes)
+		}
+		nodes := make([]treeNode, nNodes)
+		for i := range nodes {
+			f, err1 := r.u32()
+			l, err2 := r.u32()
+			rt, err3 := r.u32()
+			pb, err4 := r.u64()
+			if err := errors.Join(err1, err2, err3, err4); err != nil {
+				return nil, 0, err
+			}
+			n := treeNode{feature: int32(f), left: -1, right: -1, prob: math.Float64frombits(pb)}
+			if n.feature >= 0 {
+				left, right := int32(l), int32(rt)
+				if left < 0 || int(left) >= len(nodes) || right < 0 || int(right) >= len(nodes) {
+					return nil, 0, fmt.Errorf("%w: tree %d node %d has invalid children",
+						ErrCorruptForest, ti, i)
+				}
+				n.left, n.right = left, right
+			}
+			nodes[i] = n
+		}
+		t := &CART{cfg: CARTConfig{}, trained: true, nodes: nodes}
+		t.buildBatch()
+		rf.trees = append(rf.trees, t)
+	}
+	rf.trained = true
+	return rf, r.off, nil
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, v)
+}
+
+// binReader is a bounds-checked little-endian cursor; every read past the
+// end reports truncation through ErrCorruptForest.
+type binReader struct {
+	data []byte
+	off  int
+}
+
+func (r *binReader) u32() (uint32, error) {
+	if r.off+4 > len(r.data) {
+		return 0, fmt.Errorf("%w: truncated at byte %d", ErrCorruptForest, r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *binReader) u64() (uint64, error) {
+	if r.off+8 > len(r.data) {
+		return 0, fmt.Errorf("%w: truncated at byte %d", ErrCorruptForest, r.off)
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}

@@ -1,0 +1,121 @@
+package ml
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// trainedForest builds a small trained forest over a synthetic dataset.
+func trainedForest(t *testing.T, seed int64, features int) (*RandomForest, *Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := NewDataset(features)
+	for i := 0; i < 120; i++ {
+		x := NewVector(features)
+		y := rng.Float64() < 0.4
+		for f := 0; f < features; f++ {
+			p := 0.15
+			if y && f%3 == 0 {
+				p = 0.7
+			}
+			if rng.Float64() < p {
+				x.Set(f)
+			}
+		}
+		d.Add(x, y)
+	}
+	rf := NewRandomForest(ForestConfig{Trees: 12, MaxDepth: 8, MinLeaf: 1, Seed: seed})
+	if err := rf.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	return rf, d
+}
+
+func TestForestBinaryRoundTrip(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rf, d := trainedForest(t, seed, 48)
+		enc, err := rf.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Determinism: encoding the same forest twice is byte-identical.
+		enc2, err := rf.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("seed %d: repeated encode differs", seed)
+		}
+
+		dec, n, err := DecodeForestBinary(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(enc) {
+			t.Fatalf("seed %d: decode consumed %d of %d bytes", seed, n, len(enc))
+		}
+		// Canonical form: decode→encode round-trips to the same bytes.
+		re, err := dec.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("seed %d: decode→encode not canonical", seed)
+		}
+
+		// Scores are bit-identical, per row and batched.
+		xs := datasetVectors(d)
+		want := rf.ScoreBatch(xs, nil)
+		got := dec.ScoreBatch(xs, nil)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("seed %d row %d: decoded score %v != %v", seed, i, got[i], want[i])
+			}
+			if s := dec.Score(xs[i]); s != want[i] {
+				t.Fatalf("seed %d row %d: decoded per-row score %v != %v", seed, i, s, want[i])
+			}
+		}
+	}
+}
+
+func TestForestBinaryCorruptAndTruncated(t *testing.T) {
+	rf, _ := trainedForest(t, 3, 32)
+	enc, err := rf.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every truncation point must fail cleanly (never panic, never
+	// succeed with fewer bytes).
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, _, err := DecodeForestBinary(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		} else if !errors.Is(err, ErrCorruptForest) {
+			t.Fatalf("truncation at %d: error %v does not wrap ErrCorruptForest", cut, err)
+		}
+	}
+
+	// Corrupting the tree count must be caught by the bounds checks.
+	bad := append([]byte(nil), enc...)
+	bad[0], bad[1], bad[2], bad[3] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := DecodeForestBinary(bad); !errors.Is(err, ErrCorruptForest) {
+		t.Fatalf("corrupt tree count: %v", err)
+	}
+}
+
+func TestAUCScoresMatchesCurveAUC(t *testing.T) {
+	rf, d := trainedForest(t, 9, 40)
+	curve := ROC(rf, d)
+	want := AUC(curve)
+	scores := scoresOf(rf, d)
+	labels := make([]bool, d.Len())
+	for i := range d.Examples {
+		labels[i] = d.Examples[i].Y
+	}
+	got := AUCScores(scores, labels)
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("AUCScores = %v, curve AUC = %v", got, want)
+	}
+}

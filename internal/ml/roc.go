@@ -83,6 +83,56 @@ func AUC(curve []ROCPoint) float64 {
 	return area
 }
 
+// AUCScores computes ROC AUC directly from per-example scores and labels
+// (the shadow-evaluation path, where scores come out of vet verdicts
+// rather than a Dataset). It is the rank (Mann-Whitney U) statistic with
+// the standard half-credit tie correction, equivalent to trapezoidal
+// integration over the tied-score ROC. Returns 0 when either class is
+// absent.
+func AUCScores(scores []float64, labels []bool) float64 {
+	if len(scores) != len(labels) || len(scores) == 0 {
+		return 0
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	pos, neg := 0, 0
+	for _, y := range labels {
+		if y {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0
+	}
+
+	// Sum over positives of (negatives scored strictly below + half the
+	// negatives tied with it), accumulated per tie group.
+	u := 0.0
+	negBelow := 0
+	for i := 0; i < len(idx); {
+		j := i
+		tiePos, tieNeg := 0, 0
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			if labels[idx[j]] {
+				tiePos++
+			} else {
+				tieNeg++
+			}
+			j++
+		}
+		u += float64(tiePos) * (float64(negBelow) + float64(tieNeg)/2)
+		negBelow += tieNeg
+		i = j
+	}
+	return u / (float64(pos) * float64(neg))
+}
+
 // ThresholdForPrecision returns the lowest score threshold achieving at
 // least the target precision on the calibration set, maximizing recall
 // under that constraint — the §5.2 policy of actively avoiding false

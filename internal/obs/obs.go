@@ -102,6 +102,23 @@ func (c *Counter) Inc() { c.n.Add(1) }
 // Load returns the current value.
 func (c *Counter) Load() uint64 { return c.n.Load() }
 
+// Gauge is a named point-in-time value handle obtained from a Collector.
+// Unlike a Counter it can move in both directions (or be set outright) —
+// the current model generation, queue depths, and similar instantaneous
+// state live here.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (negative d moves it down).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // Distribution is a named sample set in virtual-clock seconds.
 type Distribution struct {
 	mu      sync.Mutex
@@ -197,6 +214,9 @@ type Collector struct {
 	cmu      sync.Mutex
 	counters map[string]*Counter
 
+	gmu    sync.Mutex
+	gauges map[string]*Gauge
+
 	dmu   sync.Mutex
 	dists map[string]*Distribution
 
@@ -209,6 +229,7 @@ func NewCollector() *Collector {
 	return &Collector{
 		stages:   make(map[string]*stageAgg),
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		dists:    make(map[string]*Distribution),
 	}
 }
@@ -301,6 +322,30 @@ func (c *Collector) Counters() map[string]uint64 {
 	out := make(map[string]uint64, len(c.counters))
 	for name, ctr := range c.counters {
 		out[name] = ctr.Load()
+	}
+	return out
+}
+
+// Gauge returns the named gauge handle, creating it on first use. Like
+// counter handles, gauge handles stay valid for the collector's lifetime.
+func (c *Collector) Gauge(name string) *Gauge {
+	c.gmu.Lock()
+	defer c.gmu.Unlock()
+	g, ok := c.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		c.gauges[name] = g
+	}
+	return g
+}
+
+// Gauges snapshots every named gauge's current value.
+func (c *Collector) Gauges() map[string]int64 {
+	c.gmu.Lock()
+	defer c.gmu.Unlock()
+	out := make(map[string]int64, len(c.gauges))
+	for name, g := range c.gauges {
+		out[name] = g.Load()
 	}
 	return out
 }

@@ -33,6 +33,12 @@ type VetContext struct {
 	Seq    int64
 	Digest string
 
+	// Gen is the model generation this vet is pinned to. The Decode stage
+	// sets it exactly once — inside the cache-lookup singleflight bracket —
+	// and every later stage reads only through it, so a concurrent hot-swap
+	// can never mix feature extraction and scoring across generations.
+	Gen *ModelGen
+
 	// Monkey is the per-submission exerciser configuration, derived from
 	// the content digest by the Decode stage.
 	Monkey monkey.Config

@@ -46,26 +46,53 @@ const (
 	inferPerTree = 20 * time.Microsecond
 )
 
-// Deps wires the stages to the checker that assembled them. Accessors are
-// funcs so a Retrain that swaps the checker's engine, extractor, or model
-// in place is picked up by the next submission without rebuilding the
-// chain.
-type Deps struct {
-	Universe  func() *framework.Universe
-	Extractor func() *features.Extractor
+// ModelGen is one immutable model generation as the stages see it: the
+// universe, the extractor built over the selected keys, the emulation
+// lanes hooked for those keys, and the forest's scorer. A vet pins
+// exactly one ModelGen (in the Decode stage, inside the cache-lookup
+// singleflight) and drives every remaining stage through it, so a
+// concurrent hot-swap can never mix feature extraction from one
+// generation with scoring from another — in-flight vets finish on the
+// generation they started with.
+type ModelGen struct {
+	// ID is the swap counter (1 for the initial generation); Digest is
+	// the content digest of the generation's persisted artifact, empty
+	// when the generation was never snapshotted.
+	ID     uint64
+	Digest string
 
-	// Farm gates program/parsed emulations behind the server's emulator
-	// lanes; a cancelled VetContext returns its lane to the farm.
-	Farm func() *emulator.Farm
+	Universe  *framework.Universe
+	Extractor *features.Extractor
+
+	// Farm gates program/parsed emulations behind this generation's
+	// emulator lanes; a cancelled VetContext returns its lane to the farm.
+	Farm *emulator.Farm
 
 	// RunRaw drives a raw archive through the adb device sequence
 	// (install → Monkey → logs → uninstall → clear). The closure owns the
 	// device serialization.
 	RunRaw func(vc *VetContext) (*adb.VetResult, error)
 
-	// Score classifies one feature vector (the checker's coalescing
-	// batch scorer).
+	// Score classifies one feature vector (the generation's coalescing
+	// batch scorer over its forest).
 	Score func(ml.Vector) float64
+
+	// Trees sizes the infer span's virtual cost.
+	Trees int
+
+	// Epoch is the verdict-cache epoch this generation serves under;
+	// write-through stores are conditional on it so a verdict computed on
+	// an old generation can never be stored into a newer epoch.
+	Epoch uint64
+}
+
+// Deps wires the stages to the checker that assembled them. Gen is a func
+// so a hot-swap is picked up by the next submission without rebuilding
+// the chain; everything else is generation-independent.
+type Deps struct {
+	// Gen returns the current model generation. The Decode stage calls it
+	// exactly once per submission and pins the result on the VetContext.
+	Gen func() *ModelGen
 
 	// Cache is the digest-keyed verdict cache; nil disables memoization.
 	Cache func() *vcache.Cache[CachedVerdict]
@@ -80,9 +107,6 @@ type Deps struct {
 	// Events and Seed shape the per-submission Monkey configuration.
 	Events int
 	Seed   int64
-
-	// Trees sizes the infer span's virtual cost.
-	Trees int
 }
 
 // MonkeyFor derives the Monkey configuration for one submission. The seed
@@ -167,6 +191,11 @@ type Decode struct{ D *Deps }
 func (Decode) Name() string { return StageDecode }
 
 func (s Decode) Run(vc *VetContext) error {
+	// Pin the model generation for the whole remaining chain. The pin
+	// happens here — inside the cache-lookup singleflight — so a leader
+	// that starts after a hot-swap computes wholly on the new generation,
+	// and one that started before finishes wholly on the old one.
+	vc.Gen = s.D.Gen()
 	if vc.Seq == 0 {
 		vc.Seq = s.D.NextSeq()
 	}
@@ -192,7 +221,7 @@ func (s Decode) Run(vc *VetContext) error {
 		vc.Span(0, "parsed")
 	default:
 		vc.Program = sub.Program
-		m, err := sub.Program.Manifest(s.D.Universe())
+		m, err := sub.Program.Manifest(vc.Gen.Universe)
 		if err != nil {
 			return err
 		}
@@ -213,13 +242,13 @@ func (Emulate) Name() string { return StageEmulate }
 
 func (s Emulate) Run(vc *VetContext) error {
 	if vc.Sub.Raw != nil {
-		vr, err := s.D.RunRaw(vc)
+		vr, err := vc.Gen.RunRaw(vc)
 		if err != nil {
 			return err
 		}
 		vc.Run = vr.Run
 	} else {
-		res, err := s.D.Farm().RunContext(vc.Ctx, vc.Program, vc.Monkey)
+		res, err := vc.Gen.Farm.RunContext(vc.Ctx, vc.Program, vc.Monkey)
 		if err != nil {
 			return err
 		}
@@ -254,7 +283,7 @@ type ExtractFeatures struct{ D *Deps }
 func (ExtractFeatures) Name() string { return StageExtract }
 
 func (s ExtractFeatures) Run(vc *VetContext) error {
-	x, err := s.D.Extractor().Vector(vc.Run.Log, vc.Manifest)
+	x, err := vc.Gen.Extractor.Vector(vc.Run.Log, vc.Manifest)
 	if err != nil {
 		return err
 	}
@@ -275,7 +304,7 @@ func (s Infer) Run(vc *VetContext) error {
 	if err := vc.Ctx.Err(); err != nil {
 		return err
 	}
-	score := s.D.Score(vc.Vector)
+	score := vc.Gen.Score(vc.Vector)
 	p, res := vc.Program, vc.Run
 	pkg, version := p.PackageName, p.Version
 	if vc.Sub.Raw != nil && vc.Parsed != nil {
@@ -288,6 +317,7 @@ func (s Infer) Run(vc *VetContext) error {
 		Package:        pkg,
 		VersionCode:    version,
 		MD5:            vc.MD5,
+		Generation:     vc.Gen.ID,
 		Malicious:      score > 0,
 		Score:          score,
 		ScanTime:       res.VirtualTime,
@@ -297,13 +327,16 @@ func (s Infer) Run(vc *VetContext) error {
 		Engine:         res.Profile,
 		InvokedKeyAPIs: res.Log.DistinctInvoked(),
 	}
-	vc.Span(time.Duration(s.D.Trees)*inferPerTree, "")
+	vc.Span(time.Duration(vc.Gen.Trees)*inferPerTree, "")
 	return nil
 }
 
 // CacheStore writes a verdict computed outside the cache-lookup bracket
 // through to the cache (the VetRun path, which always emulates because
-// the raw run result is the point).
+// the raw run result is the point). The store is conditional on the
+// pinned generation's cache epoch: a verdict computed on a generation
+// that was swapped out mid-run is returned to the caller but never
+// stored, so the cache can only ever serve current-generation verdicts.
 type CacheStore struct{ D *Deps }
 
 func (CacheStore) Name() string { return StageCacheStore }
@@ -314,7 +347,10 @@ func (s CacheStore) Run(vc *VetContext) error {
 		vc.Span(0, "skipped")
 		return nil
 	}
-	cache.Put(vc.Digest, CachedVerdict{Verdict: *vc.Verdict, Vector: vc.Vector})
+	if !cache.TryPut(vc.Digest, CachedVerdict{Verdict: *vc.Verdict, Vector: vc.Vector}, vc.Gen.Epoch) {
+		vc.Span(0, "stale")
+		return nil
+	}
 	vc.Span(0, "stored")
 	return nil
 }

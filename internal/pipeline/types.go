@@ -135,6 +135,14 @@ type Verdict struct {
 	VersionCode int
 	MD5         string
 
+	// Generation identifies the model generation that produced this
+	// verdict (1 for a freshly assembled checker, incremented by every
+	// hot-swap). The whole vet — hook registry, emulation, feature
+	// extraction, and forest inference — ran on exactly this generation;
+	// the pipeline pins it once per submission and never mixes parts
+	// across a concurrent swap.
+	Generation uint64
+
 	Malicious bool
 	// Score is the model margin (> 0 ⇒ malicious); magnitude is
 	// confidence.

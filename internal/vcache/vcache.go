@@ -266,6 +266,28 @@ func (c *Cache[V]) Put(key string, v V) {
 	sh.mu.Unlock()
 }
 
+// TryPut is Put conditioned on the epoch the value was computed under: it
+// stores only if that epoch is still current and reports whether it did.
+// This is the write-through analogue of Do's straddle check — a verdict
+// computed on a model generation that was swapped out mid-run must reach
+// its caller but never the cache.
+func (c *Cache[V]) TryPut(key string, v V, epoch uint64) bool {
+	if key == "" || c.epoch.Load() != epoch {
+		return false
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// Re-check under the shard lock: BumpEpoch drops entries shard by
+	// shard, so an unlocked check alone could store into a shard the bump
+	// already cleared.
+	if c.epoch.Load() != epoch {
+		return false
+	}
+	c.store(sh, key, v, epoch)
+	return true
+}
+
 // store upserts under the shard lock, evicting the LRU entry if full.
 func (c *Cache[V]) store(sh *shard[V], key string, v V, epoch uint64) {
 	if el, ok := sh.items[key]; ok {

@@ -75,6 +75,14 @@ type Metrics struct {
 	// Instantaneous gauges at snapshot time.
 	QueueDepth int // submissions waiting for a lane
 	InFlight   int // submissions being vetted right now
+
+	// Model-lifecycle state at snapshot time, read from the serving
+	// checker: the generation currently answering vets, its registry
+	// digest (empty for a generation trained in-process and never
+	// snapshotted), and the total hot-swaps since the checker was built.
+	ModelGeneration uint64
+	ModelDigest     string
+	ModelSwaps      uint64
 }
 
 // ScanStats is one scan-latency distribution in virtual-clock seconds.
@@ -204,6 +212,11 @@ func (s *Service) Metrics() Metrics {
 		}
 	}
 	m.QueueDepth = len(s.queue)
+
+	gen := s.ck.Generation()
+	m.ModelGeneration = gen.ID
+	m.ModelDigest = gen.Digest
+	m.ModelSwaps = s.ck.Obs().Counter("model.swaps").Load()
 
 	m.MissScan = newScanStats(c.missScans.Snapshot())
 	m.HitScan = newScanStats(c.hitScans.Snapshot())
