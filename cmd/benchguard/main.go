@@ -1,0 +1,160 @@
+// Command benchguard fails CI when a serving benchmark's allocs/op grows
+// past a tolerated fraction of its committed baseline. It reads the same
+// `go test -json -bench` stream CI already records as BENCH_serving.json
+// (plain `go test -bench` text also works), so the guard adds no extra
+// benchmark run.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_baseline.json [-max-growth 0.20] BENCH_serving.json
+//
+// The baseline maps benchmark names (sub-benchmark paths, no -cpu
+// suffix) to allocs/op. Every benchmark listed in the baseline must
+// appear in the input; benchmarks absent from the baseline are ignored,
+// so adding a benchmark does not break the guard until a baseline is
+// recorded for it. Shrinking allocs/op never fails — refresh the
+// baseline to ratchet the bound down.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed allocs/op baseline (JSON: benchmark name -> allocs/op)")
+	maxGrowth := flag.Float64("max-growth", 0.20, "tolerated fractional allocs/op growth over baseline")
+	flag.Parse()
+
+	baseline, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseAllocs(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	for name, base := range baseline {
+		allocs, ok := got[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: in baseline but missing from benchmark output\n", name)
+			failed = true
+			continue
+		}
+		limit := base * (1 + *maxGrowth)
+		verdict := "ok  "
+		if allocs > limit {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchguard: %s %s: %.0f allocs/op (baseline %.0f, limit %.0f)\n",
+			verdict, name, allocs, base, limit)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchguard: allocs/op regression — fix the allocation, or re-record BENCH_baseline.json if the growth is intended")
+		os.Exit(1)
+	}
+}
+
+func readBaseline(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := map[string]float64{}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: empty baseline", path)
+	}
+	return m, nil
+}
+
+// parseAllocs extracts benchmark-name -> allocs/op from benchmark output,
+// transparently unwrapping `go test -json` event lines. Sub-benchmark
+// names keep their path; the -cpu (GOMAXPROCS) suffix is stripped so
+// baselines are host-shape independent.
+func parseAllocs(r io.Reader) (map[string]float64, error) {
+	got := map[string]float64{}
+	// In -json streams the benchmark name and its result arrive as
+	// separate output events ("BenchmarkFoo-8\n", then "  1\t... allocs/op");
+	// pending carries the name across to the result line. Plain text keeps
+	// both on one line, handled inline.
+	pending := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev struct{ Output string }
+			if json.Unmarshal([]byte(line), &ev) != nil || ev.Output == "" {
+				continue
+			}
+			line = strings.TrimSuffix(ev.Output, "\n")
+		}
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		name := ""
+		switch {
+		case strings.HasPrefix(f[0], "Benchmark") && f[0] != "Benchmark":
+			name = trimCPUSuffix(f[0])
+			if len(f) == 1 {
+				pending = name
+				continue
+			}
+		case pending != "":
+			name, pending = pending, ""
+			f = append([]string{name}, f...)
+		default:
+			continue
+		}
+		for i := 2; i+1 < len(f); i++ {
+			if f[i+1] != "allocs/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+			}
+			got[name] = v
+		}
+	}
+	return got, sc.Err()
+}
+
+// trimCPUSuffix drops the -GOMAXPROCS suffix go test appends to benchmark
+// names, so baselines are host-shape independent.
+func trimCPUSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -49,6 +49,7 @@ func main() {
 		queue    = flag.Int("queue", 0, "service queue depth (0 = 4x workers)")
 		deadline = flag.Duration("deadline", 0, "per-submission vet deadline (0 = none)")
 		vcap     = flag.Int("vcache", 0, "verdict-cache capacity on the -serve path (0 = default, negative = disabled)")
+		vpersist = flag.String("vcache-persist", "", "persist the verdict cache to this directory and warm-start it on the next run (-serve only)")
 		dup      = flag.Int("dup", 1, "submit each -serve app this many times (duplicate-heavy workloads exercise the verdict cache)")
 		trace    = flag.Bool("trace", false, "stream per-submission pipeline spans and print the per-stage latency table (-serve only)")
 
@@ -84,13 +85,16 @@ func main() {
 		return
 	}
 	if *serve {
-		if err := runService(u, *seed, *initial, *monthly, *workers, *queue, *vcap, *dup, *deadline, *trace, *modelDir, *evolve); err != nil {
+		if err := runService(u, *seed, *initial, *monthly, *workers, *queue, *vcap, *dup, *deadline, *trace, *modelDir, *vpersist, *evolve); err != nil {
 			fail(err)
 		}
 		return
 	}
 	if *trace {
 		fmt.Fprintln(os.Stderr, "tmarket: -trace only applies with -serve")
+	}
+	if *vpersist != "" {
+		fmt.Fprintln(os.Stderr, "tmarket: -vcache-persist only applies with -serve")
 	}
 	if *evolve {
 		fmt.Fprintln(os.Stderr, "tmarket: -evolve only applies with -serve")
@@ -160,7 +164,7 @@ func runSnapshot(u *apichecker.Universe, seed int64, initial int, modelDir strin
 // trace, the checker's obs spine streams one line per completed pipeline
 // stage and the per-stage latency table follows the metrics. With evolve,
 // a background runner retrains mid-batch and hot-swaps on promotion.
-func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, queue, vcap, dup int, deadline time.Duration, trace bool, modelDir string, evolve bool) error {
+func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, queue, vcap, dup int, deadline time.Duration, trace bool, modelDir, persistDir string, evolve bool) error {
 	var (
 		checker *apichecker.Checker
 		mgr     *apichecker.LifecycleManager
@@ -202,6 +206,19 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 		checker = ck
 		fmt.Printf("trained on %d apps (%d key APIs); starting vetting service\n",
 			initial, rep.KeyAPIs)
+	}
+	if persistDir != "" {
+		// Attached after the checker exists (covers the cold-start path,
+		// where the registry instantiates it), before any vet runs: a
+		// snapshot recorded under the same model warm-starts the cache.
+		if err := checker.AttachPersist(persistDir); err != nil {
+			return err
+		}
+		defer checker.ClosePersist()
+		if ps := checker.PersistStats(); ps.Restored > 0 || ps.Skipped > 0 {
+			fmt.Printf("warm-started verdict cache from %s: %d restored, %d skipped\n",
+				persistDir, ps.Restored, ps.Skipped)
+		}
 	}
 	if trace {
 		var mu sync.Mutex
@@ -307,6 +324,12 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 	}
 	fmt.Printf("  verdict cache: %d hits, %d misses, %d coalesced, %d bypassed\n",
 		m.CacheHits, m.CacheMisses, m.CacheCoalesced, m.CacheBypass)
+	fmt.Printf("  cache memory: %d live entries, %s of flat entries; process heap %s\n",
+		m.CacheEntries, fmtBytes(uint64(m.CacheLiveBytes)), fmtBytes(m.HeapLiveBytes))
+	if m.Persist.Enabled {
+		fmt.Printf("  persist tier: %d warm-start hits, %d misses; %d appends, %d resets\n",
+			m.Persist.Restored, m.Persist.Skipped, m.Persist.Appends, m.Persist.Resets)
+	}
 	if m.MissScan.Count > 0 {
 		fmt.Printf("  emulated scans   (n=%4d): mean %.1fs  p50 %.1fs  p95 %.1fs  p99 %.1fs\n",
 			m.MissScan.Count, m.MissScan.Mean, m.MissScan.P50, m.MissScan.P95, m.MissScan.P99)
@@ -353,6 +376,19 @@ func trainChecker(u *apichecker.Universe, seed int64, initial, vcap int) (*apich
 	ccfg := apichecker.DefaultConfig()
 	ccfg.VerdictCache = vcap
 	return apichecker.Train(training, ccfg)
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }
 
 // shortDigest abbreviates a registry digest for display.

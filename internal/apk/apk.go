@@ -40,6 +40,16 @@ import (
 // string matching.
 var ErrBadAPK = errors.New("bad APK")
 
+// ErrOversized marks an archive whose declared uncompressed payload
+// exceeds MaxDecodedBytes — a decompression-bomb guard on the submission
+// path. It always arrives wrapped in ErrBadAPK.
+var ErrOversized = errors.New("apk: declared uncompressed size exceeds decode bound")
+
+// MaxDecodedBytes bounds the total uncompressed payload Parse will
+// materialize for one archive. Market submissions are a few MiB of dex
+// and assets; anything declaring gigabytes is a zip bomb, not an app.
+const MaxDecodedBytes = 64 << 20
+
 // APK is a parsed package.
 type APK struct {
 	Manifest *manifest.Manifest
@@ -65,6 +75,13 @@ func Digest(data []byte) string {
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:])
 }
+
+// DigestOnly is the serving-path fast key: it hashes the raw archive bytes
+// without opening the zip directory or materializing any entry, because
+// the cache-hit path needs only the digest — a byte-identical resubmission
+// is answered before any decode work happens. It is exactly Digest, named
+// so call sites on the hot path document that no parse is implied.
+func DigestOnly(data []byte) string { return Digest(data) }
 
 // PackageName returns the manifest package name.
 func (a *APK) PackageName() string { return a.Manifest.Package }
@@ -174,42 +191,81 @@ func Parse(data []byte) (*APK, error) {
 	return out, nil
 }
 
+// loadEntries are the archive members Parse materializes, in arena layout
+// order. Everything else (resources, native-lib markers, the signature
+// manifest) is validated structurally by the zip reader but never copied
+// out.
+var loadEntries = [...]string{"AndroidManifest.xml", "classes.dex", "assets/behavior.bin"}
+
+// readEntrySized decompresses one zip entry into dst, which the caller
+// pre-sized from the entry's declared UncompressedSize64. A decompressed
+// stream shorter or longer than declared is a corrupt archive, not a
+// truncation to tolerate: the declared size drove the allocation, so a
+// mismatch means the central directory lies.
+func readEntrySized(f *zip.File, dst []byte) error {
+	rc, err := f.Open()
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	if _, err := io.ReadFull(rc, dst); err != nil {
+		return fmt.Errorf("entry %s shorter than declared %d bytes: %w", f.Name, len(dst), err)
+	}
+	var probe [1]byte
+	if n, err := rc.Read(probe[:]); n != 0 || (err != nil && err != io.EOF) {
+		return fmt.Errorf("entry %s longer than declared %d bytes", f.Name, len(dst))
+	}
+	return nil
+}
+
 func parse(data []byte) (*APK, error) {
 	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
 	if err != nil {
 		return nil, fmt.Errorf("apk: parse: not a zip archive: %w", err)
 	}
-	readEntry := func(name string) ([]byte, error) {
-		for _, f := range zr.File {
-			if f.Name == name {
-				rc, err := f.Open()
-				if err != nil {
-					return nil, err
-				}
-				defer rc.Close()
-				return io.ReadAll(rc)
+
+	// One pass over the central directory: locate the load-bearing entries
+	// and bound the total decode size before allocating anything. Sizes
+	// come from the directory, so the arena is allocated exactly once at
+	// its final size — no per-entry io.ReadAll growth copies.
+	var files [len(loadEntries)]*zip.File
+	var total uint64
+	for _, f := range zr.File {
+		for i, name := range loadEntries {
+			if f.Name == name && files[i] == nil {
+				files[i] = f
+				total += f.UncompressedSize64
 			}
 		}
-		return nil, fmt.Errorf("entry %s missing", name)
+	}
+	if total > MaxDecodedBytes {
+		return nil, fmt.Errorf("%w (%d > %d)", ErrOversized, total, MaxDecodedBytes)
+	}
+	for i, f := range files {
+		if f == nil {
+			return nil, fmt.Errorf("apk: parse: entry %s missing", loadEntries[i])
+		}
 	}
 
-	out := &APK{Size: int64(len(data))}
-	manifestXML, err := readEntry("AndroidManifest.xml")
-	if err != nil {
-		return nil, fmt.Errorf("apk: parse: %w", err)
+	// Arena decode: one sized buffer, entry payloads sub-sliced out of it.
+	arena := make([]byte, total)
+	var payloads [len(loadEntries)][]byte
+	off := 0
+	for i, f := range files {
+		n := int(f.UncompressedSize64)
+		payloads[i] = arena[off : off+n : off+n]
+		off += n
+		if err := readEntrySized(f, payloads[i]); err != nil {
+			return nil, fmt.Errorf("apk: parse: %w", err)
+		}
 	}
+	manifestXML, dexBytes, progBytes := payloads[0], payloads[1], payloads[2]
+
+	out := &APK{Size: int64(len(data))}
 	if out.Manifest, err = manifest.Decode(manifestXML); err != nil {
 		return nil, fmt.Errorf("apk: parse: %w", err)
 	}
-	dexBytes, err := readEntry("classes.dex")
-	if err != nil {
-		return nil, fmt.Errorf("apk: parse %s: %w", out.Manifest.Package, err)
-	}
 	if out.Dex, err = dex.Decode(dexBytes); err != nil {
-		return nil, fmt.Errorf("apk: parse %s: %w", out.Manifest.Package, err)
-	}
-	progBytes, err := readEntry("assets/behavior.bin")
-	if err != nil {
 		return nil, fmt.Errorf("apk: parse %s: %w", out.Manifest.Package, err)
 	}
 	if out.Program, err = behavior.Decode(progBytes); err != nil {

@@ -1,0 +1,115 @@
+package apk
+
+import (
+	"archive/zip"
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"apichecker/internal/behavior"
+)
+
+// rezipLying rewrites one entry of the archive with a raw (stored) copy
+// whose central-directory size field declares lieSize instead of the real
+// payload length — the shape of a hand-crafted decompression bomb or a
+// corrupted directory.
+func rezipLying(t *testing.T, data []byte, entry string, lieSize uint64) []byte {
+	t.Helper()
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	for _, f := range zr.File {
+		rc, err := f.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := new(bytes.Buffer)
+		if _, err := payload.ReadFrom(rc); err != nil {
+			t.Fatal(err)
+		}
+		rc.Close()
+		if f.Name != entry {
+			w, err := zw.Create(f.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.Write(payload.Bytes()); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		hdr := &zip.FileHeader{
+			Name:               f.Name,
+			Method:             zip.Store,
+			UncompressedSize64: lieSize,
+			CompressedSize64:   uint64(payload.Len()),
+			CRC32:              crc32.ChecksumIEEE(payload.Bytes()),
+		}
+		w, err := zw.CreateRaw(hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(payload.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestParseRejectsOversizedDeclaration(t *testing.T) {
+	p := program(6, behavior.Benign, behavior.FamilyNone)
+	data, err := Build(p, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bomb := rezipLying(t, data, "classes.dex", MaxDecodedBytes+1)
+	_, err = Parse(bomb)
+	if err == nil {
+		t.Fatal("Parse accepted an archive declaring more than MaxDecodedBytes")
+	}
+	if !errors.Is(err, ErrOversized) {
+		t.Errorf("error %v does not wrap ErrOversized", err)
+	}
+	if !errors.Is(err, ErrBadAPK) {
+		t.Errorf("error %v does not wrap ErrBadAPK", err)
+	}
+}
+
+func TestParseRejectsSizeLie(t *testing.T) {
+	p := program(7, behavior.Benign, behavior.FamilyNone)
+	data, err := Build(p, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Declares fewer bytes than the stored payload actually holds: the
+	// arena sub-slice would silently truncate without the probe check.
+	short := rezipLying(t, data, "assets/behavior.bin", 1)
+	if _, err := Parse(short); err == nil {
+		t.Error("Parse accepted an entry longer than its declared size")
+	}
+}
+
+func TestDigestOnlyMatchesDigest(t *testing.T) {
+	p := program(8, behavior.Benign, behavior.FamilyNone)
+	data, err := Build(p, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DigestOnly(data) != Digest(data) {
+		t.Error("DigestOnly and Digest disagree")
+	}
+	parsed, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.SHA256 != DigestOnly(data) {
+		t.Error("parse-time SHA256 differs from DigestOnly")
+	}
+}

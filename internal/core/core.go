@@ -71,6 +71,13 @@ type Config struct {
 	// the cache is semantically invisible either way.
 	VerdictCache int
 
+	// VerdictPersistDir enables the file-backed warm-start tier under the
+	// verdict cache: memoized verdicts are appended to an epoch-keyed log
+	// in this directory and replayed on the next start if the serving
+	// model is unchanged, so a restarted node resumes its hit rate without
+	// re-emulating. Empty disables persistence; requires VerdictCache >= 0.
+	VerdictPersistDir string
+
 	// Lanes bounds concurrent program/parsed emulations (the per-server
 	// emulator-farm gate). 0 selects emulator.ProductionLanes.
 	Lanes int
@@ -107,7 +114,13 @@ type Checker struct {
 	// content digest, with singleflight dedupe of concurrent identical
 	// submissions; nil when cfg.VerdictCache < 0. SwapModel advances its
 	// epoch so no verdict from a previous model generation is ever served.
-	cache *vcache.Cache[pipeline.CachedVerdict]
+	// Entries are flat pipeline.EncodeEntry buffers, so a million cached
+	// verdicts are a million GC-opaque byte slices, not pointer graphs.
+	cache *vcache.Cache[[]byte]
+
+	// persist is the optional file-backed warm-start tier under the cache;
+	// nil unless cfg.VerdictPersistDir is set.
+	persist *vcache.PersistLog
 
 	// obs is the checker's observability spine: one span per completed
 	// pipeline stage, plus the emulator-reliability and verdict-cache
@@ -300,7 +313,8 @@ func NewWithDigest(u *framework.Universe, sel *features.Selection, ex *features.
 	model *ml.RandomForest, cfg Config, digest string) (*Checker, error) {
 	ck := &Checker{cfg: cfg, obs: obs.NewCollector()}
 	if cfg.VerdictCache >= 0 {
-		ck.cache = vcache.NewObserved[pipeline.CachedVerdict](cfg.VerdictCache, ck.obs)
+		ck.cache = vcache.NewObserved[[]byte](cfg.VerdictCache, ck.obs)
+		ck.cache.SetSizeOf(func(e []byte) int { return len(e) })
 	}
 	parts := ModelParts{Universe: u, Selection: sel, Extractor: ex, Model: model, Digest: digest}
 	g, err := ck.newGeneration(parts, 1, ck.cacheEpoch())
@@ -310,6 +324,11 @@ func NewWithDigest(u *framework.Universe, sel *features.Selection, ex *features.
 	ck.gen.Store(g)
 	ck.obs.Gauge("model.generation").Set(1)
 	ck.buildPipelines()
+	if cfg.VerdictPersistDir != "" {
+		if err := ck.attachPersist(cfg.VerdictPersistDir); err != nil {
+			return nil, err
+		}
+	}
 	return ck, nil
 }
 
@@ -403,6 +422,10 @@ func (ck *Checker) SwapModel(parts ModelParts) (GenerationInfo, error) {
 	}
 	ck.gen.Store(g)
 	ck.InvalidateVerdicts()
+	// The on-disk tier invalidates with the in-memory one: re-key the log
+	// to the new generation after the epoch bump, so anything appended for
+	// the old epoch is gone and nothing stale survives a restart.
+	ck.resetPersist()
 	ck.obs.Gauge("model.generation").Set(int64(g.id))
 	ck.obs.Counter("model.swaps").Inc()
 	return g.info(), nil
@@ -435,7 +458,7 @@ func (ck *Checker) Parts() ModelParts {
 func (ck *Checker) buildPipelines() {
 	d := &pipeline.Deps{
 		Gen:     func() *pipeline.ModelGen { return ck.gen.Load().mg },
-		Cache:   func() *vcache.Cache[pipeline.CachedVerdict] { return ck.cache },
+		Cache:   func() *vcache.Cache[[]byte] { return ck.cache },
 		NextSeq: ck.nextVetSeq,
 		Obs:     ck.obs,
 		Events:  ck.cfg.Events,
@@ -506,10 +529,14 @@ func (ck *Checker) Vet(ctx context.Context, sub Submission) (*Verdict, error) {
 // the cache), OutcomeCoalesced (deduplicated onto a concurrent identical
 // submission), or OutcomeBypass (cache disabled or payload undigestable).
 func (ck *Checker) VetOutcome(ctx context.Context, sub Submission) (*Verdict, vcache.Outcome, error) {
-	vc := &pipeline.VetContext{Ctx: ctx, Sub: &sub}
+	vc := pipeline.AcquireContext(ctx, &sub)
+	defer pipeline.ReleaseContext(vc)
 	if err := ck.vetPipe.Run(vc); err != nil {
 		return nil, vc.Outcome, ck.vetError(vc, err)
 	}
+	// The Verdict is never pool-backed (fresh allocation per submission),
+	// so returning it past the release is safe; everything else on vc is
+	// recycled.
 	return vc.Verdict, vc.Outcome, nil
 }
 
@@ -517,11 +544,23 @@ func (ck *Checker) VetOutcome(ctx context.Context, sub Submission) (*Verdict, vc
 // for this submission (one obs event per completed stage, in execution
 // order) — the cmd/tmarket -trace feed.
 func (ck *Checker) VetTrace(ctx context.Context, sub Submission) (*Verdict, vcache.Outcome, []obs.Event, error) {
-	vc := &pipeline.VetContext{Ctx: ctx, Sub: &sub}
+	vc := pipeline.AcquireContext(ctx, &sub)
+	defer pipeline.ReleaseContext(vc)
 	if err := ck.vetPipe.Run(vc); err != nil {
-		return nil, vc.Outcome, vc.Spans, ck.vetError(vc, err)
+		return nil, vc.Outcome, copySpans(vc), ck.vetError(vc, err)
 	}
-	return vc.Verdict, vc.Outcome, vc.Spans, nil
+	return vc.Verdict, vc.Outcome, copySpans(vc), nil
+}
+
+// copySpans detaches the span log from the pooled context — its backing
+// array is recycled the moment the driver releases vc.
+func copySpans(vc *pipeline.VetContext) []obs.Event {
+	if len(vc.Spans) == 0 {
+		return nil
+	}
+	out := make([]obs.Event, len(vc.Spans))
+	copy(out, vc.Spans)
+	return out
 }
 
 // VetRun is Vet, additionally returning the raw emulation result (the
@@ -529,7 +568,8 @@ func (ck *Checker) VetTrace(ctx context.Context, sub Submission) (*Verdict, vcac
 // point — but writes the verdict through to the cache so subsequent Vets
 // of the same content are served without re-running.
 func (ck *Checker) VetRun(ctx context.Context, sub Submission) (*Verdict, *emulator.Result, error) {
-	vc := &pipeline.VetContext{Ctx: ctx, Sub: &sub}
+	vc := pipeline.AcquireContext(ctx, &sub)
+	defer pipeline.ReleaseContext(vc)
 	if err := ck.runPipe.Run(vc); err != nil {
 		return nil, nil, ck.vetError(vc, err)
 	}

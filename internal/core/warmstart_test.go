@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"apichecker/internal/emulator"
+	"apichecker/internal/vcache"
+)
+
+// TestPersistWarmStart is the kill-and-restart scenario: a checker with a
+// persist directory vets submissions, shuts down, and a fresh checker
+// built from the same parts and the same directory answers the replayed
+// submissions entirely from the restored snapshot — zero emulations,
+// verdicts bit-identical to the first run.
+func TestPersistWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.VerdictPersistDir = dir
+	ck1, corpus := trainedCheckerCfg(t, 300, cfg)
+
+	const nSubs = 6
+	baseline := make([]*Verdict, nSubs)
+	for i := 0; i < nSubs; i++ {
+		v, out, err := ck1.VetOutcome(context.Background(), Submission{Program: corpus.Program(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != vcache.OutcomeMiss {
+			t.Fatalf("sub %d: first vet outcome = %v, want miss", i, out)
+		}
+		baseline[i] = v
+	}
+	ps := ck1.PersistStats()
+	if !ps.Enabled || ps.Appends != nSubs {
+		t.Fatalf("first run persist stats = %+v, want %d appends", ps, nSubs)
+	}
+	if err := ck1.ClosePersist(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a second checker from the same trained parts, pointed at
+	// the same directory.
+	p := ck1.Parts()
+	ck2, err := New(p.Universe, p.Selection, p.Extractor, p.Model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.ClosePersist()
+	ps = ck2.PersistStats()
+	if ps.Restored != nSubs || ps.Skipped != 0 {
+		t.Fatalf("restart persist stats = %+v, want %d restored", ps, nSubs)
+	}
+
+	runs0 := emulator.RunCount()
+	for i := 0; i < nSubs; i++ {
+		v, out, err := ck2.VetOutcome(context.Background(), Submission{Program: corpus.Program(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != vcache.OutcomeHit {
+			t.Fatalf("sub %d: replayed vet outcome = %v, want warm-start hit", i, out)
+		}
+		if *v != *baseline[i] {
+			t.Fatalf("sub %d: restored verdict differs:\n  first run %+v\n  restart   %+v", i, *baseline[i], *v)
+		}
+	}
+	if runs := emulator.RunCount() - runs0; runs != 0 {
+		t.Fatalf("restart re-emulated %d submissions, want 0", runs)
+	}
+}
+
+// TestPersistSwapInvalidates: a lifecycle swap must invalidate the
+// persisted tier exactly like the in-memory epoch bump — verdicts
+// appended before the swap never survive a restart.
+func TestPersistSwapInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.VerdictPersistDir = dir
+	ck1, corpus := trainedCheckerCfg(t, 300, cfg)
+
+	if _, _, err := ck1.VetOutcome(context.Background(), Submission{Program: corpus.Program(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if ps := ck1.PersistStats(); ps.Appends != 1 {
+		t.Fatalf("pre-swap persist stats = %+v", ps)
+	}
+	if _, err := ck1.SwapModel(ck1.Parts()); err != nil {
+		t.Fatal(err)
+	}
+	ps := ck1.PersistStats()
+	if ps.Resets != 1 {
+		t.Fatalf("post-swap persist stats = %+v, want 1 reset", ps)
+	}
+	if err := ck1.ClosePersist(); err != nil {
+		t.Fatal(err)
+	}
+
+	p := ck1.Parts()
+	ck2, err := New(p.Universe, p.Selection, p.Extractor, p.Model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.ClosePersist()
+	if ps := ck2.PersistStats(); ps.Restored != 0 {
+		t.Fatalf("restart after swap restored %d entries, want 0", ps.Restored)
+	}
+	runs0 := emulator.RunCount()
+	if _, out, err := ck2.VetOutcome(context.Background(), Submission{Program: corpus.Program(0)}); err != nil {
+		t.Fatal(err)
+	} else if out != vcache.OutcomeMiss {
+		t.Fatalf("post-swap restart vet outcome = %v, want miss", out)
+	}
+	if runs := emulator.RunCount() - runs0; runs != 1 {
+		t.Fatalf("post-swap restart emulations = %d, want 1", runs)
+	}
+}

@@ -339,10 +339,19 @@ func (e *Extractor) TrackedAPIs() []framework.APIID { return e.tracked }
 
 // Vector builds the feature vector for one analyzed app.
 func (e *Extractor) Vector(log *hook.Log, man *manifest.Manifest) (ml.Vector, error) {
+	return e.VectorInto(log, man, nil)
+}
+
+// VectorInto is Vector reusing dst's backing storage when it is wide
+// enough (zeroing it first); otherwise a fresh vector is allocated. The
+// serving pipeline recycles each vet context's vector scratch through
+// here, so steady-state extraction allocates nothing. The returned vector
+// aliases dst on reuse — callers that retain vectors must copy.
+func (e *Extractor) VectorInto(log *hook.Log, man *manifest.Manifest, dst ml.Vector) (ml.Vector, error) {
 	if log == nil || man == nil {
 		return nil, fmt.Errorf("features: nil log or manifest")
 	}
-	return e.fill(log, man), nil
+	return e.fill(log, man, dst), nil
 }
 
 // VectorFromFullLog projects the feature vector from a log recorded under
@@ -362,7 +371,7 @@ func (e *Extractor) VectorFromFullLog(log *hook.Log, man *manifest.Manifest) (ml
 	if err := e.CanProjectFrom(log.Registry()); err != nil {
 		return nil, err
 	}
-	return e.fill(log, man), nil
+	return e.fill(log, man, nil), nil
 }
 
 // CanProjectFrom reports whether logs recorded under reg cover every API
@@ -379,9 +388,17 @@ func (e *Extractor) CanProjectFrom(reg *hook.Registry) error {
 }
 
 // fill is the shared vector construction; apiBits ignores logged APIs
-// outside the tracked set, so it projects wider logs correctly.
-func (e *Extractor) fill(log *hook.Log, man *manifest.Manifest) ml.Vector {
-	v := ml.NewVector(e.total)
+// outside the tracked set, so it projects wider logs correctly. dst is
+// recycled storage to fill (zeroed first) when wide enough, nil to
+// allocate.
+func (e *Extractor) fill(log *hook.Log, man *manifest.Manifest, dst ml.Vector) ml.Vector {
+	v := dst
+	if words := (e.total + 63) / 64; cap(v) >= words {
+		v = v[:words]
+		clear(v)
+	} else {
+		v = ml.NewVector(e.total)
+	}
 	if e.mode&ModeA != 0 {
 		e.apiBits(log, v)
 	}

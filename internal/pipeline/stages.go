@@ -95,7 +95,9 @@ type Deps struct {
 	Gen func() *ModelGen
 
 	// Cache is the digest-keyed verdict cache; nil disables memoization.
-	Cache func() *vcache.Cache[CachedVerdict]
+	// Values are flat EncodeEntry buffers — one GC-opaque allocation per
+	// memoized verdict — not CachedVerdict graphs.
+	Cache func() *vcache.Cache[[]byte]
 
 	// NextSeq reserves the next vet sequence number.
 	NextSeq func() int64
@@ -163,22 +165,35 @@ func (s CacheLookup) Wrap(vc *VetContext, next func() error) error {
 		vc.Span(0, vc.Outcome.String())
 		return nil
 	}
-	e, out, err := cache.Do(vc.Ctx, vc.Digest, func() (CachedVerdict, error) {
+	e, out, err := cache.Do(vc.Ctx, vc.Digest, func() ([]byte, error) {
 		if err := next(); err != nil {
-			return CachedVerdict{}, err
+			return nil, err
 		}
-		return CachedVerdict{Verdict: *vc.Verdict, Vector: vc.Vector}, nil
+		// The stored entry is a flat copy of the leader's result, so the
+		// cache never aliases the (pooled) VetContext.
+		return EncodeEntry(vc.Verdict, vc.Vector), nil
 	})
 	vc.Outcome = out
 	vc.Span(0, out.String())
 	if err != nil {
 		return err
 	}
-	// Every caller gets its own Verdict copy — leaders included — so no
-	// two submissions ever share a result pointer.
-	v := e.Verdict
-	vc.Verdict = &v
-	vc.Vector = e.Vector
+	if out == vcache.OutcomeMiss {
+		// The leader already holds its own freshly allocated Verdict and
+		// Vector from the inner chain; decoding its own entry back would
+		// only add allocations.
+		return nil
+	}
+	// Hit or coalesced: decode into caller-owned storage. The Verdict is a
+	// fresh allocation per caller (no two submissions ever share a result
+	// pointer); the vector reuses this context's scratch.
+	v := new(Verdict)
+	vec, derr := DecodeEntry(e, v, vc.Vector[:0])
+	if derr != nil {
+		return derr
+	}
+	vc.Verdict = v
+	vc.Vector = vec
 	return nil
 }
 
@@ -283,7 +298,9 @@ type ExtractFeatures struct{ D *Deps }
 func (ExtractFeatures) Name() string { return StageExtract }
 
 func (s ExtractFeatures) Run(vc *VetContext) error {
-	x, err := vc.Gen.Extractor.Vector(vc.Run.Log, vc.Manifest)
+	// The vector fills this context's recycled scratch; everything that
+	// outlives the vet (cache entries, score results) copies out of it.
+	x, err := vc.Gen.Extractor.VectorInto(vc.Run.Log, vc.Manifest, vc.Vector)
 	if err != nil {
 		return err
 	}
@@ -347,7 +364,7 @@ func (s CacheStore) Run(vc *VetContext) error {
 		vc.Span(0, "skipped")
 		return nil
 	}
-	if !cache.TryPut(vc.Digest, CachedVerdict{Verdict: *vc.Verdict, Vector: vc.Vector}, vc.Gen.Epoch) {
+	if !cache.TryPut(vc.Digest, EncodeEntry(vc.Verdict, vc.Vector), vc.Gen.Epoch) {
 		vc.Span(0, "stale")
 		return nil
 	}

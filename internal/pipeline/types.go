@@ -109,8 +109,11 @@ func (s *Submission) ContentDigest() string {
 	case s.Parsed != nil:
 		s.Digest = s.Parsed.SHA256
 	case s.Program != nil:
-		if data, err := s.Program.Encode(); err == nil {
-			s.Digest = apk.Digest(data)
+		// Program.ContentDigest memoizes on the shared Program, so a
+		// duplicate-heavy stream pays the gob encode once per unique app
+		// rather than once per submission.
+		if d, err := s.Program.ContentDigest(); err == nil {
+			s.Digest = d
 		}
 	}
 	return s.Digest

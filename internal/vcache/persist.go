@@ -1,0 +1,295 @@
+// Persistent verdict-cache tier: an append-log of flat cache entries so a
+// restarted serving node warm-starts its hit rate instead of re-emulating
+// everything it had already memoized.
+//
+// The file discipline matches modelstore: a header written via temp-file +
+// rename (never partially visible), records appended with O_APPEND (the
+// kernel's atomic append contract for single-writer logs), and a CRC per
+// record so a torn final write degrades to "skip the tail", never to a
+// corrupt verdict. The log is keyed by a generation key (the serving model
+// identity): a snapshot recorded under one model is worthless — actively
+// wrong — under another, so Open discards the file wholesale on key
+// mismatch and lifecycle swaps Reset it exactly like the in-memory epoch
+// bump drops the live entries.
+//
+// Record layout (little-endian), after the header line:
+//
+//	u32 keyLen | key bytes | u32 valLen | val bytes | u32 crc32(IEEE, key+val)
+package vcache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// persistFile is the log's name inside the persist directory.
+const persistFile = "vcache.log"
+
+// persistMagic versions the header; bump on layout changes.
+const persistMagic = "vcachelog/1 "
+
+// maxPersistRecord bounds one record's key+value size — corrupt length
+// prefixes must not drive a multi-gigabyte allocation during replay.
+const maxPersistRecord = 64 << 20
+
+// ErrPersistCorrupt marks a persist log whose header does not parse. Torn
+// or corrupt records are not errors — replay stops at the first bad record
+// and keeps everything before it.
+var ErrPersistCorrupt = errors.New("vcache: corrupt persist log header")
+
+// PersistLog is the file-backed warm-start tier for a Cache[[]byte].
+// One writer (the serving process) appends entries as they are stored;
+// OpenPersist replays them on the next start if the generation key still
+// matches. Safe for concurrent use.
+type PersistLog struct {
+	mu     sync.Mutex
+	dir    string
+	genKey string
+	epoch  uint64 // cache epoch appends must match (see AppendCurrent)
+	f      *os.File
+	closed bool
+
+	appends, resets uint64
+}
+
+// OpenPersist opens (or creates) the persist log in dir. genKey is the
+// serving model's identity (artifact digest or equivalent fingerprint);
+// epoch is the live cache's current epoch, which appends are gated on.
+//
+// When the existing log carries the same genKey, its records are replayed
+// through restore (good records only, in append order) and appending
+// continues where the log left off. Any mismatch — different key, missing
+// file, unparseable header — starts a fresh log; restored reports how many
+// entries were replayed and skipped reports records dropped as torn or
+// corrupt.
+func OpenPersist(dir, genKey string, epoch uint64, restore func(key string, val []byte)) (p *PersistLog, restored, skipped int, err error) {
+	if genKey == "" {
+		return nil, 0, 0, fmt.Errorf("vcache: persist requires a non-empty generation key")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, 0, 0, fmt.Errorf("vcache: persist dir: %w", err)
+	}
+	p = &PersistLog{dir: dir, genKey: genKey, epoch: epoch}
+	path := filepath.Join(dir, persistFile)
+
+	restored, skipped, goodBytes, replayErr := replayLog(path, genKey, restore)
+	switch {
+	case replayErr != nil:
+		// Stale key or unusable file: truncate to a fresh header. The old
+		// snapshot is worthless under this model, keeping it would only
+		// resurrect stale verdicts on some future restart.
+		if err := p.writeHeader(); err != nil {
+			return nil, 0, 0, err
+		}
+	case skipped > 0:
+		// Torn tail: cut the file back to the good prefix so new appends
+		// land on a record boundary instead of extending the torn record.
+		if err := os.Truncate(path, goodBytes); err != nil {
+			return nil, 0, 0, fmt.Errorf("vcache: persist truncate torn tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("vcache: persist open: %w", err)
+	}
+	p.f = f
+	return p, restored, skipped, nil
+}
+
+// writeHeader atomically replaces the log with a fresh header-only file
+// (temp file + rename, the modelstore discipline: readers and crashed
+// writers never observe a half-written header).
+func (p *PersistLog) writeHeader() error {
+	path := filepath.Join(p.dir, persistFile)
+	tmp, err := os.CreateTemp(p.dir, ".vcache-*")
+	if err != nil {
+		return fmt.Errorf("vcache: persist reset: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.WriteString(persistMagic + p.genKey + "\n"); err != nil {
+		tmp.Close()
+		return fmt.Errorf("vcache: persist reset: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("vcache: persist reset: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("vcache: persist reset: %w", err)
+	}
+	return nil
+}
+
+// replayLog streams good records out of an existing log, tracking the
+// byte length of the good prefix (header + intact records). A header key
+// mismatch (or no/garbled header) returns an error — the caller starts
+// fresh; bad records mid-file stop the replay, keeping the good prefix.
+func replayLog(path, genKey string, restore func(key string, val []byte)) (restored, skipped int, goodBytes int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("vcache: no persist log: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	header, err := r.ReadString('\n')
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("%w: unreadable header", ErrPersistCorrupt)
+	}
+	key, ok := strings.CutPrefix(strings.TrimSuffix(header, "\n"), persistMagic)
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("%w: bad magic", ErrPersistCorrupt)
+	}
+	if key != genKey {
+		return 0, 0, 0, fmt.Errorf("vcache: persist log recorded under a different model (%.12s… vs %.12s…)", key, genKey)
+	}
+	goodBytes = int64(len(header))
+	for {
+		k, v, rerr := readRecord(r)
+		if rerr == io.EOF {
+			return restored, skipped, goodBytes, nil
+		}
+		if rerr != nil {
+			// Torn or corrupt record: drop it and everything after — a
+			// record boundary cannot be trusted past a bad CRC.
+			skipped++
+			return restored, skipped, goodBytes, nil
+		}
+		if restore != nil {
+			restore(k, v)
+		}
+		restored++
+		goodBytes += int64(12 + len(k) + len(v))
+	}
+}
+
+// readRecord decodes one record. io.EOF means a clean end of log; any
+// other error marks the first torn or corrupt record (bad length, short
+// read, CRC mismatch).
+func readRecord(r *bufio.Reader) (key string, val []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return "", nil, io.EOF
+		}
+		return "", nil, fmt.Errorf("torn record: %w", err)
+	}
+	keyLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if keyLen > maxPersistRecord {
+		return "", nil, fmt.Errorf("absurd key length %d", keyLen)
+	}
+	keyBytes := make([]byte, keyLen)
+	if _, err := io.ReadFull(r, keyBytes); err != nil {
+		return "", nil, fmt.Errorf("torn record: %w", err)
+	}
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", nil, fmt.Errorf("torn record: %w", err)
+	}
+	valLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if valLen > maxPersistRecord {
+		return "", nil, fmt.Errorf("absurd value length %d", valLen)
+	}
+	val = make([]byte, valLen)
+	if _, err := io.ReadFull(r, val); err != nil {
+		return "", nil, fmt.Errorf("torn record: %w", err)
+	}
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", nil, fmt.Errorf("torn record: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(keyBytes)
+	crc.Write(val)
+	if binary.LittleEndian.Uint32(lenBuf[:]) != crc.Sum32() {
+		return "", nil, fmt.Errorf("record CRC mismatch")
+	}
+	return string(keyBytes), val, nil
+}
+
+// AppendCurrent appends one entry if epoch still matches the log's —
+// the on-disk analogue of TryPut's epoch condition. An append racing a
+// Reset (model swap) is either rejected here or lands in the old file
+// before the rename replaces it; a stale entry can never reach the log
+// that survives.
+func (p *PersistLog) AppendCurrent(key string, val []byte, epoch uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || epoch != p.epoch {
+		return nil
+	}
+	buf := make([]byte, 0, 12+len(key)+len(val))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
+	buf = append(buf, val...)
+	crc := crc32.NewIEEE()
+	crc.Write([]byte(key))
+	crc.Write(val)
+	buf = binary.LittleEndian.AppendUint32(buf, crc.Sum32())
+	// One write syscall per record on an O_APPEND descriptor: records from
+	// this process never interleave, and a crash tears at most the last one
+	// (which the CRC catches on replay).
+	if _, err := p.f.Write(buf); err != nil {
+		return fmt.Errorf("vcache: persist append: %w", err)
+	}
+	p.appends++
+	return nil
+}
+
+// Reset discards every persisted entry and re-keys the log — the
+// on-disk mirror of BumpEpoch, called by lifecycle swaps with the new
+// model's key and the post-bump epoch.
+func (p *PersistLog) Reset(genKey string, epoch uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.genKey, p.epoch = genKey, epoch
+	p.resets++
+	if err := p.writeHeader(); err != nil {
+		return err
+	}
+	// Swap the append descriptor to the fresh file; the old one keeps
+	// working for any in-flight append but its file is already unlinked.
+	old := p.f
+	f, err := os.OpenFile(filepath.Join(p.dir, persistFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("vcache: persist reopen: %w", err)
+	}
+	p.f = f
+	old.Close()
+	return nil
+}
+
+// GenKey returns the generation key the log is currently recording under.
+func (p *PersistLog) GenKey() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.genKey
+}
+
+// Counters reports appends and resets since open (the persist-tier rows of
+// the service metrics dump).
+func (p *PersistLog) Counters() (appends, resets uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.appends, p.resets
+}
+
+// Close flushes and closes the log; further appends are silently dropped
+// (the in-memory cache remains authoritative).
+func (p *PersistLog) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	return p.f.Close()
+}

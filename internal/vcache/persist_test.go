@@ -1,0 +1,173 @@
+package vcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openCollect(t *testing.T, dir, genKey string, epoch uint64) (*PersistLog, map[string][]byte, int, int) {
+	t.Helper()
+	got := map[string][]byte{}
+	p, restored, skipped, err := OpenPersist(dir, genKey, epoch, func(k string, v []byte) {
+		got[k] = append([]byte(nil), v...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, got, restored, skipped
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p, _, restored, _ := openCollect(t, dir, "model:abc", 0)
+	if restored != 0 {
+		t.Fatalf("fresh log restored %d entries", restored)
+	}
+	if err := p.AppendCurrent("k1", []byte("entry-one"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AppendCurrent("k2", []byte{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, got, restored, skipped := openCollect(t, dir, "model:abc", 0)
+	if restored != 2 || skipped != 0 {
+		t.Fatalf("restored %d skipped %d, want 2/0", restored, skipped)
+	}
+	if string(got["k1"]) != "entry-one" {
+		t.Fatalf("k1 = %q", got["k1"])
+	}
+	if v, ok := got["k2"]; !ok || len(v) != 0 {
+		t.Fatalf("k2 = %q ok=%v", v, ok)
+	}
+}
+
+func TestPersistGenKeyMismatchDiscards(t *testing.T) {
+	dir := t.TempDir()
+	p, _, _, _ := openCollect(t, dir, "model:old", 0)
+	if err := p.AppendCurrent("k", []byte("stale"), 0); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	_, got, restored, _ := openCollect(t, dir, "model:new", 0)
+	if restored != 0 || len(got) != 0 {
+		t.Fatalf("stale-model snapshot replayed: restored=%d got=%v", restored, got)
+	}
+
+	// The mismatch rewrote the log under the new key: nothing old survives
+	// even when reopened under the original key.
+	_, got, restored, _ = openCollect(t, dir, "model:old", 0)
+	if restored != 0 || len(got) != 0 {
+		t.Fatal("discarded snapshot resurrected after re-keying")
+	}
+}
+
+func TestPersistEpochGate(t *testing.T) {
+	dir := t.TempDir()
+	p, _, _, _ := openCollect(t, dir, "model:abc", 5)
+	if err := p.AppendCurrent("stale", []byte("old-epoch"), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AppendCurrent("fresh", []byte("cur-epoch"), 5); err != nil {
+		t.Fatal(err)
+	}
+	appends, _ := p.Counters()
+	if appends != 1 {
+		t.Fatalf("appends = %d, want 1 (stale-epoch append must be dropped)", appends)
+	}
+	p.Close()
+
+	_, got, _, _ := openCollect(t, dir, "model:abc", 5)
+	if _, ok := got["stale"]; ok {
+		t.Fatal("stale-epoch entry reached the log")
+	}
+	if string(got["fresh"]) != "cur-epoch" {
+		t.Fatalf("fresh entry missing: %v", got)
+	}
+}
+
+func TestPersistResetDropsEntries(t *testing.T) {
+	dir := t.TempDir()
+	p, _, _, _ := openCollect(t, dir, "model:v1", 0)
+	if err := p.AppendCurrent("k", []byte("v1-entry"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Reset("model:v2", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Post-reset appends carry the new epoch and land in the new log.
+	if err := p.AppendCurrent("k2", []byte("v2-entry"), 1); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	_, got, restored, _ := openCollect(t, dir, "model:v2", 0)
+	if restored != 1 || string(got["k2"]) != "v2-entry" {
+		t.Fatalf("post-reset replay: restored=%d got=%v", restored, got)
+	}
+	if _, ok := got["k"]; ok {
+		t.Fatal("pre-reset entry survived the reset")
+	}
+}
+
+func TestPersistTornTailSkippedAndTruncated(t *testing.T) {
+	dir := t.TempDir()
+	p, _, _, _ := openCollect(t, dir, "model:abc", 0)
+	if err := p.AppendCurrent("good", []byte("intact"), 0); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	// Tear the log mid-record, as a crash during append would.
+	path := filepath.Join(dir, persistFile)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0, 0, 'p', 'a', 'r'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	p2, got, restored, skipped := openCollect(t, dir, "model:abc", 0)
+	if restored != 1 || skipped != 1 {
+		t.Fatalf("restored=%d skipped=%d, want 1/1", restored, skipped)
+	}
+	if string(got["good"]) != "intact" {
+		t.Fatalf("good prefix lost: %v", got)
+	}
+	// The torn tail was truncated away: appending then reopening must
+	// yield both records cleanly.
+	if err := p2.AppendCurrent("after", []byte("tear"), 0); err != nil {
+		t.Fatal(err)
+	}
+	p2.Close()
+	_, got, restored, skipped = openCollect(t, dir, "model:abc", 0)
+	if restored != 2 || skipped != 0 || string(got["after"]) != "tear" {
+		t.Fatalf("post-tear append: restored=%d skipped=%d got=%v", restored, skipped, got)
+	}
+}
+
+func TestPersistCorruptHeaderStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, persistFile), []byte("garbage, no newline even"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, got, restored, _ := openCollect(t, dir, "model:abc", 0)
+	if restored != 0 || len(got) != 0 {
+		t.Fatalf("garbage log replayed: %v", got)
+	}
+	if err := p.AppendCurrent("k", []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	_, got, restored, _ = openCollect(t, dir, "model:abc", 0)
+	if restored != 1 || string(got["k"]) != "v" {
+		t.Fatalf("fresh log after garbage unusable: %v", got)
+	}
+}

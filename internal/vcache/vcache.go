@@ -102,6 +102,18 @@ type Cache[V any] struct {
 
 	hits, misses, coalesced  *obs.Counter
 	evictions, invalidations *obs.Counter
+
+	// sizeOf measures one stored value (SetSizeOf); when set, live bytes
+	// across all stored entries are tracked in live and mirrored on the
+	// vcache.live_bytes gauge — the bounded-heap evidence for a cache
+	// holding millions of entries.
+	sizeOf    func(V) int
+	live      atomic.Int64
+	liveGauge *obs.Gauge
+
+	// onStore (OnStore) observes every successful store outside the shard
+	// lock — the persistence tier's write-through tap.
+	onStore func(key string, v V, epoch uint64)
 }
 
 // New builds a cache bounded to roughly capacity entries (the bound is
@@ -124,6 +136,7 @@ func NewObserved[V any](capacity int, col *obs.Collector) *Cache[V] {
 	n := shardCount(capacity)
 	c := &Cache[V]{
 		shards:        make([]shard[V], n),
+		liveGauge:     col.Gauge("vcache.live_bytes"),
 		hits:          col.Counter("vcache.hits"),
 		misses:        col.Counter("vcache.misses"),
 		coalesced:     col.Counter("vcache.coalesced"),
@@ -140,6 +153,26 @@ func NewObserved[V any](capacity int, col *obs.Collector) *Cache[V] {
 		}
 	}
 	return c
+}
+
+// SetSizeOf installs the value-size measure enabling live-byte accounting
+// (Stats.LiveBytes and the vcache.live_bytes gauge). Install before the
+// cache sees traffic: entries stored earlier are not retroactively
+// measured.
+func (c *Cache[V]) SetSizeOf(fn func(V) int) { c.sizeOf = fn }
+
+// OnStore installs a hook observing every successful store (leader
+// completion, Put, TryPut) with the epoch the value was stored under. It
+// runs outside the shard lock, so a slow hook (a file append) stalls only
+// its own caller. Install before the cache sees traffic.
+func (c *Cache[V]) OnStore(fn func(key string, v V, epoch uint64)) { c.onStore = fn }
+
+// addLive books a live-byte delta and mirrors the total on the gauge.
+func (c *Cache[V]) addLive(delta int64) {
+	if c.sizeOf == nil || delta == 0 {
+		return
+	}
+	c.liveGauge.Set(c.live.Add(delta))
 }
 
 // shardCount keeps small caches in one shard (exact LRU) and spreads
@@ -195,6 +228,9 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)
 		// Stale generation: drop it and fall through to recompute.
 		sh.lru.Remove(el)
 		delete(sh.items, key)
+		if c.sizeOf != nil {
+			c.addLive(-int64(c.sizeOf(e.val)))
+		}
 		c.invalidations.Add(1)
 	}
 	if cl, ok := sh.inflight[key]; ok && cl.epoch == epoch {
@@ -222,10 +258,15 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, error)
 	if sh.inflight[key] == cl {
 		delete(sh.inflight, key)
 	}
+	stored := false
 	if cl.err == nil && c.epoch.Load() == epoch {
 		c.store(sh, key, cl.val, epoch)
+		stored = true
 	}
 	sh.mu.Unlock()
+	if stored && c.onStore != nil {
+		c.onStore(key, cl.val, epoch)
+	}
 	c.misses.Add(1)
 	return cl.val, OutcomeMiss, cl.err
 }
@@ -264,6 +305,9 @@ func (c *Cache[V]) Put(key string, v V) {
 	sh.mu.Lock()
 	c.store(sh, key, v, epoch)
 	sh.mu.Unlock()
+	if c.onStore != nil {
+		c.onStore(key, v, epoch)
+	}
 }
 
 // TryPut is Put conditioned on the epoch the value was computed under: it
@@ -277,14 +321,18 @@ func (c *Cache[V]) TryPut(key string, v V, epoch uint64) bool {
 	}
 	sh := c.shard(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	// Re-check under the shard lock: BumpEpoch drops entries shard by
 	// shard, so an unlocked check alone could store into a shard the bump
 	// already cleared.
 	if c.epoch.Load() != epoch {
+		sh.mu.Unlock()
 		return false
 	}
 	c.store(sh, key, v, epoch)
+	sh.mu.Unlock()
+	if c.onStore != nil {
+		c.onStore(key, v, epoch)
+	}
 	return true
 }
 
@@ -292,6 +340,9 @@ func (c *Cache[V]) TryPut(key string, v V, epoch uint64) bool {
 func (c *Cache[V]) store(sh *shard[V], key string, v V, epoch uint64) {
 	if el, ok := sh.items[key]; ok {
 		e := el.Value.(*entry[V])
+		if c.sizeOf != nil {
+			c.addLive(int64(c.sizeOf(v)) - int64(c.sizeOf(e.val)))
+		}
 		e.val, e.epoch = v, epoch
 		sh.lru.MoveToFront(el)
 		return
@@ -299,12 +350,19 @@ func (c *Cache[V]) store(sh *shard[V], key string, v V, epoch uint64) {
 	if sh.lru.Len() >= sh.capacity {
 		back := sh.lru.Back()
 		if back != nil {
+			dropped := back.Value.(*entry[V])
 			sh.lru.Remove(back)
-			delete(sh.items, back.Value.(*entry[V]).key)
+			delete(sh.items, dropped.key)
+			if c.sizeOf != nil {
+				c.addLive(-int64(c.sizeOf(dropped.val)))
+			}
 			c.evictions.Add(1)
 		}
 	}
 	sh.items[key] = sh.lru.PushFront(&entry[V]{key: key, val: v, epoch: epoch})
+	if c.sizeOf != nil {
+		c.addLive(int64(c.sizeOf(v)))
+	}
 }
 
 // BumpEpoch advances the model generation and drops every stored entry.
@@ -316,6 +374,13 @@ func (c *Cache[V]) BumpEpoch() {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		n := sh.lru.Len()
+		if c.sizeOf != nil {
+			var bytes int64
+			for el := sh.lru.Front(); el != nil; el = el.Next() {
+				bytes += int64(c.sizeOf(el.Value.(*entry[V]).val))
+			}
+			c.addLive(-bytes)
+		}
 		sh.lru.Init()
 		clear(sh.items)
 		sh.mu.Unlock()
@@ -350,6 +415,10 @@ type Stats struct {
 	Entries  int    // stored entries right now
 	Capacity int    // configured entry bound
 	Epoch    uint64 // current model generation
+
+	// LiveBytes is the summed SizeOf of every stored entry — 0 unless the
+	// owner installed a size measure (core measures flat entry length).
+	LiveBytes int64
 }
 
 // Stats snapshots the cache counters.
@@ -367,5 +436,6 @@ func (c *Cache[V]) Stats() Stats {
 		Entries:       c.Len(),
 		Capacity:      cap,
 		Epoch:         c.epoch.Load(),
+		LiveBytes:     c.live.Load(),
 	}
 }

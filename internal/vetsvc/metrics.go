@@ -3,6 +3,7 @@ package vetsvc
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"sync/atomic"
 
@@ -75,6 +76,21 @@ type Metrics struct {
 	// Instantaneous gauges at snapshot time.
 	QueueDepth int // submissions waiting for a lane
 	InFlight   int // submissions being vetted right now
+
+	// Memory accounting at snapshot time. CacheEntries and CacheLiveBytes
+	// come from the checker's verdict cache (flat-entry bytes, the
+	// measurable live-heap contribution of memoization); HeapLiveBytes is
+	// the process's live heap (runtime.MemStats.HeapAlloc), also published
+	// on the service collector as the svc.heap.live_bytes gauge so sinks
+	// and CI artifacts can watch it without taking a snapshot.
+	CacheEntries   int
+	CacheLiveBytes int64
+	HeapLiveBytes  uint64
+
+	// Persist reports the optional file-backed verdict tier (zero-valued
+	// with Enabled false when none is attached). Restored/Skipped are the
+	// warm-start hit/miss counters.
+	Persist core.PersistStats
 
 	// Model-lifecycle state at snapshot time, read from the serving
 	// checker: the generation currently answering vets, its registry
@@ -212,6 +228,15 @@ func (s *Service) Metrics() Metrics {
 		}
 	}
 	m.QueueDepth = len(s.queue)
+
+	cs := s.ck.CacheStats()
+	m.CacheEntries = cs.Entries
+	m.CacheLiveBytes = cs.LiveBytes
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.HeapLiveBytes = ms.HeapAlloc
+	c.col.Gauge("svc.heap.live_bytes").Set(int64(ms.HeapAlloc))
+	m.Persist = s.ck.PersistStats()
 
 	gen := s.ck.Generation()
 	m.ModelGeneration = gen.ID

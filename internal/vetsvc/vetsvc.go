@@ -262,12 +262,13 @@ func (s *Service) admit(ctx context.Context, sub core.Submission) (*Ticket, erro
 	if sub.Seq == 0 {
 		sub.Seq = s.ck.ReserveVetSeqs(1)
 	}
-	var jctx context.Context
-	var cancel context.CancelFunc
+	// Without a per-submission deadline the job just inherits the caller's
+	// context: wrapping it in WithCancel bought nothing (the worker canceled
+	// it only after VetOutcome returned) and cost a timerCtx-sized
+	// allocation plus goroutine-visible bookkeeping per submission.
+	jctx, cancel := ctx, context.CancelFunc(func() {})
 	if s.cfg.Deadline > 0 {
 		jctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
-	} else {
-		jctx, cancel = context.WithCancel(ctx)
 	}
 	t := &Ticket{seq: sub.Seq, pkg: pkgOf(sub), done: make(chan struct{})}
 	s.queue <- &job{sub: sub, ctx: jctx, cancel: cancel, t: t}
