@@ -8,12 +8,16 @@
 //
 //	benchguard -baseline BENCH_baseline.json [-max-growth 0.20] BENCH_serving.json
 //
-// The baseline maps benchmark names (sub-benchmark paths, no -cpu
-// suffix) to allocs/op. Every benchmark listed in the baseline must
-// appear in the input; benchmarks absent from the baseline are ignored,
-// so adding a benchmark does not break the guard until a baseline is
-// recorded for it. Shrinking allocs/op never fails — refresh the
-// baseline to ratchet the bound down.
+// The baseline maps benchmark names (sub-benchmark paths) to allocs/op.
+// A baseline key matches either the name exactly as the run printed it or
+// the name with its -GOMAXPROCS suffix stripped — record baselines without
+// the suffix so they are host-shape independent; the exact form exists so
+// a sub-benchmark whose path legitimately ends in -<number> (e.g.
+// .../batch-64) can still be pinned unambiguously. Every benchmark listed
+// in the baseline must appear in the input; benchmarks absent from the
+// baseline are ignored, so adding a benchmark does not break the guard
+// until a baseline is recorded for it. Shrinking allocs/op never fails —
+// refresh the baseline to ratchet the bound down.
 package main
 
 import (
@@ -53,7 +57,7 @@ func main() {
 
 	failed := false
 	for name, base := range baseline {
-		allocs, ok := got[name]
+		allocs, ok := got.lookup(name)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: in baseline but missing from benchmark output\n", name)
 			failed = true
@@ -89,12 +93,28 @@ func readBaseline(path string) (map[string]float64, error) {
 	return m, nil
 }
 
-// parseAllocs extracts benchmark-name -> allocs/op from benchmark output,
-// transparently unwrapping `go test -json` event lines. Sub-benchmark
-// names keep their path; the -cpu (GOMAXPROCS) suffix is stripped so
-// baselines are host-shape independent.
-func parseAllocs(r io.Reader) (map[string]float64, error) {
-	got := map[string]float64{}
+// measurements holds benchmark-name -> allocs/op under two key forms: the
+// name exactly as the run printed it, and with a trailing -<number>
+// stripped (the -GOMAXPROCS suffix). Stripping is a heuristic — a
+// sub-benchmark path can legitimately end in -64 — so the exact form is
+// kept authoritative and consulted first.
+type measurements struct {
+	exact   map[string]float64
+	trimmed map[string]float64
+}
+
+func (m measurements) lookup(name string) (float64, bool) {
+	if v, ok := m.exact[name]; ok {
+		return v, true
+	}
+	v, ok := m.trimmed[name]
+	return v, ok
+}
+
+// parseAllocs extracts allocs/op measurements from benchmark output,
+// transparently unwrapping `go test -json` event lines.
+func parseAllocs(r io.Reader) (measurements, error) {
+	got := measurements{exact: map[string]float64{}, trimmed: map[string]float64{}}
 	// In -json streams the benchmark name and its result arrive as
 	// separate output events ("BenchmarkFoo-8\n", then "  1\t... allocs/op");
 	// pending carries the name across to the result line. Plain text keeps
@@ -118,12 +138,16 @@ func parseAllocs(r io.Reader) (map[string]float64, error) {
 		name := ""
 		switch {
 		case strings.HasPrefix(f[0], "Benchmark") && f[0] != "Benchmark":
-			name = trimCPUSuffix(f[0])
+			name = f[0]
 			if len(f) == 1 {
 				pending = name
 				continue
 			}
-		case pending != "":
+		case pending != "" && isResultLine(f):
+			// Only a measurement line consumes the pending name: arbitrary
+			// output interleaved between a benchmark's name line and its
+			// result line (a log print, a GC note) must not eat the name
+			// and orphan the result that follows.
 			name, pending = pending, ""
 			f = append([]string{name}, f...)
 		default:
@@ -135,16 +159,33 @@ func parseAllocs(r io.Reader) (map[string]float64, error) {
 			}
 			v, err := strconv.ParseFloat(f[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+				return measurements{}, fmt.Errorf("bad allocs/op in %q: %w", line, err)
 			}
-			got[name] = v
+			got.exact[name] = v
+			if tn := trimCPUSuffix(name); tn != name {
+				got.trimmed[tn] = v
+			}
 		}
 	}
 	return got, sc.Err()
 }
 
-// trimCPUSuffix drops the -GOMAXPROCS suffix go test appends to benchmark
-// names, so baselines are host-shape independent.
+// isResultLine reports whether a fields-split line carries benchmark
+// measurements (the `<value> <unit>` pairs go test emits after the
+// iteration count).
+func isResultLine(f []string) bool {
+	for _, tok := range f {
+		switch tok {
+		case "ns/op", "allocs/op", "B/op", "MB/s":
+			return true
+		}
+	}
+	return false
+}
+
+// trimCPUSuffix drops a trailing -<number> (the -GOMAXPROCS suffix go test
+// appends to benchmark names), so baselines recorded without it are
+// host-shape independent.
 func trimCPUSuffix(name string) string {
 	if i := strings.LastIndexByte(name, '-'); i > 0 {
 		if _, err := strconv.Atoi(name[i+1:]); err == nil {

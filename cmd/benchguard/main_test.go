@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func jsonStream(outputs ...string) string {
+	var b strings.Builder
+	for _, o := range outputs {
+		b.WriteString(`{"Action":"output","Package":"p","Output":"` + o + `\n"}` + "\n")
+	}
+	return b.String()
+}
+
+func TestParseAllocsJSONStream(t *testing.T) {
+	in := jsonStream(
+		"BenchmarkServiceThroughputDuplicates-8",
+		"    1000   52341 ns/op   1024 B/op   12 allocs/op",
+	)
+	got, err := parseAllocs(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := got.lookup("BenchmarkServiceThroughputDuplicates"); !ok || v != 12 {
+		t.Fatalf("suffix-stripped lookup = %v, %v; want 12, true", v, ok)
+	}
+	if v, ok := got.lookup("BenchmarkServiceThroughputDuplicates-8"); !ok || v != 12 {
+		t.Fatalf("exact lookup = %v, %v; want 12, true", v, ok)
+	}
+}
+
+func TestParseAllocsInterleavedOutput(t *testing.T) {
+	// A log print (or GC note) lands between the benchmark's name line and
+	// its result line — the shape -json streams produce when the benchmark
+	// body writes to stderr. The result must still attach to the name.
+	in := jsonStream(
+		"BenchmarkServiceThroughput-8",
+		"vetsvc: cache warmed, 4096 entries",
+		"    500  104682 ns/op   2048 B/op   24 allocs/op",
+	)
+	got, err := parseAllocs(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := got.lookup("BenchmarkServiceThroughput"); !ok || v != 24 {
+		t.Fatalf("interleaved output orphaned the result: got %v, %v", v, ok)
+	}
+}
+
+func TestParseAllocsNumericTailedSubBenchmark(t *testing.T) {
+	// Run with GOMAXPROCS=1: go test appends no -cpu suffix, and the
+	// sub-benchmark path legitimately ends in a number. The exact name
+	// must stay addressable, not be renamed to .../batch.
+	in := "BenchmarkVet/batch-64     200  900 ns/op  3 allocs/op\n"
+	got, err := parseAllocs(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := got.lookup("BenchmarkVet/batch-64"); !ok || v != 3 {
+		t.Fatalf("exact numeric-tailed name lost: got %v, %v", v, ok)
+	}
+}
+
+func TestParseAllocsPlainText(t *testing.T) {
+	in := "BenchmarkFoo-16    1000  100 ns/op  7 allocs/op\nok   pkg 1.2s\n"
+	got, err := parseAllocs(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := got.lookup("BenchmarkFoo"); !ok || v != 7 {
+		t.Fatalf("plain-text parse: got %v, %v", v, ok)
+	}
+}

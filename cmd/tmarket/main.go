@@ -327,8 +327,9 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 	fmt.Printf("  cache memory: %d live entries, %s of flat entries; process heap %s\n",
 		m.CacheEntries, fmtBytes(uint64(m.CacheLiveBytes)), fmtBytes(m.HeapLiveBytes))
 	if m.Persist.Enabled {
-		fmt.Printf("  persist tier: %d warm-start hits, %d misses; %d appends, %d resets\n",
-			m.Persist.Restored, m.Persist.Skipped, m.Persist.Appends, m.Persist.Resets)
+		fmt.Printf("  persist tier: %d warm-start hits, %d misses; %d appends (%d failed), %d compactions (%d failed), %d resets\n",
+			m.Persist.Restored, m.Persist.Skipped, m.Persist.Appends, m.Persist.AppendErrors,
+			m.Persist.Compactions, m.Persist.CompactErrors, m.Persist.Resets)
 	}
 	if m.MissScan.Count > 0 {
 		fmt.Printf("  emulated scans   (n=%4d): mean %.1fs  p50 %.1fs  p95 %.1fs  p99 %.1fs\n",

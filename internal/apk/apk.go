@@ -233,11 +233,20 @@ func parse(data []byte) (*APK, error) {
 	for _, f := range zr.File {
 		for i, name := range loadEntries {
 			if f.Name == name && files[i] == nil {
+				// Per-entry bound before summing: the declared sizes are
+				// attacker-controlled zip64 fields, and two ~2^63
+				// declarations would wrap the uint64 total right past the
+				// aggregate check below (and then panic slicing the arena).
+				if f.UncompressedSize64 > MaxDecodedBytes {
+					return nil, fmt.Errorf("%w: %s declares %d bytes (> %d)",
+						ErrOversized, f.Name, f.UncompressedSize64, MaxDecodedBytes)
+				}
 				files[i] = f
 				total += f.UncompressedSize64
 			}
 		}
 	}
+	// total cannot overflow: each addend was individually bounded above.
 	if total > MaxDecodedBytes {
 		return nil, fmt.Errorf("%w (%d > %d)", ErrOversized, total, MaxDecodedBytes)
 	}

@@ -16,6 +16,14 @@ import (
 // corrupted directory.
 func rezipLying(t *testing.T, data []byte, entry string, lieSize uint64) []byte {
 	t.Helper()
+	return rezipLyingAll(t, data, map[string]uint64{entry: lieSize})
+}
+
+// rezipLyingAll is rezipLying for several entries at once — lies must be
+// planted in a single pass, because a lying archive no longer round-trips
+// through the zip reader (it verifies sizes on entry reads).
+func rezipLyingAll(t *testing.T, data []byte, lies map[string]uint64) []byte {
+	t.Helper()
 	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
 	if err != nil {
 		t.Fatal(err)
@@ -32,7 +40,8 @@ func rezipLying(t *testing.T, data []byte, entry string, lieSize uint64) []byte 
 			t.Fatal(err)
 		}
 		rc.Close()
-		if f.Name != entry {
+		lieSize, lying := lies[f.Name]
+		if !lying {
 			w, err := zw.Create(f.Name)
 			if err != nil {
 				t.Fatal(err)
@@ -79,6 +88,29 @@ func TestParseRejectsOversizedDeclaration(t *testing.T) {
 	}
 	if !errors.Is(err, ErrBadAPK) {
 		t.Errorf("error %v does not wrap ErrBadAPK", err)
+	}
+}
+
+func TestParseRejectsOverflowingDeclarations(t *testing.T) {
+	p := program(6, behavior.Benign, behavior.FamilyNone)
+	data, err := Build(p, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two entries each declaring ~2^63 bytes wrap the summed uint64 total
+	// to a small value that passes the aggregate bound; the per-entry check
+	// must reject them before the sum (and before the arena slice math,
+	// where int(2^63) goes negative and panics).
+	bomb := rezipLyingAll(t, data, map[string]uint64{
+		"classes.dex":         1 << 63,
+		"AndroidManifest.xml": 1 << 63,
+	})
+	_, err = Parse(bomb)
+	if err == nil {
+		t.Fatal("Parse accepted an archive whose declared sizes overflow uint64")
+	}
+	if !errors.Is(err, ErrOversized) {
+		t.Errorf("error %v does not wrap ErrOversized", err)
 	}
 }
 

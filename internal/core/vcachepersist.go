@@ -49,12 +49,26 @@ func (ck *Checker) attachPersist(dir string) error {
 		return fmt.Errorf("core: verdict persist: %w", err)
 	}
 	ck.persist = p
+	// Compaction source: the live cache's current-generation entries, so a
+	// long-lived generation's log stays bounded by what the cache actually
+	// holds instead of accreting every re-store of an evicted key.
+	p.EnableCompaction(func(emit func(key string, val []byte)) {
+		ck.cache.Range(func(k string, v []byte) bool {
+			emit(k, v)
+			return true
+		})
+	})
 	// Tap installed only after replay, so restoring entries does not
 	// re-append them to the log they came from.
+	appendErrors := ck.obs.Counter("vcache.persist.append_errors")
 	ck.cache.OnStore(func(k string, v []byte, epoch uint64) {
-		// Append failures are deliberately swallowed: the disk tier is an
-		// optimization, the in-memory cache stays authoritative.
-		_ = p.AppendCurrent(k, v, epoch)
+		// The disk tier is an optimization — the in-memory cache stays
+		// authoritative — so a failed append never fails the store; but it
+		// must be visible, or a full disk disables warm-start persistence
+		// silently behind an Enabled=true stats row.
+		if err := p.AppendCurrent(k, v, epoch); err != nil {
+			appendErrors.Inc()
+		}
 	})
 	ck.obs.Counter("vcache.persist.restored").Add(uint64(restored - bad))
 	ck.obs.Counter("vcache.persist.skipped").Add(uint64(skipped + bad))
@@ -118,10 +132,17 @@ type PersistStats struct {
 	// corrupt, or undecodable (the warm-start misses).
 	Restored uint64
 	Skipped  uint64
-	// Appends counts write-through records since open; Resets counts
-	// lifecycle re-keys.
-	Appends uint64
-	Resets  uint64
+	// Appends counts write-through records since open; AppendErrors counts
+	// appends that failed (full disk, permissions) — persistence is
+	// silently degraded while it grows, the in-memory cache is unaffected.
+	// Resets counts lifecycle re-keys.
+	Appends      uint64
+	AppendErrors uint64
+	Resets       uint64
+	// Compactions counts log rewrites bounding on-disk growth to the live
+	// cache contents; CompactErrors counts failed rewrite attempts.
+	Compactions   uint64
+	CompactErrors uint64
 }
 
 // PersistStats snapshots the persistent verdict-tier counters.
@@ -129,13 +150,16 @@ func (ck *Checker) PersistStats() PersistStats {
 	if ck.persist == nil {
 		return PersistStats{}
 	}
-	appends, resets := ck.persist.Counters()
+	c := ck.persist.Counters()
 	return PersistStats{
-		Enabled:  true,
-		Restored: ck.obs.Counter("vcache.persist.restored").Load(),
-		Skipped:  ck.obs.Counter("vcache.persist.skipped").Load(),
-		Appends:  appends,
-		Resets:   resets,
+		Enabled:       true,
+		Restored:      ck.obs.Counter("vcache.persist.restored").Load(),
+		Skipped:       ck.obs.Counter("vcache.persist.skipped").Load(),
+		Appends:       c.Appends,
+		AppendErrors:  ck.obs.Counter("vcache.persist.append_errors").Load(),
+		Resets:        c.Resets,
+		Compactions:   c.Compactions,
+		CompactErrors: c.CompactErrors,
 	}
 }
 

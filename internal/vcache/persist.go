@@ -40,6 +40,18 @@ const persistMagic = "vcachelog/1 "
 // prefixes must not drive a multi-gigabyte allocation during replay.
 const maxPersistRecord = 64 << 20
 
+// Compaction bounds the log within one model generation. Every store
+// appends — including re-stores of keys the LRU evicted and re-computed —
+// so a long-lived epoch would otherwise accrete unbounded disk and
+// ever-slower replay. Once the file grows past compactFactor times the
+// size of the last compacted image (with compactFloor so tiny caches never
+// churn), the log is rewritten to exactly the live entries the snapshot
+// callback emits, via the same temp-file + rename discipline as Reset.
+const (
+	compactFactor = 4
+	compactFloor  = 1 << 20
+)
+
 // ErrPersistCorrupt marks a persist log whose header does not parse. Torn
 // or corrupt records are not errors — replay stops at the first bad record
 // and keeps everything before it.
@@ -57,7 +69,16 @@ type PersistLog struct {
 	f      *os.File
 	closed bool
 
-	appends, resets uint64
+	// size is the current file length; lastCompact the length of the last
+	// compacted (or freshly opened) image — together they drive the
+	// grow-past-a-multiple compaction trigger.
+	size, lastCompact int64
+	// snapshot (EnableCompaction) emits the live entries a compaction
+	// rewrites the log to; nil disables compaction and the log grows
+	// unbounded within a generation.
+	snapshot func(emit func(key string, val []byte))
+
+	appends, resets, compactions, compactErrors uint64
 }
 
 // OpenPersist opens (or creates) the persist log in dir. genKey is the
@@ -101,7 +122,20 @@ func OpenPersist(dir, genKey string, epoch uint64, restore func(key string, val 
 		return nil, 0, 0, fmt.Errorf("vcache: persist open: %w", err)
 	}
 	p.f = f
+	if st, serr := f.Stat(); serr == nil {
+		p.size, p.lastCompact = st.Size(), st.Size()
+	}
 	return p, restored, skipped, nil
+}
+
+// EnableCompaction installs the live-snapshot source compaction rewrites
+// the log from — typically the owning cache's current-generation entries.
+// snapshot runs with the log lock held and must not call back into this
+// PersistLog. Without it the log is never compacted.
+func (p *PersistLog) EnableCompaction(snapshot func(emit func(key string, val []byte))) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.snapshot = snapshot
 }
 
 // writeHeader atomically replaces the log with a fresh header-only file
@@ -222,15 +256,7 @@ func (p *PersistLog) AppendCurrent(key string, val []byte, epoch uint64) error {
 	if p.closed || epoch != p.epoch {
 		return nil
 	}
-	buf := make([]byte, 0, 12+len(key)+len(val))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
-	buf = append(buf, key...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
-	buf = append(buf, val...)
-	crc := crc32.NewIEEE()
-	crc.Write([]byte(key))
-	crc.Write(val)
-	buf = binary.LittleEndian.AppendUint32(buf, crc.Sum32())
+	buf := encodeRecord(key, val)
 	// One write syscall per record on an O_APPEND descriptor: records from
 	// this process never interleave, and a crash tears at most the last one
 	// (which the CRC catches on replay).
@@ -238,6 +264,78 @@ func (p *PersistLog) AppendCurrent(key string, val []byte, epoch uint64) error {
 		return fmt.Errorf("vcache: persist append: %w", err)
 	}
 	p.appends++
+	p.size += int64(len(buf))
+	if p.snapshot != nil && p.size > max(compactFloor, compactFactor*p.lastCompact) {
+		if err := p.compactLocked(); err != nil {
+			p.compactErrors++
+			// Back the threshold off to the current size so a persistently
+			// failing rewrite (read-only dir, full disk) does not retry on
+			// every subsequent append.
+			p.lastCompact = p.size
+		}
+	}
+	return nil
+}
+
+// encodeRecord flattens one key/value into the on-disk record layout.
+func encodeRecord(key string, val []byte) []byte {
+	buf := make([]byte, 0, 12+len(key)+len(val))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
+	buf = append(buf, val...)
+	crc := crc32.NewIEEE()
+	crc.Write(buf[4 : 4+len(key)])
+	crc.Write(val)
+	return binary.LittleEndian.AppendUint32(buf, crc.Sum32())
+}
+
+// compactLocked rewrites the log to the snapshot's live entries under the
+// current generation key: temp file + rename (a crash leaves either the
+// old log or the complete new one), then the append descriptor swaps to
+// the compacted file. Called with p.mu held.
+func (p *PersistLog) compactLocked() error {
+	tmp, err := os.CreateTemp(p.dir, ".vcache-*")
+	if err != nil {
+		return fmt.Errorf("vcache: persist compact: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	written := int64(0)
+	n, err := w.WriteString(persistMagic + p.genKey + "\n")
+	written += int64(n)
+	if err == nil {
+		p.snapshot(func(key string, val []byte) {
+			if err != nil {
+				return
+			}
+			var wn int
+			wn, err = w.Write(encodeRecord(key, val))
+			written += int64(wn)
+		})
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("vcache: persist compact: %w", err)
+	}
+	path := filepath.Join(p.dir, persistFile)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("vcache: persist compact: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("vcache: persist compact reopen: %w", err)
+	}
+	old := p.f
+	p.f = f
+	old.Close()
+	p.size, p.lastCompact = written, written
+	p.compactions++
 	return nil
 }
 
@@ -264,6 +362,8 @@ func (p *PersistLog) Reset(genKey string, epoch uint64) error {
 	}
 	p.f = f
 	old.Close()
+	p.size = int64(len(persistMagic) + len(p.genKey) + 1)
+	p.lastCompact = p.size
 	return nil
 }
 
@@ -274,12 +374,28 @@ func (p *PersistLog) GenKey() string {
 	return p.genKey
 }
 
-// Counters reports appends and resets since open (the persist-tier rows of
-// the service metrics dump).
-func (p *PersistLog) Counters() (appends, resets uint64) {
+// PersistCounters is the persist-tier activity snapshot Counters returns
+// (the persist rows of the service metrics dump).
+type PersistCounters struct {
+	Appends uint64 // records written through since open
+	Resets  uint64 // lifecycle re-keys
+	// Compactions counts log rewrites that bounded on-disk growth;
+	// CompactErrors counts failed rewrite attempts (the log keeps
+	// appending, just unbounded until one succeeds).
+	Compactions   uint64
+	CompactErrors uint64
+}
+
+// Counters reports persist-tier activity since open.
+func (p *PersistLog) Counters() PersistCounters {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.appends, p.resets
+	return PersistCounters{
+		Appends:       p.appends,
+		Resets:        p.resets,
+		Compactions:   p.compactions,
+		CompactErrors: p.compactErrors,
+	}
 }
 
 // Close flushes and closes the log; further appends are silently dropped

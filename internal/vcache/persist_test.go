@@ -1,6 +1,8 @@
 package vcache
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -76,7 +78,7 @@ func TestPersistEpochGate(t *testing.T) {
 	if err := p.AppendCurrent("fresh", []byte("cur-epoch"), 5); err != nil {
 		t.Fatal(err)
 	}
-	appends, _ := p.Counters()
+	appends := p.Counters().Appends
 	if appends != 1 {
 		t.Fatalf("appends = %d, want 1 (stale-epoch append must be dropped)", appends)
 	}
@@ -150,6 +152,96 @@ func TestPersistTornTailSkippedAndTruncated(t *testing.T) {
 	_, got, restored, skipped = openCollect(t, dir, "model:abc", 0)
 	if restored != 2 || skipped != 0 || string(got["after"]) != "tear" {
 		t.Fatalf("post-tear append: restored=%d skipped=%d got=%v", restored, skipped, got)
+	}
+}
+
+func TestPersistCompactionBoundsLog(t *testing.T) {
+	dir := t.TempDir()
+	p, _, _, _ := openCollect(t, dir, "model:abc", 0)
+
+	// live mimics the in-memory cache: the last value stored per key.
+	live := map[string][]byte{}
+	p.EnableCompaction(func(emit func(string, []byte)) {
+		for k, v := range live {
+			emit(k, v)
+		}
+	})
+
+	// Re-store a 4-key working set far past the compaction floor — the
+	// shape of a long-lived generation re-computing LRU-evicted keys.
+	// Uncompacted this writes ~6.4 MiB; the bound keeps the file near the
+	// 1 MiB floor.
+	val := bytes.Repeat([]byte("x"), 64<<10)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i%4)
+		live[key] = val
+		if err := p.AppendCurrent(key, val, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := p.Counters()
+	if c.Compactions == 0 {
+		t.Fatal("log grew past the bound without compacting")
+	}
+	if c.CompactErrors != 0 {
+		t.Fatalf("%d compactions failed", c.CompactErrors)
+	}
+	st, err := os.Stat(filepath.Join(dir, persistFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() > 2<<20 {
+		t.Fatalf("log size %d not bounded by compaction", st.Size())
+	}
+	p.Close()
+
+	// The compacted log still replays to exactly the live working set.
+	_, got, _, skipped := openCollect(t, dir, "model:abc", 0)
+	if skipped != 0 {
+		t.Fatalf("compacted log has %d corrupt records", skipped)
+	}
+	if len(got) != len(live) {
+		t.Fatalf("replayed %d distinct keys, want %d", len(got), len(live))
+	}
+	for k, v := range live {
+		if !bytes.Equal(got[k], v) {
+			t.Fatalf("key %s replayed wrong after compaction", k)
+		}
+	}
+}
+
+func TestPersistCompactionSurvivesAppendsAfter(t *testing.T) {
+	dir := t.TempDir()
+	p, _, _, _ := openCollect(t, dir, "model:abc", 0)
+	p.EnableCompaction(func(emit func(string, []byte)) {
+		emit("live", []byte("kept"))
+	})
+	// Push past the floor to force one compaction, then append more: the
+	// swapped descriptor must land post-compaction records on a clean
+	// record boundary.
+	val := bytes.Repeat([]byte("y"), 256<<10)
+	for i := 0; i < 8; i++ {
+		if err := p.AppendCurrent("churn", val, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Counters().Compactions == 0 {
+		t.Fatal("expected a compaction")
+	}
+	if err := p.AppendCurrent("after", []byte("tail"), 0); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	_, got, _, skipped := openCollect(t, dir, "model:abc", 0)
+	if skipped != 0 {
+		t.Fatalf("%d corrupt records after compaction + append", skipped)
+	}
+	if string(got["live"]) != "kept" {
+		t.Fatal("compacted snapshot entry lost")
+	}
+	if string(got["after"]) != "tail" {
+		t.Fatal("post-compaction append lost")
 	}
 }
 

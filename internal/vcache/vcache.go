@@ -365,6 +365,32 @@ func (c *Cache[V]) store(sh *shard[V], key string, v V, epoch uint64) {
 	}
 }
 
+// Range calls fn for every current-generation entry, shard by shard, until
+// fn returns false. Each shard is snapshotted under its lock and fn runs
+// outside it, so a slow fn (the persist tier's compaction rewrite) never
+// stalls serving lookups. Values are the stored values themselves, not
+// copies — callers must treat them as immutable, the same contract hits
+// already rely on.
+func (c *Cache[V]) Range(fn func(key string, v V) bool) {
+	epoch := c.epoch.Load()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		snap := make([]entry[V], 0, sh.lru.Len())
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			if e := el.Value.(*entry[V]); e.epoch == epoch {
+				snap = append(snap, *e)
+			}
+		}
+		sh.mu.Unlock()
+		for _, e := range snap {
+			if !fn(e.key, e.val) {
+				return
+			}
+		}
+	}
+}
+
 // BumpEpoch advances the model generation and drops every stored entry.
 // In-flight leader computations finish but are not stored, and new Dos
 // for the same keys recompute rather than coalescing onto them.
