@@ -55,6 +55,7 @@ import (
 	"apichecker/internal/emulator"
 	"apichecker/internal/features"
 	"apichecker/internal/framework"
+	"apichecker/internal/gateway"
 	"apichecker/internal/lifecycle"
 	"apichecker/internal/market"
 	"apichecker/internal/ml"
@@ -110,6 +111,19 @@ type (
 	VetTicket = vetsvc.Ticket
 	// VetEvent is one structured service event (see VetServiceConfig.OnEvent).
 	VetEvent = vetsvc.Event
+
+	// Gateway is the wire-facing HTTP frontend over a vetting service:
+	// submission API, Prometheus /metrics, SSE trace streams, graceful
+	// drain. Construct with NewGateway.
+	Gateway = gateway.Server
+	// GatewayConfig tunes one gateway instance.
+	GatewayConfig = gateway.Config
+	// ServeConfig bundles every serving-deployment knob (service sizing,
+	// cache tiers, model registry, network frontend) into one struct;
+	// frontends parse flags into it (see cmd/tmarket, examples/service).
+	ServeConfig = gateway.ServeConfig
+	// SubmissionStatus is the gateway's JSON resource for one submission.
+	SubmissionStatus = gateway.SubmissionStatus
 
 	// APK is a parsed package.
 	APK = apk.APK
@@ -305,6 +319,10 @@ var (
 	ErrQueueFull = vetsvc.ErrQueueFull
 	// ErrServiceClosed: the vetting service has shut down.
 	ErrServiceClosed = vetsvc.ErrClosed
+	// ErrServiceDraining: the vetting service is shutting down gracefully;
+	// in-flight submissions aborted by a hard drain wrap this (the gateway
+	// maps it to 503).
+	ErrServiceDraining = vetsvc.ErrDraining
 	// ErrDeadlineExceeded: the per-submission vet deadline expired; wraps
 	// context.DeadlineExceeded.
 	ErrDeadlineExceeded = core.ErrDeadlineExceeded
@@ -391,6 +409,23 @@ func NewVetService(ck *Checker, cfg VetServiceConfig) *VetService {
 // DefaultVetServiceConfig sizes the service for the production deployment:
 // one lane per emulator slot and a 4x-deep queue.
 func DefaultVetServiceConfig() VetServiceConfig { return vetsvc.DefaultConfig() }
+
+// NewGateway fronts a vetting service with the HTTP serving surface:
+// POST /v1/submissions (+ poll and blocking ?wait=), GET /metrics
+// (Prometheus text exposition of every obs metric), per-submission SSE
+// trace streams, and /healthz. Shut down with Gateway.Shutdown to drain
+// gracefully.
+func NewGateway(svc *VetService, cfg GatewayConfig) *Gateway { return gateway.New(svc, cfg) }
+
+// DefaultServeConfig is the recommended serving deployment shape.
+func DefaultServeConfig() ServeConfig { return gateway.DefaultServeConfig() }
+
+// WriteObsMetrics writes the Prometheus text exposition of every counter,
+// gauge, distribution, and stage aggregate the collectors hold — the same
+// generic exporter behind the gateway's /metrics.
+func WriteObsMetrics(w io.Writer, namespace string, cols ...*ObsCollector) error {
+	return gateway.WriteMetrics(w, namespace, cols...)
+}
 
 // ImportModel loads a model exported with Checker.Export into a Checker
 // bound to the (matching) universe — the §5.4 distribution path by which

@@ -50,7 +50,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		if parsed.PackageName() != tc.p.PackageName {
 			t.Errorf("parsed package = %s", parsed.PackageName())
 		}
-		v, err := checker.VetAPK(data)
+		v, err := checker.Vet(context.Background(), Submission{Raw: data})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,11 +83,11 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v1, err := checker.VetProgram(evil)
+	v1, err := checker.Vet(context.Background(), Submission{Program: evil})
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2, err := imported.VetProgram(evil)
+	v2, err := imported.Vet(context.Background(), Submission{Program: evil})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,12 +10,17 @@
 package apichecker
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"apichecker/internal/core"
 	"apichecker/internal/dataset"
@@ -698,6 +703,83 @@ func BenchmarkServiceThroughputDuplicates(b *testing.B) {
 // every duplicate — the pre-cache serving baseline on the same workload.
 func BenchmarkServiceThroughputDuplicatesNoCache(b *testing.B) {
 	benchDuplicateService(b, -1)
+}
+
+// BenchmarkGatewayThroughput drives the same duplicate-heavy serving
+// workload through the HTTP gateway over a real loopback socket: raw APK
+// uploads, JSON verdict responses, and 16 concurrent clients. The delta
+// against BenchmarkServiceThroughputDuplicates is the wire tax — HTTP
+// parsing, digest admission, and response encoding.
+func BenchmarkGatewayThroughput(b *testing.B) {
+	e := env(b)
+	ck, _, err := core.TrainFromCorpus(e.Corpus, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const uniques, total, clients = 10, 200, 16
+	payloads := make([][]byte, uniques)
+	for i := range payloads {
+		payloads[i], err = BuildAPK(e.Corpus.Program(i), e.U)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	svc := vetsvc.New(ck, vetsvc.Config{Workers: 8, QueueSize: 32})
+	gw := NewGateway(svc, GatewayConfig{})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- gw.ListenAndServe("127.0.0.1:0") }()
+	for i := 0; i < 200 && gw.Addr() == ""; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if gw.Addr() == "" {
+		b.Fatal("gateway did not start listening")
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		gw.Shutdown(ctx)
+	}()
+	url := "http://" + gw.Addr() + "/v1/submissions?wait=2m"
+	client := &http.Client{Timeout: 3 * time.Minute}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var next, failures atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= total {
+						return
+					}
+					resp, err := client.Post(url, "application/vnd.android.package-archive",
+						bytes.NewReader(payloads[j%uniques]))
+					if err != nil {
+						failures.Add(1)
+						continue
+					}
+					var st SubmissionStatus
+					err = json.NewDecoder(resp.Body).Decode(&st)
+					resp.Body.Close()
+					if err != nil || st.Status != "done" {
+						failures.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if n := failures.Load(); n > 0 {
+			b.Fatalf("%d gateway submissions failed", n)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*total)/elapsed, "submissions/s")
+	}
 }
 
 // BenchmarkPipelineStages vets a mixed batch through the staged pipeline

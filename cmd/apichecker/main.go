@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -90,7 +91,7 @@ func main() {
 var logWriter *analysislog.Writer
 
 func vetOne(checker *apichecker.Checker, name string, data []byte) {
-	v, run, err := checker.VetAPKWithRun(data)
+	v, run, err := checker.VetRun(context.Background(), apichecker.Submission{Raw: data})
 	if err != nil {
 		fail(fmt.Errorf("%s: %w", name, err))
 	}

@@ -19,6 +19,17 @@
 //
 //	tmarket -model-dir ./models -snapshot
 //	tmarket -model-dir ./models -serve -evolve
+//
+// With -serve -listen, tmarket becomes the actual market frontend: the
+// vetting service is exposed over HTTP (submission API, /metrics,
+// per-submission SSE traces) until SIGINT/SIGTERM, which drains
+// gracefully — admissions stop, in-flight submissions finish, the persist
+// log flushes:
+//
+//	tmarket -serve -listen localhost:8080
+//
+// Every serve-related flag is a thin shim over one apichecker.ServeConfig;
+// see that type for the knob inventory.
 package main
 
 import (
@@ -29,7 +40,9 @@ import (
 	"net/http"
 	_ "net/http/pprof" // -pprof registers the profiling handlers
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"apichecker"
@@ -44,34 +57,36 @@ func main() {
 		monthly = flag.Int("monthly", 250, "submissions per month")
 		sdk     = flag.Int("sdk-every", 4, "SDK release cadence in months (0 = never)")
 
-		serve    = flag.Bool("serve", false, "run one submission batch through the vetting service instead of the year simulation")
-		workers  = flag.Int("workers", 0, "service lanes (0 = one per emulator slot)")
-		queue    = flag.Int("queue", 0, "service queue depth (0 = 4x workers)")
-		deadline = flag.Duration("deadline", 0, "per-submission vet deadline (0 = none)")
-		vcap     = flag.Int("vcache", 0, "verdict-cache capacity on the -serve path (0 = default, negative = disabled)")
-		vpersist = flag.String("vcache-persist", "", "persist the verdict cache to this directory and warm-start it on the next run (-serve only)")
+		serve    = flag.Bool("serve", false, "run the vetting service (one submission batch, or a network frontend with -listen) instead of the year simulation")
 		dup      = flag.Int("dup", 1, "submit each -serve app this many times (duplicate-heavy workloads exercise the verdict cache)")
-		trace    = flag.Bool("trace", false, "stream per-submission pipeline spans and print the per-stage latency table (-serve only)")
-
-		modelDir = flag.String("model-dir", "", "versioned model registry directory; -serve cold-starts from its current generation")
 		snapshot = flag.Bool("snapshot", false, "train a model, persist it to -model-dir, and exit")
-		evolve   = flag.Bool("evolve", false, "retrain in the background during the -serve batch and hot-swap on gated promotion (requires -model-dir)")
-
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
+	// The serve-related flags are a thin shim over one ServeConfig.
+	scfg := apichecker.DefaultServeConfig()
+	flag.IntVar(&scfg.Workers, "workers", 0, "service lanes (0 = one per emulator slot)")
+	flag.IntVar(&scfg.Queue, "queue", 0, "service queue depth (0 = 4x workers)")
+	flag.DurationVar(&scfg.Deadline, "deadline", 0, "per-submission vet deadline (0 = none)")
+	flag.IntVar(&scfg.VerdictCache, "vcache", 0, "verdict-cache capacity on the -serve path (0 = default, negative = disabled)")
+	flag.StringVar(&scfg.PersistDir, "vcache-persist", "", "persist the verdict cache to this directory and warm-start it on the next run (-serve only)")
+	flag.BoolVar(&scfg.Trace, "trace", false, "stream per-submission pipeline spans and print the per-stage latency table (-serve only)")
+	flag.StringVar(&scfg.ModelDir, "model-dir", "", "versioned model registry directory; -serve cold-starts from its current generation")
+	flag.BoolVar(&scfg.Evolve, "evolve", false, "retrain in the background during the -serve batch and hot-swap on gated promotion (requires -model-dir)")
+	flag.StringVar(&scfg.Listen, "listen", "", "serve the HTTP gateway on this address until SIGINT/SIGTERM (-serve only)")
+	flag.StringVar(&scfg.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.DurationVar(&scfg.DrainTimeout, "drain-timeout", scfg.DrainTimeout, "graceful-shutdown budget for in-flight submissions (-listen only)")
 	flag.Parse()
 
-	if *pprofAddr != "" {
+	if scfg.PprofAddr != "" {
 		go func() {
 			// DefaultServeMux carries the pprof handlers via the blank import.
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := http.ListenAndServe(scfg.PprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "tmarket: pprof:", err)
 			}
 		}()
-		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", scfg.PprofAddr)
 	}
 
-	if (*snapshot || *evolve) && *modelDir == "" {
+	if (*snapshot || scfg.Evolve) && scfg.ModelDir == "" {
 		fail(fmt.Errorf("-snapshot and -evolve require -model-dir"))
 	}
 	u, err := apichecker.NewUniverse(*apis, *seed)
@@ -79,25 +94,28 @@ func main() {
 		fail(err)
 	}
 	if *snapshot {
-		if err := runSnapshot(u, *seed, *initial, *modelDir); err != nil {
+		if err := runSnapshot(u, *seed, *initial, scfg.ModelDir); err != nil {
 			fail(err)
 		}
 		return
 	}
 	if *serve {
-		if err := runService(u, *seed, *initial, *monthly, *workers, *queue, *vcap, *dup, *deadline, *trace, *modelDir, *vpersist, *evolve); err != nil {
+		if err := runService(u, *seed, *initial, *monthly, *dup, scfg); err != nil {
 			fail(err)
 		}
 		return
 	}
-	if *trace {
+	if scfg.Trace {
 		fmt.Fprintln(os.Stderr, "tmarket: -trace only applies with -serve")
 	}
-	if *vpersist != "" {
+	if scfg.PersistDir != "" {
 		fmt.Fprintln(os.Stderr, "tmarket: -vcache-persist only applies with -serve")
 	}
-	if *evolve {
+	if scfg.Evolve {
 		fmt.Fprintln(os.Stderr, "tmarket: -evolve only applies with -serve")
+	}
+	if scfg.Listen != "" {
+		fmt.Fprintln(os.Stderr, "tmarket: -listen only applies with -serve")
 	}
 	cfg := apichecker.DefaultYearConfig()
 	cfg.Seed = *seed
@@ -159,18 +177,20 @@ func runSnapshot(u *apichecker.Universe, seed int64, initial int, modelDir strin
 }
 
 // runService is the -serve path: obtain a model (cold-started from the
-// registry when -model-dir has one, trained otherwise), then vet one batch
-// of submissions through the always-on service and print its metrics. With
-// trace, the checker's obs spine streams one line per completed pipeline
-// stage and the per-stage latency table follows the metrics. With evolve,
-// a background runner retrains mid-batch and hot-swaps on promotion.
-func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, queue, vcap, dup int, deadline time.Duration, trace bool, modelDir, persistDir string, evolve bool) error {
+// registry when ModelDir has one, trained otherwise), then either vet one
+// batch of submissions through the always-on service and print its
+// metrics, or — with Listen set — expose the service over HTTP until a
+// shutdown signal drains it. With Trace, the checker's obs spine streams
+// one line per completed pipeline stage and the per-stage latency table
+// follows the metrics. With Evolve, a background runner retrains
+// mid-batch and hot-swaps on promotion.
+func runService(u *apichecker.Universe, seed int64, initial, monthly, dup int, scfg apichecker.ServeConfig) error {
 	var (
 		checker *apichecker.Checker
 		mgr     *apichecker.LifecycleManager
 	)
-	if modelDir != "" {
-		reg, err := apichecker.OpenModelRegistry(modelDir)
+	if scfg.ModelDir != "" {
+		reg, err := apichecker.OpenModelRegistry(scfg.ModelDir)
 		if err != nil {
 			return err
 		}
@@ -179,11 +199,11 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 		case err == nil:
 			checker = cold
 			fmt.Printf("cold-started generation %s from %s (created %s)\n",
-				shortDigest(man.Digest), modelDir, man.CreatedAt.Format(time.RFC3339))
+				shortDigest(man.Digest), scfg.ModelDir, man.CreatedAt.Format(time.RFC3339))
 			mgr = apichecker.NewLifecycleManager(checker, reg, apichecker.DefaultGateConfig())
 		case errors.Is(err, apichecker.ErrNoCurrentModel):
 			// Empty registry: train a first generation and seed it.
-			ck, rep, err := trainChecker(u, seed, initial, vcap)
+			ck, rep, err := trainChecker(u, seed, initial, scfg.VerdictCache)
 			if err != nil {
 				return err
 			}
@@ -194,12 +214,12 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 				return err
 			}
 			fmt.Printf("trained on %d apps (%d key APIs); snapshotted generation %s to %s\n",
-				initial, rep.KeyAPIs, shortDigest(dig), modelDir)
+				initial, rep.KeyAPIs, shortDigest(dig), scfg.ModelDir)
 		default:
 			return err
 		}
 	} else {
-		ck, rep, err := trainChecker(u, seed, initial, vcap)
+		ck, rep, err := trainChecker(u, seed, initial, scfg.VerdictCache)
 		if err != nil {
 			return err
 		}
@@ -207,20 +227,20 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 		fmt.Printf("trained on %d apps (%d key APIs); starting vetting service\n",
 			initial, rep.KeyAPIs)
 	}
-	if persistDir != "" {
+	if scfg.PersistDir != "" {
 		// Attached after the checker exists (covers the cold-start path,
 		// where the registry instantiates it), before any vet runs: a
 		// snapshot recorded under the same model warm-starts the cache.
-		if err := checker.AttachPersist(persistDir); err != nil {
+		if err := checker.AttachPersist(scfg.PersistDir); err != nil {
 			return err
 		}
 		defer checker.ClosePersist()
 		if ps := checker.PersistStats(); ps.Restored > 0 || ps.Skipped > 0 {
 			fmt.Printf("warm-started verdict cache from %s: %d restored, %d skipped\n",
-				persistDir, ps.Restored, ps.Skipped)
+				scfg.PersistDir, ps.Restored, ps.Skipped)
 		}
 	}
-	if trace {
+	if scfg.Trace {
 		var mu sync.Mutex
 		checker.Obs().AddSink(apichecker.ObsSinkFunc(func(ev apichecker.ObsEvent) {
 			if ev.Kind != apichecker.ObsSpan {
@@ -239,12 +259,12 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 		}))
 	}
 
-	svc := apichecker.NewVetService(checker, apichecker.VetServiceConfig{
-		Workers:   workers,
-		QueueSize: queue,
-		Deadline:  deadline,
-	})
+	svc := apichecker.NewVetService(checker, scfg.ServiceConfig())
 	defer svc.Close()
+
+	if scfg.Listen != "" {
+		return serveGateway(svc, scfg)
+	}
 
 	// Corpora are generated over the serving checker's universe so a
 	// cold-started model vets programs from the framework it was trained
@@ -266,7 +286,7 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 	// With evolve, retrain in the background while the batch is being
 	// vetted: promotion hot-swaps the serving model mid-stream.
 	var evolveDone chan *apichecker.EvolveResult
-	if evolve {
+	if scfg.Evolve {
 		refreshed, err := apichecker.NewCorpus(checker.Universe(), initial+monthly, seed+202)
 		if err != nil {
 			return err
@@ -356,7 +376,7 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 				sh.Challenger.F1, sh.Challenger.AUC, sh.Champion.F1, sh.Champion.AUC, sh.Holdout)
 		}
 	}
-	if trace {
+	if scfg.Trace {
 		fmt.Printf("\n  pipeline stages (virtual seconds):\n")
 		fmt.Printf("  %-14s %6s %6s %9s %9s %9s %9s\n",
 			"stage", "count", "errors", "mean", "p50", "p95", "p99")
@@ -366,6 +386,49 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, workers, q
 		}
 	}
 	return nil
+}
+
+// serveGateway is the -serve -listen path: expose the vetting service
+// over HTTP and block until SIGINT/SIGTERM, then drain gracefully —
+// admissions stop (503), in-flight submissions get DrainTimeout to
+// finish, the persist log flushes, and the listener closes.
+func serveGateway(svc *apichecker.VetService, scfg apichecker.ServeConfig) error {
+	gw := apichecker.NewGateway(svc, scfg.GatewayConfig())
+	serveErr := make(chan error, 1)
+	go func() {
+		err := gw.ListenAndServe(scfg.Listen)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		serveErr <- err
+	}()
+	// Give the listener a beat to bind so the printed address is real.
+	for i := 0; i < 100 && gw.Addr() == ""; i++ {
+		select {
+		case err := <-serveErr:
+			return fmt.Errorf("tmarket: gateway listen on %s: %w", scfg.Listen, err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	fmt.Printf("gateway listening on http://%s (POST /v1/submissions, /metrics, /healthz)\n", gw.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("received %s; draining (budget %s)\n", s, scfg.EffectiveDrainTimeout())
+	case err := <-serveErr:
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), scfg.EffectiveDrainTimeout())
+	defer cancel()
+	if err := gw.Shutdown(ctx); err != nil {
+		return fmt.Errorf("tmarket: gateway shutdown: %w", err)
+	}
+	m := svc.Metrics()
+	fmt.Printf("drained: %d completed, %d timeouts, %d drained, %d canceled, %d failed\n",
+		m.Completed, m.Timeouts, m.Drained, m.Canceled, m.Failed)
+	return <-serveErr
 }
 
 // trainChecker trains a fresh serving checker on an initial corpus.

@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -49,7 +50,7 @@ func main() {
 	start := time.Now()
 	correct, flagged := 0, 0
 	for i := 0; i < day.Len(); i++ {
-		v, err := small.VetProgram(day.Program(i))
+		v, err := small.Vet(context.Background(), apichecker.Submission{Program: day.Program(i)})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,11 +50,11 @@ func main() {
 				PackageName: "com.evasion.sample", Version: 1, Seed: 90000 + seed,
 				Label: apichecker.Malicious, Family: fam,
 			})
-			vA, err := ckA.VetProgram(p)
+			vA, err := ckA.Vet(context.Background(), apichecker.Submission{Program: p})
 			if err != nil {
 				log.Fatal(err)
 			}
-			vAPI, err := ckAPI.VetProgram(p)
+			vAPI, err := ckAPI.Vet(context.Background(), apichecker.Submission{Program: p})
 			if err != nil {
 				log.Fatal(err)
 			}

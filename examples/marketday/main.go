@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -64,7 +65,7 @@ func main() {
 	// Per-app scan time on the production engine, for capacity math.
 	gen := apichecker.NewGenerator(u)
 	for i := 0; i < 50; i++ {
-		v, err := checker.VetProgram(gen.Generate(day.Apps[i].Spec))
+		v, err := checker.Vet(context.Background(), apichecker.Submission{Program: gen.Generate(day.Apps[i].Spec)})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -51,7 +52,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		verdict, err := checker.VetAPK(data)
+		verdict, err := checker.Vet(context.Background(), apichecker.Submission{Raw: data})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,11 @@
 // applies explicit backpressure to a bursty submitter, a worker pool vets
 // under per-submission deadlines, and the metrics snapshot reports the
 // crash/fallback accounting and scan-latency quantiles of §5.1-§5.2.
+//
+// The deployment knobs live in one apichecker.ServeConfig — the same
+// struct `tmarket -serve` parses its flags into — and the example ends by
+// printing the Prometheus exposition a gateway's /metrics would serve
+// for this exact service.
 package main
 
 import (
@@ -11,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"apichecker"
@@ -37,13 +43,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	svc := apichecker.NewVetService(checker, apichecker.VetServiceConfig{
-		Workers:   8,
-		QueueSize: 16,
-		// Per-submission wall-clock budget; expiries surface as
-		// ErrDeadlineExceeded and are counted in the metrics.
-		Deadline: 2 * time.Minute,
-	})
+	// One ServeConfig carries the deployment shape end to end; the
+	// service layer derives its own config from it.
+	scfg := apichecker.DefaultServeConfig()
+	scfg.Workers = 8
+	scfg.Queue = 16
+	// Per-submission wall-clock budget; expiries surface as
+	// ErrDeadlineExceeded and are counted in the metrics.
+	scfg.Deadline = 2 * time.Minute
+
+	svc := apichecker.NewVetService(checker, scfg.ServiceConfig())
 	defer svc.Close()
 
 	ctx := context.Background()
@@ -101,5 +110,21 @@ func main() {
 	}
 	if retries != int(m.Rejected) {
 		log.Fatalf("retry accounting mismatch: %d retries vs %d rejections", retries, m.Rejected)
+	}
+
+	// The same numbers, as the gateway's /metrics would expose them: the
+	// generic Prometheus exposition over the checker's and service's obs
+	// collectors (a few representative lines).
+	var prom strings.Builder
+	if err := apichecker.WriteObsMetrics(&prom, "apichecker", checker.Obs(), svc.Obs()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  /metrics exposition (excerpt):")
+	shown := 0
+	for _, line := range strings.Split(prom.String(), "\n") {
+		if strings.HasPrefix(line, "apichecker_svc_") && !strings.HasPrefix(line, "# ") && shown < 6 {
+			fmt.Printf("    %s\n", line)
+			shown++
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -39,7 +40,7 @@ func TestTrainAndVetCorpus(t *testing.T) {
 	var m ml.Confusion
 	var scanTotal time.Duration
 	for i := 0; i < corpus.Len(); i++ {
-		v, err := ck.VetProgram(corpus.Program(i))
+		v, err := ck.Vet(context.Background(), Submission{Program: corpus.Program(i)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,22 +62,22 @@ func TestTrainAndVetCorpus(t *testing.T) {
 	}
 }
 
-func TestVetAPKRoundTrip(t *testing.T) {
+func TestVetRawAPKRoundTrip(t *testing.T) {
 	ck, corpus := trainedChecker(t, 400)
 	p := corpus.Program(0)
 	data, err := apk.Build(p, testU)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := ck.VetAPK(data)
+	v, err := ck.Vet(context.Background(), Submission{Raw: data})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v.Package != p.PackageName || v.MD5 == "" {
 		t.Errorf("verdict identity: %+v", v)
 	}
-	if _, err := ck.VetAPK([]byte("garbage")); err == nil {
-		t.Error("VetAPK accepted garbage")
+	if _, err := ck.Vet(context.Background(), Submission{Raw: []byte("garbage")}); err == nil {
+		t.Error("Vet accepted a garbage archive")
 	}
 }
 
@@ -103,7 +104,7 @@ func TestRetrainKeepsWorking(t *testing.T) {
 	if after < before/2 || after > before*2 {
 		t.Errorf("keys drifted wildly: %d -> %d", before, after)
 	}
-	if _, err := ck.VetProgram(corpus.Program(1)); err != nil {
+	if _, err := ck.Vet(context.Background(), Submission{Program: corpus.Program(1)}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -119,7 +120,7 @@ func TestLowProfileMalwareIsTheFNSource(t *testing.T) {
 			PackageName: "com.fn.low", Version: 1, Seed: seed,
 			Label: behavior.Malicious, Family: behavior.FamilyLowProfile,
 		})
-		v, err := ck.VetProgram(low)
+		v, err := ck.Vet(context.Background(), Submission{Program: low})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,7 +133,7 @@ func TestLowProfileMalwareIsTheFNSource(t *testing.T) {
 			PackageName: "com.fn.other", Version: 1, Seed: seed,
 			Label: behavior.Malicious, Family: behavior.FamilySpyware,
 		})
-		v2, err := ck.VetProgram(other)
+		v2, err := ck.Vet(context.Background(), Submission{Program: other})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -174,11 +175,11 @@ func TestProfileChoiceAffectsScanTime(t *testing.T) {
 	}
 	var tf, ts time.Duration
 	for i := 0; i < 40; i++ {
-		vf, err := ckFast.VetProgram(corpus.Program(i))
+		vf, err := ckFast.Vet(context.Background(), Submission{Program: corpus.Program(i)})
 		if err != nil {
 			t.Fatal(err)
 		}
-		vs, err := ckSlow.VetProgram(corpus.Program(i))
+		vs, err := ckSlow.Vet(context.Background(), Submission{Program: corpus.Program(i)})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"apichecker/internal/dataset"
@@ -29,11 +30,11 @@ func TestExportImportRoundTrip(t *testing.T) {
 	}
 	for i := 0; i < 60; i++ {
 		p := corpus.Program(i)
-		v1, err := ck.VetProgram(p)
+		v1, err := ck.Vet(context.Background(), Submission{Program: p})
 		if err != nil {
 			t.Fatal(err)
 		}
-		v2, err := imported.VetProgram(p)
+		v2, err := imported.Vet(context.Background(), Submission{Program: p})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func TestDistributedModelWorkflow(t *testing.T) {
 	}
 	correct, total := 0, 0
 	for i := 0; i < day.Len(); i++ {
-		v, err := small.VetProgram(day.Program(i))
+		v, err := small.Vet(context.Background(), Submission{Program: day.Program(i)})
 		if err != nil {
 			t.Fatal(err)
 		}

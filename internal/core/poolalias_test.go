@@ -61,7 +61,7 @@ func TestPoolReuseNoAliasing(t *testing.T) {
 	// from-cache hit path, with the previous pass's poisoned contexts now
 	// circulating in the pool.
 	for i := 0; i < nProgs; i++ {
-		v, err := ck.VetProgram(corpus.Program(i))
+		v, err := ck.Vet(context.Background(), Submission{Program: corpus.Program(i)})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -62,10 +63,10 @@ func TestTrainFromCorpusLegacyTwoPass(t *testing.T) {
 	}
 }
 
-// TestConcurrentVetProgram exercises the vet-sequence counter from many
+// TestConcurrentVet exercises the vet-sequence counter from many
 // goroutines (run under -race this is the regression test for the vetCount
 // data race) and checks the sequence-reservation arithmetic stays exact.
-func TestConcurrentVetProgram(t *testing.T) {
+func TestConcurrentVet(t *testing.T) {
 	ck, corpus := trainedChecker(t, 400)
 	start := ck.VetCount()
 
@@ -77,7 +78,7 @@ func TestConcurrentVetProgram(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				if _, err := ck.VetProgram(corpus.Program((w*perWorker + i) % corpus.Len())); err != nil {
+				if _, err := ck.Vet(context.Background(), Submission{Program: corpus.Program((w*perWorker + i) % corpus.Len())}); err != nil {
 					t.Error(err)
 					return
 				}

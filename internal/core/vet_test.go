@@ -54,10 +54,10 @@ func TestSubmissionValidate(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersMatchVet pins the compatibility contract: every
-// legacy vet method is a thin wrapper over the canonical Vet and yields
-// bit-identical verdicts for the same sequence number.
-func TestDeprecatedWrappersMatchVet(t *testing.T) {
+// TestSubmissionPayloadsMatchVet pins the canonical-surface contract:
+// the same app yields bit-identical verdicts through Vet whichever
+// payload form the Submission carries, at the same sequence number.
+func TestSubmissionPayloadsMatchVet(t *testing.T) {
 	ckA, corpus := trainedChecker(t, 120)
 	ckB, _ := trainedChecker(t, 120)
 	p := corpus.Program(3)
@@ -66,15 +66,15 @@ func TestDeprecatedWrappersMatchVet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vb, err := ckB.VetProgram(p)
+	vb, err := ckB.Vet(context.Background(), Submission{Program: p})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(va, vb) {
-		t.Errorf("VetProgram diverged from Vet:\n%+v\n%+v", va, vb)
+		t.Errorf("Vet diverged across fresh checkers:\n%+v\n%+v", va, vb)
 	}
 
-	vs, err := ckA.VetProgramSeq(p, 42)
+	vs, err := ckA.Vet(context.Background(), Submission{Program: p, Seq: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestDeprecatedWrappersMatchVet(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(vs, vq) {
-		t.Errorf("VetProgramSeq diverged from Vet with pinned Seq")
+		t.Errorf("Vet diverged across checkers with pinned Seq")
 	}
 
 	raw, parsed, err := apk.BuildAndParse(p, testU)
@@ -94,12 +94,12 @@ func TestDeprecatedWrappersMatchVet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vp, err := ckB.VetAPK(raw)
+	vp, err := ckB.Vet(context.Background(), Submission{Raw: raw})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(vr, vp) {
-		t.Errorf("VetAPK diverged from Vet with Raw payload")
+		t.Errorf("Raw-payload Vet diverged across fresh checkers")
 	}
 	// A parsed submission carries the archive metadata (MD5, version)
 	// without paying the unpack again.
@@ -142,7 +142,7 @@ func TestVetBadAPK(t *testing.T) {
 	if !errors.Is(err, apk.ErrBadAPK) {
 		t.Fatalf("Vet(garbage) = %v, want ErrBadAPK", err)
 	}
-	if _, err := ck.VetAPK([]byte{0x50, 0x4b}); !errors.Is(err, apk.ErrBadAPK) {
-		t.Fatalf("VetAPK(truncated) = %v, want ErrBadAPK", err)
+	if _, err := ck.Vet(context.Background(), Submission{Raw: []byte{0x50, 0x4b}}); !errors.Is(err, apk.ErrBadAPK) {
+		t.Fatalf("Vet(truncated archive) = %v, want ErrBadAPK", err)
 	}
 }

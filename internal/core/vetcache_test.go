@@ -165,7 +165,7 @@ func TestRetrainInvalidatesCache(t *testing.T) {
 }
 
 // TestVetRunFeedsCache: the write-through path — VetRun (and therefore the
-// deprecated VetAPKWithRun) always emulates but stores its verdict, so a
+// VetRun) always emulates but stores its verdict, so a
 // later Vet of the same bytes is a hit.
 func TestVetRunFeedsCache(t *testing.T) {
 	ck, corpus := trainedChecker(t, 300)
@@ -175,7 +175,7 @@ func TestVetRunFeedsCache(t *testing.T) {
 	}
 
 	runs0 := emulator.RunCount()
-	v1, _, err := ck.VetAPKWithRun(data)
+	v1, _, err := ck.VetRun(context.Background(), Submission{Raw: data})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestVetRunFeedsCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	if out != vcache.OutcomeHit {
-		t.Fatalf("vet after VetAPKWithRun outcome = %v, want hit", out)
+		t.Fatalf("vet after VetRun outcome = %v, want hit", out)
 	}
 	if *v1 != *v2 {
 		t.Fatalf("write-through verdict differs: %+v vs %+v", *v1, *v2)

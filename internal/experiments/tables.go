@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -88,7 +89,7 @@ func (e *Env) Table1(w io.Writer) (*Table1Result, error) {
 	var m ml.Confusion
 	var total time.Duration
 	for _, app := range testApps {
-		v, err := ck.VetProgram(ckGen.Generate(app.Spec))
+		v, err := ck.Vet(context.Background(), core.Submission{Program: ckGen.Generate(app.Spec)})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,164 @@
+// Prometheus text exposition derived generically from obs collectors.
+//
+// The exporter names no metric: it iterates the collectors' counter,
+// gauge, distribution, and stage-aggregate snapshots, so a counter added
+// anywhere in the system (core, vetsvc, gateway) is exported the moment
+// it first increments — zero per-metric registration code, which is the
+// point. The format is the Prometheus text exposition v0.0.4 subset:
+// counters as <name>_total, gauges plain, distributions and stage
+// latencies as summaries (quantile labels + _sum/_count).
+//
+// Output is deterministic: metric names sort lexically within each
+// family, stages keep pipeline (first-seen) order, and floats render via
+// strconv 'g' with full round-trip precision — locked by a golden file.
+
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"apichecker/internal/obs"
+)
+
+// WriteMetrics writes the Prometheus text exposition of every metric the
+// collectors hold, under the ns name prefix. Counters with the same name
+// on several collectors sum; gauges, distributions, and stage aggregates
+// are first-collector-wins (namespaces are disjoint in practice: core.*,
+// svc.*, gw.*).
+func WriteMetrics(w io.Writer, ns string, cols ...*obs.Collector) error {
+	counters := map[string]uint64{}
+	gauges := map[string]int64{}
+	dists := map[string]obs.Summary{}
+	var stages []obs.StageStats
+	seenStage := map[string]bool{}
+	for _, col := range cols {
+		if col == nil {
+			continue
+		}
+		for name, v := range col.Counters() {
+			counters[name] += v
+		}
+		for name, v := range col.Gauges() {
+			if _, ok := gauges[name]; !ok {
+				gauges[name] = v
+			}
+		}
+		for name, s := range col.Distributions() {
+			if _, ok := dists[name]; !ok {
+				dists[name] = s
+			}
+		}
+		for _, st := range col.StageStats() {
+			if !seenStage[st.Stage] {
+				seenStage[st.Stage] = true
+				stages = append(stages, st)
+			}
+		}
+	}
+
+	var b strings.Builder
+	for _, name := range sortedKeys(counters) {
+		m := metricName(ns, name) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", m, m, counters[name])
+	}
+	for _, name := range sortedKeys(gauges) {
+		m := metricName(ns, name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", m, m, gauges[name])
+	}
+	for _, name := range sortedKeys(dists) {
+		writeSummary(&b, metricName(ns, name), "", dists[name])
+	}
+	if len(stages) > 0 {
+		spans := metricName(ns, "stage.spans") + "_total"
+		errs := metricName(ns, "stage.errors") + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n", spans)
+		for _, st := range stages {
+			fmt.Fprintf(&b, "%s{stage=\"%s\"} %d\n", spans, escapeLabel(st.Stage), st.Count)
+		}
+		fmt.Fprintf(&b, "# TYPE %s counter\n", errs)
+		for _, st := range stages {
+			fmt.Fprintf(&b, "%s{stage=\"%s\"} %d\n", errs, escapeLabel(st.Stage), st.Errors)
+		}
+		dur := metricName(ns, "stage.duration.vseconds")
+		fmt.Fprintf(&b, "# TYPE %s summary\n", dur)
+		for _, st := range stages {
+			writeSummaryRows(&b, dur, `stage="`+escapeLabel(st.Stage)+`"`, st.Dur)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSummary writes one distribution as a Prometheus summary with its
+// TYPE header.
+func writeSummary(b *strings.Builder, m, labels string, s obs.Summary) {
+	fmt.Fprintf(b, "# TYPE %s summary\n", m)
+	writeSummaryRows(b, m, labels, s)
+}
+
+// writeSummaryRows writes the quantile/_sum/_count rows of one summary.
+// labels is either empty or a pre-escaped `k="v"` list without braces.
+func writeSummaryRows(b *strings.Builder, m, labels string, s obs.Summary) {
+	q := func(quant string) string {
+		if labels == "" {
+			return m + `{quantile="` + quant + `"}`
+		}
+		return m + "{" + labels + `,quantile="` + quant + `"}`
+	}
+	suffix := func(sfx string) string {
+		if labels == "" {
+			return m + sfx
+		}
+		return m + sfx + "{" + labels + "}"
+	}
+	fmt.Fprintf(b, "%s %s\n", q("0.5"), formatFloat(s.P50))
+	fmt.Fprintf(b, "%s %s\n", q("0.95"), formatFloat(s.P95))
+	fmt.Fprintf(b, "%s %s\n", q("0.99"), formatFloat(s.P99))
+	fmt.Fprintf(b, "%s %s\n", suffix("_sum"), formatFloat(s.Mean*float64(s.Count)))
+	fmt.Fprintf(b, "%s %d\n", suffix("_count"), s.Count)
+}
+
+// metricName maps a dotted obs name into the Prometheus namespace:
+// "svc.cache.hits" under ns "apichecker" becomes
+// "apichecker_svc_cache_hits". Characters outside [a-zA-Z0-9_] become
+// underscores.
+func metricName(ns, name string) string {
+	var b strings.Builder
+	b.Grow(len(ns) + 1 + len(name))
+	b.WriteString(ns)
+	b.WriteByte('_')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format
+// (backslash, double quote, newline).
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a sample value with round-trip precision.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// sortedKeys returns the map's keys in lexical order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,77 @@
+package gateway
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"apichecker/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the Prometheus exposition golden file")
+
+// TestPrometheusGolden locks the exposition format byte for byte:
+// lexical metric ordering, TYPE lines, label escaping, quantile labels,
+// and _sum/_count rows. Regenerate with `go test ./internal/gateway
+// -run TestPrometheusGolden -update` after an intentional format change.
+func TestPrometheusGolden(t *testing.T) {
+	colA := obs.NewCollector()
+	colA.Counter("svc.accepted").Add(42)
+	colA.Counter("svc.cache.hits").Add(7)
+	colA.Gauge("svc.heap.live_bytes").Set(123456)
+	d := colA.Distribution("svc.scan.all")
+	for _, v := range []float64{1.5, 2.25, 3, 80.5} {
+		d.Observe(v)
+	}
+	colA.Emit(obs.Event{Kind: obs.KindSpan, Name: "admit", Trace: 1})
+	colA.Emit(obs.Event{Kind: obs.KindSpan, Name: "cache.lookup", Trace: 1, Note: "miss"})
+	colA.Emit(obs.Event{Kind: obs.KindSpan, Name: "emulate", Trace: 1, Dur: 90 * time.Second})
+	colA.Emit(obs.Event{Kind: obs.KindSpan, Name: "emulate", Trace: 2, Err: os.ErrDeadlineExceeded})
+	// Exotic stage name exercises label escaping.
+	colA.Emit(obs.Event{Kind: obs.KindSpan, Name: `weird"stage\name`, Trace: 3})
+
+	colB := obs.NewCollector()
+	colB.Counter("gw.submissions.accepted").Add(3)
+	// Same counter name on a second collector sums into one row.
+	colB.Counter("svc.accepted").Add(8)
+
+	var b strings.Builder
+	if err := WriteMetrics(&b, "apichecker", colA, colB); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition diverged from golden file (run with -update if intentional)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMetricNameSanitization pins the dotted-name mapping.
+func TestMetricNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"svc.cache.hits": "apichecker_svc_cache_hits",
+		"model.swaps":    "apichecker_model_swaps",
+		"weird-name/x":   "apichecker_weird_name_x",
+	}
+	for in, want := range cases {
+		if got := metricName("apichecker", in); got != want {
+			t.Errorf("metricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// ServeConfig is the one knob bundle for the serving deployment shape.
+// It replaces the sprawl of per-flag plumbing that grew around `tmarket
+// -serve` (-workers, -queue, -deadline, -vcache, -vcache-persist,
+// -model-dir, -evolve, -trace, -pprof, …): frontends parse their flags
+// into this struct and hand it over; the struct knows how to derive the
+// per-layer configs (vetsvc.Config, gateway.Config) from itself.
+
+package gateway
+
+import (
+	"time"
+
+	"apichecker/internal/vetsvc"
+)
+
+// ServeConfig bundles every knob of the serving deployment shape: the
+// vetting service's sizing, the checker's verdict-cache tiers, the model
+// registry, and the network frontend. The zero value is a sane
+// in-process deployment (production lane count, no network listener);
+// DefaultServeConfig adds the recommended operational defaults.
+type ServeConfig struct {
+	// Workers is the emulator-lane count (paper: 16 per server);
+	// <= 0 selects one lane per emulator slot.
+	Workers int
+
+	// Queue bounds submissions waiting for a lane; <= 0 selects
+	// 4×Workers.
+	Queue int
+
+	// Deadline, when positive, bounds each submission's wall-clock
+	// residence from admission.
+	Deadline time.Duration
+
+	// VerdictCache is the verdict-cache capacity (0 = default capacity,
+	// negative = disabled).
+	VerdictCache int
+
+	// PersistDir, when set, persists the verdict cache to this directory
+	// and warm-starts it on the next run.
+	PersistDir string
+
+	// ModelDir, when set, is the versioned model-registry directory; the
+	// serving checker cold-starts from its current generation.
+	ModelDir string
+
+	// Evolve retrains in the background while serving and hot-swaps the
+	// challenger in on gated promotion (requires ModelDir).
+	Evolve bool
+
+	// Trace streams per-submission pipeline spans to stdout.
+	Trace bool
+
+	// Listen, when set, serves the HTTP gateway on this address
+	// (host:port); empty keeps the deployment in-process.
+	Listen string
+
+	// PprofAddr, when set, serves net/http/pprof on this address.
+	PprofAddr string
+
+	// MaxUploadBytes bounds gateway upload bodies; <= 0 selects the apk
+	// decoded-size bound.
+	MaxUploadBytes int64
+
+	// DrainTimeout bounds graceful shutdown: in-flight submissions get
+	// this long to finish before the drain hard-cancels them with
+	// vetsvc.ErrDraining. <= 0 selects 30 seconds.
+	DrainTimeout time.Duration
+}
+
+// DefaultServeConfig is the recommended operational configuration.
+func DefaultServeConfig() ServeConfig {
+	return ServeConfig{DrainTimeout: 30 * time.Second}
+}
+
+// ServiceConfig derives the vetting-service layer's config.
+func (c ServeConfig) ServiceConfig() vetsvc.Config {
+	return vetsvc.Config{
+		Workers:   c.Workers,
+		QueueSize: c.Queue,
+		Deadline:  c.Deadline,
+	}
+}
+
+// GatewayConfig derives the HTTP-frontend layer's config.
+func (c ServeConfig) GatewayConfig() Config {
+	return Config{MaxUploadBytes: c.MaxUploadBytes}
+}
+
+// EffectiveDrainTimeout resolves the drain budget default.
+func (c ServeConfig) EffectiveDrainTimeout() time.Duration {
+	if c.DrainTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.DrainTimeout
+}

@@ -251,7 +251,7 @@ func (m *Market) Review(app dataset.App, stats *MonthStats) (*SubmissionResult, 
 		return m.finishRejectedKnown(app, stats), nil
 	}
 	// Stage 2: APICHECKER.
-	verdict, err := m.checker.VetProgram(m.programOf(app))
+	verdict, err := m.checker.Vet(context.Background(), core.Submission{Program: m.programOf(app)})
 	if err != nil {
 		return nil, fmt.Errorf("market: review %s: %w", app.Spec.PackageName, err)
 	}

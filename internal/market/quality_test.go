@@ -1,6 +1,7 @@
 package market
 
 import (
+	"context"
 	"testing"
 
 	"apichecker/internal/behavior"
@@ -32,7 +33,7 @@ func TestOutOfSampleQuality(t *testing.T) {
 	totByFam := map[behavior.Family]int{}
 	gen := behavior.NewGenerator(ck.Universe())
 	for _, app := range test {
-		v, err := ck.VetProgram(gen.Generate(app.Spec))
+		v, err := ck.Vet(context.Background(), core.Submission{Program: gen.Generate(app.Spec)})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -361,3 +361,23 @@ func (c *Collector) Distribution(name string) *Distribution {
 	}
 	return d
 }
+
+// Distributions snapshots every named distribution's summary. Generic
+// exporters (the gateway's Prometheus exposition) iterate this instead of
+// naming distributions one by one, so a new distribution is exported the
+// moment any package observes into it.
+func (c *Collector) Distributions() map[string]Summary {
+	c.dmu.Lock()
+	names := make([]string, 0, len(c.dists))
+	dists := make([]*Distribution, 0, len(c.dists))
+	for name, d := range c.dists {
+		names = append(names, name)
+		dists = append(dists, d)
+	}
+	c.dmu.Unlock()
+	out := make(map[string]Summary, len(names))
+	for i, d := range dists {
+		out[names[i]] = d.Summary()
+	}
+	return out
+}

@@ -27,10 +27,11 @@ type Metrics struct {
 	Accepted uint64
 	Rejected uint64 // queue-full rejections (ErrQueueFull)
 
-	// Completion counters. Completed + Timeouts + Canceled + Failed ==
-	// the number of settled submissions.
+	// Completion counters. Completed + Timeouts + Drained + Canceled +
+	// Failed == the number of settled submissions.
 	Completed uint64
 	Timeouts  uint64 // deadline expiries (ErrDeadlineExceeded)
+	Drained   uint64 // aborted by a hard service drain (ErrDraining)
 	Canceled  uint64 // caller-canceled contexts
 	Failed    uint64 // any other vet error
 
@@ -121,10 +122,10 @@ const enginePrefix = "svc.engine."
 type counters struct {
 	col *obs.Collector
 
-	accepted, rejected                  *obs.Counter
-	completed, timeouts, cancel, failed *obs.Counter
-	hits, misses, coalesced, bypass     *obs.Counter
-	crashes, crashedSubs, fallbacks     *obs.Counter
+	accepted, rejected                           *obs.Counter
+	completed, timeouts, drained, cancel, failed *obs.Counter
+	hits, misses, coalesced, bypass              *obs.Counter
+	crashes, crashedSubs, fallbacks              *obs.Counter
 
 	scans     *obs.Distribution // all completions, virtual seconds
 	missScans *obs.Distribution // emulated completions only
@@ -142,6 +143,7 @@ func newCounters(col *obs.Collector) counters {
 		rejected:    col.Counter("svc.rejected"),
 		completed:   col.Counter("svc.completed"),
 		timeouts:    col.Counter("svc.timeouts"),
+		drained:     col.Counter("svc.drained"),
 		cancel:      col.Counter("svc.canceled"),
 		failed:      col.Counter("svc.failed"),
 		hits:        col.Counter("svc.cache.hits"),
@@ -194,6 +196,10 @@ func (c *counters) finishJob(v *core.Verdict, err error, out vcache.Outcome) {
 		}
 	case errors.Is(err, core.ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
 		c.timeouts.Inc()
+	case errors.Is(err, ErrDraining):
+		// Checked before the bare-cancel bucket: a drain abort wraps both
+		// ErrDraining and context.Canceled.
+		c.drained.Inc()
 	case errors.Is(err, context.Canceled):
 		c.cancel.Inc()
 	default:
@@ -210,6 +216,7 @@ func (s *Service) Metrics() Metrics {
 		Rejected:           c.rejected.Load(),
 		Completed:          c.completed.Load(),
 		Timeouts:           c.timeouts.Load(),
+		Drained:            c.drained.Load(),
 		Canceled:           c.cancel.Load(),
 		Failed:             c.failed.Load(),
 		CacheHits:          c.hits.Load(),

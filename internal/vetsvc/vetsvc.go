@@ -50,6 +50,14 @@ var (
 
 	// ErrClosed: the service is shut down and accepts no new submissions.
 	ErrClosed = errors.New("vetsvc: service closed")
+
+	// ErrDraining: the service is shutting down gracefully — admissions
+	// stopped, in-flight submissions finishing. New submissions are
+	// rejected with this (the gateway maps it to 503), and an in-flight
+	// vet aborted by a hard drain deadline fails with an error wrapping
+	// ErrDraining rather than a bare context cancellation, so callers can
+	// tell "the service shut down under me" from their own cancel.
+	ErrDraining = errors.New("vetsvc: service draining")
 )
 
 // Config tunes one service instance.
@@ -161,9 +169,23 @@ type Service struct {
 
 	// mu serializes admissions: the sequence reservation and the enqueue
 	// happen atomically, so FIFO queue order equals seq order — the
-	// determinism contract.
-	mu     sync.Mutex
-	closed bool
+	// determinism contract. draining flips first (admissions now fail with
+	// ErrDraining, the queue is closed); closed flips when the drain has
+	// settled every accepted submission (admissions fail with ErrClosed).
+	mu       sync.Mutex
+	draining bool
+	closed   bool
+
+	// base is the drainable parent for submissions whose caller context
+	// carries no cancellation of its own (Done() == nil — the common
+	// serving shape, context.Background from a gateway or batch driver).
+	// A hard drain cancels it with cause ErrDraining, aborting every
+	// in-flight vet riding it at the next emulation boundary. Submissions
+	// admitted under a caller-cancelable context keep that context as
+	// parent — aborting those remains the caller's prerogative — at zero
+	// extra allocation either way.
+	base       context.Context
+	baseCancel context.CancelCauseFunc
 
 	workersDone chan struct{}
 
@@ -187,6 +209,7 @@ func New(ck *core.Checker, cfg Config) *Service {
 		workersDone: make(chan struct{}),
 		m:           newCounters(obs.NewCollector()),
 	}
+	s.base, s.baseCancel = context.WithCancelCause(context.Background())
 	for i := 0; i < cfg.QueueSize; i++ {
 		s.slots <- struct{}{}
 	}
@@ -254,21 +277,31 @@ func (s *Service) admit(ctx context.Context, sub core.Submission) (*Ticket, erro
 		ctx = context.Background()
 	}
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
+		err := ErrClosed
+		if !s.closed {
+			err = ErrDraining
+		}
 		s.mu.Unlock()
 		s.slots <- struct{}{}
-		return nil, ErrClosed
+		return nil, err
 	}
 	if sub.Seq == 0 {
 		sub.Seq = s.ck.ReserveVetSeqs(1)
 	}
-	// Without a per-submission deadline the job just inherits the caller's
+	// A caller context without cancellation rides the service's drainable
+	// base instead, so a hard drain can abort the vet with a typed cause.
+	parent := ctx
+	if parent.Done() == nil {
+		parent = s.base
+	}
+	// Without a per-submission deadline the job just inherits its parent
 	// context: wrapping it in WithCancel bought nothing (the worker canceled
 	// it only after VetOutcome returned) and cost a timerCtx-sized
 	// allocation plus goroutine-visible bookkeeping per submission.
-	jctx, cancel := ctx, context.CancelFunc(func() {})
+	jctx, cancel := parent, context.CancelFunc(func() {})
 	if s.cfg.Deadline > 0 {
-		jctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+		jctx, cancel = context.WithTimeout(parent, s.cfg.Deadline)
 	}
 	t := &Ticket{seq: sub.Seq, pkg: pkgOf(sub), done: make(chan struct{})}
 	s.queue <- &job{sub: sub, ctx: jctx, cancel: cancel, t: t}
@@ -289,6 +322,12 @@ func (s *Service) work() {
 		s.emit(Event{Type: EventStarted, Seq: j.t.seq, Package: j.t.pkg})
 		v, out, err := s.ck.VetOutcome(j.ctx, j.sub)
 		j.cancel()
+		if err != nil && errors.Is(err, context.Canceled) &&
+			errors.Is(context.Cause(j.ctx), ErrDraining) {
+			// The cancellation was the service's hard drain, not the
+			// caller's: surface the shutdown reason.
+			err = fmt.Errorf("vet %s: %w: %w", j.t.pkg, ErrDraining, err)
+		}
 		s.m.finishJob(v, err, out)
 		j.t.verdict, j.t.err = v, err
 		close(j.t.done)
@@ -354,16 +393,48 @@ func (s *Service) VetBatch(ctx context.Context, subs []core.Submission) ([]*core
 }
 
 // Close stops admissions, drains the queue, and waits for all in-flight
-// vets to finish. Every accepted submission's ticket completes: nothing is
-// lost, nothing runs twice. Close is idempotent.
-func (s *Service) Close() {
+// vets to finish, however long that takes. Every accepted submission's
+// ticket completes: nothing is lost, nothing runs twice. Close is
+// idempotent. For a bounded shutdown, use Drain.
+func (s *Service) Close() { s.Drain(context.Background()) }
+
+// Drain is the graceful shutdown primitive: it stops admissions
+// (subsequent submits fail with ErrDraining, then ErrClosed once the
+// drain settles), lets queued and in-flight submissions finish, and waits
+// for the workers. If ctx expires first, the drain hardens: every
+// outstanding submission riding a service-owned context (admitted without
+// caller cancellation) is cancelled with cause ErrDraining, its ticket
+// settling with an error wrapping ErrDraining; submissions admitted under
+// a caller-cancelable context are the caller's to abort, and Drain still
+// waits for them. Idempotent and safe to call concurrently; every call
+// returns only once all accepted submissions have settled.
+func (s *Service) Drain(ctx context.Context) {
 	s.mu.Lock()
-	if !s.closed {
-		s.closed = true
+	if !s.draining {
+		s.draining = true
 		close(s.queue)
 	}
 	s.mu.Unlock()
-	<-s.workersDone
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-s.workersDone:
+	case <-ctx.Done():
+		s.baseCancel(ErrDraining)
+		<-s.workersDone
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether the service has begun shutting down (admissions
+// rejected; queued and in-flight submissions may still be settling).
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // emit routes one lifecycle event through the service's obs collector;

@@ -264,6 +264,76 @@ func TestGracefulShutdown(t *testing.T) {
 	svc.Close()
 }
 
+// TestHardDrainPropagatesReason: when the drain budget expires with a
+// submission still in flight, the abort error wraps the typed ErrDraining
+// (distinct from ErrClosed) on top of the context cancellation, mid-drain
+// admissions fail with ErrDraining, and the drained completion is counted
+// in its own metrics bucket.
+func TestHardDrainPropagatesReason(t *testing.T) {
+	ck, corpus := trainedChecker(t)
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	release := func() { gateOnce.Do(func() { close(gate) }) }
+	defer release()
+	svc := New(ck, Config{
+		Workers:   1,
+		QueueSize: 2,
+		OnEvent: func(ev Event) {
+			if ev.Type == EventStarted {
+				<-gate
+			}
+		},
+	})
+
+	tk, err := svc.Submit(context.Background(), core.Submission{Program: corpus.Program(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Metrics().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the submission")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drainDone := make(chan struct{})
+	go func() {
+		defer close(drainDone)
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		svc.Drain(ctx)
+	}()
+	// Mid-drain admissions report the shutdown reason, not a bare close.
+	for !svc.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := svc.Submit(context.Background(), core.Submission{Program: corpus.Program(1)}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit mid-drain: err = %v, want ErrDraining", err)
+	}
+	// Let the 50ms budget expire (hard cancel fires), then release the
+	// stalled lane so the canceled vet unwinds.
+	time.Sleep(time.Second)
+	release()
+	<-drainDone
+
+	_, err = tk.Wait(context.Background())
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("in-flight error = %v, want wrapped ErrDraining", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("in-flight error = %v, want context.Canceled underneath", err)
+	}
+	m := svc.Metrics()
+	if m.Drained != 1 || m.Canceled != 0 {
+		t.Fatalf("drained/canceled = %d/%d, want 1/0", m.Drained, m.Canceled)
+	}
+	// After the drain resolves the service is closed, plain and simple.
+	if _, err := svc.Submit(context.Background(), core.Submission{Program: corpus.Program(1)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after drain: err = %v, want ErrClosed", err)
+	}
+}
+
 // TestMetricsAccounting checks the reliability counters and latency
 // quantiles over a real batch.
 func TestMetricsAccounting(t *testing.T) {
