@@ -276,6 +276,7 @@ const (
 const (
 	StageAdmit       = pipeline.StageAdmit
 	StageCacheLookup = pipeline.StageCacheLookup
+	StageTriage      = pipeline.StageTriage
 	StageDecode      = pipeline.StageDecode
 	StageEmulate     = pipeline.StageEmulate
 	StageExtract     = pipeline.StageExtract

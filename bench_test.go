@@ -705,6 +705,66 @@ func BenchmarkServiceThroughputDuplicatesNoCache(b *testing.B) {
 	benchDuplicateService(b, -1)
 }
 
+// BenchmarkServiceThroughputTiered serves a confident-heavy batch through
+// a checker with the tiered triage pre-screen on (band [0.05, 0.95]):
+// submissions the static permission model scores outside the band get a
+// microsecond tier-1 verdict without emulation, in-band ones pay the full
+// tier-2 pipeline. A flat twin prices the same batch all-emulated once
+// before the timer, so the reported virtual-cost-reduction-x is the
+// deterministic (virtual-clock) mean-cost saving of the tier split; CI
+// folds the row into BENCH_serving.json next to the untiered benchmarks.
+func BenchmarkServiceThroughputTiered(b *testing.B) {
+	e := env(b)
+	tcfg := core.DefaultConfig()
+	tcfg.TriageLo, tcfg.TriageHi = 0.05, 0.95
+	ck, _, err := core.TrainFromCorpus(e.Corpus, tcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := e.Corpus.Len()
+	if n > 200 {
+		n = 200
+	}
+	subs := make([]core.Submission, n)
+	for i := range subs {
+		subs[i] = core.Submission{Program: e.Corpus.Program(i)}
+	}
+
+	// Price the batch all-emulated on a flat twin (same training, no band).
+	flatCk, _, err := core.TrainFromCorpus(e.Corpus, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	flatSvc := vetsvc.New(flatCk, vetsvc.Config{Workers: 8, QueueSize: 32})
+	if _, err := flatSvc.VetBatch(context.Background(), subs); err != nil {
+		b.Fatal(err)
+	}
+	flatMean := flatSvc.Metrics().ScanMean
+	flatSvc.Close()
+
+	svc := vetsvc.New(ck, vetsvc.Config{Workers: 8, QueueSize: 32})
+	defer svc.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.VetBatch(context.Background(), subs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*n)/elapsed, "submissions/s")
+	}
+	m := svc.Metrics()
+	b.ReportMetric(float64(m.Tier1), "tier1")
+	b.ReportMetric(float64(m.Tier2), "tier2")
+	b.ReportMetric(m.ScanMean, "virtual-mean-scan-s")
+	if m.ScanMean > 0 {
+		b.ReportMetric(flatMean/m.ScanMean, "virtual-cost-reduction-x")
+	}
+}
+
 // BenchmarkGatewayThroughput drives the same duplicate-heavy serving
 // workload through the HTTP gateway over a real loopback socket: raw APK
 // uploads, JSON verdict responses, and 16 concurrent clients. The delta

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	benchguard -baseline BENCH_baseline.json [-max-growth 0.20] BENCH_serving.json
+//	benchguard -baseline BENCH_baseline.json [-max-growth 0.20] BENCH_serving.json [BENCH_vetload.json ...]
+//
+// Several input files merge into one measurement set. A file holding a
+// single JSON object (the vetload summary-artifact shape: one top-level
+// key per scenario, numeric fields inside) is flattened into
+// "<scenario>.<field>" measurements, so a baseline can pin e.g.
+// "vetload.failed": 0 next to the allocs/op rows.
 //
 // The baseline maps benchmark names (sub-benchmark paths) to allocs/op.
 // A baseline key matches either the name exactly as the run printed it or
@@ -22,6 +28,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -41,18 +48,22 @@ func main() {
 		fatal(err)
 	}
 
-	in := io.Reader(os.Stdin)
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+	got := measurements{exact: map[string]float64{}, trimmed: map[string]float64{}}
+	if flag.NArg() == 0 {
+		if err := parseInput(os.Stdin, got); err != nil {
+			fatal(err)
+		}
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		in = f
-	}
-	got, err := parseAllocs(in)
-	if err != nil {
-		fatal(err)
+		err = parseInput(f, got)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
 	}
 
 	failed := false
@@ -69,7 +80,7 @@ func main() {
 			verdict = "FAIL"
 			failed = true
 		}
-		fmt.Printf("benchguard: %s %s: %.0f allocs/op (baseline %.0f, limit %.0f)\n",
+		fmt.Printf("benchguard: %s %s: %.0f (baseline %.0f, limit %.0f)\n",
 			verdict, name, allocs, base, limit)
 	}
 	if failed {
@@ -109,6 +120,64 @@ func (m measurements) lookup(name string) (float64, bool) {
 	}
 	v, ok := m.trimmed[name]
 	return v, ok
+}
+
+func (m measurements) merge(other measurements) {
+	for k, v := range other.exact {
+		m.exact[k] = v
+	}
+	for k, v := range other.trimmed {
+		m.trimmed[k] = v
+	}
+}
+
+// parseInput reads one input into the measurement set, auto-detecting the
+// format: a file that is a single JSON object is a summary artifact and
+// flattens to "<scenario>.<field>" rows; anything else is benchmark
+// output (plain text or a `go test -json` stream).
+func parseInput(r io.Reader, into measurements) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	if rows, ok := parseSummary(data); ok {
+		for name, v := range rows {
+			into.exact[name] = v
+		}
+		return nil
+	}
+	got, err := parseAllocs(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	into.merge(got)
+	return nil
+}
+
+// parseSummary flattens a summary-artifact object (scenario -> row of
+// numeric fields) into dotted measurement names. A `go test -json` stream
+// is many top-level objects, so whole-file unmarshalling rejects it here
+// and it falls through to the benchmark parser.
+func parseSummary(data []byte) (map[string]float64, bool) {
+	var doc map[string]map[string]any
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if dec.Decode(&doc) != nil || dec.More() || len(doc) == 0 {
+		return nil, false
+	}
+	out := map[string]float64{}
+	for scenario, row := range doc {
+		for field, val := range row {
+			num, ok := val.(json.Number)
+			if !ok {
+				continue
+			}
+			if v, err := num.Float64(); err == nil {
+				out[scenario+"."+field] = v
+			}
+		}
+	}
+	return out, true
 }
 
 // parseAllocs extracts allocs/op measurements from benchmark output,

@@ -72,3 +72,72 @@ func TestParseAllocsPlainText(t *testing.T) {
 		t.Fatalf("plain-text parse: got %v, %v", v, ok)
 	}
 }
+
+func TestParseInputSummaryArtifact(t *testing.T) {
+	// The vetload summary-artifact shape flattens to dotted rows; string
+	// fields are skipped, numeric ones (including floats) kept.
+	in := `{
+  "vetload": {
+    "submissions": 120,
+    "failed": 0,
+    "throughput_per_s": 812.5,
+    "tier1": 96,
+    "note": "not a number"
+  }
+}`
+	got := measurements{exact: map[string]float64{}, trimmed: map[string]float64{}}
+	if err := parseInput(strings.NewReader(in), got); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]float64{
+		"vetload.submissions":      120,
+		"vetload.failed":           0,
+		"vetload.throughput_per_s": 812.5,
+		"vetload.tier1":            96,
+	} {
+		if v, ok := got.lookup(name); !ok || v != want {
+			t.Errorf("lookup(%q) = %v, %v; want %v, true", name, v, ok, want)
+		}
+	}
+	if _, ok := got.lookup("vetload.note"); ok {
+		t.Error("non-numeric summary field surfaced as a measurement")
+	}
+}
+
+func TestParseInputMergesFormats(t *testing.T) {
+	// One measurement set accumulates across a -json bench stream and a
+	// summary artifact — the multi-file CI invocation.
+	got := measurements{exact: map[string]float64{}, trimmed: map[string]float64{}}
+	bench := jsonStream(
+		"BenchmarkServiceThroughputTiered-8",
+		"    1   1000 ns/op   42 allocs/op",
+	)
+	if err := parseInput(strings.NewReader(bench), got); err != nil {
+		t.Fatal(err)
+	}
+	if err := parseInput(strings.NewReader(`{"vetload": {"failed": 0}}`), got); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := got.lookup("BenchmarkServiceThroughputTiered"); !ok || v != 42 {
+		t.Fatalf("bench row lost in merge: %v, %v", v, ok)
+	}
+	if v, ok := got.lookup("vetload.failed"); !ok || v != 0 {
+		t.Fatalf("summary row lost in merge: %v, %v", v, ok)
+	}
+}
+
+func TestParseInputStreamNotMistakenForSummary(t *testing.T) {
+	// A go test -json stream is many top-level objects; it must fall
+	// through to the benchmark parser, not flatten as a summary.
+	in := jsonStream(
+		"BenchmarkFoo-8",
+		"    1   10 ns/op   3 allocs/op",
+	)
+	got := measurements{exact: map[string]float64{}, trimmed: map[string]float64{}}
+	if err := parseInput(strings.NewReader(in), got); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := got.lookup("BenchmarkFoo"); !ok || v != 3 {
+		t.Fatalf("stream misparsed: %v, %v", v, ok)
+	}
+}

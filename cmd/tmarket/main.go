@@ -41,6 +41,7 @@ import (
 	_ "net/http/pprof" // -pprof registers the profiling handlers
 	"os"
 	"os/signal"
+	"sort"
 	"sync"
 	"syscall"
 	"time"
@@ -60,6 +61,7 @@ func main() {
 		serve    = flag.Bool("serve", false, "run the vetting service (one submission batch, or a network frontend with -listen) instead of the year simulation")
 		dup      = flag.Int("dup", 1, "submit each -serve app this many times (duplicate-heavy workloads exercise the verdict cache)")
 		snapshot = flag.Bool("snapshot", false, "train a model, persist it to -model-dir, and exit")
+		tband    = flag.String("triage-band", "", `tier-1 triage uncertainty band "lo,hi" (e.g. 0.05,0.95): submissions the static pre-screen scores outside the band skip emulation entirely (-serve and -snapshot)`)
 	)
 	// The serve-related flags are a thin shim over one ServeConfig.
 	scfg := apichecker.DefaultServeConfig()
@@ -89,21 +91,28 @@ func main() {
 	if (*snapshot || scfg.Evolve) && scfg.ModelDir == "" {
 		fail(fmt.Errorf("-snapshot and -evolve require -model-dir"))
 	}
+	band, err := parseBand(*tband)
+	if err != nil {
+		fail(err)
+	}
 	u, err := apichecker.NewUniverse(*apis, *seed)
 	if err != nil {
 		fail(err)
 	}
 	if *snapshot {
-		if err := runSnapshot(u, *seed, *initial, scfg.ModelDir); err != nil {
+		if err := runSnapshot(u, *seed, *initial, scfg.ModelDir, band); err != nil {
 			fail(err)
 		}
 		return
 	}
 	if *serve {
-		if err := runService(u, *seed, *initial, *monthly, *dup, scfg); err != nil {
+		if err := runService(u, *seed, *initial, *monthly, *dup, scfg, band); err != nil {
 			fail(err)
 		}
 		return
+	}
+	if *tband != "" {
+		fmt.Fprintln(os.Stderr, "tmarket: -triage-band only applies with -serve or -snapshot")
 	}
 	if scfg.Trace {
 		fmt.Fprintln(os.Stderr, "tmarket: -trace only applies with -serve")
@@ -151,14 +160,39 @@ func main() {
 	fmt.Printf("total manual-analysis effort: %.0f analyst-hours\n", manualTotal/60)
 }
 
+// triageBand is a parsed -triage-band flag; Set false means the flag was
+// absent and the trained default (or the artifact's recorded band) rules.
+type triageBand struct {
+	Lo, Hi float64
+	Set    bool
+}
+
+// parseBand parses the -triage-band "lo,hi" syntax. Validation of the
+// values themselves (0 <= lo <= hi <= 1) happens in the checker.
+func parseBand(s string) (triageBand, error) {
+	if s == "" {
+		return triageBand{}, nil
+	}
+	var b triageBand
+	if _, err := fmt.Sscanf(s, "%f,%f", &b.Lo, &b.Hi); err != nil {
+		return triageBand{}, fmt.Errorf(`-triage-band %q: want "lo,hi" (e.g. 0.05,0.95)`, s)
+	}
+	b.Set = true
+	return b, nil
+}
+
 // runSnapshot is the -snapshot path: train once and persist the model to
 // the registry as the current generation.
-func runSnapshot(u *apichecker.Universe, seed int64, initial int, modelDir string) error {
+func runSnapshot(u *apichecker.Universe, seed int64, initial int, modelDir string, band triageBand) error {
 	training, err := apichecker.NewCorpus(u, initial, seed)
 	if err != nil {
 		return err
 	}
-	checker, rep, err := apichecker.Train(training, apichecker.DefaultConfig())
+	ccfg := apichecker.DefaultConfig()
+	if band.Set {
+		ccfg.TriageLo, ccfg.TriageHi = band.Lo, band.Hi
+	}
+	checker, rep, err := apichecker.Train(training, ccfg)
 	if err != nil {
 		return err
 	}
@@ -184,7 +218,7 @@ func runSnapshot(u *apichecker.Universe, seed int64, initial int, modelDir strin
 // one line per completed pipeline stage and the per-stage latency table
 // follows the metrics. With Evolve, a background runner retrains
 // mid-batch and hot-swaps on promotion.
-func runService(u *apichecker.Universe, seed int64, initial, monthly, dup int, scfg apichecker.ServeConfig) error {
+func runService(u *apichecker.Universe, seed int64, initial, monthly, dup int, scfg apichecker.ServeConfig, band triageBand) error {
 	var (
 		checker *apichecker.Checker
 		mgr     *apichecker.LifecycleManager
@@ -203,7 +237,7 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, dup int, s
 			mgr = apichecker.NewLifecycleManager(checker, reg, apichecker.DefaultGateConfig())
 		case errors.Is(err, apichecker.ErrNoCurrentModel):
 			// Empty registry: train a first generation and seed it.
-			ck, rep, err := trainChecker(u, seed, initial, scfg.VerdictCache)
+			ck, rep, err := trainChecker(u, seed, initial, scfg.VerdictCache, band)
 			if err != nil {
 				return err
 			}
@@ -219,13 +253,24 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, dup int, s
 			return err
 		}
 	} else {
-		ck, rep, err := trainChecker(u, seed, initial, scfg.VerdictCache)
+		ck, rep, err := trainChecker(u, seed, initial, scfg.VerdictCache, band)
 		if err != nil {
 			return err
 		}
 		checker = ck
 		fmt.Printf("trained on %d apps (%d key APIs); starting vetting service\n",
 			initial, rep.KeyAPIs)
+	}
+	if lo, hi := checker.TriageBand(); band.Set && (band.Lo != lo || band.Hi != hi) {
+		// Override the trained (or artifact-recorded) band. A band change
+		// reshapes verdicts, so this is a model swap: it must land before
+		// the persist tier attaches or warm-start entries would be stale.
+		if _, err := checker.SetTriageBand(band.Lo, band.Hi); err != nil {
+			return err
+		}
+	}
+	if lo, hi := checker.TriageBand(); (lo > 0 || hi < 1) && checker.Parts().Triage != nil {
+		fmt.Printf("tiered triage on: band [%g, %g] falls through to emulation, outside short-circuits\n", lo, hi)
 	}
 	if scfg.PersistDir != "" {
 		// Attached after the checker exists (covers the cold-start path,
@@ -339,8 +384,13 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, dup int, s
 	fmt.Printf("  timeouts %d, canceled %d, failed %d\n", m.Timeouts, m.Canceled, m.Failed)
 	fmt.Printf("  reliability: %d crashes across %d submissions, %d fallback re-runs\n",
 		m.Crashes, m.CrashedSubmissions, m.Fallbacks)
-	for engine, n := range m.EngineRuns {
-		fmt.Printf("  engine %-22s %4d final runs\n", engine, n)
+	engines := make([]string, 0, len(m.EngineRuns))
+	for engine := range m.EngineRuns {
+		engines = append(engines, engine)
+	}
+	sort.Strings(engines)
+	for _, engine := range engines {
+		fmt.Printf("  engine %-22s %4d final runs\n", engine, m.EngineRuns[engine])
 	}
 	fmt.Printf("  verdict cache: %d hits, %d misses, %d coalesced, %d bypassed\n",
 		m.CacheHits, m.CacheMisses, m.CacheCoalesced, m.CacheBypass)
@@ -350,6 +400,14 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, dup int, s
 		fmt.Printf("  persist tier: %d warm-start hits, %d misses; %d appends (%d failed), %d compactions (%d failed), %d resets\n",
 			m.Persist.Restored, m.Persist.Skipped, m.Persist.Appends, m.Persist.AppendErrors,
 			m.Persist.Compactions, m.Persist.CompactErrors, m.Persist.Resets)
+	}
+	if m.Tier1 > 0 {
+		fmt.Printf("  tier mix: %d tier-1 (static triage, mean %.0fµs), %d tier-2 (emulated, mean %.1fs)\n",
+			m.Tier1, m.Tier1Scan.Mean*1e6, m.Tier2, m.Tier2Scan.Mean)
+		if m.ScanMean > 0 && m.Tier2Scan.Mean > m.ScanMean {
+			fmt.Printf("  triage saves %.1fx on mean virtual scan cost (%.2fs vs %.1fs all-emulated)\n",
+				m.Tier2Scan.Mean/m.ScanMean, m.ScanMean, m.Tier2Scan.Mean)
+		}
 	}
 	if m.MissScan.Count > 0 {
 		fmt.Printf("  emulated scans   (n=%4d): mean %.1fs  p50 %.1fs  p95 %.1fs  p99 %.1fs\n",
@@ -432,13 +490,16 @@ func serveGateway(svc *apichecker.VetService, scfg apichecker.ServeConfig) error
 }
 
 // trainChecker trains a fresh serving checker on an initial corpus.
-func trainChecker(u *apichecker.Universe, seed int64, initial, vcap int) (*apichecker.Checker, *apichecker.TrainReport, error) {
+func trainChecker(u *apichecker.Universe, seed int64, initial, vcap int, band triageBand) (*apichecker.Checker, *apichecker.TrainReport, error) {
 	training, err := apichecker.NewCorpus(u, initial, seed)
 	if err != nil {
 		return nil, nil, err
 	}
 	ccfg := apichecker.DefaultConfig()
 	ccfg.VerdictCache = vcap
+	if band.Set {
+		ccfg.TriageLo, ccfg.TriageHi = band.Lo, band.Hi
+	}
 	return apichecker.Train(training, ccfg)
 }
 

@@ -49,10 +49,17 @@ func main() {
 		workers = flag.Int("workers", 8, "self-serve service lanes")
 		queue   = flag.Int("queue", 0, "self-serve service queue depth (0 = 4x workers)")
 		jsonOut = flag.String("json", "", "fold a summary row into this benchmark JSON file")
+		tband   = flag.String("triage-band", "", `self-serve triage band "lo,hi": confident submissions short-circuit at tier 1 without emulation`)
 	)
 	flag.Parse()
 	if *apps <= 0 {
 		*apps = max(1, *n/4)
+	}
+	var bandLo, bandHi float64
+	if *tband != "" {
+		if _, err := fmt.Sscanf(*tband, "%f,%f", &bandLo, &bandHi); err != nil {
+			fail(fmt.Errorf(`-triage-band %q: want "lo,hi" (e.g. 0.05,0.95)`, *tband))
+		}
 	}
 
 	u, err := apichecker.NewUniverse(*apis, *seed)
@@ -62,7 +69,7 @@ func main() {
 	target := *addr
 	var shutdown func()
 	if target == "" {
-		target, shutdown, err = selfServe(u, *seed, *train, *workers, *queue)
+		target, shutdown, err = selfServe(u, *seed, *train, *workers, *queue, bandLo, bandHi)
 		if err != nil {
 			fail(err)
 		}
@@ -92,6 +99,9 @@ func main() {
 	fmt.Printf("latency: p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
 		res.P50Millis, res.P95Millis, res.P99Millis)
 	fmt.Printf("verdicts: %d malicious, %d cache-served\n", res.Malicious, res.CacheServed)
+	if res.Tier1 > 0 {
+		fmt.Printf("tier mix: %d tier-1 (static triage), %d tier-2 (emulated)\n", res.Tier1, res.Tier2)
+	}
 
 	if *jsonOut != "" {
 		if err := foldJSON(*jsonOut, res); err != nil {
@@ -118,6 +128,8 @@ type result struct {
 	P99Millis   float64 `json:"p99_ms"`
 	Malicious   int64   `json:"malicious"`
 	CacheServed int64   `json:"cache_served"`
+	Tier1       int64   `json:"tier1"`
+	Tier2       int64   `json:"tier2"`
 }
 
 // drive runs the concurrent load loop against the gateway at addr.
@@ -130,6 +142,8 @@ func drive(addr string, payloads [][]byte, n, clients int, wait time.Duration) r
 		retries   atomic.Int64
 		malicious atomic.Int64
 		served    atomic.Int64
+		tier1     atomic.Int64
+		tier2     atomic.Int64
 		mu        sync.Mutex
 		lats      []float64
 	)
@@ -158,6 +172,13 @@ func drive(addr string, payloads [][]byte, n, clients int, wait time.Duration) r
 				ok.Add(1)
 				if st.Verdict != nil && st.Verdict.Malicious {
 					malicious.Add(1)
+				}
+				if st.Verdict != nil {
+					if st.Verdict.Tier == 1 {
+						tier1.Add(1)
+					} else {
+						tier2.Add(1)
+					}
 				}
 				if st.Outcome == "hit" || st.Outcome == "coalesced" {
 					served.Add(1)
@@ -198,6 +219,8 @@ func drive(addr string, payloads [][]byte, n, clients int, wait time.Duration) r
 		P99Millis:   q(0.99),
 		Malicious:   malicious.Load(),
 		CacheServed: served.Load(),
+		Tier1:       tier1.Load(),
+		Tier2:       tier2.Load(),
 	}
 }
 
@@ -236,12 +259,14 @@ func submitOne(client *http.Client, url string, apk []byte, retries *atomic.Int6
 }
 
 // selfServe trains a checker and brings up a loopback gateway over it.
-func selfServe(u *apichecker.Universe, seed int64, train, workers, queue int) (addr string, shutdown func(), err error) {
+func selfServe(u *apichecker.Universe, seed int64, train, workers, queue int, bandLo, bandHi float64) (addr string, shutdown func(), err error) {
 	corpus, err := apichecker.NewCorpus(u, train, seed)
 	if err != nil {
 		return "", nil, err
 	}
-	checker, _, err := apichecker.Train(corpus, apichecker.DefaultConfig())
+	ccfg := apichecker.DefaultConfig()
+	ccfg.TriageLo, ccfg.TriageHi = bandLo, bandHi
+	checker, _, err := apichecker.Train(corpus, ccfg)
 	if err != nil {
 		return "", nil, err
 	}

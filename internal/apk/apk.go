@@ -290,6 +290,51 @@ func parse(data []byte) (*APK, error) {
 	return out, nil
 }
 
+// ParseManifestOnly decodes just AndroidManifest.xml from an APK archive:
+// one central-directory pass to locate the entry, one sized decompression,
+// one XML decode. No dex, no behaviour blob, no arena — the triage tier's
+// microsecond pre-screen path, which needs only permissions and component
+// metadata. The same per-entry zip-bomb bound applies as in Parse, and any
+// malformed archive fails with an error wrapping ErrBadAPK.
+func ParseManifestOnly(data []byte) (*manifest.Manifest, error) {
+	m, err := parseManifestOnly(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadAPK, err)
+	}
+	return m, nil
+}
+
+func parseManifestOnly(data []byte) (*manifest.Manifest, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("apk: parse: not a zip archive: %w", err)
+	}
+	var mf *zip.File
+	for _, f := range zr.File {
+		if f.Name == loadEntries[0] && mf == nil {
+			// Same attacker-controlled-size discipline as parse: bound the
+			// declared size before allocating for it.
+			if f.UncompressedSize64 > MaxDecodedBytes {
+				return nil, fmt.Errorf("%w: %s declares %d bytes (> %d)",
+					ErrOversized, f.Name, f.UncompressedSize64, MaxDecodedBytes)
+			}
+			mf = f
+		}
+	}
+	if mf == nil {
+		return nil, fmt.Errorf("apk: parse: entry %s missing", loadEntries[0])
+	}
+	buf := make([]byte, mf.UncompressedSize64)
+	if err := readEntrySized(mf, buf); err != nil {
+		return nil, fmt.Errorf("apk: parse: %w", err)
+	}
+	m, err := manifest.Decode(buf)
+	if err != nil {
+		return nil, fmt.Errorf("apk: parse: %w", err)
+	}
+	return m, nil
+}
+
 // BuildAndParse is a convenience composing Build and Parse; it returns the
 // archive bytes alongside the parsed view.
 func BuildAndParse(p *behavior.Program, u *framework.Universe) ([]byte, *APK, error) {

@@ -22,11 +22,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"apichecker/internal/adb"
+	"apichecker/internal/behavior"
 	"apichecker/internal/dataset"
 	"apichecker/internal/emulator"
 	"apichecker/internal/features"
@@ -81,6 +83,37 @@ type Config struct {
 	// Lanes bounds concurrent program/parsed emulations (the per-server
 	// emulator-farm gate). 0 selects emulator.ProductionLanes.
 	Lanes int
+
+	// TriageLo and TriageHi bound the tier-1 triage uncertainty band in
+	// probability space: a submission whose static manifest-only triage
+	// probability falls strictly outside [TriageLo, TriageHi] is answered
+	// with a tier-1 verdict and never emulated; anything in the band pays
+	// the full pipeline. The zero band (0, 0) means "not configured" and
+	// disables the tier, as does the explicit full band [0, 1] — with
+	// either, every verdict is bit-identical to a checker without triage.
+	//
+	// Tagged artifact:"-": the band travels in the APKMODEL artifact's
+	// optional triage section alongside the triage model itself, so
+	// artifacts written before the tier existed decode unchanged.
+	TriageLo float64 `artifact:"-"`
+	TriageHi float64 `artifact:"-"`
+}
+
+// triageBand normalizes the configured band: the zero band selects the
+// trivial [0, 1], which disables the tier.
+func (c Config) triageBand() (lo, hi float64) {
+	if c.TriageLo == 0 && c.TriageHi == 0 {
+		return 0, 1
+	}
+	return c.TriageLo, c.TriageHi
+}
+
+// checkTriageBand validates a probability-space uncertainty band.
+func checkTriageBand(lo, hi float64) error {
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo < 0 || hi > 1 || lo > hi {
+		return fmt.Errorf("core: invalid triage band [%g, %g]: need 0 <= lo <= hi <= 1", lo, hi)
+	}
+	return nil
 }
 
 // DefaultConfig is the production configuration from the paper.
@@ -152,6 +185,7 @@ type generation struct {
 	registry  *hook.Registry
 	emu       *emulator.Emulator
 	model     *ml.RandomForest
+	triage    *ml.Linear
 
 	// farm gates program/parsed emulations behind the server's lane
 	// slots; a cancelled vet returns its lane (never leaks an emulator).
@@ -210,6 +244,12 @@ type ModelParts struct {
 	Extractor *features.Extractor
 	Model     *ml.RandomForest
 	Digest    string
+
+	// Triage is the tier-1 manifest-only linear scorer, trained alongside
+	// the forest over the same corpus and promoted/rolled back with it —
+	// the two models are one generation and swap in a single pointer flip.
+	// nil disables the tier regardless of the configured band.
+	Triage *ml.Linear
 }
 
 // TrainReport summarizes a training (or retraining) round.
@@ -243,7 +283,7 @@ func TrainFromCorpus(c *dataset.Corpus, cfg Config) (*Checker, *TrainReport, err
 	if err != nil {
 		return nil, nil, err
 	}
-	ck, err := New(parts.Universe, parts.Selection, parts.Extractor, parts.Model, cfg)
+	ck, err := NewFromParts(parts, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -293,7 +333,43 @@ func trainParts(c *dataset.Corpus, cfg Config) (ModelParts, *TrainReport, error)
 	}
 	rep.TrainTime = time.Since(start)
 
-	return ModelParts{Universe: c.Universe(), Selection: sel, Extractor: ex, Model: model}, rep, nil
+	triage, err := trainTriage(c, cfg)
+	if err != nil {
+		return ModelParts{}, nil, err
+	}
+
+	return ModelParts{Universe: c.Universe(), Selection: sel, Extractor: ex, Model: model, Triage: triage}, rep, nil
+}
+
+// trainTriage fits the tier-1 linear scorer over the corpus's manifest-only
+// P+I view — exactly the view the triage stage scores at serving time (no
+// hook log, no dex, no emulation). Trained unconditionally: the model is
+// cheap, travels with the generation, and serves only when a non-trivial
+// band is configured.
+func trainTriage(c *dataset.Corpus, cfg Config) (*ml.Linear, error) {
+	tex, err := features.NewTriageExtractor(c.Universe())
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	td := ml.NewDataset(tex.NumFeatures())
+	for i := 0; i < c.Len(); i++ {
+		m, err := c.Program(i).Manifest(c.Universe())
+		if err != nil {
+			return nil, fmt.Errorf("core: triage manifest: %w", err)
+		}
+		x, err := tex.ManifestVectorInto(m, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: triage vectorize: %w", err)
+		}
+		if err := td.Add(x, c.Apps[i].Label == behavior.Malicious); err != nil {
+			return nil, fmt.Errorf("core: triage dataset: %w", err)
+		}
+	}
+	triage, err := ml.TrainLinear(td, ml.DefaultLinearConfig(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("core: triage train: %w", err)
+	}
+	return triage, nil
 }
 
 // New assembles a Checker from trained parts (used by TrainFromCorpus and
@@ -311,12 +387,19 @@ func New(u *framework.Universe, sel *features.Selection, ex *features.Extractor,
 // generation is attributable to its on-disk artifact.
 func NewWithDigest(u *framework.Universe, sel *features.Selection, ex *features.Extractor,
 	model *ml.RandomForest, cfg Config, digest string) (*Checker, error) {
+	return NewFromParts(ModelParts{Universe: u, Selection: sel, Extractor: ex, Model: model, Digest: digest}, cfg)
+}
+
+// NewFromParts assembles a Checker from one complete set of trained parts
+// — the constructor that preserves everything a ModelParts carries,
+// including the optional triage model. New and NewWithDigest are part-wise
+// wrappers that assemble triage-less checkers.
+func NewFromParts(parts ModelParts, cfg Config) (*Checker, error) {
 	ck := &Checker{cfg: cfg, obs: obs.NewCollector()}
 	if cfg.VerdictCache >= 0 {
 		ck.cache = vcache.NewObserved[[]byte](cfg.VerdictCache, ck.obs)
 		ck.cache.SetSizeOf(func(e []byte) int { return len(e) })
 	}
-	parts := ModelParts{Universe: u, Selection: sel, Extractor: ex, Model: model, Digest: digest}
 	g, err := ck.newGeneration(parts, 1, ck.cacheEpoch())
 	if err != nil {
 		return nil, err
@@ -363,6 +446,7 @@ func (ck *Checker) newGeneration(parts ModelParts, id, epoch uint64) (*generatio
 		registry:  reg,
 		emu:       emu,
 		model:     parts.Model,
+		triage:    parts.Triage,
 		farm:      farm,
 		session:   adb.NewSession(adb.NewDevice("emulator-5554", ck.cfg.Profile, reg)),
 		swappedAt: time.Now(),
@@ -371,6 +455,10 @@ func (ck *Checker) newGeneration(parts ModelParts, id, epoch uint64) (*generatio
 	trees := ck.cfg.Forest.Trees
 	if trees <= 0 {
 		trees = ml.DefaultForestConfig(ck.cfg.Seed).Trees
+	}
+	lo, hi := ck.cfg.triageBand()
+	if err := checkTriageBand(lo, hi); err != nil {
+		return nil, err
 	}
 	g.mg = &pipeline.ModelGen{
 		ID:        id,
@@ -382,6 +470,16 @@ func (ck *Checker) newGeneration(parts ModelParts, id, epoch uint64) (*generatio
 		Score:     g.scores.score,
 		Trees:     trees,
 		Epoch:     epoch,
+		TriageLo:  lo,
+		TriageHi:  hi,
+	}
+	if parts.Triage != nil {
+		tex, err := features.NewTriageExtractor(parts.Universe)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		g.mg.Triage = parts.Triage
+		g.mg.TriageExtractor = tex
 	}
 	return g, nil
 }
@@ -448,6 +546,7 @@ func (ck *Checker) Parts() ModelParts {
 		Extractor: g.extractor,
 		Model:     g.model,
 		Digest:    g.digest,
+		Triage:    g.triage,
 	}
 }
 
@@ -490,7 +589,37 @@ func (ck *Checker) Extractor() *features.Extractor { return ck.gen.Load().extrac
 func (ck *Checker) Model() *ml.RandomForest { return ck.gen.Load().model }
 
 // Config returns the deployment config.
-func (ck *Checker) Config() Config { return ck.cfg }
+func (ck *Checker) Config() Config {
+	ck.swapMu.Lock()
+	defer ck.swapMu.Unlock()
+	return ck.cfg
+}
+
+// TriageBand returns the serving generation's normalized tier-1
+// uncertainty band.
+func (ck *Checker) TriageBand() (lo, hi float64) {
+	mg := ck.gen.Load().mg
+	return mg.TriageLo, mg.TriageHi
+}
+
+// SetTriageBand reconfigures the tier-1 uncertainty band and republishes
+// the serving generation under it, with full swap semantics: the
+// generation counter advances and the verdict-cache epoch bumps exactly
+// once, invalidating every memoized verdict — the tier split of cached
+// verdicts depended on the old band, so none of them may survive it. The
+// trivial band [0, 1] (or the zero band) turns the tier off.
+func (ck *Checker) SetTriageBand(lo, hi float64) (GenerationInfo, error) {
+	if lo == 0 && hi == 0 {
+		lo, hi = 0, 1
+	}
+	if err := checkTriageBand(lo, hi); err != nil {
+		return GenerationInfo{}, err
+	}
+	ck.swapMu.Lock()
+	ck.cfg.TriageLo, ck.cfg.TriageHi = lo, hi
+	ck.swapMu.Unlock()
+	return ck.SwapModel(ck.Parts())
+}
 
 // Obs returns the checker's observability collector: per-stage spans and
 // latency distributions, verdict-cache counters, and emulator-reliability

@@ -103,6 +103,7 @@ func legacyVerdict(ck *Checker, pkg string, version int, md5 string, res *emulat
 		Generation:     ck.Generation().ID,
 		Malicious:      score > 0,
 		Score:          score,
+		Tier:           2,
 		ScanTime:       res.VirtualTime,
 		OverallTime:    res.VirtualTime + pipeline.FixedOverhead,
 		FellBack:       res.FellBack,
@@ -264,8 +265,9 @@ func TestStageStatsCoverChain(t *testing.T) {
 		}
 	}
 	for _, want := range []string{
-		pipeline.StageAdmit, pipeline.StageCacheLookup, pipeline.StageDecode,
-		pipeline.StageEmulate, pipeline.StageExtract, pipeline.StageInfer,
+		pipeline.StageAdmit, pipeline.StageCacheLookup, pipeline.StageTriage,
+		pipeline.StageDecode, pipeline.StageEmulate, pipeline.StageExtract,
+		pipeline.StageInfer,
 	} {
 		if _, ok := byName[want]; !ok {
 			t.Errorf("stage %s missing from StageStats", want)

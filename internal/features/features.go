@@ -354,6 +354,54 @@ func (e *Extractor) VectorInto(log *hook.Log, man *manifest.Manifest, dst ml.Vec
 	return e.fill(log, man, dst), nil
 }
 
+// NewTriageExtractor builds the tier-1 static pre-screen extractor: the
+// manifest-only feature families (requested permissions + receiver intent
+// filters, layout [permissions][intents]) with no tracked APIs. Its
+// vectors come from ManifestVectorInto, so the triage path never needs a
+// dynamic log — or the emulation that produces one.
+func NewTriageExtractor(u *framework.Universe) (*Extractor, error) {
+	return NewExtractor(u, nil, ModePI)
+}
+
+// ManifestVectorInto builds the feature vector from the manifest alone,
+// reusing dst's storage like VectorInto. It is only valid for extractors
+// without the A family (there is no log to fill API bits from) — the
+// triage extractor's scoring path. Intent bits carry the receiver filter
+// actions only: runtime intent sends are a dynamic observation, which
+// tier-1 by definition does not have, and the triage model is trained on
+// exactly this manifest-only view so serving and training agree bit for
+// bit.
+func (e *Extractor) ManifestVectorInto(man *manifest.Manifest, dst ml.Vector) (ml.Vector, error) {
+	if man == nil {
+		return nil, fmt.Errorf("features: nil manifest")
+	}
+	if e.mode&ModeA != 0 {
+		return nil, fmt.Errorf("features: mode %v needs a dynamic log; manifest-only vectors require a P/I-only extractor", e.mode)
+	}
+	v := dst
+	if words := (e.total + 63) / 64; cap(v) >= words {
+		v = v[:words]
+		clear(v)
+	} else {
+		v = ml.NewVector(e.total)
+	}
+	if e.mode&ModeP != 0 {
+		for _, name := range man.PermissionNames() {
+			if id, ok := e.u.LookupPermission(name); ok {
+				v.Set(e.permBase + int(id))
+			}
+		}
+	}
+	if e.mode&ModeI != 0 {
+		for _, name := range man.ReceiverActions() {
+			if id, ok := e.u.LookupIntent(name); ok {
+				v.Set(e.intentBase + int(id))
+			}
+		}
+	}
+	return v, nil
+}
+
 // VectorFromFullLog projects the feature vector from a log recorded under
 // a *wider* tracked set than the extractor's — typically the §4.3
 // measurement pass, which tracks every hookable API. Because the emulation

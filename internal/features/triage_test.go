@@ -1,0 +1,101 @@
+package features
+
+import (
+	"testing"
+
+	"apichecker/internal/manifest"
+	"apichecker/internal/ml"
+)
+
+// triageManifest fabricates a manifest requesting the first two universe
+// permissions (one twice, exercising dedupe) and declaring a receiver for
+// the first universe intent action.
+func triageManifest() *manifest.Manifest {
+	m := manifest.New("com.triage.test", 1)
+	p0 := testU.Permission(0).Name
+	p1 := testU.Permission(1).Name
+	m.Permissions = []manifest.UsesPerm{{Name: p0}, {Name: p1}, {Name: p0}, {Name: "com.fake.NOPE"}}
+	m.Application.Receivers = []manifest.Receiver{{
+		Name: "com.triage.test.Recv",
+		Filters: []manifest.IntentFilter{{Actions: []manifest.Action{
+			{Name: testU.Intent(0).Name},
+		}}},
+	}}
+	return m
+}
+
+func TestTriageExtractorLayout(t *testing.T) {
+	e, err := NewTriageExtractor(testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWidth := len(testU.Permissions()) + len(testU.Intents())
+	if e.NumFeatures() != wantWidth {
+		t.Fatalf("NumFeatures = %d, want %d (permissions+intents)", e.NumFeatures(), wantWidth)
+	}
+	if e.Mode() != ModePI {
+		t.Errorf("Mode = %v, want P+I", e.Mode())
+	}
+
+	v, err := e.ManifestVectorInto(triageManifest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Get(0) || !v.Get(1) {
+		t.Error("requested permission bits not set")
+	}
+	if got := v.Ones(); got != 3 {
+		t.Errorf("set bits = %d, want 3 (two permissions + one intent; duplicates and unknowns dropped)", got)
+	}
+	intentBit := len(testU.Permissions()) + int(mustIntent(t, testU.Intent(0).Name))
+	if !v.Get(intentBit) {
+		t.Errorf("receiver intent bit %d not set", intentBit)
+	}
+}
+
+// TestManifestVectorIntoReusesScratch: serving-path storage recycling —
+// a wide-enough dst is filled in place, so steady-state triage scoring
+// allocates nothing.
+func TestManifestVectorIntoReusesScratch(t *testing.T) {
+	e, err := NewTriageExtractor(testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make(ml.Vector, (e.NumFeatures()+63)/64)
+	for i := range scratch {
+		scratch[i] = ^uint64(0) // stale bits must be cleared
+	}
+	v, err := e.ManifestVectorInto(triageManifest(), scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &v[0] != &scratch[0] {
+		t.Error("wide-enough dst was not reused")
+	}
+	fresh, err := e.ManifestVectorInto(triageManifest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh {
+		if v[i] != fresh[i] {
+			t.Fatalf("recycled vector word %d differs from fresh fill", i)
+		}
+	}
+}
+
+func TestManifestVectorIntoRejects(t *testing.T) {
+	e, err := NewTriageExtractor(testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ManifestVectorInto(nil, nil); err == nil {
+		t.Error("accepted nil manifest")
+	}
+	full, err := NewExtractor(testU, visible(4), ModeAPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.ManifestVectorInto(triageManifest(), nil); err == nil {
+		t.Error("A-family extractor accepted a manifest-only fill")
+	}
+}

@@ -21,13 +21,18 @@ func TestPrometheusGolden(t *testing.T) {
 	colA := obs.NewCollector()
 	colA.Counter("svc.accepted").Add(42)
 	colA.Counter("svc.cache.hits").Add(7)
+	colA.Counter("triage.hit").Add(5)
+	colA.Counter("triage.band").Add(2)
 	colA.Gauge("svc.heap.live_bytes").Set(123456)
 	d := colA.Distribution("svc.scan.all")
 	for _, v := range []float64{1.5, 2.25, 3, 80.5} {
 		d.Observe(v)
 	}
+	t1 := colA.Distribution("svc.scan.tier1")
+	t1.Observe(0.000075)
 	colA.Emit(obs.Event{Kind: obs.KindSpan, Name: "admit", Trace: 1})
 	colA.Emit(obs.Event{Kind: obs.KindSpan, Name: "cache.lookup", Trace: 1, Note: "miss"})
+	colA.Emit(obs.Event{Kind: obs.KindSpan, Name: "triage", Trace: 1, Dur: 75 * time.Microsecond, Note: "hit"})
 	colA.Emit(obs.Event{Kind: obs.KindSpan, Name: "emulate", Trace: 1, Dur: 90 * time.Second})
 	colA.Emit(obs.Event{Kind: obs.KindSpan, Name: "emulate", Trace: 2, Err: os.ErrDeadlineExceeded})
 	// Exotic stage name exercises label escaping.

@@ -1,0 +1,113 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"apichecker/internal/core"
+	"apichecker/internal/dataset"
+	"apichecker/internal/vetsvc"
+)
+
+// tieredFixture runs a gateway over a checker trained with a non-trivial
+// triage band.
+func tieredFixture(t *testing.T) (*gatewayFixture, *dataset.Corpus) {
+	t.Helper()
+	dcfg := dataset.DefaultConfig()
+	dcfg.NumApps = 200
+	corpus, err := dataset.Generate(testU, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.TriageLo, cfg.TriageHi = 0.05, 0.95
+	ck, _, err := core.TrainFromCorpus(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newFixtureWith(t, ck, vetsvc.Config{Workers: 4, QueueSize: 32}, Config{}), corpus
+}
+
+// TestGatewayVerdictTier: the verdict tier survives the HTTP round trip —
+// POST /v1/submissions then poll — as a literal "Tier" field in the wire
+// JSON, matching the in-process verdict; and the triage stage's counters
+// and spans surface in the Prometheus exposition.
+func TestGatewayVerdictTier(t *testing.T) {
+	fx, corpus := tieredFixture(t)
+
+	sawTier := map[int]bool{}
+	for i := 0; i < 40 && (!sawTier[1] || !sawTier[2]); i++ {
+		data := buildAPK(t, corpus, i)
+		want, err := fx.ck.Vet(context.Background(), core.Submission{Raw: data})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		st, resp := postAPK(t, fx.ts.URL, "?wait=30s", data)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("app %d: submit status %d (%s)", i, resp.StatusCode, st.Error)
+		}
+		if st.Verdict == nil || st.Verdict.Tier != want.Tier {
+			t.Fatalf("app %d: HTTP verdict tier %+v, want %d", i, st.Verdict, want.Tier)
+		}
+
+		// Poll raw JSON: the wire field itself, not just the decoded struct.
+		pollResp, err := http.Get(fx.ts.URL + "/v1/submissions/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(pollResp.Body)
+		pollResp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wire struct {
+			Verdict map[string]json.RawMessage
+		}
+		if err := json.Unmarshal(body, &wire); err != nil {
+			t.Fatalf("app %d: poll body: %v", i, err)
+		}
+		raw, ok := wire.Verdict["Tier"]
+		if !ok {
+			t.Fatalf("app %d: poll JSON verdict has no Tier field: %s", i, body)
+		}
+		var tier int
+		if err := json.Unmarshal(raw, &tier); err != nil || tier != want.Tier {
+			t.Fatalf("app %d: wire tier %s (%v), want %d", i, raw, err, want.Tier)
+		}
+		sawTier[want.Tier] = true
+	}
+	if !sawTier[1] || !sawTier[2] {
+		t.Fatalf("probe set not tier-mixed: %v", sawTier)
+	}
+
+	// The triage stage's activity is visible in /metrics: hit/band counters
+	// and the stage span aggregate.
+	mresp, err := http.Get(fx.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	expo, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(expo)
+	for _, want := range []string{
+		"apichecker_triage_hit_total",
+		"apichecker_triage_band_total",
+		`apichecker_stage_spans_total{stage="triage"}`,
+		"apichecker_svc_tier1_total",
+		"apichecker_svc_tier2_total",
+		`apichecker_svc_scan_tier1{quantile="0.99"}`,
+		`apichecker_svc_scan_tier2{quantile="0.99"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("%s missing from /metrics exposition", want)
+		}
+	}
+}

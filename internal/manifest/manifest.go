@@ -79,11 +79,19 @@ func New(pkg string, versionCode int) *Manifest {
 }
 
 // PermissionNames returns the requested permission names in declaration
-// order.
+// order, deduplicated on first occurrence: a manifest may carry repeated
+// <uses-permission> entries (hand-edited or merged manifests do), and the
+// install-time semantics grant each permission once, so downstream
+// consumers — universe resolution, static triage features, privilege
+// scoring — must never see a permission twice.
 func (m *Manifest) PermissionNames() []string {
-	out := make([]string, len(m.Permissions))
-	for i, p := range m.Permissions {
-		out[i] = p.Name
+	out := make([]string, 0, len(m.Permissions))
+	seen := make(map[string]bool, len(m.Permissions))
+	for _, p := range m.Permissions {
+		if !seen[p.Name] {
+			seen[p.Name] = true
+			out = append(out, p.Name)
+		}
 	}
 	return out
 }

@@ -75,6 +75,38 @@ func TestReceiverActionsDeduplicated(t *testing.T) {
 	}
 }
 
+// TestPermissionNamesDeduplicated: repeated <uses-permission> entries (as
+// decoded from a hand-edited or merged manifest, which AddPermission never
+// produces) collapse to one name each, preserving first-occurrence order.
+func TestPermissionNamesDeduplicated(t *testing.T) {
+	m := New("a.b.c", 1)
+	m.Permissions = []UsesPerm{
+		{Name: "android.permission.SEND_SMS"},
+		{Name: "android.permission.INTERNET"},
+		{Name: "android.permission.SEND_SMS"},
+		{Name: "android.permission.CAMERA"},
+		{Name: "android.permission.INTERNET"},
+	}
+	got := m.PermissionNames()
+	want := []string{"android.permission.SEND_SMS", "android.permission.INTERNET", "android.permission.CAMERA"}
+	if len(got) != len(want) {
+		t.Fatalf("PermissionNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("PermissionNames[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPermissionNamesEmpty: a manifest with no permission requests yields
+// an empty (but non-nil-safe-to-range) slice.
+func TestPermissionNamesEmpty(t *testing.T) {
+	if got := New("a.b.c", 1).PermissionNames(); len(got) != 0 {
+		t.Errorf("PermissionNames on empty manifest = %v", got)
+	}
+}
+
 func TestAddPermissionIdempotent(t *testing.T) {
 	m := New("a.b.c", 1)
 	m.AddPermission("android.permission.CAMERA")

@@ -49,10 +49,13 @@ var (
 )
 
 // artifactMagic opens every artifact; artifactVersion guards layout
-// changes.
+// changes. triageMagic opens the optional trailing triage section —
+// presence-gated rather than version-gated, so artifacts with and without
+// it coexist under version 1.
 const (
 	artifactMagic   = "APKMODEL"
 	artifactVersion = 1
+	triageMagic     = "TRI1"
 )
 
 // maxCount bounds decoded element counts so a corrupt length prefix
@@ -76,6 +79,15 @@ type Artifact struct {
 
 	// Forest is the trained classifier.
 	Forest *ml.RandomForest
+
+	// Triage is the optional tier-1 manifest-only linear scorer; nil for
+	// artifacts written before the tier existed (they decode unchanged —
+	// the triage section is a trailing optional extension, not a layout
+	// change). When present it is encoded together with the uncertainty
+	// band from Cfg.TriageLo/TriageHi, which are excluded from the
+	// reflect-walked Cfg encoding (tagged artifact:"-") precisely so old
+	// digests stay stable.
+	Triage *ml.Linear
 }
 
 // Snapshot captures a checker's serving generation as an artifact.
@@ -90,6 +102,7 @@ func Snapshot(ck *core.Checker) (*Artifact, error) {
 		Cfg:         ck.Config(),
 		Selection:   *parts.Selection,
 		Forest:      parts.Model,
+		Triage:      parts.Triage,
 	}, nil
 }
 
@@ -106,6 +119,7 @@ func FromParts(parts core.ModelParts, cfg core.Config) (*Artifact, error) {
 		Cfg:         cfg,
 		Selection:   *parts.Selection,
 		Forest:      parts.Model,
+		Triage:      parts.Triage,
 	}, nil
 }
 
@@ -138,6 +152,18 @@ func (a *Artifact) Encode() ([]byte, error) {
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(forest)))
 	buf = append(buf, forest...)
+	if a.Triage != nil {
+		// Optional trailing triage section: magic, section length, the
+		// uncertainty band (which is excluded from the Cfg walk), then the
+		// linear model. Written only when a triage model exists, so
+		// triage-less artifacts are byte-identical to the pre-tier format.
+		sec := binary.LittleEndian.AppendUint64(nil, math.Float64bits(a.Cfg.TriageLo))
+		sec = binary.LittleEndian.AppendUint64(sec, math.Float64bits(a.Cfg.TriageHi))
+		sec = a.Triage.AppendBinary(sec)
+		buf = append(buf, triageMagic...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sec)))
+		buf = append(buf, sec...)
+	}
 	return buf, nil
 }
 
@@ -196,11 +222,11 @@ func Decode(data []byte) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
-	if int(fLen) != len(r.data)-r.off {
+	if int(fLen) > len(r.data)-r.off {
 		return nil, fmt.Errorf("%w: forest section claims %d bytes, %d remain",
 			ErrCorruptArtifact, fLen, len(r.data)-r.off)
 	}
-	forest, n, err := ml.DecodeForestBinary(r.data[r.off:])
+	forest, n, err := ml.DecodeForestBinary(r.data[r.off : r.off+int(fLen)])
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorruptArtifact, err)
 	}
@@ -208,6 +234,42 @@ func Decode(data []byte) (*Artifact, error) {
 		return nil, fmt.Errorf("%w: forest decoded %d of %d bytes", ErrCorruptArtifact, n, fLen)
 	}
 	a.Forest = forest
+	r.off += n
+	if r.off == len(r.data) {
+		return a, nil // pre-triage artifact: nothing follows the forest
+	}
+	// Whatever follows the forest must be exactly one triage section;
+	// trailing bytes are still corruption, not slack.
+	magic, err := r.bytes(len(triageMagic))
+	if err != nil || string(magic) != triageMagic {
+		return nil, fmt.Errorf("%w: trailing bytes are not a triage section", ErrCorruptArtifact)
+	}
+	tLen, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(tLen) != len(r.data)-r.off {
+		return nil, fmt.Errorf("%w: triage section claims %d bytes, %d remain",
+			ErrCorruptArtifact, tLen, len(r.data)-r.off)
+	}
+	loBits, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	hiBits, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	a.Cfg.TriageLo = math.Float64frombits(loBits)
+	a.Cfg.TriageHi = math.Float64frombits(hiBits)
+	triage, n, err := ml.DecodeLinearBinary(r.data[r.off:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptArtifact, err)
+	}
+	if r.off+n != len(r.data) {
+		return nil, fmt.Errorf("%w: triage model decoded %d of %d bytes", ErrCorruptArtifact, n, len(r.data)-r.off)
+	}
+	a.Triage = triage
 	return a, nil
 }
 
@@ -236,6 +298,7 @@ func (a *Artifact) Parts() (core.ModelParts, error) {
 		Extractor: ex,
 		Model:     a.Forest,
 		Digest:    dig,
+		Triage:    a.Triage,
 	}, nil
 }
 
@@ -247,8 +310,7 @@ func (a *Artifact) Instantiate() (*core.Checker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewWithDigest(parts.Universe, parts.Selection, parts.Extractor,
-		parts.Model, a.Cfg, parts.Digest)
+	return core.NewFromParts(parts, a.Cfg)
 }
 
 // appendValue deterministically encodes a value by walking its type:
@@ -293,6 +355,12 @@ func appendValue(buf []byte, v reflect.Value) ([]byte, error) {
 	case reflect.Struct:
 		var err error
 		for i := 0; i < v.NumField(); i++ {
+			// artifact:"-" excludes a field from the walk — used by fields
+			// that travel in a dedicated optional section instead, so adding
+			// them does not change the digests of existing artifacts.
+			if v.Type().Field(i).Tag.Get("artifact") == "-" {
+				continue
+			}
 			if buf, err = appendValue(buf, v.Field(i)); err != nil {
 				return nil, err
 			}
@@ -394,6 +462,9 @@ func readValue(r *reader, v reflect.Value) error {
 		}
 	case reflect.Struct:
 		for i := 0; i < v.NumField(); i++ {
+			if v.Type().Field(i).Tag.Get("artifact") == "-" {
+				continue
+			}
 			if err := readValue(r, v.Field(i)); err != nil {
 				return err
 			}

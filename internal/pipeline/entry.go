@@ -23,7 +23,7 @@ import (
 //	version  uint64 (two's complement of the int)
 //	md5      uint32 len + bytes
 //	gen      uint64
-//	flags    byte (bit0 Malicious, bit1 FellBack)
+//	flags    byte (bit0 Malicious, bit1 FellBack, bit2 Tier == 1)
 //	score    uint64 (IEEE 754 bits)
 //	scan     uint64 (nanoseconds)
 //	overall  uint64 (nanoseconds)
@@ -47,6 +47,11 @@ var ErrBadEntry = errors.New("pipeline: corrupt verdict-cache entry")
 const (
 	entryFlagMalicious = 1 << 0
 	entryFlagFellBack  = 1 << 1
+	// entryFlagTier1 marks a verdict answered by the static triage tier.
+	// Entries written before the flag existed never set it and decode with
+	// Tier = 2 — exactly right, since everything they memoized was fully
+	// emulated — so the layout version does not bump.
+	entryFlagTier1 = 1 << 2
 )
 
 // EncodeEntry packs one verdict and its feature vector into a fresh flat
@@ -75,6 +80,9 @@ func EncodeEntry(v *Verdict, x ml.Vector) []byte {
 	}
 	if v.FellBack {
 		flags |= entryFlagFellBack
+	}
+	if v.Tier == 1 {
+		flags |= entryFlagTier1
 	}
 	dst = append(dst, flags)
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Score))
@@ -159,11 +167,15 @@ func DecodeEntry(e []byte, v *Verdict, vec ml.Vector) (ml.Vector, error) {
 	if !r.bad {
 		// Strict: unknown flag bits mark a corrupt (or future-version)
 		// entry, and keep decode→encode canonical for everything accepted.
-		if flags[0]&^(entryFlagMalicious|entryFlagFellBack) != 0 {
+		if flags[0]&^(entryFlagMalicious|entryFlagFellBack|entryFlagTier1) != 0 {
 			return nil, fmt.Errorf("%w: unknown flag bits 0x%02x", ErrBadEntry, flags[0])
 		}
 		v.Malicious = flags[0]&entryFlagMalicious != 0
 		v.FellBack = flags[0]&entryFlagFellBack != 0
+		v.Tier = 2
+		if flags[0]&entryFlagTier1 != 0 {
+			v.Tier = 1
+		}
 	}
 	v.Score = math.Float64frombits(r.u64())
 	v.ScanTime = time.Duration(int64(r.u64()))

@@ -22,6 +22,7 @@ func randVerdict(rng *rand.Rand) Verdict {
 		Generation:     rng.Uint64(),
 		Malicious:      rng.Intn(2) == 0,
 		Score:          rng.NormFloat64() * float64(rng.Intn(100)+1),
+		Tier:           rng.Intn(2) + 1,
 		ScanTime:       time.Duration(rng.Int63n(1 << 40)),
 		OverallTime:    time.Duration(rng.Int63n(1 << 40)),
 		FellBack:       rng.Intn(2) == 0,
@@ -142,6 +143,12 @@ func FuzzEntryDecode(f *testing.F) {
 		v, x := randVerdict(rng), randVector(rng)
 		f.Add(EncodeEntry(&v, x))
 	}
+	tier1 := Verdict{
+		Package: "t", Generation: 1, Malicious: true, Score: 2, Tier: 1,
+		ScanTime: 75 * time.Microsecond, OverallTime: 75*time.Microsecond + FixedOverhead,
+		Engine: "triage.static",
+	}
+	f.Add(EncodeEntry(&tier1, nil))
 	f.Add([]byte{})
 	f.Add([]byte{entryVersion})
 	f.Add([]byte{entryVersion, 0xFF, 0xFF, 0xFF, 0xFF})

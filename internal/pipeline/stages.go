@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"crypto/md5"
+	"encoding/hex"
 	"time"
 
 	"apichecker/internal/adb"
@@ -8,6 +10,7 @@ import (
 	"apichecker/internal/emulator"
 	"apichecker/internal/features"
 	"apichecker/internal/framework"
+	"apichecker/internal/manifest"
 	"apichecker/internal/ml"
 	"apichecker/internal/monkey"
 	"apichecker/internal/obs"
@@ -19,6 +22,7 @@ import (
 const (
 	StageAdmit       = "admit"
 	StageCacheLookup = "cache.lookup"
+	StageTriage      = "triage"
 	StageDecode      = "decode"
 	StageEmulate     = "emulate"
 	StageExtract     = "extract"
@@ -44,6 +48,11 @@ const (
 	extractPerFeature = 2 * time.Microsecond
 	// inferPerTree models one tree walk of the forest.
 	inferPerTree = 20 * time.Microsecond
+	// triageCost models the whole tier-1 pre-screen: manifest-only zip
+	// decode, P+I vector fill, and one linear dot product — microseconds
+	// against the emulate tail's tens of virtual seconds, which is the
+	// entire point of the tier.
+	triageCost = 75 * time.Microsecond
 )
 
 // ModelGen is one immutable model generation as the stages see it: the
@@ -79,6 +88,20 @@ type ModelGen struct {
 
 	// Trees sizes the infer span's virtual cost.
 	Trees int
+
+	// Triage is the tier-1 manifest-only linear scorer (SigPID-style
+	// ranked-permission model); nil disables the tier. TriageExtractor is
+	// the P+I-mode extractor its vectors are built with — trained and
+	// served on exactly the same manifest-only view.
+	Triage          *ml.Linear
+	TriageExtractor *features.Extractor
+
+	// TriageLo and TriageHi bound the uncertainty band in probability
+	// space: a submission whose triage probability falls strictly outside
+	// [TriageLo, TriageHi] short-circuits with a tier-1 verdict; anything
+	// in the band pays the full emulate→extract→infer path. The trivial
+	// band [0, 1] disables the tier (nothing is ever outside it).
+	TriageLo, TriageHi float64
 
 	// Epoch is the verdict-cache epoch this generation serves under;
 	// write-through stores are conditional on it so a verdict computed on
@@ -197,6 +220,115 @@ func (s CacheLookup) Wrap(vc *VetContext, next func() error) error {
 	return nil
 }
 
+// Triage is the tier-1 static pre-screen: a manifest-only permissions +
+// intent-filter vector scored by a lightweight linear model, with no dex
+// decode, no behaviour materialization, and no emulation. A probability
+// outside the generation's uncertainty band answers immediately with a
+// tier-1 verdict (Engine "triage.static", microsecond virtual cost); a
+// probability in the band — or a disabled tier — falls through to the
+// full chain unchanged, so tier-2 verdicts stay bit-identical to a
+// checker without the stage.
+//
+// The stage sits inside the cache-lookup bracket, so tier-1 verdicts are
+// memoized, coalesced, persisted, and epoch-invalidated exactly like
+// tier-2 ones. It also takes over the generation pin from Decode: the pin
+// still happens exactly once per leader, inside the singleflight, before
+// any generation state is consulted.
+type Triage struct{ D *Deps }
+
+func (Triage) Name() string { return StageTriage }
+
+func (s Triage) Wrap(vc *VetContext, next func() error) error {
+	gen := s.D.Gen()
+	vc.Gen = gen
+	if gen.Triage == nil || (gen.TriageLo <= 0 && gen.TriageHi >= 1) {
+		err := next()
+		vc.Span(0, "off")
+		s.count("triage.pass")
+		return err
+	}
+	man, err := s.manifestOnly(vc)
+	if err != nil {
+		return err
+	}
+	x, err := gen.TriageExtractor.ManifestVectorInto(man, vc.Vector)
+	if err != nil {
+		return err
+	}
+	vc.Vector = x
+	p := gen.Triage.Prob(x)
+	if p >= gen.TriageLo && p <= gen.TriageHi {
+		// Uncertain: pay the full pipeline. The vector scratch is handed
+		// back for ExtractFeatures to refill with the A+P+I vector.
+		err := next()
+		vc.Span(triageCost, "band")
+		s.count("triage.band")
+		return err
+	}
+	// Confident: short-circuit with a tier-1 verdict. The submission was
+	// genuinely vetted (unlike a cache hit), so it consumes a sequence
+	// number exactly as the decode leader would have.
+	if vc.Seq == 0 {
+		vc.Seq = s.D.NextSeq()
+	}
+	var pkg string
+	var version int
+	var sum string
+	switch {
+	case vc.Sub.Raw != nil:
+		h := md5.Sum(vc.Sub.Raw)
+		sum = hex.EncodeToString(h[:])
+		pkg, version = man.Package, man.VersionCode
+	case vc.Sub.Parsed != nil:
+		sum = vc.Sub.Parsed.MD5
+		pkg, version = man.Package, man.VersionCode
+	default:
+		pkg, version = vc.Sub.Program.PackageName, vc.Sub.Program.Version
+	}
+	vc.Verdict = &Verdict{
+		Package:     pkg,
+		VersionCode: version,
+		MD5:         sum,
+		Generation:  gen.ID,
+		Malicious:   p > gen.TriageHi,
+		Score:       gen.Triage.Score(x),
+		Tier:        1,
+		ScanTime:    triageCost,
+		OverallTime: triageCost + FixedOverhead,
+		Engine:      "triage.static",
+	}
+	vc.Span(triageCost, "hit")
+	s.count("triage.hit")
+	return nil
+}
+
+// manifestOnly resolves the manifest view without paying the full decode:
+// raw archives go through the manifest-only zip fast path, parsed APKs
+// already carry theirs, and behaviour programs derive it (stashed on the
+// context so a fall-through Decode does not derive it twice).
+func (s Triage) manifestOnly(vc *VetContext) (*manifest.Manifest, error) {
+	sub := vc.Sub
+	switch {
+	case sub.Raw != nil:
+		return apk.ParseManifestOnly(sub.Raw)
+	case sub.Parsed != nil:
+		return sub.Parsed.Manifest, nil
+	default:
+		m, err := sub.Program.Manifest(vc.Gen.Universe)
+		if err != nil {
+			return nil, err
+		}
+		vc.Manifest = m
+		return m, nil
+	}
+}
+
+func (s Triage) count(name string) {
+	if s.D.Obs != nil {
+		s.D.Obs.Counter(name).Inc()
+	}
+}
+
 // Decode is the static half of the vet: it reserves the vet sequence
 // number, derives the content-seeded Monkey configuration, parses a raw
 // archive, and resolves the manifest view the feature extractor will
@@ -207,10 +339,13 @@ func (Decode) Name() string { return StageDecode }
 
 func (s Decode) Run(vc *VetContext) error {
 	// Pin the model generation for the whole remaining chain. The pin
-	// happens here — inside the cache-lookup singleflight — so a leader
-	// that starts after a hot-swap computes wholly on the new generation,
-	// and one that started before finishes wholly on the old one.
-	vc.Gen = s.D.Gen()
+	// happens inside the cache-lookup singleflight — by the Triage stage
+	// when it is in the chain, here otherwise — so a leader that starts
+	// after a hot-swap computes wholly on the new generation, and one that
+	// started before finishes wholly on the old one.
+	if vc.Gen == nil {
+		vc.Gen = s.D.Gen()
+	}
 	if vc.Seq == 0 {
 		vc.Seq = s.D.NextSeq()
 	}
@@ -236,11 +371,13 @@ func (s Decode) Run(vc *VetContext) error {
 		vc.Span(0, "parsed")
 	default:
 		vc.Program = sub.Program
-		m, err := sub.Program.Manifest(vc.Gen.Universe)
-		if err != nil {
-			return err
+		if vc.Manifest == nil { // triage may have derived it already
+			m, err := sub.Program.Manifest(vc.Gen.Universe)
+			if err != nil {
+				return err
+			}
+			vc.Manifest = m
 		}
-		vc.Manifest = m
 		vc.Span(manifestCost, "program")
 	}
 	return nil
@@ -337,6 +474,7 @@ func (s Infer) Run(vc *VetContext) error {
 		Generation:     vc.Gen.ID,
 		Malicious:      score > 0,
 		Score:          score,
+		Tier:           2,
 		ScanTime:       res.VirtualTime,
 		OverallTime:    res.VirtualTime + FixedOverhead,
 		FellBack:       res.FellBack,
@@ -373,10 +511,11 @@ func (s CacheStore) Run(vc *VetContext) error {
 }
 
 // VetChain assembles the canonical serving chain: Admit → CacheLookup →
-// Decode → Emulate → ExtractFeatures → Infer, with the three expensive
-// stages bracketed by the cache singleflight.
+// Triage → Decode → Emulate → ExtractFeatures → Infer, with the triage
+// pre-screen and the three expensive stages bracketed by the cache
+// singleflight.
 func VetChain(col *obs.Collector, d *Deps) *Pipeline {
-	return New(col, Admit{d}, CacheLookup{d}, Decode{d}, Emulate{d}, ExtractFeatures{d}, Infer{d})
+	return New(col, Admit{d}, CacheLookup{d}, Triage{d}, Decode{d}, Emulate{d}, ExtractFeatures{d}, Infer{d})
 }
 
 // RunChain assembles the always-emulate chain VetRun drives: no cache

@@ -3,8 +3,8 @@
 // hook-log collection, A+P+I feature extraction, random-forest inference)
 // made first-class:
 //
-//	Admit → CacheLookup → Decode/StaticParse → Emulate → ExtractFeatures
-//	      → Infer → CacheStore
+//	Admit → CacheLookup → Triage → Decode/StaticParse → Emulate
+//	      → ExtractFeatures → Infer → CacheStore
 //
 // Each stage implements a common interface over a VetContext that carries
 // the submission, its content digest, the bounding context, and a
@@ -150,6 +150,13 @@ type Verdict struct {
 	// Score is the model margin (> 0 ⇒ malicious); magnitude is
 	// confidence.
 	Score float64
+
+	// Tier records which tier of the triage pipeline answered: 1 for the
+	// static manifest-only pre-screen (confident score outside the
+	// uncertainty band, no emulation paid), 2 for the full
+	// emulate→extract→infer path. Always 2 on a checker without a triage
+	// model or with the trivial [0,1] band.
+	Tier int
 
 	// ScanTime is the virtual dynamic-analysis time; OverallTime adds
 	// the fixed install/queue overhead (§5.2 reports 1.92 min overall,

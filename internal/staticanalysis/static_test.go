@@ -6,6 +6,7 @@ import (
 	"apichecker/internal/apk"
 	"apichecker/internal/behavior"
 	"apichecker/internal/framework"
+	"apichecker/internal/manifest"
 )
 
 var (
@@ -141,6 +142,72 @@ func TestIntentActionsUnionManifestAndCode(t *testing.T) {
 		if !got[id] {
 			t.Errorf("receiver intent %d missing from static view", id)
 		}
+	}
+}
+
+// TestAnalyzeEmptyManifest: an APK whose manifest declares nothing — no
+// activities, permissions, or receivers — analyzes cleanly with a zero
+// (not NaN, not panicking) referenced-activity ratio and empty feature
+// sets.
+func TestAnalyzeEmptyManifest(t *testing.T) {
+	p := testGen.Generate(behavior.Spec{
+		PackageName: "com.static.empty", Version: 1, Seed: 41,
+		Label: behavior.Benign, Family: behavior.FamilyNone, Category: behavior.CategoryNews,
+	})
+	_, parsed, err := apk.BuildAndParse(p, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed.Manifest = manifest.New("com.static.empty", 1)
+	r, err := Analyze(parsed, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ReferencedActivityRatio(); got != 0 {
+		t.Errorf("ReferencedActivityRatio on empty manifest = %v, want 0", got)
+	}
+	if len(r.DeclaredActivities) != 0 || len(r.ReferencedActivities) != 0 {
+		t.Errorf("activities leaked into empty-manifest report: %v / %v",
+			r.DeclaredActivities, r.ReferencedActivities)
+	}
+	if len(r.Permissions) != 0 || r.UnknownPermissions != 0 {
+		t.Errorf("permissions leaked into empty-manifest report: %v (unknown %d)",
+			r.Permissions, r.UnknownPermissions)
+	}
+}
+
+// TestAnalyzeDuplicatePermissionsNotDoubleCounted: repeated
+// <uses-permission> entries must not inflate the resolved permission list
+// or the unknown counter — PermissionNames dedupes before universe
+// resolution, so the report matches the single-entry manifest exactly.
+func TestAnalyzeDuplicatePermissionsNotDoubleCounted(t *testing.T) {
+	p, base := analyzed(t, 5, behavior.Malicious, behavior.FamilySpyware)
+	_, parsed, err := apk.BuildAndParse(p, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := append([]manifest.UsesPerm(nil), parsed.Manifest.Permissions...)
+	dup = append(dup, parsed.Manifest.Permissions...) // every entry twice
+	dup = append(dup,
+		manifest.UsesPerm{Name: "com.fake.permission.NOT_IN_UNIVERSE"},
+		manifest.UsesPerm{Name: "com.fake.permission.NOT_IN_UNIVERSE"})
+	parsed.Manifest.Permissions = dup
+
+	r, err := Analyze(parsed, testU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Permissions) != len(base.Permissions) {
+		t.Errorf("duplicated manifest resolved %d permissions, want %d",
+			len(r.Permissions), len(base.Permissions))
+	}
+	for i := range base.Permissions {
+		if r.Permissions[i] != base.Permissions[i] {
+			t.Errorf("permission[%d] = %d, want %d", i, r.Permissions[i], base.Permissions[i])
+		}
+	}
+	if r.UnknownPermissions != 1 {
+		t.Errorf("UnknownPermissions = %d, want 1 (duplicates collapsed)", r.UnknownPermissions)
 	}
 }
 

@@ -74,6 +74,18 @@ type Metrics struct {
 	MissScan ScanStats
 	HitScan  ScanStats
 
+	// Tier accounting over completed submissions: Tier1 counts verdicts
+	// answered by the static triage pre-screen (including cache-served
+	// replays of tier-1 verdicts), Tier2 everything that paid the full
+	// emulation path. Tier1Scan/Tier2Scan split the scan-latency
+	// distribution by tier, so the triage speedup and the emulation-path
+	// latency are visible separately — the flat ScanMean blends a
+	// microsecond tier with a half-minute tier into a meaningless middle.
+	Tier1     uint64
+	Tier2     uint64
+	Tier1Scan ScanStats
+	Tier2Scan ScanStats
+
 	// Instantaneous gauges at snapshot time.
 	QueueDepth int // submissions waiting for a lane
 	InFlight   int // submissions being vetted right now
@@ -127,9 +139,13 @@ type counters struct {
 	hits, misses, coalesced, bypass              *obs.Counter
 	crashes, crashedSubs, fallbacks              *obs.Counter
 
-	scans     *obs.Distribution // all completions, virtual seconds
-	missScans *obs.Distribution // emulated completions only
-	hitScans  *obs.Distribution // cache-served completions only
+	tier1, tier2 *obs.Counter
+
+	scans      *obs.Distribution // all completions, virtual seconds
+	missScans  *obs.Distribution // emulated completions only
+	hitScans   *obs.Distribution // cache-served completions only
+	tier1Scans *obs.Distribution // triage short-circuits
+	tier2Scans *obs.Distribution // full emulation-path verdicts
 
 	inFlight atomic.Int64
 }
@@ -153,9 +169,13 @@ func newCounters(col *obs.Collector) counters {
 		crashes:     col.Counter("svc.crashes"),
 		crashedSubs: col.Counter("svc.crashed_submissions"),
 		fallbacks:   col.Counter("svc.fallbacks"),
+		tier1:       col.Counter("svc.tier1"),
+		tier2:       col.Counter("svc.tier2"),
 		scans:       col.Distribution("svc.scan.all"),
 		missScans:   col.Distribution("svc.scan.miss"),
 		hitScans:    col.Distribution("svc.scan.hit"),
+		tier1Scans:  col.Distribution("svc.scan.tier1"),
+		tier2Scans:  col.Distribution("svc.scan.tier2"),
 	}
 }
 
@@ -169,6 +189,13 @@ func (c *counters) finishJob(v *core.Verdict, err error, out vcache.Outcome) {
 		c.completed.Inc()
 		sec := v.ScanTime.Seconds()
 		c.scans.Observe(sec)
+		if v.Tier == 1 {
+			c.tier1.Inc()
+			c.tier1Scans.Observe(sec)
+		} else {
+			c.tier2.Inc()
+			c.tier2Scans.Observe(sec)
+		}
 		switch out {
 		case vcache.OutcomeHit:
 			c.hits.Inc()
@@ -226,6 +253,8 @@ func (s *Service) Metrics() Metrics {
 		Crashes:            c.crashes.Load(),
 		CrashedSubmissions: c.crashedSubs.Load(),
 		Fallbacks:          c.fallbacks.Load(),
+		Tier1:              c.tier1.Load(),
+		Tier2:              c.tier2.Load(),
 		EngineRuns:         make(map[string]uint64),
 		InFlight:           int(c.inFlight.Load()),
 	}
@@ -252,6 +281,8 @@ func (s *Service) Metrics() Metrics {
 
 	m.MissScan = newScanStats(c.missScans.Snapshot())
 	m.HitScan = newScanStats(c.hitScans.Snapshot())
+	m.Tier1Scan = newScanStats(c.tier1Scans.Snapshot())
+	m.Tier2Scan = newScanStats(c.tier2Scans.Snapshot())
 	if scans := c.scans.Snapshot(); len(scans) > 0 {
 		all := newScanStats(scans)
 		m.ScanMean, m.ScanP50, m.ScanP95, m.ScanP99 = all.Mean, all.P50, all.P95, all.P99

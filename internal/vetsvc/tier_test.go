@@ -1,0 +1,129 @@
+package vetsvc
+
+import (
+	"context"
+	"testing"
+
+	"apichecker/internal/core"
+	"apichecker/internal/dataset"
+)
+
+// tieredChecker trains a checker with a non-trivial triage band.
+func tieredChecker(t *testing.T) (*core.Checker, *dataset.Corpus) {
+	t.Helper()
+	dcfg := dataset.DefaultConfig()
+	dcfg.NumApps = 200
+	corpus, err := dataset.Generate(testU, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.TriageLo, cfg.TriageHi = 0.05, 0.95
+	ck, _, err := core.TrainFromCorpus(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck, corpus
+}
+
+// TestTierMetricsSplit: a tiered service splits completions and scan
+// latencies by verdict tier, the counts reconcile with the flat totals,
+// and the tier-1 distribution shows the microsecond short-circuit cost
+// while tier-2 keeps the emulation-scale cost.
+func TestTierMetricsSplit(t *testing.T) {
+	ck, corpus := tieredChecker(t)
+	svc := New(ck, Config{Workers: 8, QueueSize: 32})
+	defer svc.Close()
+
+	const n = 120
+	subs := make([]core.Submission, n)
+	for i := range subs {
+		subs[i] = core.Submission{Program: corpus.Program(i)}
+	}
+	verdicts, err := svc.VetBatch(context.Background(), subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want1, want2 uint64
+	for _, v := range verdicts {
+		if v.Tier == 1 {
+			want1++
+		} else {
+			want2++
+		}
+	}
+	if want1 == 0 || want2 == 0 {
+		t.Fatalf("submission mix not tiered: %d tier-1, %d tier-2", want1, want2)
+	}
+
+	m := svc.Metrics()
+	if m.Tier1 != want1 || m.Tier2 != want2 {
+		t.Fatalf("tier counters %d/%d, want %d/%d", m.Tier1, m.Tier2, want1, want2)
+	}
+	if m.Tier1+m.Tier2 != m.Completed {
+		t.Fatalf("tier split %d+%d does not cover %d completions", m.Tier1, m.Tier2, m.Completed)
+	}
+	if m.Tier1Scan.Count != want1 || m.Tier2Scan.Count != want2 {
+		t.Fatalf("tier scan sample counts %d/%d, want %d/%d",
+			m.Tier1Scan.Count, m.Tier2Scan.Count, want1, want2)
+	}
+	// Tier-1 answers cost the fixed triage scan (75µs); tier-2 answers the
+	// emulation clock (tens of virtual seconds). The split distributions
+	// must keep those scales apart.
+	if m.Tier1Scan.Mean <= 0 || m.Tier1Scan.Mean > 0.001 {
+		t.Fatalf("tier-1 mean scan %v s, want microsecond scale", m.Tier1Scan.Mean)
+	}
+	if m.Tier2Scan.Mean < 1 {
+		t.Fatalf("tier-2 mean scan %v s, want emulation scale", m.Tier2Scan.Mean)
+	}
+	if m.ScanMean <= m.Tier1Scan.Mean || m.ScanMean >= m.Tier2Scan.Mean {
+		t.Fatalf("flat mean %v not between tier means %v and %v",
+			m.ScanMean, m.Tier1Scan.Mean, m.Tier2Scan.Mean)
+	}
+
+	// Cache-served replays keep their recorded tier: resubmitting the whole
+	// batch doubles both tier counters without emulating anything new.
+	if _, err := svc.VetBatch(context.Background(), subs); err != nil {
+		t.Fatal(err)
+	}
+	m2 := svc.Metrics()
+	if m2.Tier1 != 2*want1 || m2.Tier2 != 2*want2 {
+		t.Fatalf("replayed tier counters %d/%d, want %d/%d", m2.Tier1, m2.Tier2, 2*want1, 2*want2)
+	}
+	if m2.CacheHits == 0 {
+		t.Fatal("replay batch produced no cache hits")
+	}
+
+	// The split is published on the obs collector under the svc namespace,
+	// so sinks see the same numbers.
+	if got := svc.Obs().Counter("svc.tier1").Load(); got != m2.Tier1 {
+		t.Fatalf("svc.tier1 collector counter %d, want %d", got, m2.Tier1)
+	}
+	if got := svc.Obs().Counter("svc.tier2").Load(); got != m2.Tier2 {
+		t.Fatalf("svc.tier2 collector counter %d, want %d", got, m2.Tier2)
+	}
+}
+
+// TestTierMetricsFlatService: an untiered checker books everything as
+// tier 2 — the tier-1 counter and distribution stay empty.
+func TestTierMetricsFlatService(t *testing.T) {
+	ck, corpus := trainedChecker(t)
+	svc := New(ck, Config{Workers: 4, QueueSize: 16})
+	defer svc.Close()
+
+	subs := make([]core.Submission, 20)
+	for i := range subs {
+		subs[i] = core.Submission{Program: corpus.Program(i)}
+	}
+	if _, err := svc.VetBatch(context.Background(), subs); err != nil {
+		t.Fatal(err)
+	}
+	m := svc.Metrics()
+	if m.Tier1 != 0 || m.Tier1Scan.Count != 0 {
+		t.Fatalf("flat service booked tier-1 activity: %d/%d", m.Tier1, m.Tier1Scan.Count)
+	}
+	if m.Tier2 != m.Completed || m.Tier2Scan.Count != m.Completed {
+		t.Fatalf("flat service tier-2 %d/%d, want all %d completions",
+			m.Tier2, m.Tier2Scan.Count, m.Completed)
+	}
+}
