@@ -324,6 +324,10 @@ var (
 	// in-flight submissions aborted by a hard drain wrap this (the gateway
 	// maps it to 503).
 	ErrServiceDraining = vetsvc.ErrDraining
+	// ErrSubmissionPoisoned: a submission exhausted its claim attempts
+	// (repeated worker panics or expired leases) and was dead-lettered;
+	// its ticket fails with an error wrapping this.
+	ErrSubmissionPoisoned = vetsvc.ErrPoisoned
 	// ErrDeadlineExceeded: the per-submission vet deadline expired; wraps
 	// context.DeadlineExceeded.
 	ErrDeadlineExceeded = core.ErrDeadlineExceeded
@@ -405,6 +409,15 @@ func DefaultYearConfig() YearConfig { return market.DefaultYearConfig() }
 // order. Close the service to drain and release its lanes.
 func NewVetService(ck *Checker, cfg VetServiceConfig) *VetService {
 	return vetsvc.New(ck, cfg)
+}
+
+// OpenVetService is NewVetService with the durable intake tier surfaced:
+// with cfg.QueueDir set it opens the submission journal there and replays
+// every submission a previous life accepted but never settled, so a
+// kill-and-restart loses nothing. Journal I/O failures return an error
+// instead of panicking.
+func OpenVetService(ck *Checker, cfg VetServiceConfig) (*VetService, error) {
+	return vetsvc.Open(ck, cfg)
 }
 
 // DefaultVetServiceConfig sizes the service for the production deployment:

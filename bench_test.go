@@ -705,6 +705,58 @@ func BenchmarkServiceThroughputDuplicatesNoCache(b *testing.B) {
 	benchDuplicateService(b, -1)
 }
 
+// BenchmarkQueueServing prices the queue/claim/execute decomposition with
+// its durable intake journal on: the duplicate-heavy workload as raw
+// archives, every admission journaled (CRC-framed append) and every ack
+// settle-logged, lease heartbeats ticking during the vets. Compare with
+// BenchmarkServiceThroughputDuplicates — the delta is the crash-safety
+// premium on the serving path.
+func BenchmarkQueueServing(b *testing.B) {
+	e := env(b)
+	ck, _, err := core.TrainFromCorpus(e.Corpus, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const uniques, total = 10, 200
+	raws := make([][]byte, uniques)
+	for i := range raws {
+		raw, err := BuildAPK(e.Corpus.Program(i), e.U)
+		if err != nil {
+			b.Fatal(err)
+		}
+		raws[i] = raw
+	}
+	subs := make([]core.Submission, total)
+	for i := range subs {
+		subs[i] = core.Submission{Raw: raws[i%uniques]}
+	}
+	svc, err := vetsvc.Open(ck, vetsvc.Config{
+		Workers:   8,
+		QueueSize: 32,
+		QueueDir:  b.TempDir(),
+		LeaseTTL:  time.Minute,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.VetBatch(context.Background(), subs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*total)/elapsed, "submissions/s")
+	}
+	m := svc.Metrics()
+	b.ReportMetric(float64(m.CacheHits+m.CacheCoalesced), "cache-served")
+	b.ReportMetric(float64(m.QueueAcked), "queue-acked")
+}
+
 // BenchmarkServiceThroughputTiered serves a confident-heavy batch through
 // a checker with the tiered triage pre-screen on (band [0.05, 0.95]):
 // submissions the static permission model scores outside the band get a

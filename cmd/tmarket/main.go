@@ -68,6 +68,8 @@ func main() {
 	flag.IntVar(&scfg.Workers, "workers", 0, "service lanes (0 = one per emulator slot)")
 	flag.IntVar(&scfg.Queue, "queue", 0, "service queue depth (0 = 4x workers)")
 	flag.DurationVar(&scfg.Deadline, "deadline", 0, "per-submission vet deadline (0 = none)")
+	flag.StringVar(&scfg.QueueDir, "queue-dir", "", "journal accepted submissions to this directory and replay unsettled ones on restart (-serve only)")
+	flag.DurationVar(&scfg.LeaseTTL, "lease-ttl", 0, "reclaim a claimed submission after this long without worker progress (0 = never)")
 	flag.IntVar(&scfg.VerdictCache, "vcache", 0, "verdict-cache capacity on the -serve path (0 = default, negative = disabled)")
 	flag.StringVar(&scfg.PersistDir, "vcache-persist", "", "persist the verdict cache to this directory and warm-start it on the next run (-serve only)")
 	flag.BoolVar(&scfg.Trace, "trace", false, "stream per-submission pipeline spans and print the per-stage latency table (-serve only)")
@@ -304,8 +306,19 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, dup int, s
 		}))
 	}
 
-	svc := apichecker.NewVetService(checker, scfg.ServiceConfig())
+	svc, err := apichecker.OpenVetService(checker, scfg.ServiceConfig())
+	if err != nil {
+		return fmt.Errorf("tmarket: opening vet service: %w", err)
+	}
 	defer svc.Close()
+	if scfg.QueueDir != "" {
+		m := svc.Metrics()
+		fmt.Printf("durable intake journal at %s", scfg.QueueDir)
+		if m.Replayed > 0 {
+			fmt.Printf(" (replayed %d unsettled submissions)", m.Replayed)
+		}
+		fmt.Println()
+	}
 
 	if scfg.Listen != "" {
 		return serveGateway(svc, scfg)
@@ -382,6 +395,8 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, dup int, s
 		m.Completed, time.Since(start).Round(time.Millisecond), cfg.Workers, cfg.QueueSize)
 	fmt.Printf("  flagged malicious: %d\n", flagged)
 	fmt.Printf("  timeouts %d, canceled %d, failed %d\n", m.Timeouts, m.Canceled, m.Failed)
+	fmt.Printf("  queue: %d acked, %d reclaims, %d replayed, %d dead-lettered; lease age p95 %.2fs\n",
+		m.QueueAcked, m.Reclaims, m.Replayed, m.DeadLettered, m.LeaseAge.P95)
 	fmt.Printf("  reliability: %d crashes across %d submissions, %d fallback re-runs\n",
 		m.Crashes, m.CrashedSubmissions, m.Fallbacks)
 	engines := make([]string, 0, len(m.EngineRuns))

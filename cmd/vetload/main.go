@@ -48,6 +48,7 @@ func main() {
 		seed    = flag.Int64("seed", 7, "workload seed")
 		workers = flag.Int("workers", 8, "self-serve service lanes")
 		queue   = flag.Int("queue", 0, "self-serve service queue depth (0 = 4x workers)")
+		qdir    = flag.String("queue-dir", "", "self-serve durable intake journal directory (replays unsettled submissions on restart)")
 		jsonOut = flag.String("json", "", "fold a summary row into this benchmark JSON file")
 		tband   = flag.String("triage-band", "", `self-serve triage band "lo,hi": confident submissions short-circuit at tier 1 without emulation`)
 	)
@@ -69,7 +70,7 @@ func main() {
 	target := *addr
 	var shutdown func()
 	if target == "" {
-		target, shutdown, err = selfServe(u, *seed, *train, *workers, *queue, bandLo, bandHi)
+		target, shutdown, err = selfServe(u, *seed, *train, *workers, *queue, *qdir, bandLo, bandHi)
 		if err != nil {
 			fail(err)
 		}
@@ -259,7 +260,7 @@ func submitOne(client *http.Client, url string, apk []byte, retries *atomic.Int6
 }
 
 // selfServe trains a checker and brings up a loopback gateway over it.
-func selfServe(u *apichecker.Universe, seed int64, train, workers, queue int, bandLo, bandHi float64) (addr string, shutdown func(), err error) {
+func selfServe(u *apichecker.Universe, seed int64, train, workers, queue int, queueDir string, bandLo, bandHi float64) (addr string, shutdown func(), err error) {
 	corpus, err := apichecker.NewCorpus(u, train, seed)
 	if err != nil {
 		return "", nil, err
@@ -273,7 +274,11 @@ func selfServe(u *apichecker.Universe, seed int64, train, workers, queue int, ba
 	scfg := apichecker.DefaultServeConfig()
 	scfg.Workers = workers
 	scfg.Queue = queue
-	svc := apichecker.NewVetService(checker, scfg.ServiceConfig())
+	scfg.QueueDir = queueDir
+	svc, err := apichecker.OpenVetService(checker, scfg.ServiceConfig())
+	if err != nil {
+		return "", nil, err
+	}
 	gw := apichecker.NewGateway(svc, scfg.GatewayConfig())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- gw.ListenAndServe("127.0.0.1:0") }()

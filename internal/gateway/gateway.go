@@ -66,8 +66,10 @@ type Config struct {
 	// <= 0 selects 2 minutes.
 	MaxWait time.Duration
 
-	// RetryAfter is the backoff hint returned with 429 responses;
-	// <= 0 selects 1 second.
+	// RetryAfter is the floor of the backoff hint returned with 429
+	// responses; <= 0 selects 1 second. The actual hint is live: the
+	// service's drain estimate (queue depth + in-flight leases over the
+	// lane throughput), clamped below by this.
 	RetryAfter time.Duration
 }
 
@@ -120,10 +122,14 @@ type record struct {
 	seq     int64
 	created time.Time
 
-	mu      sync.Mutex
-	spans   []obs.Event
-	subs    []chan obs.Event
-	started bool
+	mu    sync.Mutex
+	spans []obs.Event
+	subs  []chan obs.Event
+
+	// ticket is the service-side view of the submission (nil only while
+	// the record is being admitted, under regMu); its state machine
+	// (queued → claimed → done/failed) backs the status resource.
+	ticket *vetsvc.Ticket
 
 	done    chan struct{} // closed when the ticket settles
 	verdict *core.Verdict
@@ -231,7 +237,6 @@ func (s *Server) routeSpan(ev obs.Event) {
 func (r *record) addSpan(ev obs.Event) {
 	r.mu.Lock()
 	r.spans = append(r.spans, ev)
-	r.started = true
 	subs := r.subs
 	r.mu.Unlock()
 	for _, ch := range subs {
@@ -293,7 +298,8 @@ func (r *record) isDone() bool {
 type SubmissionStatus struct {
 	ID  string `json:"id"`
 	Seq int64  `json:"seq"`
-	// Status is queued | running | done | failed.
+	// Status is the submission's position in the serving state machine:
+	// queued | claimed | done | failed.
 	Status string `json:"status"`
 	// Outcome reports how a settled verdict was served (miss | hit |
 	// coalesced | bypass), from the cache-lookup span.
@@ -316,12 +322,14 @@ type errorBody struct {
 func (r *record) status() (SubmissionStatus, int) {
 	st := SubmissionStatus{ID: r.id, Seq: r.seq}
 	if !r.isDone() {
-		r.mu.Lock()
-		started := r.started
-		r.mu.Unlock()
+		// The ticket's state machine is authoritative for the in-flight
+		// half; a ticket that has settled while the record is still
+		// completing reads as claimed until the verdict lands.
 		st.Status = "queued"
-		if started {
-			st.Status = "running"
+		if r.ticket != nil {
+			if ts := r.ticket.State(); ts == "claimed" || ts == "done" || ts == "failed" {
+				st.Status = "claimed"
+			}
 		}
 		return st, http.StatusAccepted
 	}
@@ -396,7 +404,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, vetsvc.ErrQueueFull):
 			s.col.Counter("gw.rejected.backpressure").Inc()
-			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 		case errors.Is(err, vetsvc.ErrDraining) || errors.Is(err, vetsvc.ErrClosed):
 			s.col.Counter("gw.rejected.draining").Inc()
@@ -407,6 +415,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.respond(w, r, rec, wait)
+}
+
+// retryAfterSeconds turns live queue pressure into the 429 backoff hint:
+// the service's drain estimate (how long the current backlog needs to
+// clear the lanes), floored by the configured RetryAfter, in whole
+// seconds rounded up.
+func (s *Server) retryAfterSeconds() int {
+	retry := s.svc.DrainEstimate()
+	if retry < s.cfg.RetryAfter {
+		retry = s.cfg.RetryAfter
+	}
+	return int((retry + time.Second - 1) / time.Second)
 }
 
 // admit finds or creates the record for one content digest. Creation
@@ -432,6 +452,7 @@ func (s *Server) admit(id string, data []byte) (*record, error) {
 		delete(s.bySeq, seq)
 		return nil, err
 	}
+	rec.ticket = ticket
 	s.order = append(s.order, rec)
 	s.evictLocked()
 	s.col.Counter("gw.submissions.accepted").Inc()

@@ -24,6 +24,18 @@ func TestPrometheusGolden(t *testing.T) {
 	colA.Counter("triage.hit").Add(5)
 	colA.Counter("triage.band").Add(2)
 	colA.Gauge("svc.heap.live_bytes").Set(123456)
+	// The workqueue layer's gauges, counters, and lease-age distribution
+	// ride the same collector and export like everything else.
+	colA.Gauge("svc.queue.depth").Set(5)
+	colA.Gauge("svc.queue.leases").Set(2)
+	colA.Counter("svc.queue.enqueued").Add(49)
+	colA.Counter("svc.queue.acked").Add(41)
+	colA.Counter("svc.queue.reclaimed").Add(1)
+	colA.Counter("svc.queue.replayed").Add(3)
+	la := colA.Distribution("svc.queue.lease_age")
+	for _, v := range []float64{0.5, 1.25, 30} {
+		la.Observe(v)
+	}
 	d := colA.Distribution("svc.scan.all")
 	for _, v := range []float64{1.5, 2.25, 3, 80.5} {
 		d.Observe(v)

@@ -31,6 +31,16 @@ type ServeConfig struct {
 	// residence from admission.
 	Deadline time.Duration
 
+	// QueueDir, when set, journals raw-archive submissions to a durable
+	// intake log in this directory: a killed server replays every
+	// accepted-but-unsettled submission on the next start.
+	QueueDir string
+
+	// LeaseTTL, when positive, bounds how long a claimed submission may
+	// go without progress before its lease expires and the queue re-issues
+	// it to another lane; 0 disables lease expiry.
+	LeaseTTL time.Duration
+
 	// VerdictCache is the verdict-cache capacity (0 = default capacity,
 	// negative = disabled).
 	VerdictCache int
@@ -78,6 +88,8 @@ func (c ServeConfig) ServiceConfig() vetsvc.Config {
 		Workers:   c.Workers,
 		QueueSize: c.Queue,
 		Deadline:  c.Deadline,
+		QueueDir:  c.QueueDir,
+		LeaseTTL:  c.LeaseTTL,
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"runtime"
 	"strings"
-	"sync/atomic"
 
 	"apichecker/internal/core"
 	"apichecker/internal/obs"
@@ -86,9 +85,26 @@ type Metrics struct {
 	Tier1Scan ScanStats
 	Tier2Scan ScanStats
 
-	// Instantaneous gauges at snapshot time.
+	// Instantaneous gauges at snapshot time, views over the durable work
+	// queue: QueueDepth is the pending backlog, InFlight the live leases
+	// (claims a lane is executing right now).
 	QueueDepth int // submissions waiting for a lane
-	InFlight   int // submissions being vetted right now
+	InFlight   int // submissions being vetted right now (live leases)
+
+	// Queue-layer accounting since start. Acked counts settled claims,
+	// Nacked failed ones (panics), Reclaims leases that expired and were
+	// re-issued, Replayed submissions re-admitted from the intake journal
+	// after a restart, DeadLettered submissions that exhausted their claim
+	// attempts (ErrPoisoned), WorkerPanics recovered vet panics. LeaseAge
+	// is the wall-clock seconds a claim was held before settling or being
+	// reclaimed — lease pressure, where scan stats are virtual-clock.
+	QueueAcked   uint64
+	QueueNacked  uint64
+	Reclaims     uint64
+	Replayed     uint64
+	DeadLettered uint64
+	WorkerPanics uint64
+	LeaseAge     ScanStats
 
 	// Memory accounting at snapshot time. CacheEntries and CacheLiveBytes
 	// come from the checker's verdict cache (flat-entry bytes, the
@@ -128,9 +144,10 @@ type ScanStats struct {
 const enginePrefix = "svc.engine."
 
 // counters holds the service's obs handles: monotonic counters and scan
-// distributions live on the collector (shared with any attached sinks);
-// only the in-flight gauge stays local (it decrements, which a monotonic
-// obs counter cannot).
+// distributions live on the collector (shared with any attached sinks).
+// Queue gauges and counters (svc.queue.*) are registered on the same
+// collector by the workqueue itself; in-flight and depth are read from
+// queue stats, not tracked here.
 type counters struct {
 	col *obs.Collector
 
@@ -138,6 +155,7 @@ type counters struct {
 	completed, timeouts, drained, cancel, failed *obs.Counter
 	hits, misses, coalesced, bypass              *obs.Counter
 	crashes, crashedSubs, fallbacks              *obs.Counter
+	panics                                       *obs.Counter
 
 	tier1, tier2 *obs.Counter
 
@@ -146,8 +164,7 @@ type counters struct {
 	hitScans   *obs.Distribution // cache-served completions only
 	tier1Scans *obs.Distribution // triage short-circuits
 	tier2Scans *obs.Distribution // full emulation-path verdicts
-
-	inFlight atomic.Int64
+	leaseAges  *obs.Distribution // wall seconds per settled/reclaimed lease
 }
 
 // newCounters resolves the service's counter and distribution handles on
@@ -169,6 +186,7 @@ func newCounters(col *obs.Collector) counters {
 		crashes:     col.Counter("svc.crashes"),
 		crashedSubs: col.Counter("svc.crashed_submissions"),
 		fallbacks:   col.Counter("svc.fallbacks"),
+		panics:      col.Counter("svc.worker.panics"),
 		tier1:       col.Counter("svc.tier1"),
 		tier2:       col.Counter("svc.tier2"),
 		scans:       col.Distribution("svc.scan.all"),
@@ -176,14 +194,12 @@ func newCounters(col *obs.Collector) counters {
 		hitScans:    col.Distribution("svc.scan.hit"),
 		tier1Scans:  col.Distribution("svc.scan.tier1"),
 		tier2Scans:  col.Distribution("svc.scan.tier2"),
+		leaseAges:   col.Distribution("svc.queue.lease_age"),
 	}
 }
 
-func (c *counters) startJob() { c.inFlight.Add(1) }
-
 // finishJob books one settled submission.
 func (c *counters) finishJob(v *core.Verdict, err error, out vcache.Outcome) {
-	c.inFlight.Add(-1)
 	switch {
 	case err == nil:
 		c.completed.Inc()
@@ -255,15 +271,23 @@ func (s *Service) Metrics() Metrics {
 		Fallbacks:          c.fallbacks.Load(),
 		Tier1:              c.tier1.Load(),
 		Tier2:              c.tier2.Load(),
+		WorkerPanics:       c.panics.Load(),
 		EngineRuns:         make(map[string]uint64),
-		InFlight:           int(c.inFlight.Load()),
 	}
 	for name, n := range c.col.Counters() {
 		if eng, ok := strings.CutPrefix(name, enginePrefix); ok {
 			m.EngineRuns[eng] = n
 		}
 	}
-	m.QueueDepth = len(s.queue)
+	qs := s.q.Stats()
+	m.QueueDepth = qs.Depth
+	m.InFlight = qs.Leased
+	m.QueueAcked = qs.Acked
+	m.QueueNacked = qs.Nacked
+	m.Reclaims = qs.Reclaimed
+	m.Replayed = qs.Replayed
+	m.DeadLettered = qs.DeadLettered
+	m.LeaseAge = newScanStats(c.leaseAges.Snapshot())
 
 	cs := s.ck.CacheStats()
 	m.CacheEntries = cs.Entries

@@ -4,28 +4,30 @@
 // lanes fed by a bounded submission queue, with per-submission deadlines,
 // crash/fallback accounting, and runtime metrics.
 //
-// The service owns four concerns:
+// Since the queue/claim/execute decomposition, the service is a thin
+// composition of three layers — the in-process rehearsal of the ROADMAP
+// vet-cluster protocol:
 //
-//   - admission: a bounded FIFO queue with explicit backpressure. Submit
-//     rejects with ErrQueueFull when the queue is at capacity (the market
-//     front-end sheds load); SubmitWait blocks for space instead (batch
-//     pipelines drain at the service's pace).
-//   - execution: a worker pool (one goroutine per emulator lane, run via
-//     internal/parallel) vets submissions under a per-submission
-//     context.Context deadline that aborts an emulation mid-run.
-//   - determinism: verdicts derive from submission content alone (Monkey
-//     seeds come from the content digest), so service vetting is
-//     bit-identical to a serial Vet loop over the same queue, whatever
-//     the worker scheduling — and the checker's digest-keyed verdict
-//     cache (core.Config.VerdictCache) can answer byte-identical
-//     resubmissions, or coalesce concurrent ones onto one emulation,
-//     without changing a single verdict. Vet sequence numbers are still
-//     reserved at admission in FIFO order to identify submissions in
-//     logs and metrics.
-//   - observability: Metrics snapshots (accepted/rejected/timeout/crash/
-//     fallback counters, cache hit/miss/coalesced counters, scan-latency
-//     quantiles in virtual-clock seconds split by emulated vs
-//     cache-served path) plus an optional structured event hook.
+//   - internal/workqueue owns admission: a bounded, seq-ordered queue
+//     with explicit backpressure, lease-bounded claims, and (with
+//     Config.QueueDir) a CRC-framed journal that replays every accepted-
+//     but-unacked submission after a kill.
+//   - internal/worker owns execution: claim → vet → report → ack lanes
+//     with heartbeats during long emulations and per-claim panic
+//     isolation (a poisoned APK nacks its lease, it does not kill the
+//     process).
+//   - vetsvc itself owns meaning: tickets are views over a first-wins
+//     verdict record keyed by seq (+digest), Submit is an enqueue, Drain
+//     is stop-claims-then-settle-leases, and every metric is a view over
+//     the queue, the records, and the obs spine.
+//
+// The determinism contract is unchanged: verdicts derive from submission
+// content alone (Monkey seeds come from the content digest), so service
+// vetting is bit-identical to a serial Vet loop over the same queue,
+// whatever the worker scheduling, the lease reclaims, or the restarts.
+// Vet sequence numbers are still reserved at admission in FIFO order to
+// identify submissions in logs and metrics — a reclaim or a replay never
+// burns one.
 package vetsvc
 
 import (
@@ -33,12 +35,15 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"apichecker/internal/core"
 	"apichecker/internal/emulator"
 	"apichecker/internal/obs"
-	"apichecker/internal/parallel"
+	"apichecker/internal/vcache"
+	"apichecker/internal/worker"
+	"apichecker/internal/workqueue"
 )
 
 // Typed admission failures; the public facade re-exports them.
@@ -58,6 +63,12 @@ var (
 	// ErrDraining rather than a bare context cancellation, so callers can
 	// tell "the service shut down under me" from their own cancel.
 	ErrDraining = errors.New("vetsvc: service draining")
+
+	// ErrPoisoned: the submission exhausted its claim attempts (repeated
+	// panics or expired leases) and was dead-lettered; its ticket fails
+	// with an error wrapping this instead of cycling through the queue
+	// forever.
+	ErrPoisoned = errors.New("vetsvc: submission dead-lettered")
 )
 
 // Config tunes one service instance.
@@ -75,6 +86,31 @@ type Config struct {
 	// deadline aborts the emulation at its next crash-restart or
 	// event-batch boundary and counts as a timeout.
 	Deadline time.Duration
+
+	// QueueDir, when non-empty, journals raw-archive submissions to a
+	// CRC-framed log in that directory: a killed service replays every
+	// enqueued-but-unacked submission on the next Open (crash-safe
+	// intake). Submissions admitted as parsed APKs or behaviour programs
+	// are memory-only and do not survive a restart. Use Open (not New)
+	// with a QueueDir, so journal I/O errors surface.
+	QueueDir string
+
+	// LeaseTTL, when positive, bounds how long a claimed submission may go
+	// without progress (ack or heartbeat) before the queue reclaims it and
+	// re-issues it to another lane; 0 disables lease expiry (a lane owns
+	// its claim until it settles — today's single-process behavior).
+	LeaseTTL time.Duration
+
+	// HeartbeatEvery tunes the mid-vet lease heartbeat: 0 selects
+	// LeaseTTL/3 (heartbeats on whenever leases expire), a positive value
+	// sets the period explicitly, and a negative value disables heartbeats
+	// (lease-expiry drills: a stalled lane then loses its lease on the
+	// TTL).
+	HeartbeatEvery time.Duration
+
+	// MaxAttempts bounds claims per submission before it is dead-lettered
+	// with ErrPoisoned; <= 0 selects 3.
+	MaxAttempts int
 
 	// OnEvent, when set, receives a structured event per admission
 	// decision and completion. Called synchronously from service
@@ -98,9 +134,12 @@ const (
 	EventAccepted EventType = iota
 	// EventRejected: the queue was full; nothing was enqueued.
 	EventRejected
-	// EventStarted: a worker began vetting the submission.
+	// EventStarted: a worker began vetting the submission. A reclaimed
+	// submission starts again under its original seq, so a lease-expiry
+	// reclaim can repeat this event for one seq.
 	EventStarted
-	// EventDone: vetting finished (Err reports how).
+	// EventDone: vetting finished (Err reports how). Exactly one per
+	// accepted submission, however many claims it took.
 	EventDone
 )
 
@@ -121,38 +160,35 @@ type Event struct {
 	Err     error
 }
 
-// Ticket tracks one accepted submission to completion.
+// Ticket tracks one accepted submission to completion. It is a view over
+// the submission's verdict record.
 type Ticket struct {
-	seq     int64
-	pkg     string
-	done    chan struct{}
-	verdict *core.Verdict
-	err     error
+	r *record
 }
 
 // Seq returns the vet sequence number reserved for this submission.
-func (t *Ticket) Seq() int64 { return t.seq }
+func (t *Ticket) Seq() int64 { return t.r.seq }
 
 // Done is closed when the submission has been vetted (or failed).
-func (t *Ticket) Done() <-chan struct{} { return t.done }
+func (t *Ticket) Done() <-chan struct{} { return t.r.doneCh() }
+
+// State reports the submission's position in the serving state machine:
+// "queued" (admitted, waiting for a lane) → "claimed" (a worker holds its
+// lease) → "done" / "failed".
+func (t *Ticket) State() string { return t.r.state() }
 
 // Wait blocks for the verdict. The context bounds the wait only — the
 // submission itself keeps running under its own deadline.
 func (t *Ticket) Wait(ctx context.Context) (*core.Verdict, error) {
+	if t.r.isSettled() {
+		return t.r.verdict, t.r.err
+	}
 	select {
-	case <-t.done:
-		return t.verdict, t.err
+	case <-t.r.doneCh():
+		return t.r.verdict, t.r.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
-}
-
-// job is one queued submission.
-type job struct {
-	sub    core.Submission
-	ctx    context.Context
-	cancel context.CancelFunc
-	t      *Ticket
 }
 
 // Service is a running vetting service over one trained Checker.
@@ -160,21 +196,24 @@ type Service struct {
 	cfg Config
 	ck  *core.Checker
 
-	// queue is the bounded FIFO submission queue; slots carries one token
-	// per free queue position (tokens are taken at admission and returned
-	// when a worker dequeues), so admission can reject without reserving
-	// a vet sequence number.
-	queue chan *job
-	slots chan struct{}
+	q    *workqueue.Queue
+	pool *worker.Pool
+	hb   time.Duration // effective heartbeat period (0 = off)
 
 	// mu serializes admissions: the sequence reservation and the enqueue
 	// happen atomically, so FIFO queue order equals seq order — the
 	// determinism contract. draining flips first (admissions now fail with
-	// ErrDraining, the queue is closed); closed flips when the drain has
-	// settled every accepted submission (admissions fail with ErrClosed).
+	// ErrDraining, the queue stops accepting); closed flips when the drain
+	// has settled every accepted submission (admissions fail with
+	// ErrClosed).
 	mu       sync.Mutex
 	draining bool
 	closed   bool
+
+	// recs is the live verdict-record registry, keyed by seq; settled
+	// records drop out (their tickets keep the view).
+	recMu sync.Mutex
+	recs  map[int64]*record
 
 	// base is the drainable parent for submissions whose caller context
 	// carries no cancellation of its own (Done() == nil — the common
@@ -182,57 +221,108 @@ type Service struct {
 	// A hard drain cancels it with cause ErrDraining, aborting every
 	// in-flight vet riding it at the next emulation boundary. Submissions
 	// admitted under a caller-cancelable context keep that context as
-	// parent — aborting those remains the caller's prerogative — at zero
-	// extra allocation either way.
+	// parent — aborting those remains the caller's prerogative.
 	base       context.Context
 	baseCancel context.CancelCauseFunc
 
-	workersDone chan struct{}
+	// wallEWMA smooths the wall-clock cost of recent completions
+	// (nanoseconds, α=1/8) — the live signal DrainEstimate turns into a
+	// Retry-After hint.
+	wallEWMA atomic.Int64
 
 	m counters
 }
 
 // New starts a service over a trained checker. Out-of-range config values
-// are clamped to their defaults; the service runs until Close.
+// are clamped to their defaults; the service runs until Close. New panics
+// if cfg.QueueDir is set and its journal cannot be opened — durable
+// deployments should use Open and handle the error.
 func New(ck *core.Checker, cfg Config) *Service {
+	s, err := Open(ck, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("vetsvc: New: %v (use Open for a durable queue dir)", err))
+	}
+	return s
+}
+
+// Open starts a service over a trained checker. With cfg.QueueDir set it
+// opens (or creates) the intake journal there and re-admits every
+// submission a previous life accepted but never settled — those replayed
+// submissions are vetted by the worker lanes exactly like fresh ones
+// (their verdicts are bit-identical, since verdicts derive from content
+// alone), visible through Metrics().Replayed.
+func Open(ck *core.Checker, cfg Config) (*Service, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = emulator.ProductionLanes
 	}
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 4 * cfg.Workers
 	}
+	hb := cfg.HeartbeatEvery
+	if hb == 0 && cfg.LeaseTTL > 0 {
+		hb = cfg.LeaseTTL / 3
+	}
+	if hb < 0 {
+		hb = 0
+	}
 	s := &Service{
-		cfg:         cfg,
-		ck:          ck,
-		queue:       make(chan *job, cfg.QueueSize),
-		slots:       make(chan struct{}, cfg.QueueSize),
-		workersDone: make(chan struct{}),
-		m:           newCounters(obs.NewCollector()),
+		cfg:  cfg,
+		ck:   ck,
+		hb:   hb,
+		recs: make(map[int64]*record),
+		m:    newCounters(obs.NewCollector()),
 	}
 	s.base, s.baseCancel = context.WithCancelCause(context.Background())
-	for i := 0; i < cfg.QueueSize; i++ {
-		s.slots <- struct{}{}
-	}
 	if cfg.OnEvent != nil {
 		s.m.col.AddSink(eventSink(cfg.OnEvent))
 	}
-	go func() {
-		// The worker pool is internal/parallel's bounded primitive: one
-		// index per lane, each looping over the shared queue until close.
-		parallel.Run(cfg.Workers, cfg.Workers, func(int) { s.work() })
-		close(s.workersDone)
-	}()
-	return s
+
+	q, replayed, err := workqueue.Open(workqueue.Config{
+		Capacity:    cfg.QueueSize,
+		LeaseTTL:    cfg.LeaseTTL,
+		MaxAttempts: cfg.MaxAttempts,
+		Dir:         cfg.QueueDir,
+		NextSeq:     ck.ReserveVetSeqs,
+		Obs:         s.m.col,
+		OnDead:      s.deadLetter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.q = q
+	if maxSeq := q.ReplayMaxSeq(); maxSeq > 0 {
+		// Advance the checker's seq counter past every number the journal
+		// ever recorded, so fresh admissions never collide with a seq a
+		// previous life consumed.
+		if first := ck.ReserveVetSeqs(1); first <= maxSeq {
+			ck.ReserveVetSeqs(int(maxSeq - first + 1))
+		}
+	}
+	// Replayed submissions get records (and accepted events) before any
+	// lane can claim them.
+	for _, it := range replayed {
+		r := newRecord(it.Seq, core.Submission{Raw: it.Payload}.PackageName(), it.Key)
+		s.addRecord(r)
+		s.m.accepted.Inc()
+		s.emit(Event{Type: EventAccepted, Seq: r.seq, Package: r.pkg})
+	}
+	s.pool = worker.Start(q, worker.Config{
+		Lanes:          cfg.Workers,
+		HeartbeatEvery: hb,
+		Do:             s.vetClaim,
+		OnPanic:        func(workqueue.Item, any) { s.m.panics.Inc() },
+	})
+	return s, nil
 }
 
 // Checker returns the checker the service vets with.
 func (s *Service) Checker() *core.Checker { return s.ck }
 
 // Obs returns the service's observability collector: admission/completion
-// counters (svc.*), scan-latency distributions, and the service-event
-// stream. Each service owns its collector — a rebuilt service starts from
-// zero, exactly as its Metrics always have. Attach a Sink to stream
-// lifecycle events.
+// counters (svc.*), queue gauges and counters (svc.queue.*), scan-latency
+// distributions, and the service-event stream. Each service owns its
+// collector — a rebuilt service starts from zero, exactly as its Metrics
+// always have. Attach a Sink to stream lifecycle events.
 func (s *Service) Obs() *obs.Collector { return s.m.col }
 
 // Config returns the effective (clamped) configuration.
@@ -242,9 +332,7 @@ func (s *Service) Config() Config { return s.cfg }
 // capacity it fails with ErrQueueFull and consumes nothing. The context
 // becomes the parent of the submission's own deadline-bearing context.
 func (s *Service) Submit(ctx context.Context, sub core.Submission) (*Ticket, error) {
-	select {
-	case <-s.slots:
-	default:
+	if !s.q.TryAcquire() {
 		s.m.rejected.Inc()
 		s.emit(Event{Type: EventRejected, Package: pkgOf(sub), Err: ErrQueueFull})
 		return nil, fmt.Errorf("vet %s: %w", pkgOf(sub), ErrQueueFull)
@@ -258,19 +346,19 @@ func (s *Service) SubmitWait(ctx context.Context, sub core.Submission) (*Ticket,
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	select {
-	case <-s.slots:
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	if err := s.q.Acquire(ctx); err != nil {
+		return nil, err
 	}
 	return s.admit(ctx, sub)
 }
 
-// admit enqueues a submission; the caller holds one queue slot token,
-// which is passed to the queue entry or returned on failure.
+// admit enqueues a submission; the caller holds one queue slot, which
+// transfers to the queue entry or is released on failure. The accepted
+// event is emitted under the admission lock, before the item becomes
+// claimable, so per-seq event order is strictly accepted → started.
 func (s *Service) admit(ctx context.Context, sub core.Submission) (*Ticket, error) {
 	if err := sub.Validate(); err != nil {
-		s.slots <- struct{}{}
+		s.q.Release()
 		return nil, err
 	}
 	if ctx == nil {
@@ -283,60 +371,194 @@ func (s *Service) admit(ctx context.Context, sub core.Submission) (*Ticket, erro
 			err = ErrDraining
 		}
 		s.mu.Unlock()
-		s.slots <- struct{}{}
+		s.q.Release()
 		return nil, err
 	}
 	if sub.Seq == 0 {
 		sub.Seq = s.ck.ReserveVetSeqs(1)
 	}
+	r := newRecord(sub.Seq, pkgOf(sub), sub.Digest)
+	r.sub = sub
 	// A caller context without cancellation rides the service's drainable
 	// base instead, so a hard drain can abort the vet with a typed cause.
-	parent := ctx
-	if parent.Done() == nil {
-		parent = s.base
+	if ctx.Done() != nil {
+		r.ctx = ctx
 	}
-	// Without a per-submission deadline the job just inherits its parent
-	// context: wrapping it in WithCancel bought nothing (the worker canceled
-	// it only after VetOutcome returned) and cost a timerCtx-sized
-	// allocation plus goroutine-visible bookkeeping per submission.
-	jctx, cancel := parent, context.CancelFunc(func() {})
 	if s.cfg.Deadline > 0 {
-		jctx, cancel = context.WithTimeout(parent, s.cfg.Deadline)
+		r.deadline = time.Now().Add(s.cfg.Deadline)
 	}
-	t := &Ticket{seq: sub.Seq, pkg: pkgOf(sub), done: make(chan struct{})}
-	s.queue <- &job{sub: sub, ctx: jctx, cancel: cancel, t: t}
-	s.mu.Unlock()
-
+	s.addRecord(r)
 	s.m.accepted.Inc()
-	s.emit(Event{Type: EventAccepted, Seq: t.seq, Package: t.pkg})
-	return t, nil
+	s.emit(Event{Type: EventAccepted, Seq: r.seq, Package: r.pkg})
+	_, err := s.q.Enqueue(workqueue.Item{Seq: sub.Seq, Key: sub.Digest, Payload: sub.Raw, Mem: r})
+	s.mu.Unlock()
+	if err != nil {
+		// Journal failure (the draining/closed races are excluded under
+		// s.mu): settle the record so the accepted event still pairs with
+		// a done and the books stay balanced.
+		err = fmt.Errorf("vet %s: %w", r.pkg, err)
+		s.settleRecord(r, nil, vcache.OutcomeBypass, err, 0)
+		return nil, err
+	}
+	return &Ticket{r: r}, nil
 }
 
-// work is one lane: dequeue, free the queue slot, vet, account, deliver.
-// Vetting goes through VetOutcome so the metrics can tell emulated
-// completions from cache-served ones.
-func (s *Service) work() {
-	for j := range s.queue {
-		s.slots <- struct{}{}
-		s.m.startJob()
-		s.emit(Event{Type: EventStarted, Seq: j.t.seq, Package: j.t.pkg})
-		v, out, err := s.ck.VetOutcome(j.ctx, j.sub)
-		j.cancel()
-		if err != nil && errors.Is(err, context.Canceled) &&
-			errors.Is(context.Cause(j.ctx), ErrDraining) {
+// vetClaim is the worker pool's Do: the binding from one queue claim to
+// the staged vet pipeline and the verdict record.
+func (s *Service) vetClaim(claimCtx context.Context, l *workqueue.Lease) {
+	it := l.Item()
+	r := s.recordFor(it.Seq)
+	if r == nil {
+		// Already settled (dead-lettered while pending): nothing to vet.
+		return
+	}
+	r.markClaimed()
+	s.emit(Event{Type: EventStarted, Seq: r.seq, Package: r.pkg})
+	if !l.Valid() {
+		// The lease expired while the started hook ran: the submission has
+		// been reclaimed and another lane owns it now. Vetting it here too
+		// would be harmless for the verdict (content-determinism) but
+		// would double-pay the emulation; skip, and let Ack's lease check
+		// fall out as the no-double-ack.
+		return
+	}
+	sub, jctx, cleanup := s.claimContext(claimCtx, it)
+	t0 := time.Now()
+	v, out, err := s.ck.VetOutcome(jctx, sub)
+	wall := time.Since(t0)
+	cleanup()
+	if err != nil && errors.Is(err, context.Canceled) {
+		cause := context.Cause(jctx)
+		switch {
+		case errors.Is(cause, workqueue.ErrLeaseLost):
+			// Reclaimed mid-vet: the re-issued claim reports the verdict;
+			// this half-finished one is abandoned unreported.
+			return
+		case errors.Is(cause, ErrDraining):
 			// The cancellation was the service's hard drain, not the
 			// caller's: surface the shutdown reason.
-			err = fmt.Errorf("vet %s: %w: %w", j.t.pkg, ErrDraining, err)
+			err = fmt.Errorf("vet %s: %w: %w", r.pkg, ErrDraining, err)
 		}
-		s.m.finishJob(v, err, out)
-		j.t.verdict, j.t.err = v, err
-		close(j.t.done)
-		ev := Event{Type: EventDone, Seq: j.t.seq, Package: j.t.pkg, Err: err}
-		if v != nil {
-			ev.Scan = v.ScanTime
-		}
-		s.emit(ev)
 	}
+	s.settleRecord(r, v, out, err, wall)
+}
+
+// claimContext assembles the submission and vetting context for one
+// claim: the caller context (or drainable base) as parent, the admission
+// deadline on top, and — when heartbeats run — the claim context's
+// lease-loss cancellation folded in. Replayed items rebuild their
+// submission from the durable payload and restart their deadline at
+// claim.
+func (s *Service) claimContext(claimCtx context.Context, it workqueue.Item) (core.Submission, context.Context, func()) {
+	var (
+		sub      core.Submission
+		parent   = s.base
+		deadline time.Time
+	)
+	if r, ok := it.Mem.(*record); ok {
+		sub = r.takeSub()
+		if r.ctx != nil {
+			parent = r.ctx
+		}
+		deadline = r.deadline
+	} else {
+		sub = core.Submission{Raw: it.Payload, Seq: it.Seq, Digest: it.Key}
+		if s.cfg.Deadline > 0 {
+			deadline = time.Now().Add(s.cfg.Deadline)
+		}
+	}
+	jctx, cancel := parent, context.CancelFunc(func() {})
+	if !deadline.IsZero() {
+		jctx, cancel = context.WithDeadline(parent, deadline)
+	}
+	if s.hb > 0 {
+		// Only a running heartbeat can cancel the claim context (on lease
+		// loss), so the merge is paid only when it matters.
+		lctx, lcancel := context.WithCancelCause(jctx)
+		stop := context.AfterFunc(claimCtx, func() { lcancel(context.Cause(claimCtx)) })
+		prev := cancel
+		return sub, lctx, func() { stop(); lcancel(nil); prev() }
+	}
+	return sub, jctx, func() { cancel() }
+}
+
+// settleRecord resolves one verdict record, books the completion exactly
+// once (first report wins; a reclaim-raced duplicate changes nothing),
+// and emits the done event.
+func (s *Service) settleRecord(r *record, v *core.Verdict, out vcache.Outcome, err error, wall time.Duration) {
+	if !r.settle(v, err) {
+		return
+	}
+	s.m.finishJob(v, err, out)
+	s.noteWall(wall)
+	s.dropRecord(r.seq)
+	ev := Event{Type: EventDone, Seq: r.seq, Package: r.pkg, Err: err}
+	if v != nil {
+		ev.Scan = v.ScanTime
+	}
+	s.emit(ev)
+}
+
+// deadLetter is the queue's OnDead callback: a submission that exhausted
+// its claim attempts settles as failed with ErrPoisoned instead of
+// cycling forever.
+func (s *Service) deadLetter(it workqueue.Item, cause error) {
+	r := s.recordFor(it.Seq)
+	if r == nil {
+		return
+	}
+	err := fmt.Errorf("vet %s: %w: %w", r.pkg, ErrPoisoned, cause)
+	if !r.settle(nil, err) {
+		return
+	}
+	s.m.finishJob(nil, err, vcache.OutcomeBypass)
+	s.dropRecord(r.seq)
+	s.emit(Event{Type: EventDone, Seq: r.seq, Package: r.pkg, Err: err})
+}
+
+// noteWall folds one completion's wall-clock cost into the drain-estimate
+// EWMA.
+func (s *Service) noteWall(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for {
+		old := s.wallEWMA.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old + (int64(d)-old)/8
+		}
+		if s.wallEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// DrainEstimate estimates the wall-clock time the current backlog (queued
+// plus leased submissions) needs to drain through the lanes, from the
+// smoothed cost of recent completions — the live queue-pressure signal
+// behind the gateway's Retry-After hint. Zero means the queue is idle; an
+// untrained estimate (no completions yet) assumes one second per wave,
+// and the result is clamped to [1s, 5m].
+func (s *Service) DrainEstimate() time.Duration {
+	st := s.q.Stats()
+	backlog := st.Depth + st.Leased
+	if backlog == 0 {
+		return 0
+	}
+	per := time.Duration(s.wallEWMA.Load())
+	if per <= 0 {
+		per = time.Second
+	}
+	waves := (backlog + s.cfg.Workers - 1) / s.cfg.Workers
+	est := time.Duration(waves) * per
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 5*time.Minute {
+		est = 5 * time.Minute
+	}
+	return est
 }
 
 // VetBatch drives an ordered batch through the service with backpressure
@@ -380,10 +602,12 @@ func (s *Service) VetBatch(ctx context.Context, subs []core.Submission) ([]*core
 	out := make([]*core.Verdict, len(cp))
 	firstErr := submitErr
 	for i, t := range tickets {
-		<-t.done
-		out[i] = t.verdict
-		if t.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("vetsvc: %s: %w", t.pkg, t.err)
+		if !t.r.isSettled() {
+			<-t.r.doneCh()
+		}
+		out[i] = t.r.verdict
+		if t.r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("vetsvc: %s: %w", t.r.pkg, t.r.err)
 		}
 	}
 	if firstErr != nil {
@@ -400,33 +624,37 @@ func (s *Service) Close() { s.Drain(context.Background()) }
 
 // Drain is the graceful shutdown primitive: it stops admissions
 // (subsequent submits fail with ErrDraining, then ErrClosed once the
-// drain settles), lets queued and in-flight submissions finish, and waits
-// for the workers. If ctx expires first, the drain hardens: every
-// outstanding submission riding a service-owned context (admitted without
-// caller cancellation) is cancelled with cause ErrDraining, its ticket
-// settling with an error wrapping ErrDraining; submissions admitted under
-// a caller-cancelable context are the caller's to abort, and Drain still
+// drain settles), stops the queue from accepting (claims continue until
+// every queued and leased submission settles), and waits for the worker
+// lanes. If ctx expires first, the drain hardens: every outstanding
+// submission riding a service-owned context (admitted without caller
+// cancellation) is cancelled with cause ErrDraining, its ticket settling
+// with an error wrapping ErrDraining; submissions admitted under a
+// caller-cancelable context are the caller's to abort, and Drain still
 // waits for them. Idempotent and safe to call concurrently; every call
-// returns only once all accepted submissions have settled.
+// returns only once all accepted submissions have settled. The intake
+// journal closes with everything acked, so a drained shutdown replays
+// nothing.
 func (s *Service) Drain(ctx context.Context) {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.q.Shutdown()
 	}
 	s.mu.Unlock()
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	select {
-	case <-s.workersDone:
+	case <-s.pool.Done():
 	case <-ctx.Done():
 		s.baseCancel(ErrDraining)
-		<-s.workersDone
+		<-s.pool.Done()
 	}
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	s.q.Close()
 }
 
 // Draining reports whether the service has begun shutting down (admissions

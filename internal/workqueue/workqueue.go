@@ -1,0 +1,673 @@
+// Package workqueue is the durable intake tier of the vetting cluster
+// protocol: a bounded, seq-ordered submission queue whose work is handed
+// out under leases — the coordinator half of the taskcluster-worker shape
+// ROADMAP targets, rehearsed in-process so a later network API can slot in
+// without changing worker semantics.
+//
+// The contract:
+//
+//   - Enqueue assigns a vet sequence number (or honors a pinned one) and,
+//     when the queue has a journal directory, appends the submission to a
+//     CRC-framed log before admitting it — a kill-and-restart replays every
+//     enqueued-but-unacked submission.
+//   - Claim hands the lowest-seq pending item to a worker under a lease.
+//     With a LeaseTTL configured, a lease that is neither acked, nacked,
+//     nor heartbeat-extended within the TTL expires: the item is reclaimed
+//     and re-issued to the next claimer without burning its seq.
+//   - Heartbeat extends a lease mid-vet; Ack settles it (journaling the
+//     settle so the item never replays); Nack returns the item for another
+//     attempt. An item that exhausts MaxAttempts is dead-lettered through
+//     the OnDead callback instead of cycling forever.
+//
+// Capacity bounds the *waiting* items, exactly like the channel queue this
+// package replaced: admission takes a slot token (TryAcquire/Acquire),
+// Claim returns it. Reclaimed and replayed items may transiently push the
+// pending count past Capacity; the overflow is repaid from freed slots
+// before new admissions see them.
+package workqueue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"apichecker/internal/obs"
+)
+
+// Typed queue failures.
+var (
+	// ErrFull: the queue is at capacity; nothing was enqueued.
+	ErrFull = errors.New("workqueue: queue full")
+
+	// ErrClosed: the queue has been closed (or shut down) and accepts no
+	// new items.
+	ErrClosed = errors.New("workqueue: queue closed")
+
+	// ErrDrained: a graceful shutdown has settled every item; Claim has
+	// nothing left to hand out, ever.
+	ErrDrained = errors.New("workqueue: queue drained")
+
+	// ErrLeaseLost: the lease expired and its item was reclaimed (or the
+	// queue closed under it); the holder's ack/heartbeat no longer counts.
+	ErrLeaseLost = errors.New("workqueue: lease lost")
+)
+
+// Item is one queued submission.
+type Item struct {
+	// Seq is the vet sequence number — the item's identity across claims,
+	// restarts, and logs. Reclaims and replays never burn it.
+	Seq int64
+
+	// Key is an optional content identity (digest) journaled with the
+	// payload.
+	Key string
+
+	// Payload is the durable body (raw archive bytes). Items with a nil
+	// Payload are memory-only: they are never journaled and do not survive
+	// a restart.
+	Payload []byte
+
+	// Mem is an in-process attachment (contexts, parsed forms) that rides
+	// the item between enqueue and claim but is lost on replay.
+	Mem any
+
+	// Attempts counts claims issued for this item, including the current
+	// one.
+	Attempts int
+
+	// EnqueuedAt is the wall-clock admission time (this life; replayed
+	// items restart the clock at replay).
+	EnqueuedAt time.Time
+
+	// Replayed marks an item restored from the journal at Open.
+	Replayed bool
+}
+
+// Config tunes one queue.
+type Config struct {
+	// Capacity bounds the waiting items (claimed items ride on top);
+	// <= 0 selects 64.
+	Capacity int
+
+	// LeaseTTL is how long a claim may go without an ack, nack, or
+	// heartbeat before its item is reclaimed; 0 means leases never expire.
+	LeaseTTL time.Duration
+
+	// MaxAttempts bounds claims per item before it is dead-lettered;
+	// <= 0 selects 3.
+	MaxAttempts int
+
+	// Dir, when non-empty, journals durable items (Payload != nil) so a
+	// restart replays everything enqueued but never acked.
+	Dir string
+
+	// NextSeq reserves n consecutive sequence numbers and returns the
+	// first (the Checker's ReserveVetSeqs shape); nil uses an internal
+	// counter starting at 1.
+	NextSeq func(n int) int64
+
+	// Now is the clock (tests inject a fake one); nil uses time.Now.
+	Now func() time.Time
+
+	// Obs, when set, receives the queue's gauges (svc.queue.depth,
+	// svc.queue.leases), counters (svc.queue.enqueued/acked/nacked/
+	// reclaimed/replayed/dead_lettered), and the svc.queue.lease_age
+	// distribution (wall seconds per settled lease).
+	Obs *obs.Collector
+
+	// OnDead receives each dead-lettered item with the failure that
+	// exhausted it. Called without queue locks held; the item is already
+	// settled (it will not replay).
+	OnDead func(Item, error)
+}
+
+// Stats is a point-in-time queue activity snapshot.
+type Stats struct {
+	Depth    int // items waiting for a claim
+	Leased   int // items out under a live lease
+	Capacity int
+
+	Enqueued     uint64
+	Acked        uint64
+	Nacked       uint64
+	Reclaimed    uint64 // leases expired and re-issued
+	Replayed     uint64 // items restored from the journal at Open
+	DeadLettered uint64
+}
+
+// seqHeap orders pending items by seq — FIFO order equals seq order, and
+// a reclaimed item re-enters ahead of everything enqueued after it.
+// Hand-rolled sift-up/sift-down rather than container/heap: the interface
+// boxing on heap.Push/Pop costs an allocation per item on the hot path.
+type seqHeap []Item
+
+func (h *seqHeap) push(it Item) {
+	s := append(*h, it)
+	*h = s
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p].Seq <= s[i].Seq {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *seqHeap) pop() Item {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	it := s[n]
+	s[n] = Item{} // release Payload/Mem references
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		m := 2*i + 1
+		if m >= n {
+			break
+		}
+		if r := m + 1; r < n && s[r].Seq < s[m].Seq {
+			m = r
+		}
+		if s[i].Seq <= s[m].Seq {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return it
+}
+
+// lease tracks one outstanding claim.
+type leaseState struct {
+	item     Item
+	token    uint64
+	deadline time.Time // zero when leases never expire
+	leasedAt time.Time
+}
+
+// Queue is a running work queue. Construct with Open.
+type Queue struct {
+	cfg Config
+	now func() time.Time
+
+	// slots carries one token per free queue position; admission takes a
+	// token (TryAcquire/Acquire), Claim returns it — unless debt is
+	// outstanding from replayed or reclaimed items that oversubscribed
+	// capacity, in which case the freed slot repays the debt first.
+	slots chan struct{}
+
+	mu       sync.Mutex
+	pending  seqHeap
+	leases   map[int64]leaseState // by seq (value map: one less alloc per claim)
+	debt     int
+	token    uint64 // lease token source
+	closed   bool   // no new enqueues; Claim drains then reports ErrDrained
+	released bool   // Close called: journal shut, claims report ErrClosed
+	waiters  int    // Claims blocked on wake (pulses are skipped at zero)
+	wake     chan struct{}
+	log      *qlog
+	nextSeq  int64 // internal counter when cfg.NextSeq == nil
+	maxSeq   int64 // highest seq the journal had recorded at Open
+
+	depth, leased                                      *obs.Gauge
+	enqueued, acked, nacked, reclaimed, replayed, dead *obs.Counter
+	leaseAge                                           *obs.Distribution
+}
+
+// Open builds a queue. With cfg.Dir set it opens (or creates) the journal
+// there and returns the replayed items — every submission a previous life
+// enqueued but never acked, in seq order, already resident in the queue
+// and ready to claim.
+func Open(cfg Config) (*Queue, []Item, error) {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 64
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	col := cfg.Obs
+	if col == nil {
+		col = obs.NewCollector()
+	}
+	q := &Queue{
+		cfg:       cfg,
+		now:       now,
+		slots:     make(chan struct{}, cfg.Capacity),
+		leases:    make(map[int64]leaseState),
+		wake:      make(chan struct{}),
+		depth:     col.Gauge("svc.queue.depth"),
+		leased:    col.Gauge("svc.queue.leases"),
+		enqueued:  col.Counter("svc.queue.enqueued"),
+		acked:     col.Counter("svc.queue.acked"),
+		nacked:    col.Counter("svc.queue.nacked"),
+		reclaimed: col.Counter("svc.queue.reclaimed"),
+		replayed:  col.Counter("svc.queue.replayed"),
+		dead:      col.Counter("svc.queue.dead_lettered"),
+		leaseAge:  col.Distribution("svc.queue.lease_age"),
+	}
+	for i := 0; i < cfg.Capacity; i++ {
+		q.slots <- struct{}{}
+	}
+
+	var replayed []Item
+	if cfg.Dir != "" {
+		log, items, maxSeq, _, err := openLog(cfg.Dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		q.log = log
+		q.maxSeq = maxSeq
+		// The internal counter resumes past everything the journal ever
+		// recorded; external seq sources consult ReplayMaxSeq themselves.
+		q.nextSeq = maxSeq
+		replayed = items
+		at := now()
+		for i := range replayed {
+			replayed[i].EnqueuedAt = at
+			// Like a reclaim, a replayed item holds no admission token:
+			// consume a free slot, or run above capacity on debt.
+			select {
+			case <-q.slots:
+			default:
+				q.debt++
+			}
+			q.insertLocked(replayed[i])
+			q.replayed.Inc()
+		}
+	}
+	return q, replayed, nil
+}
+
+// ReplayMaxSeq returns the highest sequence number the journal had ever
+// recorded when the queue opened (0 without a journal or on a fresh one).
+// Callers using an external seq source advance it past this so new
+// admissions never collide with numbers a previous life consumed.
+func (q *Queue) ReplayMaxSeq() int64 { return q.maxSeq }
+
+// TryAcquire takes one queue slot without blocking; false means the queue
+// is at capacity. A successful acquire must be followed by Enqueue or
+// Release.
+func (q *Queue) TryAcquire() bool {
+	select {
+	case <-q.slots:
+		return true
+	default:
+		return false
+	}
+}
+
+// Acquire blocks for a queue slot until one frees or ctx ends.
+func (q *Queue) Acquire(ctx context.Context) error {
+	select {
+	case <-q.slots:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns an acquired slot unused (the admission failed
+// validation or the service is draining).
+func (q *Queue) Release() { q.slots <- struct{}{} }
+
+// Enqueue admits one item, consuming a slot the caller acquired. A zero
+// Seq is assigned from the seq source; the assigned seq is returned. With
+// a journal, durable items are logged before they become claimable, so an
+// accepted submission is crash-safe by the time Enqueue returns.
+func (q *Queue) Enqueue(it Item) (int64, error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.Release()
+		return 0, ErrClosed
+	}
+	if it.Seq == 0 {
+		if q.cfg.NextSeq != nil {
+			it.Seq = q.cfg.NextSeq(1)
+		} else {
+			q.nextSeq++
+			it.Seq = q.nextSeq
+		}
+	}
+	it.Attempts = 0
+	it.EnqueuedAt = q.now()
+	if q.log != nil && it.Payload != nil {
+		if err := q.log.appendEnqueue(it); err != nil {
+			q.mu.Unlock()
+			q.Release()
+			return 0, err
+		}
+	}
+	q.insertLocked(it)
+	q.enqueued.Inc()
+	q.pulseLocked()
+	q.mu.Unlock()
+	return it.Seq, nil
+}
+
+// insertLocked places an item in the pending heap without touching the
+// slot tokens (the caller's token transferred in, or the item is a replay
+// or reclaim riding above capacity via debt accounting on the way out).
+func (q *Queue) insertLocked(it Item) {
+	q.pending.push(it)
+	q.depth.Set(int64(len(q.pending)))
+}
+
+// reinsertLocked returns a reclaimed or nacked item to pending. It holds
+// no slot token: if one is free it is consumed, otherwise the queue runs
+// above capacity and the next freed slot repays the debt.
+func (q *Queue) reinsertLocked(it Item) {
+	select {
+	case <-q.slots:
+	default:
+		q.debt++
+	}
+	q.insertLocked(it)
+	q.pulseLocked()
+}
+
+// releaseSlotLocked frees the slot a claimed item held, repaying debt
+// first.
+func (q *Queue) releaseSlotLocked() {
+	if q.debt > 0 {
+		q.debt--
+		return
+	}
+	q.slots <- struct{}{}
+}
+
+// pulseLocked wakes every blocked Claim to rescan the queue state. With
+// no claimer waiting (lanes all busy — the steady serving state) it is
+// free: no channel is closed or reallocated.
+func (q *Queue) pulseLocked() {
+	if q.waiters == 0 {
+		return
+	}
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+// Claim blocks for the lowest-seq pending item and leases it to the
+// caller. It returns ErrDrained once a Shutdown queue has settled
+// everything, ErrClosed after Close, or ctx's error.
+func (q *Queue) Claim(ctx context.Context) (*Lease, error) {
+	for {
+		q.mu.Lock()
+		if q.released {
+			q.mu.Unlock()
+			return nil, ErrClosed
+		}
+		dead := q.reclaimLocked()
+		if len(q.pending) > 0 {
+			it := q.pending.pop()
+			q.depth.Set(int64(len(q.pending)))
+			q.releaseSlotLocked()
+			it.Attempts++
+			q.token++
+			ls := leaseState{item: it, token: q.token, leasedAt: q.now()}
+			if q.cfg.LeaseTTL > 0 {
+				ls.deadline = ls.leasedAt.Add(q.cfg.LeaseTTL)
+			}
+			q.leases[it.Seq] = ls
+			q.leased.Set(int64(len(q.leases)))
+			q.mu.Unlock()
+			q.fireDead(dead)
+			return &Lease{q: q, item: it, token: ls.token}, nil
+		}
+		if q.closed && len(q.leases) == 0 {
+			q.mu.Unlock()
+			q.fireDead(dead)
+			return nil, ErrDrained
+		}
+		// Nothing claimable: wait for an enqueue, a nack, a shutdown — or
+		// the earliest lease expiry, after which a rescan reclaims it.
+		// Registering as a waiter before capturing the channel (both under
+		// q.mu) means no pulse between here and the select can be missed.
+		q.waiters++
+		wake := q.wake
+		var timer *time.Timer
+		var expiry <-chan time.Time
+		if q.cfg.LeaseTTL > 0 && len(q.leases) > 0 {
+			next := time.Time{}
+			for _, ls := range q.leases {
+				if next.IsZero() || ls.deadline.Before(next) {
+					next = ls.deadline
+				}
+			}
+			d := next.Sub(q.now())
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+			timer = time.NewTimer(d)
+			expiry = timer.C
+		}
+		q.mu.Unlock()
+		q.fireDead(dead)
+		select {
+		case <-wake:
+		case <-expiry:
+		case <-ctx.Done():
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		q.mu.Lock()
+		q.waiters--
+		q.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// reclaimLocked expires overdue leases: their items return to pending
+// (keeping their seqs) unless attempts are exhausted, in which case they
+// are settled and returned for dead-letter callbacks outside the lock.
+func (q *Queue) reclaimLocked() []deadItem {
+	if q.cfg.LeaseTTL <= 0 || len(q.leases) == 0 {
+		return nil
+	}
+	now := q.now()
+	var dead []deadItem
+	for seq, ls := range q.leases {
+		if ls.deadline.After(now) {
+			continue
+		}
+		delete(q.leases, seq)
+		q.leaseAge.Observe(now.Sub(ls.leasedAt).Seconds())
+		q.reclaimed.Inc()
+		cause := fmt.Errorf("%w: lease expired after %d attempt(s)", ErrLeaseLost, ls.item.Attempts)
+		if ls.item.Attempts >= q.cfg.MaxAttempts {
+			dead = append(dead, q.settleDeadLocked(ls.item, cause))
+		} else {
+			q.reinsertLocked(ls.item)
+		}
+	}
+	q.leased.Set(int64(len(q.leases)))
+	if len(dead) > 0 || len(q.leases) == 0 {
+		q.pulseLocked()
+	}
+	return dead
+}
+
+// deadItem pairs a dead-lettered item with its terminal cause for the
+// OnDead callback.
+type deadItem struct {
+	item  Item
+	cause error
+}
+
+// settleDeadLocked books one dead-lettered item: journal settle (it must
+// not replay) and counters. The freed slot is NOT returned here — the
+// item was leased, and the lease's slot was already released at claim.
+func (q *Queue) settleDeadLocked(it Item, cause error) deadItem {
+	q.dead.Inc()
+	if q.log != nil && it.Payload != nil {
+		q.log.appendSettle(it.Seq, q.liveLocked)
+	}
+	return deadItem{item: it, cause: cause}
+}
+
+// liveLocked snapshots every unsettled durable item (pending + leased)
+// for journal compaction.
+func (q *Queue) liveLocked() []Item {
+	live := make([]Item, 0, len(q.pending)+len(q.leases))
+	live = append(live, q.pending...)
+	for _, ls := range q.leases {
+		live = append(live, ls.item)
+	}
+	return live
+}
+
+// fireDead delivers dead-letter callbacks outside the queue lock.
+func (q *Queue) fireDead(dead []deadItem) {
+	if q.cfg.OnDead == nil {
+		return
+	}
+	for _, d := range dead {
+		q.cfg.OnDead(d.item, d.cause)
+	}
+}
+
+// Stats snapshots queue activity.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	depth, leased := len(q.pending), len(q.leases)
+	q.mu.Unlock()
+	return Stats{
+		Depth:        depth,
+		Leased:       leased,
+		Capacity:     q.cfg.Capacity,
+		Enqueued:     q.enqueued.Load(),
+		Acked:        q.acked.Load(),
+		Nacked:       q.nacked.Load(),
+		Reclaimed:    q.reclaimed.Load(),
+		Replayed:     q.replayed.Load(),
+		DeadLettered: q.dead.Load(),
+	}
+}
+
+// Shutdown begins a graceful drain: no new enqueues (ErrClosed), but
+// pending items remain claimable and outstanding leases can still settle.
+// Once everything is settled, Claim reports ErrDrained.
+func (q *Queue) Shutdown() {
+	q.mu.Lock()
+	q.closed = true
+	q.pulseLocked()
+	q.mu.Unlock()
+}
+
+// Close releases the queue abruptly: enqueues and claims fail, blocked
+// claims wake, and the journal file handle closes — pending items stay
+// journaled (unsettled) exactly as a crash would leave them, which is the
+// point: the next Open replays them.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	q.closed, q.released = true, true
+	var err error
+	if q.log != nil {
+		err = q.log.close()
+	}
+	q.pulseLocked()
+	q.mu.Unlock()
+	return err
+}
+
+// Lease is one claim on one item. The holder must settle it exactly once
+// with Ack or Nack; Heartbeat extends it mid-work.
+type Lease struct {
+	q     *Queue
+	item  Item
+	token uint64
+}
+
+// Item returns the leased item (Attempts counts this claim).
+func (l *Lease) Item() Item { return l.item }
+
+// Valid reports whether the lease is still live — its item has not been
+// reclaimed out from under the holder.
+func (l *Lease) Valid() bool {
+	l.q.mu.Lock()
+	ls, ok := l.q.leases[l.item.Seq]
+	l.q.mu.Unlock()
+	return ok && ls.token == l.token
+}
+
+// Heartbeat extends the lease by one TTL (a no-op without a TTL). It
+// fails with ErrLeaseLost if the lease has already been reclaimed.
+func (l *Lease) Heartbeat() error {
+	l.q.mu.Lock()
+	defer l.q.mu.Unlock()
+	ls, ok := l.q.leases[l.item.Seq]
+	if !ok || ls.token != l.token {
+		return ErrLeaseLost
+	}
+	if l.q.cfg.LeaseTTL > 0 {
+		ls.deadline = l.q.now().Add(l.q.cfg.LeaseTTL)
+		l.q.leases[l.item.Seq] = ls
+	}
+	return nil
+}
+
+// Ack settles the lease as done: the item is journaled settled (it will
+// never replay) and leaves the queue for good. Fails with ErrLeaseLost if
+// the item was reclaimed — the result now belongs to a later claim.
+func (l *Lease) Ack() error {
+	q := l.q
+	q.mu.Lock()
+	ls, ok := q.leases[l.item.Seq]
+	if !ok || ls.token != l.token {
+		q.mu.Unlock()
+		return ErrLeaseLost
+	}
+	delete(q.leases, l.item.Seq)
+	q.leased.Set(int64(len(q.leases)))
+	q.leaseAge.Observe(q.now().Sub(ls.leasedAt).Seconds())
+	q.acked.Inc()
+	if q.log != nil && l.item.Payload != nil {
+		q.log.appendSettle(l.item.Seq, q.liveLocked)
+	}
+	q.pulseLocked()
+	q.mu.Unlock()
+	return nil
+}
+
+// Nack returns the item for another attempt (requeued true) — unless its
+// attempts are exhausted, in which case it is dead-lettered with cause
+// (requeued false, OnDead fired). Fails with ErrLeaseLost if the item was
+// already reclaimed.
+func (l *Lease) Nack(cause error) (requeued bool, err error) {
+	q := l.q
+	q.mu.Lock()
+	ls, ok := q.leases[l.item.Seq]
+	if !ok || ls.token != l.token {
+		q.mu.Unlock()
+		return false, ErrLeaseLost
+	}
+	delete(q.leases, l.item.Seq)
+	q.leased.Set(int64(len(q.leases)))
+	q.leaseAge.Observe(q.now().Sub(ls.leasedAt).Seconds())
+	q.nacked.Inc()
+	var dead []deadItem
+	if ls.item.Attempts >= q.cfg.MaxAttempts {
+		if cause == nil {
+			cause = fmt.Errorf("workqueue: nacked after %d attempt(s)", ls.item.Attempts)
+		}
+		dead = append(dead, q.settleDeadLocked(ls.item, cause))
+		q.pulseLocked()
+		q.mu.Unlock()
+		q.fireDead(dead)
+		return false, nil
+	}
+	q.reinsertLocked(ls.item)
+	q.mu.Unlock()
+	return true, nil
+}
