@@ -50,6 +50,7 @@ import (
 
 	"apichecker/internal/apk"
 	"apichecker/internal/behavior"
+	"apichecker/internal/cluster"
 	"apichecker/internal/core"
 	"apichecker/internal/dataset"
 	"apichecker/internal/emulator"
@@ -124,6 +125,29 @@ type (
 	ServeConfig = gateway.ServeConfig
 	// SubmissionStatus is the gateway's JSON resource for one submission.
 	SubmissionStatus = gateway.SubmissionStatus
+
+	// ClusterCoordinator turns a gateway deployment into the head of a
+	// vet cluster: it mounts the workqueue's claim protocol on the
+	// gateway mux so remote worker nodes claim submissions over HTTP,
+	// heartbeat their leases, and report verdicts for first-wins
+	// recording. Construct with NewClusterCoordinator and pass through
+	// GatewayConfig.Cluster.
+	ClusterCoordinator = cluster.Coordinator
+	// ClusterCoordinatorConfig tunes fleet liveness, long-polling, and
+	// affinity routing.
+	ClusterCoordinatorConfig = cluster.CoordinatorConfig
+	// ClusterWorker is one remote worker node: claim loops running the
+	// full local vet pipeline against a checker cold-started from the
+	// coordinator's advertised model generation. Construct with
+	// StartClusterWorker.
+	ClusterWorker = cluster.Worker
+	// ClusterWorkerConfig tunes one worker node.
+	ClusterWorkerConfig = cluster.WorkerConfig
+	// ClusterWorkerStats is a node activity snapshot.
+	ClusterWorkerStats = cluster.WorkerStats
+	// RemoteVerdict is one node-reported vet result as the coordinator
+	// recorded it (CoordinatorConfig.OnVerdict).
+	RemoteVerdict = cluster.RemoteVerdict
 
 	// APK is a parsed package.
 	APK = apk.APK
@@ -328,6 +352,10 @@ var (
 	// (repeated worker panics or expired leases) and was dead-lettered;
 	// its ticket fails with an error wrapping this.
 	ErrSubmissionPoisoned = vetsvc.ErrPoisoned
+	// ErrRawSubmissionOnly: a coordinator-mode service (cluster
+	// deployments) rejected a submission with no raw archive bytes —
+	// only raw payloads can travel to remote worker nodes.
+	ErrRawSubmissionOnly = vetsvc.ErrRawOnly
 	// ErrDeadlineExceeded: the per-submission vet deadline expired; wraps
 	// context.DeadlineExceeded.
 	ErrDeadlineExceeded = core.ErrDeadlineExceeded
@@ -433,6 +461,22 @@ func NewGateway(svc *VetService, cfg GatewayConfig) *Gateway { return gateway.Ne
 
 // DefaultServeConfig is the recommended serving deployment shape.
 func DefaultServeConfig() ServeConfig { return gateway.DefaultServeConfig() }
+
+// NewClusterCoordinator builds the head of a vet cluster over a
+// coordinator-mode vetting service (VetServiceConfig.DisableLocalLanes).
+// Mount it on the gateway by passing it through GatewayConfig.Cluster.
+func NewClusterCoordinator(svc *VetService, cfg ClusterCoordinatorConfig) *ClusterCoordinator {
+	return cluster.NewCoordinator(svc, cfg)
+}
+
+// StartClusterWorker launches one remote worker node against a
+// coordinator's base URL. The node cold-starts its checker from the
+// coordinator's advertised model generation, claims and vets
+// submissions until the coordinator drains or Stop is called, and
+// hot-swaps whenever a claim advertises a newer generation.
+func StartClusterWorker(cfg ClusterWorkerConfig) (*ClusterWorker, error) {
+	return cluster.StartWorker(cfg)
+}
 
 // WriteObsMetrics writes the Prometheus text exposition of every counter,
 // gauge, distribution, and stage aggregate the collectors hold — the same

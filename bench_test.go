@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"sort"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"testing"
 	"time"
 
+	"apichecker/internal/cluster"
 	"apichecker/internal/core"
 	"apichecker/internal/dataset"
 	"apichecker/internal/emulator"
@@ -755,6 +757,88 @@ func BenchmarkQueueServing(b *testing.B) {
 	m := svc.Metrics()
 	b.ReportMetric(float64(m.CacheHits+m.CacheCoalesced), "cache-served")
 	b.ReportMetric(float64(m.QueueAcked), "queue-acked")
+}
+
+// BenchmarkClusterServing prices the distributed deployment: the same
+// duplicate-heavy raw-archive workload as BenchmarkQueueServing, but the
+// coordinator owns the queue with local lanes off and three worker nodes
+// claim, vet, and ack every submission over real HTTP (loopback). The
+// delta against BenchmarkQueueServing is the wire premium — JSON claim
+// framing, base64 payload transport, lease round-trips — on top of the
+// identical vet work.
+func BenchmarkClusterServing(b *testing.B) {
+	e := env(b)
+	ck, _, err := core.TrainFromCorpus(e.Corpus, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const uniques, total = 10, 200
+	raws := make([][]byte, uniques)
+	for i := range raws {
+		raw, err := BuildAPK(e.Corpus.Program(i), e.U)
+		if err != nil {
+			b.Fatal(err)
+		}
+		raws[i] = raw
+	}
+	subs := make([]core.Submission, total)
+	for i := range subs {
+		subs[i] = core.Submission{Raw: raws[i%uniques]}
+	}
+	svc, err := vetsvc.Open(ck, vetsvc.Config{
+		QueueSize:         32,
+		LeaseTTL:          time.Minute,
+		DisableLocalLanes: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	coord := cluster.NewCoordinator(svc, cluster.CoordinatorConfig{
+		PollSlice: 20 * time.Millisecond,
+		StealAge:  100 * time.Millisecond,
+	})
+	mux := http.NewServeMux()
+	coord.Mount(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	workers := make([]*cluster.Worker, 3)
+	for i := range workers {
+		workers[i], err = cluster.StartWorker(cluster.WorkerConfig{
+			Coordinator: ts.URL,
+			Node:        string(rune('a' + i)),
+			Lanes:       4,
+			PollWait:    250 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Stop()
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.VetBatch(context.Background(), subs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*total)/elapsed, "submissions/s")
+	}
+	var claims, verdicts uint64
+	for _, w := range workers {
+		st := w.Stats()
+		claims += st.Claims
+		verdicts += st.Verdicts
+	}
+	b.ReportMetric(float64(claims), "remote-claims")
+	b.ReportMetric(float64(verdicts), "remote-verdicts")
 }
 
 // BenchmarkServiceThroughputTiered serves a confident-heavy batch through

@@ -78,6 +78,7 @@ func main() {
 	flag.StringVar(&scfg.Listen, "listen", "", "serve the HTTP gateway on this address until SIGINT/SIGTERM (-serve only)")
 	flag.StringVar(&scfg.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.DurationVar(&scfg.DrainTimeout, "drain-timeout", scfg.DrainTimeout, "graceful-shutdown budget for in-flight submissions (-listen only)")
+	flag.BoolVar(&scfg.Cluster, "cluster", false, "run as a vet-cluster coordinator: local lanes off, remote vetworker nodes claim submissions over the gateway (requires -listen)")
 	flag.Parse()
 
 	if scfg.PprofAddr != "" {
@@ -92,6 +93,9 @@ func main() {
 
 	if (*snapshot || scfg.Evolve) && scfg.ModelDir == "" {
 		fail(fmt.Errorf("-snapshot and -evolve require -model-dir"))
+	}
+	if scfg.Cluster && (!*serve || scfg.Listen == "") {
+		fail(fmt.Errorf("-cluster requires -serve -listen (worker nodes claim over the gateway)"))
 	}
 	band, err := parseBand(*tband)
 	if err != nil {
@@ -464,9 +468,24 @@ func runService(u *apichecker.Universe, seed int64, initial, monthly, dup int, s
 // serveGateway is the -serve -listen path: expose the vetting service
 // over HTTP and block until SIGINT/SIGTERM, then drain gracefully —
 // admissions stop (503), in-flight submissions get DrainTimeout to
-// finish, the persist log flushes, and the listener closes.
+// finish, the persist log flushes, and the listener closes. With
+// Cluster, the gateway also mounts the vet-cluster coordinator so
+// remote vetworker nodes do the vetting.
 func serveGateway(svc *apichecker.VetService, scfg apichecker.ServeConfig) error {
-	gw := apichecker.NewGateway(svc, scfg.GatewayConfig())
+	gcfg := scfg.GatewayConfig()
+	if scfg.Cluster {
+		ccfg := apichecker.ClusterCoordinatorConfig{}
+		if scfg.ModelDir != "" {
+			reg, err := apichecker.OpenModelRegistry(scfg.ModelDir)
+			if err != nil {
+				return err
+			}
+			ccfg.Registry = reg
+		}
+		gcfg.Cluster = apichecker.NewClusterCoordinator(svc, ccfg)
+		fmt.Println("cluster coordinator on: local lanes off, vetting via remote vetworker nodes")
+	}
+	gw := apichecker.NewGateway(svc, gcfg)
 	serveErr := make(chan error, 1)
 	go func() {
 		err := gw.ListenAndServe(scfg.Listen)

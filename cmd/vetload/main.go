@@ -21,6 +21,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -100,6 +101,8 @@ func main() {
 	fmt.Printf("latency: p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
 		res.P50Millis, res.P95Millis, res.P99Millis)
 	fmt.Printf("verdicts: %d malicious, %d cache-served\n", res.Malicious, res.CacheServed)
+	fmt.Printf("verdict fingerprint: %.16s (%d distinct, %d conflicts)\n",
+		res.VerdictFingerprint, *apps, res.VerdictConflicts)
 	if res.Tier1 > 0 {
 		fmt.Printf("tier mix: %d tier-1 (static triage), %d tier-2 (emulated)\n", res.Tier1, res.Tier2)
 	}
@@ -131,6 +134,17 @@ type result struct {
 	CacheServed int64   `json:"cache_served"`
 	Tier1       int64   `json:"tier1"`
 	Tier2       int64   `json:"tier2"`
+
+	// VerdictFingerprint is an order-independent digest of the verdict
+	// set: sha256 over the sorted unique "md5:sha256(verdictJSON)" lines.
+	// Two runs over the same workload and model — serial, concurrent, or
+	// spread across a vet cluster — must produce the same fingerprint;
+	// CI compares it against a serial baseline to prove bit-identity.
+	VerdictFingerprint string `json:"verdict_fingerprint"`
+	// VerdictConflicts counts submissions whose verdict differed from an
+	// earlier verdict for the same content — always 0 when the serving
+	// side is deterministic.
+	VerdictConflicts int64 `json:"verdict_conflicts"`
 }
 
 // drive runs the concurrent load loop against the gateway at addr.
@@ -147,6 +161,8 @@ func drive(addr string, payloads [][]byte, n, clients int, wait time.Duration) r
 		tier2     atomic.Int64
 		mu        sync.Mutex
 		lats      []float64
+		fps       = map[string]string{}
+		conflicts int64
 	)
 	client := &http.Client{Timeout: wait + 30*time.Second}
 	start := time.Now()
@@ -186,12 +202,34 @@ func drive(addr string, payloads [][]byte, n, clients int, wait time.Duration) r
 				}
 				mu.Lock()
 				lats = append(lats, lat.Seconds()*1000)
+				if st.Verdict != nil {
+					vj, _ := json.Marshal(st.Verdict)
+					h := fmt.Sprintf("%x", sha256.Sum256(vj))
+					if prev, seen := fps[st.Verdict.MD5]; seen && prev != h {
+						conflicts++
+					} else {
+						fps[st.Verdict.MD5] = h
+					}
+				}
 				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
 	wall := time.Since(start)
+
+	// Fold the per-content verdict hashes into one order-independent
+	// fingerprint.
+	lines := make([]string, 0, len(fps))
+	for md5, h := range fps {
+		lines = append(lines, md5+":"+h)
+	}
+	sort.Strings(lines)
+	fph := sha256.New()
+	for _, l := range lines {
+		fph.Write([]byte(l))
+		fph.Write([]byte{'\n'})
+	}
 
 	sort.Float64s(lats)
 	q := func(p float64) float64 {
@@ -222,6 +260,9 @@ func drive(addr string, payloads [][]byte, n, clients int, wait time.Duration) r
 		CacheServed: served.Load(),
 		Tier1:       tier1.Load(),
 		Tier2:       tier2.Load(),
+
+		VerdictFingerprint: fmt.Sprintf("%x", fph.Sum(nil)),
+		VerdictConflicts:   conflicts,
 	}
 }
 

@@ -71,6 +71,21 @@ type Config struct {
 	// service's drain estimate (queue depth + in-flight leases over the
 	// lane throughput), clamped below by this.
 	RetryAfter time.Duration
+
+	// Cluster, when set, mounts the vet-cluster coordinator's wire
+	// protocol (claim/heartbeat/ack/nack + model pulls) on this gateway's
+	// mux and folds its fleet view into /healthz. The concrete type is
+	// *cluster.Coordinator; the interface keeps the gateway ignorant of
+	// the cluster package (cluster sits below the gateway in the import
+	// graph, never the reverse).
+	Cluster ClusterCoordinator
+}
+
+// ClusterCoordinator is the slice of the vet-cluster coordinator the
+// gateway needs: route registration and the live-fleet gauge.
+type ClusterCoordinator interface {
+	Mount(mux *http.ServeMux)
+	LiveNodes() int
 }
 
 // withDefaults clamps out-of-range values.
@@ -155,6 +170,9 @@ func New(svc *vetsvc.Service, cfg Config) *Server {
 	mux.HandleFunc("GET /v1/submissions/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.Mount(mux)
+	}
 	s.mux = mux
 	return s
 }
@@ -547,14 +565,22 @@ func (s *Server) lookup(id string) *record {
 	return s.byID[id]
 }
 
-// handleHealthz reports liveness plus the serving model generation; a
-// draining gateway answers 503 so load balancers stop routing to it.
+// handleHealthz reports liveness plus the serving model generation and
+// the live load picture (queue depth, in-flight leases, and — when this
+// gateway fronts a vet cluster — the live worker-node count); a draining
+// gateway answers 503 so load balancers stop routing to it.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	gen := s.ck.Generation()
+	qs := s.svc.QueueStats()
 	body := map[string]any{
-		"status":     "ok",
-		"generation": gen.ID,
-		"model":      gen.Digest,
+		"status":      "ok",
+		"generation":  gen.ID,
+		"model":       gen.Digest,
+		"queue_depth": qs.Depth,
+		"leases":      qs.Leased,
+	}
+	if s.cfg.Cluster != nil {
+		body["nodes"] = s.cfg.Cluster.LiveNodes()
 	}
 	code := http.StatusOK
 	if s.draining.Load() {

@@ -75,6 +75,13 @@ type ServeConfig struct {
 	// this long to finish before the drain hard-cancels them with
 	// vetsvc.ErrDraining. <= 0 selects 30 seconds.
 	DrainTimeout time.Duration
+
+	// Cluster runs this deployment as a vet-cluster coordinator: local
+	// emulator lanes are disabled and every admitted submission is vetted
+	// by remote worker nodes claiming over the gateway's cluster routes
+	// (requires Listen; the frontend builds the cluster.Coordinator and
+	// passes it through Config.Cluster).
+	Cluster bool
 }
 
 // DefaultServeConfig is the recommended operational configuration.
@@ -85,11 +92,12 @@ func DefaultServeConfig() ServeConfig {
 // ServiceConfig derives the vetting-service layer's config.
 func (c ServeConfig) ServiceConfig() vetsvc.Config {
 	return vetsvc.Config{
-		Workers:   c.Workers,
-		QueueSize: c.Queue,
-		Deadline:  c.Deadline,
-		QueueDir:  c.QueueDir,
-		LeaseTTL:  c.LeaseTTL,
+		Workers:           c.Workers,
+		QueueSize:         c.Queue,
+		Deadline:          c.Deadline,
+		QueueDir:          c.QueueDir,
+		LeaseTTL:          c.LeaseTTL,
+		DisableLocalLanes: c.Cluster,
 	}
 }
 

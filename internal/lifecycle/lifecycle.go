@@ -176,6 +176,44 @@ func ColdStart(reg *modelstore.Registry) (*core.Checker, modelstore.Manifest, er
 	return ck, man, nil
 }
 
+// AdoptArtifact hot-swaps an artifact's generation into a running
+// checker — the worker-node half of generation propagation: a node that
+// learns (from a claim response) that its coordinator serves a newer
+// generation pulls the artifact and adopts it through the same SwapModel
+// path a local promotion takes. The triage band rides the artifact
+// (Cfg.TriageLo/TriageHi from its TRI1 section), so a band change
+// propagates with the generation it shipped under; adopting a changed
+// band republishes once more via SetTriageBand, advancing the node's
+// local generation counter twice — harmless, since verdict identity
+// derives from content and the model digest, not the local swap count.
+func AdoptArtifact(ck *core.Checker, a *modelstore.Artifact) (core.GenerationInfo, error) {
+	parts, err := a.Parts()
+	if err != nil {
+		return core.GenerationInfo{}, err
+	}
+	gen, err := ck.SwapModel(parts)
+	if err != nil {
+		return core.GenerationInfo{}, err
+	}
+	cfg := ck.Config()
+	curLo, curHi := normBand(cfg.TriageLo, cfg.TriageHi)
+	artLo, artHi := normBand(a.Cfg.TriageLo, a.Cfg.TriageHi)
+	if curLo != artLo || curHi != artHi {
+		return ck.SetTriageBand(a.Cfg.TriageLo, a.Cfg.TriageHi)
+	}
+	return gen, nil
+}
+
+// normBand maps the zero band to the trivial [0, 1] band (the same
+// normalization SetTriageBand applies) so band equality compares
+// semantics, not spellings.
+func normBand(lo, hi float64) (float64, float64) {
+	if lo == 0 && hi == 0 {
+		return 0, 1
+	}
+	return lo, hi
+}
+
 // Evolve is one background-evolution round: split the refreshed corpus
 // into train/holdout, train a challenger off the serving path, shadow-
 // score challenger vs champion on the holdout through each one's vet

@@ -167,6 +167,21 @@ func (r *Registry) Load(digest string) (*Artifact, Manifest, error) {
 	return a, m, nil
 }
 
+// ArtifactBytes returns a stored generation's raw encoded artifact by
+// digest — the model-distribution read path: a coordinator serves these
+// bytes verbatim over GET /v1/model/{digest}, and the content address
+// lets the puller verify integrity without trusting the transport.
+func (r *Registry) ArtifactBytes(digest string) ([]byte, error) {
+	data, err := os.ReadFile(r.artifactPath(digest))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, digest)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("modelstore: %w", err)
+	}
+	return data, nil
+}
+
 // Manifest returns a stored generation's manifest by digest.
 func (r *Registry) Manifest(digest string) (Manifest, error) {
 	data, err := os.ReadFile(r.manifestPath(digest))

@@ -98,13 +98,14 @@ type Metrics struct {
 	// attempts (ErrPoisoned), WorkerPanics recovered vet panics. LeaseAge
 	// is the wall-clock seconds a claim was held before settling or being
 	// reclaimed — lease pressure, where scan stats are virtual-clock.
-	QueueAcked   uint64
-	QueueNacked  uint64
-	Reclaims     uint64
-	Replayed     uint64
-	DeadLettered uint64
-	WorkerPanics uint64
-	LeaseAge     ScanStats
+	QueueAcked    uint64
+	QueueNacked   uint64
+	Reclaims      uint64
+	Replayed      uint64
+	ReplaySkipped uint64 // torn/corrupt journal records dropped at replay
+	DeadLettered  uint64
+	WorkerPanics  uint64
+	LeaseAge      ScanStats
 
 	// Memory accounting at snapshot time. CacheEntries and CacheLiveBytes
 	// come from the checker's verdict cache (flat-entry bytes, the
@@ -286,6 +287,7 @@ func (s *Service) Metrics() Metrics {
 	m.QueueNacked = qs.Nacked
 	m.Reclaims = qs.Reclaimed
 	m.Replayed = qs.Replayed
+	m.ReplaySkipped = qs.ReplaySkipped
 	m.DeadLettered = qs.DeadLettered
 	m.LeaseAge = newScanStats(c.leaseAges.Snapshot())
 

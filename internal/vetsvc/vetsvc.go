@@ -69,6 +69,12 @@ var (
 	// with an error wrapping this instead of cycling through the queue
 	// forever.
 	ErrPoisoned = errors.New("vetsvc: submission dead-lettered")
+
+	// ErrRawOnly: the service runs in coordinator mode (DisableLocalLanes)
+	// and the submission carries no raw archive bytes — a parsed APK or
+	// behaviour program cannot ship to a remote worker node, so admission
+	// rejects it up front instead of queueing it forever.
+	ErrRawOnly = errors.New("vetsvc: coordinator mode accepts only raw-archive submissions")
 )
 
 // Config tunes one service instance.
@@ -119,6 +125,13 @@ type Config struct {
 	// Sink on the service collector, so it sees exactly the events any
 	// other attached sink does.
 	OnEvent func(Event)
+
+	// DisableLocalLanes runs the service in coordinator mode: no local
+	// worker lanes start, and every queued submission is vetted by remote
+	// worker nodes claiming it over the wire (internal/cluster), settling
+	// through the same first-wins records via MarkStarted/ReportRemote.
+	// Raw-archive submissions only — anything else fails with ErrRawOnly.
+	DisableLocalLanes bool
 }
 
 // DefaultConfig is the production-shaped serving configuration.
@@ -306,12 +319,14 @@ func Open(ck *core.Checker, cfg Config) (*Service, error) {
 		s.m.accepted.Inc()
 		s.emit(Event{Type: EventAccepted, Seq: r.seq, Package: r.pkg})
 	}
-	s.pool = worker.Start(q, worker.Config{
-		Lanes:          cfg.Workers,
-		HeartbeatEvery: hb,
-		Do:             s.vetClaim,
-		OnPanic:        func(workqueue.Item, any) { s.m.panics.Inc() },
-	})
+	if !cfg.DisableLocalLanes {
+		s.pool = worker.Start(q, worker.Config{
+			Lanes:          cfg.Workers,
+			HeartbeatEvery: hb,
+			Do:             s.vetClaim,
+			OnPanic:        func(workqueue.Item, any) { s.m.panics.Inc() },
+		})
+	}
 	return s, nil
 }
 
@@ -360,6 +375,10 @@ func (s *Service) admit(ctx context.Context, sub core.Submission) (*Ticket, erro
 	if err := sub.Validate(); err != nil {
 		s.q.Release()
 		return nil, err
+	}
+	if s.cfg.DisableLocalLanes && sub.Raw == nil {
+		s.q.Release()
+		return nil, fmt.Errorf("vet %s: %w", pkgOf(sub), ErrRawOnly)
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -483,11 +502,11 @@ func (s *Service) claimContext(claimCtx context.Context, it workqueue.Item) (cor
 }
 
 // settleRecord resolves one verdict record, books the completion exactly
-// once (first report wins; a reclaim-raced duplicate changes nothing),
-// and emits the done event.
-func (s *Service) settleRecord(r *record, v *core.Verdict, out vcache.Outcome, err error, wall time.Duration) {
+// once (first report wins; a reclaim-raced duplicate changes nothing and
+// reports false), and emits the done event.
+func (s *Service) settleRecord(r *record, v *core.Verdict, out vcache.Outcome, err error, wall time.Duration) bool {
 	if !r.settle(v, err) {
-		return
+		return false
 	}
 	s.m.finishJob(v, err, out)
 	s.noteWall(wall)
@@ -497,6 +516,57 @@ func (s *Service) settleRecord(r *record, v *core.Verdict, out vcache.Outcome, e
 		ev.Scan = v.ScanTime
 	}
 	s.emit(ev)
+	return true
+}
+
+// Queue exposes the service's durable work queue — the claim surface the
+// cluster coordinator hands to remote worker nodes. Claims taken from it
+// directly bypass the local lanes but settle through the same first-wins
+// verdict records (MarkStarted / ReportRemote).
+func (s *Service) Queue() *workqueue.Queue { return s.q }
+
+// QueueStats snapshots queue activity (the healthz surface).
+func (s *Service) QueueStats() workqueue.Stats { return s.q.Stats() }
+
+// MarkStarted notes that a remote worker node has claimed seq: the record
+// flips to claimed and the started event fires, mirroring the local
+// lanes' claim bookkeeping. A seq whose record already settled
+// (dead-lettered while pending) is ignored.
+func (s *Service) MarkStarted(seq int64) {
+	r := s.recordFor(seq)
+	if r == nil {
+		return
+	}
+	r.markClaimed()
+	s.emit(Event{Type: EventStarted, Seq: seq, Package: r.pkg})
+}
+
+// ReportRemote settles seq's verdict record with a result a remote worker
+// node produced, booking completion metrics exactly as a local lane
+// would. First report wins — false means the record was unknown or
+// already settled (a reclaim-raced duplicate, or an ack after a
+// dead-letter), and the report changed nothing.
+func (s *Service) ReportRemote(seq int64, v *core.Verdict, out vcache.Outcome, err error, wall time.Duration) bool {
+	r := s.recordFor(seq)
+	if r == nil {
+		return false
+	}
+	return s.settleRecord(r, v, out, err, wall)
+}
+
+// ClaimDeadline resolves the absolute vet deadline for a claimed item
+// (zero when unbounded): the admission deadline while the record still
+// rides the item, or a fresh per-claim budget for replayed items — the
+// same rules claimContext applies for local lanes, exported so claim
+// responses can ship the deadline to remote nodes.
+func (s *Service) ClaimDeadline(it workqueue.Item) time.Time {
+	if r, ok := it.Mem.(*record); ok {
+		return r.deadline
+	}
+	if s.cfg.Deadline > 0 {
+		return time.Now().Add(s.cfg.Deadline)
+	}
+	return time.Time{}
 }
 
 // deadLetter is the queue's OnDead callback: a submission that exhausted
@@ -645,16 +715,41 @@ func (s *Service) Drain(ctx context.Context) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	select {
-	case <-s.pool.Done():
-	case <-ctx.Done():
+	if s.pool != nil {
+		select {
+		case <-s.pool.Done():
+		case <-ctx.Done():
+			s.baseCancel(ErrDraining)
+			<-s.pool.Done()
+		}
+	} else if err := s.q.AwaitDrained(ctx); err != nil {
+		// Coordinator mode, drain budget expired: remote nodes are beyond
+		// the service's reach, so outstanding submissions cannot be
+		// cancelled, only abandoned — their tickets settle with ErrDraining
+		// and their journal entries stay unsettled for the next life to
+		// replay. A straggler ack after this is absorbed by first-wins.
 		s.baseCancel(ErrDraining)
-		<-s.pool.Done()
+		s.failOutstanding()
 	}
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	s.q.Close()
+}
+
+// failOutstanding settles every live record with ErrDraining — the
+// hard-drain tail of a coordinator-mode service.
+func (s *Service) failOutstanding() {
+	s.recMu.Lock()
+	recs := make([]*record, 0, len(s.recs))
+	for _, r := range s.recs {
+		recs = append(recs, r)
+	}
+	s.recMu.Unlock()
+	for _, r := range recs {
+		err := fmt.Errorf("vet %s: %w", r.pkg, ErrDraining)
+		s.settleRecord(r, nil, vcache.OutcomeBypass, err, 0)
+	}
 }
 
 // Draining reports whether the service has begun shutting down (admissions

@@ -6,9 +6,12 @@
 // lease-loss propagation into the claim's context — while the Do callback
 // owns what a claim *means* (vetsvc binds it to the staged vet pipeline).
 //
-// The split is the ROADMAP cluster shape rehearsed in-process: a later PR
-// can put the queue behind a network API and this executor's semantics do
-// not change.
+// The split is the ROADMAP cluster shape rehearsed in-process; package
+// cluster is the landed network half — its coordinator puts the queue
+// behind the gateway's claim routes and its worker nodes run this same
+// claim → execute → ack discipline over HTTP, with identical lease
+// semantics (heartbeats, ErrLeaseLost cancellation, first-wins
+// verdicts).
 package worker
 
 import (

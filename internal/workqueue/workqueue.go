@@ -135,6 +135,11 @@ type Stats struct {
 	Reclaimed    uint64 // leases expired and re-issued
 	Replayed     uint64 // items restored from the journal at Open
 	DeadLettered uint64
+
+	// ReplaySkipped counts journal records dropped during replay because
+	// they were torn or corrupt (a crash mid-append) — the post-crash
+	// signal an operator checks before trusting a replayed backlog.
+	ReplaySkipped uint64
 }
 
 // seqHeap orders pending items by seq — FIFO order equals seq order, and
@@ -181,6 +186,76 @@ func (h *seqHeap) pop() Item {
 	return it
 }
 
+// takeMin removes and returns the lowest-seq pending item accept allows;
+// a nil accept takes the root. The filtered form scans the heap slice —
+// linear, but the queue is capacity-bounded and only filtered claims
+// (cluster affinity routing) pay it; plain claims pop the root.
+func (h *seqHeap) takeMin(accept func(Item) bool) (Item, bool) {
+	s := *h
+	if len(s) == 0 {
+		return Item{}, false
+	}
+	if accept == nil {
+		return h.pop(), true
+	}
+	best := -1
+	for i := range s {
+		if !accept(s[i]) {
+			continue
+		}
+		if best < 0 || s[i].Seq < s[best].Seq {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Item{}, false
+	}
+	return h.removeAt(best), true
+}
+
+// removeAt deletes the element at index i, restoring heap order.
+func (h *seqHeap) removeAt(i int) Item {
+	s := *h
+	n := len(s) - 1
+	it := s[i]
+	s[i], s[n] = s[n], Item{}
+	*h = s[:n]
+	if i < n {
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+	return it
+}
+
+func (h seqHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].Seq <= h[i].Seq {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func (h seqHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		m := 2*i + 1
+		if m >= n {
+			return
+		}
+		if r := m + 1; r < n && h[r].Seq < h[m].Seq {
+			m = r
+		}
+		if h[i].Seq <= h[m].Seq {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
 // lease tracks one outstanding claim.
 type leaseState struct {
 	item     Item
@@ -215,6 +290,7 @@ type Queue struct {
 
 	depth, leased                                      *obs.Gauge
 	enqueued, acked, nacked, reclaimed, replayed, dead *obs.Counter
+	replaySkipped                                      *obs.Counter
 	leaseAge                                           *obs.Distribution
 }
 
@@ -252,6 +328,9 @@ func Open(cfg Config) (*Queue, []Item, error) {
 		replayed:  col.Counter("svc.queue.replayed"),
 		dead:      col.Counter("svc.queue.dead_lettered"),
 		leaseAge:  col.Distribution("svc.queue.lease_age"),
+		// Torn/corrupt journal records dropped at replay: previously only
+		// returned from openLog (and dropped), now a first-class counter.
+		replaySkipped: col.Counter("workqueue.replay_skipped"),
 	}
 	for i := 0; i < cfg.Capacity; i++ {
 		q.slots <- struct{}{}
@@ -259,12 +338,13 @@ func Open(cfg Config) (*Queue, []Item, error) {
 
 	var replayed []Item
 	if cfg.Dir != "" {
-		log, items, maxSeq, _, err := openLog(cfg.Dir)
+		log, items, maxSeq, skipped, err := openLog(cfg.Dir)
 		if err != nil {
 			return nil, nil, err
 		}
 		q.log = log
 		q.maxSeq = maxSeq
+		q.replaySkipped.Add(uint64(skipped))
 		// The internal counter resumes past everything the journal ever
 		// recorded; external seq sources consult ReplayMaxSeq themselves.
 		q.nextSeq = maxSeq
@@ -399,6 +479,17 @@ func (q *Queue) pulseLocked() {
 // caller. It returns ErrDrained once a Shutdown queue has settled
 // everything, ErrClosed after Close, or ctx's error.
 func (q *Queue) Claim(ctx context.Context) (*Lease, error) {
+	return q.ClaimWhere(ctx, nil)
+}
+
+// ClaimWhere is Claim restricted to items accept allows: it leases the
+// lowest-seq pending item for which accept reports true, waiting (like
+// Claim) when nothing acceptable is pending. This is the cluster
+// coordinator's affinity hook — a claim request routes around items whose
+// digest belongs to another live node. accept is called under the queue
+// lock: it must be fast and must not call back into the queue. A nil
+// accept is plain Claim.
+func (q *Queue) ClaimWhere(ctx context.Context, accept func(Item) bool) (*Lease, error) {
 	for {
 		q.mu.Lock()
 		if q.released {
@@ -406,8 +497,7 @@ func (q *Queue) Claim(ctx context.Context) (*Lease, error) {
 			return nil, ErrClosed
 		}
 		dead := q.reclaimLocked()
-		if len(q.pending) > 0 {
-			it := q.pending.pop()
+		if it, ok := q.pending.takeMin(accept); ok {
 			q.depth.Set(int64(len(q.pending)))
 			q.releaseSlotLocked()
 			it.Attempts++
@@ -422,33 +512,14 @@ func (q *Queue) Claim(ctx context.Context) (*Lease, error) {
 			q.fireDead(dead)
 			return &Lease{q: q, item: it, token: ls.token}, nil
 		}
-		if q.closed && len(q.leases) == 0 {
+		if q.closed && len(q.pending) == 0 && len(q.leases) == 0 {
 			q.mu.Unlock()
 			q.fireDead(dead)
 			return nil, ErrDrained
 		}
 		// Nothing claimable: wait for an enqueue, a nack, a shutdown — or
 		// the earliest lease expiry, after which a rescan reclaims it.
-		// Registering as a waiter before capturing the channel (both under
-		// q.mu) means no pulse between here and the select can be missed.
-		q.waiters++
-		wake := q.wake
-		var timer *time.Timer
-		var expiry <-chan time.Time
-		if q.cfg.LeaseTTL > 0 && len(q.leases) > 0 {
-			next := time.Time{}
-			for _, ls := range q.leases {
-				if next.IsZero() || ls.deadline.Before(next) {
-					next = ls.deadline
-				}
-			}
-			d := next.Sub(q.now())
-			if d < time.Millisecond {
-				d = time.Millisecond
-			}
-			timer = time.NewTimer(d)
-			expiry = timer.C
-		}
+		wake, expiry, timer := q.armWaitLocked()
 		q.mu.Unlock()
 		q.fireDead(dead)
 		select {
@@ -464,6 +535,72 @@ func (q *Queue) Claim(ctx context.Context) (*Lease, error) {
 		q.mu.Unlock()
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+	}
+}
+
+// armWaitLocked registers the caller as a waiter and returns the wake
+// channel plus a timer armed at the earliest lease expiry (nil channels
+// when no lease can expire). Registering as a waiter before capturing the
+// channel (both under q.mu) means no pulse between the return and the
+// caller's select can be missed. Caller holds q.mu and must decrement
+// q.waiters (under q.mu) after its select.
+func (q *Queue) armWaitLocked() (wake <-chan struct{}, expiry <-chan time.Time, timer *time.Timer) {
+	q.waiters++
+	wake = q.wake
+	if q.cfg.LeaseTTL > 0 && len(q.leases) > 0 {
+		next := time.Time{}
+		for _, ls := range q.leases {
+			if next.IsZero() || ls.deadline.Before(next) {
+				next = ls.deadline
+			}
+		}
+		d := next.Sub(q.now())
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		timer = time.NewTimer(d)
+		expiry = timer.C
+	}
+	return wake, expiry, timer
+}
+
+// AwaitDrained blocks until a Shutdown queue has settled every pending
+// item and lease — the coordinator-mode drain primitive. A service whose
+// claims all come from remote worker nodes has no local claim loop, yet
+// something must keep expiring abandoned leases (and delivering their
+// dead-letter callbacks) while the drain waits; AwaitDrained is that
+// something. Returns nil once the queue is drained (or was abruptly
+// Closed, after which nothing more can settle), or ctx's error.
+func (q *Queue) AwaitDrained(ctx context.Context) error {
+	for {
+		q.mu.Lock()
+		if q.released {
+			q.mu.Unlock()
+			return nil
+		}
+		dead := q.reclaimLocked()
+		if q.closed && len(q.pending) == 0 && len(q.leases) == 0 {
+			q.mu.Unlock()
+			q.fireDead(dead)
+			return nil
+		}
+		wake, expiry, timer := q.armWaitLocked()
+		q.mu.Unlock()
+		q.fireDead(dead)
+		select {
+		case <-wake:
+		case <-expiry:
+		case <-ctx.Done():
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		q.mu.Lock()
+		q.waiters--
+		q.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 	}
 }
@@ -543,17 +680,22 @@ func (q *Queue) Stats() Stats {
 	depth, leased := len(q.pending), len(q.leases)
 	q.mu.Unlock()
 	return Stats{
-		Depth:        depth,
-		Leased:       leased,
-		Capacity:     q.cfg.Capacity,
-		Enqueued:     q.enqueued.Load(),
-		Acked:        q.acked.Load(),
-		Nacked:       q.nacked.Load(),
-		Reclaimed:    q.reclaimed.Load(),
-		Replayed:     q.replayed.Load(),
-		DeadLettered: q.dead.Load(),
+		Depth:         depth,
+		Leased:        leased,
+		Capacity:      q.cfg.Capacity,
+		Enqueued:      q.enqueued.Load(),
+		Acked:         q.acked.Load(),
+		Nacked:        q.nacked.Load(),
+		Reclaimed:     q.reclaimed.Load(),
+		Replayed:      q.replayed.Load(),
+		DeadLettered:  q.dead.Load(),
+		ReplaySkipped: q.replaySkipped.Load(),
 	}
 }
+
+// LeaseTTL returns the configured lease TTL (0 when leases never expire)
+// — claim responses ship it so remote workers can pace heartbeats.
+func (q *Queue) LeaseTTL() time.Duration { return q.cfg.LeaseTTL }
 
 // Shutdown begins a graceful drain: no new enqueues (ErrClosed), but
 // pending items remain claimable and outstanding leases can still settle.
@@ -591,6 +733,13 @@ type Lease struct {
 
 // Item returns the leased item (Attempts counts this claim).
 func (l *Lease) Item() Item { return l.item }
+
+// Token returns the lease's claim token — the remote-lease view: a
+// coordinator handing leases to worker nodes over the wire ships the
+// token with the claim and matches it on every heartbeat/ack/nack, so a
+// node acking a lease that was reclaimed and re-issued (new token) is
+// rejected exactly like a stale in-process Lease would be.
+func (l *Lease) Token() uint64 { return l.token }
 
 // Valid reports whether the lease is still live — its item has not been
 // reclaimed out from under the holder.

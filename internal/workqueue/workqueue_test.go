@@ -346,6 +346,11 @@ func TestTornTailTruncatesToGoodPrefix(t *testing.T) {
 			if len(replayed) != want {
 				t.Fatalf("replayed %d items, want %d", len(replayed), want)
 			}
+			// The dropped tail is visible to operators: one bad record (or
+			// garbage run) counts as one skipped replay record.
+			if got := q2.Stats().ReplaySkipped; got != 1 {
+				t.Fatalf("ReplaySkipped = %d, want 1", got)
+			}
 			// The tail was truncated to the good prefix: appending works
 			// and the next replay sees a consistent log.
 			enqueue(t, q2, Item{Key: "after", Payload: []byte("fresh")})
@@ -354,6 +359,9 @@ func TestTornTailTruncatesToGoodPrefix(t *testing.T) {
 			defer q3.Close()
 			if len(replayed) != want+1 {
 				t.Fatalf("after repair: replayed %d, want %d", len(replayed), want+1)
+			}
+			if got := q3.Stats().ReplaySkipped; got != 0 {
+				t.Fatalf("after repair: ReplaySkipped = %d, want 0", got)
 			}
 		})
 	}
